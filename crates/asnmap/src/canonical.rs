@@ -1,0 +1,218 @@
+//! Canonicalisation of registration metadata (Appendix C, step 1).
+//!
+//! Registration text on both sides of the join is messy: the same company
+//! appears as "Acme Networks, Inc.", "ACME NETWORKS INC" and "Acme Networks";
+//! the same street as "123 North Main Street Suite 4" and "123 N MAIN ST STE
+//! 4". The paper standardises each field before matching; these functions
+//! reproduce those rules.
+
+/// Email domains that are open for public registration and therefore carry no
+/// organisational signal; the email-domain matcher ignores them.
+const PUBLIC_EMAIL_DOMAINS: &[&str] = &[
+    "gmail.com",
+    "yahoo.com",
+    "hotmail.com",
+    "outlook.com",
+    "aol.com",
+    "icloud.com",
+    "msn.com",
+    "live.com",
+    "protonmail.com",
+];
+
+/// USPS Publication 28 street-suffix and directional abbreviations (the subset
+/// that matters for ISP registration addresses).
+const USPS_ABBREVIATIONS: &[(&str, &str)] = &[
+    ("street", "st"),
+    ("avenue", "ave"),
+    ("boulevard", "blvd"),
+    ("drive", "dr"),
+    ("road", "rd"),
+    ("lane", "ln"),
+    ("court", "ct"),
+    ("circle", "cir"),
+    ("highway", "hwy"),
+    ("parkway", "pkwy"),
+    ("place", "pl"),
+    ("square", "sq"),
+    ("terrace", "ter"),
+    ("trail", "trl"),
+    ("turnpike", "tpke"),
+    ("suite", "ste"),
+    ("building", "bldg"),
+    ("floor", "fl"),
+    ("apartment", "apt"),
+    ("north", "n"),
+    ("south", "s"),
+    ("east", "e"),
+    ("west", "w"),
+    ("northeast", "ne"),
+    ("northwest", "nw"),
+    ("southeast", "se"),
+    ("southwest", "sw"),
+];
+
+/// Canonicalise a full email address: trim surrounding whitespace and
+/// lowercase it.
+pub fn canonical_email(email: &str) -> String {
+    email.trim().to_ascii_lowercase()
+}
+
+/// Canonicalise a contact email address down to its domain, returning `None`
+/// for malformed addresses or domains that are publicly registrable (gmail
+/// etc.), which carry no organisational signal.
+pub fn canonical_email_domain(email: &str) -> Option<String> {
+    let email = canonical_email(email);
+    let domain = email.split('@').nth(1)?.trim().to_string();
+    if domain.is_empty() || !domain.contains('.') {
+        return None;
+    }
+    if PUBLIC_EMAIL_DOMAINS.contains(&domain.as_str()) {
+        return None;
+    }
+    Some(domain)
+}
+
+/// Canonicalise a company name: lowercase, strip trailing corporate suffixes
+/// ("inc", "llc", "corp", "co", "lp", "ltd") and drop every character that is
+/// not alphanumeric or whitespace, collapsing runs of whitespace.
+pub fn canonical_company_name(name: &str) -> String {
+    let lower = name.to_ascii_lowercase();
+    let cleaned: String = lower
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c.is_whitespace() {
+                c
+            } else {
+                ' '
+            }
+        })
+        .collect();
+    let mut tokens: Vec<&str> = cleaned.split_whitespace().collect();
+    while let Some(last) = tokens.last() {
+        if matches!(
+            *last,
+            "inc" | "llc" | "corp" | "corporation" | "co" | "company" | "lp" | "ltd" | "incorporated"
+        ) {
+            tokens.pop();
+        } else {
+            break;
+        }
+    }
+    tokens.join(" ")
+}
+
+/// Canonicalise a postal address: lowercase, strip punctuation, abbreviate
+/// street suffixes and directionals per USPS Publication 28, collapse
+/// whitespace.
+pub fn canonical_address(address: &str) -> String {
+    let lower = address.to_ascii_lowercase();
+    let cleaned: String = lower
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c.is_whitespace() {
+                c
+            } else {
+                ' '
+            }
+        })
+        .collect();
+    cleaned
+        .split_whitespace()
+        .map(|token| {
+            USPS_ABBREVIATIONS
+                .iter()
+                .find(|(long, _)| *long == token)
+                .map(|(_, short)| *short)
+                .unwrap_or(token)
+        })
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn email_trims_and_lowercases() {
+        assert_eq!(canonical_email("  Admin@Example.NET \n"), "admin@example.net");
+    }
+
+    #[test]
+    fn email_domain_extracts_domain() {
+        assert_eq!(
+            canonical_email_domain("noc@acme-networks.com"),
+            Some("acme-networks.com".to_string())
+        );
+    }
+
+    #[test]
+    fn email_domain_rejects_public_providers() {
+        assert_eq!(canonical_email_domain("owner@gmail.com"), None);
+        assert_eq!(canonical_email_domain("owner@YAHOO.com"), None);
+    }
+
+    #[test]
+    fn email_domain_rejects_malformed() {
+        assert_eq!(canonical_email_domain("not-an-email"), None);
+        assert_eq!(canonical_email_domain("user@"), None);
+        assert_eq!(canonical_email_domain("user@localhost"), None);
+    }
+
+    #[test]
+    fn company_name_strips_suffixes_and_punctuation() {
+        assert_eq!(
+            canonical_company_name("Acme Networks, Inc."),
+            "acme networks"
+        );
+        assert_eq!(
+            canonical_company_name("ACME NETWORKS LLC"),
+            "acme networks"
+        );
+        assert_eq!(
+            canonical_company_name("Acme Networks Company, LLC"),
+            "acme networks"
+        );
+    }
+
+    #[test]
+    fn company_name_idempotent() {
+        let once = canonical_company_name("Jefferson County Cable TV, Inc.");
+        assert_eq!(canonical_company_name(&once), once);
+    }
+
+    #[test]
+    fn matching_companies_collide() {
+        assert_eq!(
+            canonical_company_name("Blue Ridge Fiber Co."),
+            canonical_company_name("BLUE RIDGE FIBER")
+        );
+    }
+
+    #[test]
+    fn address_applies_usps_abbreviations() {
+        assert_eq!(
+            canonical_address("123 North Main Street, Suite 4"),
+            "123 n main st ste 4"
+        );
+        assert_eq!(
+            canonical_address("123 N. MAIN ST STE 4"),
+            "123 n main st ste 4"
+        );
+    }
+
+    #[test]
+    fn address_idempotent() {
+        let once = canonical_address("500 West Broadband Avenue, Building 2");
+        assert_eq!(canonical_address(&once), once);
+    }
+
+    #[test]
+    fn distinct_addresses_stay_distinct() {
+        assert_ne!(
+            canonical_address("123 Main St"),
+            canonical_address("125 Main St")
+        );
+    }
+}

@@ -1,0 +1,25 @@
+//! Provider-to-ASN mapping (§4.2.2, §6.1 and Appendix C of the paper).
+//!
+//! MLab speed tests identify the client's Autonomous System Number, but BDC
+//! filings identify providers by an FCC Provider ID. To attribute speed tests
+//! to filings, the paper joins FCC registration (FRN) metadata against ARIN
+//! WHOIS registration data using four independent matching methods —
+//! full contact email, contact email domain, canonicalised company name and
+//! canonicalised postal address — and measures agreement between the methods
+//! with the Jaccard index.
+//!
+//! This crate models both registration databases, the canonicalisation rules
+//! (Appendix C step 1), the four matchers, the agreement analysis behind
+//! Table 5 and Figure 3, and the as2org-style sibling-group comparison.
+
+pub mod canonical;
+pub mod matching;
+pub mod records;
+pub mod sibling;
+
+pub use canonical::{
+    canonical_address, canonical_company_name, canonical_email, canonical_email_domain,
+};
+pub use matching::{jaccard, MatchMethod, MatchReport, ProviderAsnMatcher};
+pub use records::{AsnEntry, FrnRegistration, Net, Org, Poc, WhoisDb};
+pub use sibling::{compare_groupings, GroupComparison, SiblingGroups};

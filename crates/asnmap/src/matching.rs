@@ -1,0 +1,448 @@
+//! The four provider-to-ASN matching methods and their agreement analysis
+//! (§6.1, Table 5 and Figure 3 of the paper).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use serde::{Deserialize, Serialize};
+
+use crate::canonical::{
+    canonical_address, canonical_company_name, canonical_email, canonical_email_domain,
+};
+use crate::records::{FrnRegistration, WhoisDb};
+
+/// One of the four independent matching methodologies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum MatchMethod {
+    /// Exact match on the full, canonicalised contact email address.
+    FullEmail,
+    /// Match on the contact email's domain (public domains excluded).
+    EmailDomain,
+    /// Match on the canonicalised company name.
+    CompanyName,
+    /// Match on the canonicalised postal address.
+    PhysicalAddress,
+}
+
+impl MatchMethod {
+    /// All methods, in the order Table 5 lists them.
+    pub const ALL: [MatchMethod; 4] = [
+        MatchMethod::FullEmail,
+        MatchMethod::EmailDomain,
+        MatchMethod::CompanyName,
+        MatchMethod::PhysicalAddress,
+    ];
+
+    /// Human-readable label matching Table 5.
+    pub fn label(&self) -> &'static str {
+        match self {
+            MatchMethod::FullEmail => "Full Email Address",
+            MatchMethod::EmailDomain => "Contact Email Domain",
+            MatchMethod::CompanyName => "Company Name",
+            MatchMethod::PhysicalAddress => "Physical Address",
+        }
+    }
+}
+
+impl std::fmt::Display for MatchMethod {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The Jaccard index of two sets: `|A ∩ B| / |A ∪ B|`, with the convention
+/// that two empty sets have index 0 (no evidence of agreement).
+pub fn jaccard<T: Ord>(a: &BTreeSet<T>, b: &BTreeSet<T>) -> f64 {
+    let union = a.union(b).count();
+    if union == 0 {
+        return 0.0;
+    }
+    a.intersection(b).count() as f64 / union as f64
+}
+
+/// Outcome of running all four matching methods over the registration data.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MatchReport {
+    /// Providers matched to at least one ASN, per method (Table 5).
+    pub providers_matched_by_method: BTreeMap<MatchMethod, usize>,
+    /// Union mapping: provider → set of ASNs from any method.
+    pub provider_to_asns: BTreeMap<u32, BTreeSet<u32>>,
+    /// Per-method mapping: method → provider → ASNs.
+    pub per_method: BTreeMap<MatchMethod, BTreeMap<u32, BTreeSet<u32>>>,
+    /// Total number of providers that appeared in the FRN registration input.
+    pub total_providers: usize,
+    /// Providers with matches from two or more methods that agree perfectly
+    /// (Jaccard index of 1 across the methods that matched).
+    pub strong_matches: usize,
+    /// Providers with matches from two or more methods that only partially
+    /// agree.
+    pub partial_matches: usize,
+    /// Providers matched by exactly one method.
+    pub single_method_matches: usize,
+    /// ASNs that ended up mapped to more than one provider.
+    pub shared_asns: usize,
+}
+
+impl MatchReport {
+    /// Number of providers matched to at least one ASN by any method.
+    pub fn matched_providers(&self) -> usize {
+        self.provider_to_asns.len()
+    }
+
+    /// Fraction of providers matched (the paper reports 72.4%).
+    pub fn match_rate(&self) -> f64 {
+        if self.total_providers == 0 {
+            0.0
+        } else {
+            self.matched_providers() as f64 / self.total_providers as f64
+        }
+    }
+
+    /// Providers with no ASN match from any method.
+    pub fn unmatched_providers(&self, all_providers: &[u32]) -> Vec<u32> {
+        all_providers
+            .iter()
+            .copied()
+            .filter(|p| !self.provider_to_asns.contains_key(p))
+            .collect()
+    }
+
+    /// Mean pairwise Jaccard index between two methods' provider→ASN
+    /// mappings, averaged over providers matched by *either* method
+    /// (Figure 3's matrix entries). The diagonal is 1 by construction when a
+    /// method matched anything.
+    pub fn mean_jaccard_matrix(&self) -> BTreeMap<(MatchMethod, MatchMethod), f64> {
+        let mut out = BTreeMap::new();
+        for &m1 in &MatchMethod::ALL {
+            for &m2 in &MatchMethod::ALL {
+                let a = self.per_method.get(&m1);
+                let b = self.per_method.get(&m2);
+                let providers: BTreeSet<u32> = a
+                    .iter()
+                    .flat_map(|m| m.keys().copied())
+                    .chain(b.iter().flat_map(|m| m.keys().copied()))
+                    .collect();
+                let empty = BTreeSet::new();
+                let mut total = 0.0;
+                let mut n = 0usize;
+                for p in providers {
+                    let sa = a.and_then(|m| m.get(&p)).unwrap_or(&empty);
+                    let sb = b.and_then(|m| m.get(&p)).unwrap_or(&empty);
+                    total += jaccard(sa, sb);
+                    n += 1;
+                }
+                let mean = if n == 0 { 0.0 } else { total / n as f64 };
+                out.insert((m1, m2), mean);
+            }
+        }
+        out
+    }
+}
+
+/// Runs the four matching methods over an FRN registration table and a WHOIS
+/// database.
+#[derive(Debug, Clone)]
+pub struct ProviderAsnMatcher {
+    registrations: Vec<FrnRegistration>,
+}
+
+impl ProviderAsnMatcher {
+    /// Create a matcher over the provider-side registration table.
+    pub fn new(registrations: Vec<FrnRegistration>) -> Self {
+        Self { registrations }
+    }
+
+    /// The distinct provider ids present in the registration table.
+    pub fn provider_ids(&self) -> Vec<u32> {
+        let mut ids: Vec<u32> = self.registrations.iter().map(|r| r.provider_id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    /// Run all four methods against the WHOIS database and summarise.
+    pub fn run(&self, whois: &WhoisDb) -> MatchReport {
+        // Build provider-side keys per method.
+        let mut provider_keys: BTreeMap<MatchMethod, BTreeMap<String, BTreeSet<u32>>> =
+            BTreeMap::new();
+        for reg in &self.registrations {
+            let email = canonical_email(&reg.contact_email);
+            if !email.is_empty() {
+                provider_keys
+                    .entry(MatchMethod::FullEmail)
+                    .or_default()
+                    .entry(email)
+                    .or_default()
+                    .insert(reg.provider_id);
+            }
+            if let Some(domain) = canonical_email_domain(&reg.contact_email) {
+                provider_keys
+                    .entry(MatchMethod::EmailDomain)
+                    .or_default()
+                    .entry(domain)
+                    .or_default()
+                    .insert(reg.provider_id);
+            }
+            let name = canonical_company_name(&reg.company_name);
+            if !name.is_empty() {
+                provider_keys
+                    .entry(MatchMethod::CompanyName)
+                    .or_default()
+                    .entry(name)
+                    .or_default()
+                    .insert(reg.provider_id);
+            }
+            let addr = canonical_address(&reg.physical_address);
+            if !addr.is_empty() {
+                provider_keys
+                    .entry(MatchMethod::PhysicalAddress)
+                    .or_default()
+                    .entry(addr)
+                    .or_default()
+                    .insert(reg.provider_id);
+            }
+        }
+
+        // Walk every ASN's points of contact and look its keys up per method.
+        let mut per_method: BTreeMap<MatchMethod, BTreeMap<u32, BTreeSet<u32>>> = BTreeMap::new();
+        for asn in whois.all_asns() {
+            let pocs = whois.pocs_for_asn(asn);
+            let org_name = whois.org_name_for_asn(asn).map(canonical_company_name);
+            for poc in &pocs {
+                let candidates: [(MatchMethod, Option<String>); 4] = [
+                    (MatchMethod::FullEmail, Some(canonical_email(&poc.email))),
+                    (MatchMethod::EmailDomain, canonical_email_domain(&poc.email)),
+                    (
+                        MatchMethod::CompanyName,
+                        Some(canonical_company_name(&poc.company_name)),
+                    ),
+                    (
+                        MatchMethod::PhysicalAddress,
+                        Some(canonical_address(&poc.address)),
+                    ),
+                ];
+                for (method, key) in candidates {
+                    let Some(key) = key else { continue };
+                    if key.is_empty() {
+                        continue;
+                    }
+                    if let Some(providers) =
+                        provider_keys.get(&method).and_then(|keys| keys.get(&key))
+                    {
+                        for &p in providers {
+                            per_method
+                                .entry(method)
+                                .or_default()
+                                .entry(p)
+                                .or_default()
+                                .insert(asn);
+                        }
+                    }
+                }
+            }
+            // The ASN's registered organisation name also participates in the
+            // company-name method even when no POC repeats it.
+            if let Some(org_name) = org_name {
+                if !org_name.is_empty() {
+                    if let Some(providers) = provider_keys
+                        .get(&MatchMethod::CompanyName)
+                        .and_then(|keys| keys.get(&org_name))
+                    {
+                        for &p in providers {
+                            per_method
+                                .entry(MatchMethod::CompanyName)
+                                .or_default()
+                                .entry(p)
+                                .or_default()
+                                .insert(asn);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Union mapping and agreement statistics.
+        let mut provider_to_asns: BTreeMap<u32, BTreeSet<u32>> = BTreeMap::new();
+        for mapping in per_method.values() {
+            for (p, asns) in mapping {
+                provider_to_asns.entry(*p).or_default().extend(asns);
+            }
+        }
+
+        let mut strong = 0usize;
+        let mut partial = 0usize;
+        let mut single = 0usize;
+        for p in provider_to_asns.keys() {
+            let sets: Vec<&BTreeSet<u32>> = MatchMethod::ALL
+                .iter()
+                .filter_map(|m| per_method.get(m).and_then(|mm| mm.get(p)))
+                .collect();
+            if sets.len() <= 1 {
+                single += 1;
+            } else {
+                let all_equal = sets.windows(2).all(|w| jaccard(w[0], w[1]) == 1.0);
+                if all_equal {
+                    strong += 1;
+                } else {
+                    partial += 1;
+                }
+            }
+        }
+
+        // ASNs mapped to multiple providers (shared corporate groups or
+        // wholesale transit, §6.1).
+        let mut asn_to_providers: BTreeMap<u32, BTreeSet<u32>> = BTreeMap::new();
+        for (p, asns) in &provider_to_asns {
+            for &a in asns {
+                asn_to_providers.entry(a).or_default().insert(*p);
+            }
+        }
+        let shared_asns = asn_to_providers.values().filter(|s| s.len() > 1).count();
+
+        let providers_matched_by_method = MatchMethod::ALL
+            .iter()
+            .map(|m| (*m, per_method.get(m).map(|mm| mm.len()).unwrap_or(0)))
+            .collect();
+
+        MatchReport {
+            providers_matched_by_method,
+            provider_to_asns,
+            per_method,
+            total_providers: self.provider_ids().len(),
+            strong_matches: strong,
+            partial_matches: partial,
+            single_method_matches: single,
+            shared_asns,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::records::{AsnEntry, Org, Poc};
+
+    fn registration(provider: u32, email: &str, company: &str, address: &str) -> FrnRegistration {
+        FrnRegistration {
+            frn: provider as u64 * 100,
+            provider_id: provider,
+            contact_email: email.into(),
+            company_name: company.into(),
+            physical_address: address.into(),
+        }
+    }
+
+    fn whois_with(asn: u32, email: &str, company: &str, address: &str) -> WhoisDb {
+        WhoisDb {
+            asns: vec![AsnEntry {
+                asn,
+                org_id: Some(1),
+                poc_ids: vec![1],
+            }],
+            orgs: vec![Org {
+                id: 1,
+                name: company.into(),
+                poc_ids: vec![],
+            }],
+            nets: vec![],
+            pocs: vec![Poc {
+                id: 1,
+                email: email.into(),
+                company_name: company.into(),
+                address: address.into(),
+            }],
+        }
+    }
+
+    #[test]
+    fn all_methods_agree_on_clean_data() {
+        let matcher = ProviderAsnMatcher::new(vec![registration(
+            7,
+            "noc@bluefiber.net",
+            "Blue Fiber LLC",
+            "10 Fiber Road",
+        )]);
+        let whois = whois_with(64500, "noc@bluefiber.net", "Blue Fiber, Inc.", "10 Fiber Rd");
+        let report = matcher.run(&whois);
+        assert_eq!(report.matched_providers(), 1);
+        assert_eq!(report.provider_to_asns[&7], BTreeSet::from([64500]));
+        assert_eq!(report.strong_matches, 1);
+        assert_eq!(report.partial_matches, 0);
+        for m in MatchMethod::ALL {
+            assert_eq!(report.providers_matched_by_method[&m], 1, "{m}");
+        }
+    }
+
+    #[test]
+    fn unmatched_provider_reported() {
+        let matcher = ProviderAsnMatcher::new(vec![
+            registration(7, "noc@bluefiber.net", "Blue Fiber", "10 Fiber Rd"),
+            registration(8, "ops@lonestar.net", "Lone Star Wireless", "99 Desert Way"),
+        ]);
+        let whois = whois_with(64500, "noc@bluefiber.net", "Blue Fiber", "10 Fiber Rd");
+        let report = matcher.run(&whois);
+        assert_eq!(report.matched_providers(), 1);
+        assert_eq!(report.total_providers, 2);
+        assert_eq!(report.unmatched_providers(&[7, 8]), vec![8]);
+        assert!((report.match_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gmail_contact_matches_only_by_full_email() {
+        let matcher = ProviderAsnMatcher::new(vec![registration(
+            9,
+            "smalltownisp@gmail.com",
+            "Smalltown ISP",
+            "1 Main Street",
+        )]);
+        let whois = whois_with(64501, "smalltownisp@gmail.com", "Totally Different Name", "2 Other St");
+        let report = matcher.run(&whois);
+        assert_eq!(report.providers_matched_by_method[&MatchMethod::FullEmail], 1);
+        assert_eq!(report.providers_matched_by_method[&MatchMethod::EmailDomain], 0);
+        assert_eq!(report.single_method_matches, 1);
+    }
+
+    #[test]
+    fn shared_asn_counted() {
+        // Two providers in the same corporate family share contact data.
+        let matcher = ProviderAsnMatcher::new(vec![
+            registration(1, "noc@holdco.net", "HoldCo East", "1 HQ Plaza"),
+            registration(2, "noc@holdco.net", "HoldCo West", "1 HQ Plaza"),
+        ]);
+        let whois = whois_with(64502, "noc@holdco.net", "HoldCo", "1 HQ Plaza");
+        let report = matcher.run(&whois);
+        assert_eq!(report.matched_providers(), 2);
+        assert_eq!(report.shared_asns, 1);
+    }
+
+    #[test]
+    fn jaccard_basics() {
+        let a: BTreeSet<u32> = [1, 2, 3].into();
+        let b: BTreeSet<u32> = [2, 3, 4].into();
+        assert!((jaccard(&a, &b) - 0.5).abs() < 1e-12);
+        assert_eq!(jaccard(&a, &a), 1.0);
+        let empty: BTreeSet<u32> = BTreeSet::new();
+        assert_eq!(jaccard(&empty, &empty), 0.0);
+        assert_eq!(jaccard(&a, &empty), 0.0);
+    }
+
+    #[test]
+    fn jaccard_matrix_diagonal_is_one_for_matching_methods() {
+        let matcher = ProviderAsnMatcher::new(vec![registration(
+            7,
+            "noc@bluefiber.net",
+            "Blue Fiber",
+            "10 Fiber Rd",
+        )]);
+        let whois = whois_with(64500, "noc@bluefiber.net", "Blue Fiber", "10 Fiber Rd");
+        let report = matcher.run(&whois);
+        let matrix = report.mean_jaccard_matrix();
+        for m in MatchMethod::ALL {
+            assert!((matrix[&(m, m)] - 1.0).abs() < 1e-12, "{m}");
+        }
+        // The matrix is symmetric.
+        assert_eq!(
+            matrix[&(MatchMethod::FullEmail, MatchMethod::CompanyName)],
+            matrix[&(MatchMethod::CompanyName, MatchMethod::FullEmail)]
+        );
+    }
+}

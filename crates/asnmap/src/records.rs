@@ -1,0 +1,232 @@
+//! Registration data models: FCC FRN registrations on one side, ARIN-style
+//! WHOIS objects (ASN / ORG / NET / POC) on the other.
+//!
+//! Appendix C of the paper resolves each ASN to its points of contact through
+//! three possible paths — `ASN → POC`, `ASN → ORG → POC` and
+//! `ASN → ORG → NET → POC` — and then matches the contact metadata against the
+//! FRN registration attached to each BDC Provider ID.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use serde::{Deserialize, Serialize};
+
+/// FCC Registration Number metadata attached to a BDC provider. This is the
+/// "provider side" of the join.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FrnRegistration {
+    /// The FCC registration number.
+    pub frn: u64,
+    /// The BDC Provider ID the FRN belongs to.
+    pub provider_id: u32,
+    /// Registered contact email address.
+    pub contact_email: String,
+    /// Registered legal entity name.
+    pub company_name: String,
+    /// Registered postal address.
+    pub physical_address: String,
+}
+
+/// A point of contact in the WHOIS database.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Poc {
+    pub id: u64,
+    pub email: String,
+    pub company_name: String,
+    pub address: String,
+}
+
+/// An organisation object, linking to its points of contact.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Org {
+    pub id: u64,
+    pub name: String,
+    pub poc_ids: Vec<u64>,
+}
+
+/// A network (address-block) object registered under an organisation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Net {
+    pub id: u64,
+    pub org_id: u64,
+    pub poc_ids: Vec<u64>,
+}
+
+/// An autonomous-system registration, optionally linked to an organisation and
+/// directly to points of contact.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AsnEntry {
+    pub asn: u32,
+    pub org_id: Option<u64>,
+    pub poc_ids: Vec<u64>,
+}
+
+/// An in-memory WHOIS database with the object graph needed for POC
+/// resolution.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct WhoisDb {
+    pub asns: Vec<AsnEntry>,
+    pub orgs: Vec<Org>,
+    pub nets: Vec<Net>,
+    pub pocs: Vec<Poc>,
+}
+
+impl WhoisDb {
+    /// Build lookup maps once; the matcher calls [`WhoisDb::pocs_for_asn`] per
+    /// ASN.
+    fn poc_by_id(&self) -> BTreeMap<u64, &Poc> {
+        self.pocs.iter().map(|p| (p.id, p)).collect()
+    }
+
+    fn org_by_id(&self) -> BTreeMap<u64, &Org> {
+        self.orgs.iter().map(|o| (o.id, o)).collect()
+    }
+
+    /// Resolve every point of contact reachable from an ASN through the three
+    /// paths of Appendix C.
+    pub fn pocs_for_asn(&self, asn: u32) -> Vec<&Poc> {
+        let poc_by_id = self.poc_by_id();
+        let org_by_id = self.org_by_id();
+        let mut poc_ids: BTreeSet<u64> = BTreeSet::new();
+        for entry in self.asns.iter().filter(|e| e.asn == asn) {
+            // Path 1: ASN -> POC.
+            poc_ids.extend(entry.poc_ids.iter().copied());
+            if let Some(org_id) = entry.org_id {
+                // Path 2: ASN -> ORG -> POC.
+                if let Some(org) = org_by_id.get(&org_id) {
+                    poc_ids.extend(org.poc_ids.iter().copied());
+                }
+                // Path 3: ASN -> ORG -> NET -> POC.
+                for net in self.nets.iter().filter(|n| n.org_id == org_id) {
+                    poc_ids.extend(net.poc_ids.iter().copied());
+                }
+            }
+        }
+        poc_ids
+            .into_iter()
+            .filter_map(|id| poc_by_id.get(&id).copied())
+            .collect()
+    }
+
+    /// The organisation name an ASN is registered to, if any (used for the
+    /// company-name matcher and the as2org-style grouping).
+    pub fn org_name_for_asn(&self, asn: u32) -> Option<&str> {
+        let org_by_id = self.org_by_id();
+        self.asns
+            .iter()
+            .find(|e| e.asn == asn && e.org_id.is_some())
+            .and_then(|e| org_by_id.get(&e.org_id.unwrap()).map(|o| o.name.as_str()))
+    }
+
+    /// All ASNs present in the database.
+    pub fn all_asns(&self) -> Vec<u32> {
+        let mut asns: Vec<u32> = self.asns.iter().map(|e| e.asn).collect();
+        asns.sort_unstable();
+        asns.dedup();
+        asns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_db() -> WhoisDb {
+        WhoisDb {
+            asns: vec![
+                AsnEntry {
+                    asn: 64500,
+                    org_id: Some(1),
+                    poc_ids: vec![10],
+                },
+                AsnEntry {
+                    asn: 64501,
+                    org_id: Some(1),
+                    poc_ids: vec![],
+                },
+                AsnEntry {
+                    asn: 64502,
+                    org_id: None,
+                    poc_ids: vec![12],
+                },
+            ],
+            orgs: vec![Org {
+                id: 1,
+                name: "Acme Networks".into(),
+                poc_ids: vec![11],
+            }],
+            nets: vec![Net {
+                id: 100,
+                org_id: 1,
+                poc_ids: vec![13],
+            }],
+            pocs: vec![
+                Poc {
+                    id: 10,
+                    email: "noc@acme.net".into(),
+                    company_name: "Acme Networks Inc".into(),
+                    address: "1 Acme Way".into(),
+                },
+                Poc {
+                    id: 11,
+                    email: "admin@acme.net".into(),
+                    company_name: "Acme Networks".into(),
+                    address: "1 Acme Way".into(),
+                },
+                Poc {
+                    id: 12,
+                    email: "eng@smalltown.net".into(),
+                    company_name: "Smalltown Broadband".into(),
+                    address: "2 Rural Rd".into(),
+                },
+                Poc {
+                    id: 13,
+                    email: "abuse@acme.net".into(),
+                    company_name: "Acme Networks".into(),
+                    address: "1 Acme Way".into(),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn resolves_all_three_paths() {
+        let db = sample_db();
+        let pocs = db.pocs_for_asn(64500);
+        let ids: Vec<u64> = pocs.iter().map(|p| p.id).collect();
+        // Direct POC (10), org POC (11) and net POC (13).
+        assert_eq!(ids, vec![10, 11, 13]);
+    }
+
+    #[test]
+    fn org_only_path() {
+        let db = sample_db();
+        let pocs = db.pocs_for_asn(64501);
+        let ids: Vec<u64> = pocs.iter().map(|p| p.id).collect();
+        assert_eq!(ids, vec![11, 13]);
+    }
+
+    #[test]
+    fn direct_poc_only() {
+        let db = sample_db();
+        let pocs = db.pocs_for_asn(64502);
+        assert_eq!(pocs.len(), 1);
+        assert_eq!(pocs[0].id, 12);
+    }
+
+    #[test]
+    fn unknown_asn_has_no_pocs() {
+        assert!(sample_db().pocs_for_asn(65000).is_empty());
+    }
+
+    #[test]
+    fn org_name_lookup() {
+        let db = sample_db();
+        assert_eq!(db.org_name_for_asn(64500), Some("Acme Networks"));
+        assert_eq!(db.org_name_for_asn(64502), None);
+    }
+
+    #[test]
+    fn all_asns_sorted_unique() {
+        assert_eq!(sample_db().all_asns(), vec![64500, 64501, 64502]);
+    }
+}

@@ -1,0 +1,239 @@
+//! The "map diff" engine: recovering non-archived changes between NBM
+//! releases (§4.1.3 of the paper).
+//!
+//! The FCC only archives the outcome of formal challenges, but providers also
+//! silently amend their filings — either after an FCC-initiated data-quality
+//! check or because a challenge exposed a methodological error affecting more
+//! locations than the challenged ones. The paper captured every bi-weekly
+//! minor release and computed the difference between each provider's initial
+//! claims and the latest map; locations *removed* from a claim are treated as
+//! additional "unserved" evidence.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{LocationId, ProviderId};
+use crate::nbm::NbmRelease;
+use crate::tech::Technology;
+
+/// How a location-level claim changed between two releases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ClaimChangeKind {
+    /// The claim is present in the newer release but not the older one.
+    Added,
+    /// The claim was present in the older release and is gone from the newer
+    /// one — the signal the paper uses as an inferred successful challenge.
+    Removed,
+    /// The claim is present in both but its reported speeds changed.
+    Modified,
+}
+
+/// A single location-level change between two releases.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClaimChange {
+    pub provider: ProviderId,
+    pub location: LocationId,
+    pub technology: Technology,
+    pub kind: ClaimChangeKind,
+}
+
+/// The difference between two NBM releases.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MapDiff {
+    /// Version of the older release.
+    pub from: crate::nbm::ReleaseVersion,
+    /// Version of the newer release.
+    pub to: crate::nbm::ReleaseVersion,
+    changes: Vec<ClaimChange>,
+}
+
+impl MapDiff {
+    /// Compute the difference between two releases.
+    pub fn between(old: &NbmRelease, new: &NbmRelease) -> Self {
+        // Index the newer release's records by claim key so modifications can
+        // be detected (a speed change with the claim still present).
+        let mut new_speeds: BTreeMap<(ProviderId, LocationId, Technology), (f64, f64)> =
+            BTreeMap::new();
+        for r in new.records() {
+            new_speeds.insert(r.claim_key(), (r.max_down_mbps, r.max_up_mbps));
+        }
+        let mut old_keys = BTreeMap::new();
+        for r in old.records() {
+            old_keys.insert(r.claim_key(), (r.max_down_mbps, r.max_up_mbps));
+        }
+
+        let mut changes = Vec::new();
+        for (key, (down, up)) in &old_keys {
+            match new_speeds.get(key) {
+                None => changes.push(ClaimChange {
+                    provider: key.0,
+                    location: key.1,
+                    technology: key.2,
+                    kind: ClaimChangeKind::Removed,
+                }),
+                Some((nd, nu)) if nd != down || nu != up => changes.push(ClaimChange {
+                    provider: key.0,
+                    location: key.1,
+                    technology: key.2,
+                    kind: ClaimChangeKind::Modified,
+                }),
+                Some(_) => {}
+            }
+        }
+        for key in new_speeds.keys() {
+            if !old_keys.contains_key(key) {
+                changes.push(ClaimChange {
+                    provider: key.0,
+                    location: key.1,
+                    technology: key.2,
+                    kind: ClaimChangeKind::Added,
+                });
+            }
+        }
+        Self {
+            from: old.version,
+            to: new.version,
+            changes,
+        }
+    }
+
+    /// All changes.
+    pub fn changes(&self) -> &[ClaimChange] {
+        &self.changes
+    }
+
+    /// Only the removals — the changes the labelling pipeline consumes.
+    pub fn removed(&self) -> impl Iterator<Item = &ClaimChange> {
+        self.changes
+            .iter()
+            .filter(|c| c.kind == ClaimChangeKind::Removed)
+    }
+
+    /// Count of changes of each kind, as `(added, removed, modified)`.
+    pub fn counts(&self) -> (usize, usize, usize) {
+        let mut added = 0;
+        let mut removed = 0;
+        let mut modified = 0;
+        for c in &self.changes {
+            match c.kind {
+                ClaimChangeKind::Added => added += 1,
+                ClaimChangeKind::Removed => removed += 1,
+                ClaimChangeKind::Modified => modified += 1,
+            }
+        }
+        (added, removed, modified)
+    }
+
+    /// Removals grouped by provider.
+    pub fn removals_by_provider(&self) -> BTreeMap<ProviderId, Vec<&ClaimChange>> {
+        let mut out: BTreeMap<ProviderId, Vec<&ClaimChange>> = BTreeMap::new();
+        for c in self.removed() {
+            out.entry(c.provider).or_default().push(c);
+        }
+        out
+    }
+
+    /// True when nothing changed between the releases.
+    pub fn is_empty(&self) -> bool {
+        self.changes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fabric::{Bsl, Fabric};
+    use crate::filing::{AvailabilityRecord, ServiceType};
+    use crate::nbm::ReleaseVersion;
+    use crate::time::DayStamp;
+    use geoprim::LatLng;
+
+    fn fabric() -> Fabric {
+        let bsls = (0..5u64)
+            .map(|i| {
+                Bsl::new(
+                    LocationId(i),
+                    LatLng::new(37.0 + i as f64 * 0.01, -80.0),
+                    1,
+                    false,
+                    "VA",
+                )
+            })
+            .collect();
+        Fabric::new(bsls)
+    }
+
+    fn rec(loc: u64, down: f64) -> AvailabilityRecord {
+        AvailabilityRecord {
+            provider: ProviderId(1),
+            location: LocationId(loc),
+            technology: Technology::Cable,
+            max_down_mbps: down,
+            max_up_mbps: down / 10.0,
+            low_latency: true,
+            service_type: ServiceType::Both,
+        }
+    }
+
+    fn release(records: Vec<AvailabilityRecord>, minor: u32) -> NbmRelease {
+        NbmRelease::from_records(
+            ReleaseVersion { major: 1, minor },
+            DayStamp::initial_nbm_release().plus_days(14 * minor),
+            records,
+            &fabric(),
+        )
+    }
+
+    #[test]
+    fn detects_removals_additions_and_modifications() {
+        let old = release(vec![rec(0, 100.0), rec(1, 100.0), rec(2, 100.0)], 0);
+        let new = release(vec![rec(0, 100.0), rec(2, 300.0), rec(3, 100.0)], 1);
+        let diff = MapDiff::between(&old, &new);
+        let (added, removed, modified) = diff.counts();
+        assert_eq!(added, 1);
+        assert_eq!(removed, 1);
+        assert_eq!(modified, 1);
+        assert_eq!(diff.removed().count(), 1);
+        assert_eq!(diff.removed().next().unwrap().location, LocationId(1));
+    }
+
+    #[test]
+    fn identical_releases_produce_empty_diff() {
+        let old = release(vec![rec(0, 100.0), rec(1, 100.0)], 0);
+        let new = release(vec![rec(0, 100.0), rec(1, 100.0)], 1);
+        let diff = MapDiff::between(&old, &new);
+        assert!(diff.is_empty());
+    }
+
+    #[test]
+    fn removals_grouped_by_provider() {
+        let old = release(vec![rec(0, 100.0), rec(1, 100.0)], 0);
+        let new = release(vec![], 1);
+        let diff = MapDiff::between(&old, &new);
+        let grouped = diff.removals_by_provider();
+        assert_eq!(grouped.len(), 1);
+        assert_eq!(grouped[&ProviderId(1)].len(), 2);
+    }
+
+    #[test]
+    fn diff_records_versions() {
+        let old = release(vec![rec(0, 100.0)], 0);
+        let new = release(vec![rec(0, 100.0)], 3);
+        let diff = MapDiff::between(&old, &new);
+        assert_eq!(diff.from.minor, 0);
+        assert_eq!(diff.to.minor, 3);
+    }
+
+    #[test]
+    fn technology_is_part_of_claim_identity() {
+        let mut fiber = rec(0, 500.0);
+        fiber.technology = Technology::Fiber;
+        let old = release(vec![rec(0, 100.0), fiber.clone()], 0);
+        let new = release(vec![fiber], 1);
+        let diff = MapDiff::between(&old, &new);
+        let (_, removed, _) = diff.counts();
+        assert_eq!(removed, 1);
+        assert_eq!(diff.removed().next().unwrap().technology, Technology::Cable);
+    }
+}

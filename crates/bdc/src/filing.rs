@@ -1,0 +1,197 @@
+//! Provider availability filings (Table 1 of the paper).
+//!
+//! Every six months each ISP submits, for every BSL it serves or could serve
+//! within ten business days, the maximum advertised download/upload speed, a
+//! low-latency boolean, the access technology and the service type. Providers
+//! also submit a free-text description of the methodology used to decide which
+//! locations are served.
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{LocationId, ProviderId};
+use crate::tech::Technology;
+use crate::time::DayStamp;
+
+/// Whether a service offering targets residential users, business users or
+/// both.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ServiceType {
+    Residential,
+    Business,
+    Both,
+}
+
+impl ServiceType {
+    /// True when the offering is available to residential (mass-market)
+    /// subscribers.
+    pub fn serves_residential(&self) -> bool {
+        matches!(self, ServiceType::Residential | ServiceType::Both)
+    }
+}
+
+/// One row of a BDC availability filing: a claim that `provider` can serve
+/// `location` with `technology` at the stated speeds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AvailabilityRecord {
+    pub provider: ProviderId,
+    pub location: LocationId,
+    pub technology: Technology,
+    /// Maximum advertised download speed in Mbps as submitted by the ISP.
+    pub max_down_mbps: f64,
+    /// Maximum advertised upload speed in Mbps as submitted by the ISP.
+    pub max_up_mbps: f64,
+    /// Whether the provider claims round-trip latency of 100 ms or less.
+    pub low_latency: bool,
+    /// Residential/business service designation.
+    pub service_type: ServiceType,
+}
+
+impl AvailabilityRecord {
+    /// Download speed as it appears in the public NBM: values below 10 Mbps
+    /// are reported as 0 (Table 1, note on download speed).
+    pub fn nbm_reported_down_mbps(&self) -> f64 {
+        if self.max_down_mbps < 10.0 {
+            0.0
+        } else {
+            self.max_down_mbps
+        }
+    }
+
+    /// Upload speed as it appears in the public NBM: values below 1 Mbps are
+    /// reported as 0.
+    pub fn nbm_reported_up_mbps(&self) -> f64 {
+        if self.max_up_mbps < 1.0 {
+            0.0
+        } else {
+            self.max_up_mbps
+        }
+    }
+
+    /// The key identifying which claim this record is about; a provider files
+    /// (at most) one record per location per technology.
+    pub fn claim_key(&self) -> (ProviderId, LocationId, Technology) {
+        (self.provider, self.location, self.technology)
+    }
+
+    /// Whether the claim meets the FCC's 25/3 Mbps broadband benchmark.
+    pub fn meets_25_3(&self) -> bool {
+        self.max_down_mbps >= 25.0 && self.max_up_mbps >= 3.0
+    }
+
+    /// Whether the claim meets the 100/20 Mbps BEAD "reliable broadband"
+    /// benchmark.
+    pub fn meets_100_20(&self) -> bool {
+        self.max_down_mbps >= 100.0 && self.max_up_mbps >= 20.0
+    }
+}
+
+/// A provider's complete filing for one reporting period.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Filing {
+    pub provider: ProviderId,
+    /// The "as of" date for the deployment data (e.g. 2022-06-30 for the
+    /// initial BDC filing the paper studies).
+    pub as_of: DayStamp,
+    /// Free-text methodology statement describing how the provider decided
+    /// which locations are served; embedded as a model feature in §5.1.
+    pub methodology: String,
+    /// Per-location availability records.
+    pub records: Vec<AvailabilityRecord>,
+}
+
+impl Filing {
+    /// Create an empty filing.
+    pub fn new(provider: ProviderId, as_of: DayStamp, methodology: impl Into<String>) -> Self {
+        Self {
+            provider,
+            as_of,
+            methodology: methodology.into(),
+            records: Vec::new(),
+        }
+    }
+
+    /// Number of distinct locations claimed (across all technologies).
+    pub fn claimed_location_count(&self) -> usize {
+        let mut ids: Vec<LocationId> = self.records.iter().map(|r| r.location).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids.len()
+    }
+
+    /// Technologies the provider files under.
+    pub fn technologies(&self) -> Vec<Technology> {
+        let mut t: Vec<Technology> = self.records.iter().map(|r| r.technology).collect();
+        t.sort();
+        t.dedup();
+        t
+    }
+
+    /// Records for one technology.
+    pub fn records_for(&self, tech: Technology) -> impl Iterator<Item = &AvailabilityRecord> {
+        self.records.iter().filter(move |r| r.technology == tech)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(down: f64, up: f64) -> AvailabilityRecord {
+        AvailabilityRecord {
+            provider: ProviderId(1),
+            location: LocationId(10),
+            technology: Technology::Cable,
+            max_down_mbps: down,
+            max_up_mbps: up,
+            low_latency: true,
+            service_type: ServiceType::Both,
+        }
+    }
+
+    #[test]
+    fn nbm_floor_rules() {
+        assert_eq!(rec(9.9, 0.9).nbm_reported_down_mbps(), 0.0);
+        assert_eq!(rec(9.9, 0.9).nbm_reported_up_mbps(), 0.0);
+        assert_eq!(rec(10.0, 1.0).nbm_reported_down_mbps(), 10.0);
+        assert_eq!(rec(10.0, 1.0).nbm_reported_up_mbps(), 1.0);
+    }
+
+    #[test]
+    fn benchmark_checks() {
+        assert!(rec(100.0, 20.0).meets_100_20());
+        assert!(!rec(100.0, 10.0).meets_100_20());
+        assert!(rec(25.0, 3.0).meets_25_3());
+        assert!(!rec(24.0, 3.0).meets_25_3());
+    }
+
+    #[test]
+    fn service_type_residential() {
+        assert!(ServiceType::Both.serves_residential());
+        assert!(ServiceType::Residential.serves_residential());
+        assert!(!ServiceType::Business.serves_residential());
+    }
+
+    #[test]
+    fn filing_counts_distinct_locations() {
+        let mut f = Filing::new(ProviderId(1), DayStamp::initial_filing_deadline(), "m");
+        f.records.push(rec(100.0, 10.0));
+        let mut fiber = rec(1000.0, 1000.0);
+        fiber.technology = Technology::Fiber;
+        f.records.push(fiber);
+        let mut other = rec(50.0, 5.0);
+        other.location = LocationId(11);
+        f.records.push(other);
+        assert_eq!(f.claimed_location_count(), 2);
+        assert_eq!(f.technologies(), vec![Technology::Cable, Technology::Fiber]);
+        assert_eq!(f.records_for(Technology::Cable).count(), 2);
+    }
+
+    #[test]
+    fn claim_key_identifies_record() {
+        let r = rec(100.0, 10.0);
+        assert_eq!(
+            r.claim_key(),
+            (ProviderId(1), LocationId(10), Technology::Cable)
+        );
+    }
+}

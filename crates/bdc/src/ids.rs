@@ -1,0 +1,105 @@
+//! Strongly-typed identifiers used across the BDC data model.
+//!
+//! The FCC's data uses several overlapping numeric id spaces (Provider IDs,
+//! FCC Registration Numbers, BSL location ids, Autonomous System Numbers);
+//! newtypes keep them from being mixed up.
+
+use serde::{Deserialize, Serialize};
+
+macro_rules! id_newtype {
+    ($(#[$doc:meta])* $name:ident, $inner:ty) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+        )]
+        pub struct $name(pub $inner);
+
+        impl $name {
+            /// The raw numeric value.
+            pub fn value(&self) -> $inner {
+                self.0
+            }
+        }
+
+        impl From<$inner> for $name {
+            fn from(v: $inner) -> Self {
+                Self(v)
+            }
+        }
+
+        impl std::fmt::Display for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, "{}{}", stringify!($name), self.0)
+            }
+        }
+    };
+}
+
+id_newtype!(
+    /// A BDC Provider ID — the FCC-assigned identifier each filer reports
+    /// under (e.g. Comcast files under a single provider id even though it
+    /// holds dozens of ASNs).
+    ProviderId,
+    u32
+);
+
+id_newtype!(
+    /// A Broadband Serviceable Location id — one structure in the Fabric.
+    LocationId,
+    u64
+);
+
+id_newtype!(
+    /// An FCC Registration Number. Each provider is associated with one or
+    /// more FRNs whose registration metadata (contact email, company name,
+    /// postal address) drives the provider→ASN matching.
+    Frn,
+    u64
+);
+
+id_newtype!(
+    /// An Autonomous System Number from the routing system; MLab speed tests
+    /// carry the client's ASN, which is how tests are attributed to providers.
+    Asn,
+    u32
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn ids_are_distinct_types_with_values() {
+        let p = ProviderId(42);
+        let l = LocationId(42);
+        assert_eq!(p.value(), 42);
+        assert_eq!(l.value(), 42);
+    }
+
+    #[test]
+    fn display_includes_type_name() {
+        assert_eq!(format!("{}", ProviderId(7)), "ProviderId7");
+        assert_eq!(format!("{}", Asn(7922)), "Asn7922");
+    }
+
+    #[test]
+    fn usable_as_map_keys() {
+        let mut set = HashSet::new();
+        set.insert(ProviderId(1));
+        set.insert(ProviderId(1));
+        set.insert(ProviderId(2));
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn from_conversion() {
+        let a: Asn = 7922u32.into();
+        assert_eq!(a, Asn(7922));
+    }
+
+    #[test]
+    fn ordering_follows_numeric_value() {
+        assert!(LocationId(3) < LocationId(10));
+    }
+}

@@ -1,0 +1,49 @@
+//! Criterion benches regenerating every *figure* of the paper (except the two
+//! retraining-heavy ones, which live in `ablations.rs`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use redsus_bench::bench_suite;
+use redsus_core::experiments as exp;
+use std::hint::black_box;
+
+fn bench_figures(c: &mut Criterion) {
+    let suite = bench_suite(5);
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+
+    group.bench_function("fig1_challenges_over_time", |b| {
+        b.iter(|| black_box(exp::figure1(&suite.world)))
+    });
+    group.bench_function("fig2_challenges_by_state", |b| {
+        b.iter(|| black_box(exp::figure2(&suite.world)))
+    });
+    group.bench_function("fig3_jaccard_matrix", |b| {
+        b.iter(|| black_box(exp::figure3(&suite.ctx)))
+    });
+    group.bench_function("fig4_unmatched_cdf", |b| {
+        b.iter(|| black_box(exp::figure4(&suite.world, &suite.ctx)))
+    });
+    group.bench_function("fig5a_roc_observation_holdout", |b| {
+        b.iter(|| black_box(exp::figure5a(&suite).auc))
+    });
+    group.bench_function("fig5b_roc_adjudicated", |b| {
+        b.iter(|| black_box(exp::figure5b(&suite).auc))
+    });
+    group.bench_function("fig5c_roc_state_holdout", |b| {
+        b.iter(|| black_box(exp::figure5c(&suite).auc))
+    });
+    group.bench_function("fig6_major_isps", |b| b.iter(|| black_box(exp::figure6(&suite))));
+    group.bench_function("fig9_bsl_per_hex", |b| {
+        b.iter(|| black_box(exp::figure9(&suite.world)))
+    });
+    group.bench_function("fig10_shap_summary", |b| {
+        b.iter(|| black_box(exp::figure10(&suite, 10)))
+    });
+    group.bench_function("fig11_shap_waterfall", |b| {
+        b.iter(|| black_box(exp::figure11(&suite, 3)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion benches regenerating every *table* of the paper.
+//!
+//! The expensive part (generating the world and training the models) happens
+//! once outside the measured loops; each bench then measures the computation
+//! that produces the table itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use redsus_bench::bench_suite;
+use redsus_core::experiments as exp;
+use redsus_core::features::FeatureConfig;
+use std::hint::black_box;
+
+fn bench_tables(c: &mut Criterion) {
+    let suite = bench_suite(5);
+    let mut group = c.benchmark_group("tables");
+    group.sample_size(10);
+
+    group.bench_function("table1_schema", |b| b.iter(|| black_box(exp::table1_schema())));
+    group.bench_function("table2_challenge_outcomes", |b| {
+        b.iter(|| black_box(exp::table2(&suite.world)))
+    });
+    group.bench_function("table3_challenge_reasons", |b| {
+        b.iter(|| black_box(exp::table3(&suite.world)))
+    });
+    group.bench_function("table4_feature_schema", |b| {
+        b.iter(|| black_box(exp::table4_schema(&FeatureConfig::default())))
+    });
+    group.bench_function("table5_asn_matching", |b| {
+        b.iter(|| black_box(exp::table5(&suite.ctx)))
+    });
+    group.bench_function("table7_by_technology", |b| {
+        b.iter(|| black_box(exp::table7(&suite)))
+    });
+    group.bench_function("table8_by_state", |b| b.iter(|| black_box(exp::table8(&suite))));
+    group.finish();
+}
+
+criterion_group!(benches, bench_tables);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Shared helpers for the benchmark harness.
+//!
+//! The Criterion benches and the `experiments` binary both need a generated
+//! world and a prepared [`ExperimentSuite`]; this crate centralises the
+//! configurations so every table and figure is regenerated from the same
+//! synthetic United States.
+
+use redsus_core::experiments::ExperimentSuite;
+use synth::SynthConfig;
+
+/// The configuration used by the `experiments` binary and the table/figure
+/// benches: the default experiment scale.
+pub fn experiment_config(seed: u64) -> SynthConfig {
+    SynthConfig::experiment(seed)
+}
+
+/// A deliberately small configuration for benches that retrain models inside
+/// the measured loop (the ablation benches).
+pub fn micro_config(seed: u64) -> SynthConfig {
+    SynthConfig {
+        seed,
+        n_bsls: 2_500,
+        n_providers: 24,
+        n_major_providers: 4,
+        ..SynthConfig::default()
+    }
+}
+
+/// A small-but-representative configuration for benches that only prepare the
+/// suite once and measure the per-experiment computation.
+pub fn bench_config(seed: u64) -> SynthConfig {
+    SynthConfig::tiny(seed)
+}
+
+/// Prepare a full experiment suite at bench scale.
+pub fn bench_suite(seed: u64) -> ExperimentSuite {
+    ExperimentSuite::prepare(&bench_config(seed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn configs_are_valid() {
+        assert!(experiment_config(1).validate().is_ok());
+        assert!(micro_config(1).validate().is_ok());
+        assert!(bench_config(1).validate().is_ok());
+        assert!(micro_config(1).n_bsls < bench_config(1).n_bsls);
+    }
+}

@@ -1,0 +1,904 @@
+//! One function per table and figure of the paper's evaluation.
+//!
+//! Every experiment returns a plain result structure with a `render()` method
+//! that prints the same rows/series the paper reports; the `redsus-bench`
+//! crate regenerates all of them (see DESIGN.md §4 for the experiment index
+//! and EXPERIMENTS.md for paper-vs-measured notes).
+
+use std::collections::BTreeMap;
+
+use bdc::challenge::{outcome_distribution, reason_distribution, state_distribution};
+use bdc::{ChallengeOutcome, ChallengeReason, DayStamp, Technology};
+use ml::{summarize_attributions, explain_row, GbdtModel};
+use serde::{Deserialize, Serialize};
+use synth::{SynthConfig, SynthUs};
+
+use crate::features::{build_features, FeatureConfig, FeatureMatrix};
+use crate::labels::{Label, LabelSource, LabelingOptions};
+use crate::model::{default_params, run_holdout, EvaluationResult, HoldoutStrategy};
+use crate::pipeline::AnalysisContext;
+
+/// The states held out in §6.2.2 (and reused for Table 7/8 and Figure 6).
+pub const HOLDOUT_STATES: [&str; 6] = ["NE", "GA", "OK", "MO", "IN", "SC"];
+
+/// Everything the model-dependent experiments share: the generated world, the
+/// prepared context, the labelled feature matrix and the three hold-out
+/// outcomes.
+pub struct ExperimentSuite {
+    pub world: SynthUs,
+    pub ctx: AnalysisContext,
+    pub matrix: FeatureMatrix,
+    pub observation_holdout: crate::model::HoldoutOutcome,
+    pub adjudicated_holdout: crate::model::HoldoutOutcome,
+    pub state_holdout: crate::model::HoldoutOutcome,
+}
+
+impl ExperimentSuite {
+    /// Generate the world and run the shared pipeline stages.
+    pub fn prepare(config: &SynthConfig) -> Self {
+        let world = SynthUs::generate(config);
+        let ctx = AnalysisContext::prepare(&world);
+        let labels = ctx.build_labels(&world, &LabelingOptions::default());
+        let matrix = build_features(&world, &ctx, &labels, &FeatureConfig::default());
+        let observation_holdout = run_holdout(
+            &matrix,
+            &HoldoutStrategy::RandomObservations { fraction: 0.1 },
+            default_params(config.seed),
+        );
+        // The adjudicated subset is small, so hold out a larger fraction of it
+        // to get a stable evaluation (the paper's adjudicated hold-out has 11k
+        // rows of support).
+        let adjudicated_holdout = run_holdout(
+            &matrix,
+            &HoldoutStrategy::AdjudicatedOnly { fraction: 0.3 },
+            default_params(config.seed + 1),
+        );
+        let state_holdout = run_holdout(
+            &matrix,
+            &HoldoutStrategy::States(HOLDOUT_STATES.iter().map(|s| s.to_string()).collect()),
+            default_params(config.seed + 2),
+        );
+        Self {
+            world,
+            ctx,
+            matrix,
+            observation_holdout,
+            adjudicated_holdout,
+            state_holdout,
+        }
+    }
+}
+
+fn pct(n: usize, total: usize) -> f64 {
+    if total == 0 {
+        0.0
+    } else {
+        100.0 * n as f64 / total as f64
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tables
+// ---------------------------------------------------------------------------
+
+/// Table 1: the BDC filing schema (static documentation of the data model).
+pub fn table1_schema() -> String {
+    let mut s = String::from("Table 1: data ISPs submit per served location\n");
+    s.push_str("  Max Advertised Download Speed (Mbps, <10 reported as 0)\n");
+    s.push_str("  Max Advertised Upload Speed (Mbps, <1 reported as 0)\n");
+    s.push_str("  Latency <= 100ms (boolean)\n");
+    s.push_str("  Access Technology (copper, cable, fiber, GSO/NGSO satellite, licensed/unlicensed wireless)\n");
+    s.push_str("  Service Type (business, residential, both)\n");
+    s
+}
+
+/// Table 2: distribution of challenge outcomes.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table2 {
+    pub rows: Vec<(String, usize, f64)>,
+    pub successful_pct: f64,
+    pub total: usize,
+}
+
+/// Compute Table 2 from the world's challenge wave.
+pub fn table2(world: &SynthUs) -> Table2 {
+    let dist = outcome_distribution(&world.challenges);
+    let total: usize = dist.values().sum();
+    let successful: usize = dist
+        .iter()
+        .filter(|(o, _)| o.is_successful())
+        .map(|(_, c)| *c)
+        .sum();
+    let rows = ChallengeOutcome::ALL
+        .iter()
+        .map(|o| {
+            let c = dist.get(o).copied().unwrap_or(0);
+            (o.label().to_string(), c, pct(c, total))
+        })
+        .collect();
+    Table2 {
+        rows,
+        successful_pct: pct(successful, total),
+        total,
+    }
+}
+
+impl Table2 {
+    pub fn render(&self) -> String {
+        let mut s = format!(
+            "Table 2: challenge outcomes ({} challenges, {:.0}% successful)\n",
+            self.total, self.successful_pct
+        );
+        for (label, count, p) in &self.rows {
+            s.push_str(&format!("  {label:<22} {count:>8} ({p:.0}%)\n"));
+        }
+        s
+    }
+}
+
+/// Table 3: distribution of challenge reasons.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table3 {
+    pub rows: Vec<(String, usize, f64)>,
+    pub total: usize,
+}
+
+/// Compute Table 3.
+pub fn table3(world: &SynthUs) -> Table3 {
+    let dist = reason_distribution(&world.challenges);
+    let total: usize = dist.values().sum();
+    let rows = ChallengeReason::ALL
+        .iter()
+        .map(|r| {
+            let c = dist.get(r).copied().unwrap_or(0);
+            (r.label().to_string(), c, pct(c, total))
+        })
+        .collect();
+    Table3 { rows, total }
+}
+
+impl Table3 {
+    pub fn render(&self) -> String {
+        let mut s = format!("Table 3: challenge reasons ({} challenges)\n", self.total);
+        for (label, count, p) in &self.rows {
+            s.push_str(&format!("  {label:<48} {count:>8} ({p:.1}%)\n"));
+        }
+        s
+    }
+}
+
+/// Table 4: the feature vectorisation (rendered from the feature config).
+pub fn table4_schema(config: &FeatureConfig) -> String {
+    let mut s = String::from("Table 4: observation vectorisation\n");
+    s.push_str("  max advertised download/upload speed  (max over BSLs in hex)\n");
+    s.push_str("  low latency                            (boolean)\n");
+    s.push_str("  location claims                        (% of hex BSLs claimed)\n");
+    if config.include_state {
+        s.push_str("  state                                  (one-hot)\n");
+    }
+    if config.include_location {
+        s.push_str("  hex centroid                           (lat, lng)\n");
+    }
+    if config.include_methodology {
+        s.push_str(&format!(
+            "  methodology embedding                  ({}-d hashed projection)\n",
+            config.embedding_dim
+        ));
+    }
+    if config.include_speedtest {
+        s.push_str("  Ookla devices per location             (presence only)\n");
+        s.push_str("  MLab test counts per provider/hex      (presence only)\n");
+    }
+    s
+}
+
+/// Table 5: providers matched to ASNs per matching method.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table5 {
+    pub per_method: Vec<(String, usize)>,
+    pub total_providers: usize,
+    pub matched_providers: usize,
+    pub match_rate_pct: f64,
+    pub strong_matches: usize,
+    pub partial_matches: usize,
+    pub single_method_matches: usize,
+    pub shared_asns: usize,
+}
+
+/// Compute Table 5 from the prepared context.
+pub fn table5(ctx: &AnalysisContext) -> Table5 {
+    let r = &ctx.match_report;
+    Table5 {
+        per_method: r
+            .providers_matched_by_method
+            .iter()
+            .map(|(m, c)| (m.label().to_string(), *c))
+            .collect(),
+        total_providers: r.total_providers,
+        matched_providers: r.matched_providers(),
+        match_rate_pct: 100.0 * r.match_rate(),
+        strong_matches: r.strong_matches,
+        partial_matches: r.partial_matches,
+        single_method_matches: r.single_method_matches,
+        shared_asns: r.shared_asns,
+    }
+}
+
+impl Table5 {
+    pub fn render(&self) -> String {
+        let mut s = String::from("Table 5: providers matched to ASNs by method\n");
+        for (m, c) in &self.per_method {
+            s.push_str(&format!("  {m:<24} {c:>6}\n"));
+        }
+        s.push_str(&format!(
+            "  matched {}/{} providers ({:.1}%); strong={}, partial={}, single-method={}, shared ASNs={}\n",
+            self.matched_providers,
+            self.total_providers,
+            self.match_rate_pct,
+            self.strong_matches,
+            self.partial_matches,
+            self.single_method_matches,
+            self.shared_asns
+        ));
+        s
+    }
+}
+
+/// One class-level row of Table 7/8: share of the holdout and mean feature
+/// values for TN/TP/FN/FP.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClassBreakdownRow {
+    pub class: String,
+    pub share_pct: f64,
+    pub mean_ookla_dev_per_loc: f64,
+    pub mean_mlab_tests: f64,
+    pub mean_max_down: f64,
+    pub mean_max_up: f64,
+}
+
+/// Per-group (technology or state) classification breakdown.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GroupBreakdown {
+    pub group: String,
+    pub support: usize,
+    pub rows: Vec<ClassBreakdownRow>,
+}
+
+fn breakdown_for_rows(
+    suite: &ExperimentSuite,
+    model: &GbdtModel,
+    rows: &[usize],
+    group: String,
+) -> GroupBreakdown {
+    let ds = &suite.matrix.dataset;
+    let f_ookla = ds.feature_index("ookla_devices_per_location");
+    let f_mlab = ds.feature_index("mlab_test_count");
+    let f_down = ds.feature_index("max_adv_download_mbps");
+    let f_up = ds.feature_index("max_adv_upload_mbps");
+    // Classify each row into TN/TP/FN/FP.
+    let mut acc: BTreeMap<&'static str, (usize, f64, f64, f64, f64)> = BTreeMap::new();
+    for &r in rows {
+        let p = model.predict_proba(ds.row(r));
+        let y = ds.label(r);
+        let class = match (y == 1.0, p >= 0.5) {
+            (true, true) => "TP",
+            (true, false) => "FN",
+            (false, true) => "FP",
+            (false, false) => "TN",
+        };
+        let entry = acc.entry(class).or_insert((0, 0.0, 0.0, 0.0, 0.0));
+        entry.0 += 1;
+        let get = |f: Option<usize>| f.map(|i| ds.get(r, i) as f64).filter(|v| v.is_finite()).unwrap_or(0.0);
+        entry.1 += get(f_ookla);
+        entry.2 += get(f_mlab);
+        entry.3 += get(f_down);
+        entry.4 += get(f_up);
+    }
+    let total: usize = acc.values().map(|v| v.0).sum();
+    let rows_out = ["TN", "TP", "FN", "FP"]
+        .iter()
+        .filter_map(|class| {
+            acc.get(class).map(|(n, ookla, mlab, down, up)| ClassBreakdownRow {
+                class: class.to_string(),
+                share_pct: pct(*n, total),
+                mean_ookla_dev_per_loc: ookla / *n as f64,
+                mean_mlab_tests: mlab / *n as f64,
+                mean_max_down: down / *n as f64,
+                mean_max_up: up / *n as f64,
+            })
+        })
+        .collect();
+    GroupBreakdown {
+        group,
+        support: total,
+        rows: rows_out,
+    }
+}
+
+/// Table 7: classification report by access technology with mean top-feature
+/// values per class, computed on the observation-level hold-out.
+pub fn table7(suite: &ExperimentSuite) -> Vec<GroupBreakdown> {
+    let model = &suite.observation_holdout.model;
+    let test_rows = &suite.observation_holdout.test_rows;
+    Technology::TERRESTRIAL
+        .iter()
+        .map(|tech| {
+            let rows: Vec<usize> = test_rows
+                .iter()
+                .copied()
+                .filter(|&r| suite.matrix.observations[r].technology == *tech)
+                .collect();
+            breakdown_for_rows(suite, model, &rows, tech.label().to_string())
+        })
+        .filter(|g| g.support > 0)
+        .collect()
+}
+
+/// Table 8: state-wise classification report on the held-out states.
+pub fn table8(suite: &ExperimentSuite) -> Vec<GroupBreakdown> {
+    let model = &suite.state_holdout.model;
+    let test_rows = &suite.state_holdout.test_rows;
+    HOLDOUT_STATES
+        .iter()
+        .map(|state| {
+            let rows: Vec<usize> = test_rows
+                .iter()
+                .copied()
+                .filter(|&r| suite.matrix.observations[r].state == *state)
+                .collect();
+            breakdown_for_rows(suite, model, &rows, state.to_string())
+        })
+        .filter(|g| g.support > 0)
+        .collect()
+}
+
+/// Render a list of group breakdowns (Table 7 / Table 8).
+pub fn render_breakdowns(title: &str, groups: &[GroupBreakdown]) -> String {
+    let mut s = format!("{title}\n");
+    for g in groups {
+        s.push_str(&format!("  {} (n={})\n", g.group, g.support));
+        for r in &g.rows {
+            s.push_str(&format!(
+                "    {:<2} {:>5.1}%  ookla(dev/loc)={:<6.2} mlab={:<8.1} down={:<7.0} up={:<7.0}\n",
+                r.class, r.share_pct, r.mean_ookla_dev_per_loc, r.mean_mlab_tests, r.mean_max_down, r.mean_max_up
+            ));
+        }
+    }
+    s
+}
+
+// ---------------------------------------------------------------------------
+// Figures
+// ---------------------------------------------------------------------------
+
+/// Figure 1: challenges per NBM release window (major 1 minors plus the much
+/// smaller wave against major 2).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Figure1 {
+    /// (release label, challenges resolved in that release's window).
+    pub series: Vec<(String, usize)>,
+    pub major1_total: usize,
+    pub major2_total: usize,
+}
+
+/// Compute Figure 1.
+pub fn figure1(world: &SynthUs) -> Figure1 {
+    let mut series = Vec::new();
+    let releases = &world.releases;
+    for (i, release) in releases.iter().enumerate().skip(1) {
+        let start = releases[i - 1].published;
+        let end = release.published;
+        let count = world
+            .challenges
+            .iter()
+            .filter(|c| c.resolved > start && c.resolved <= end)
+            .count();
+        series.push((format!("{}", release.version), count));
+    }
+    let tail = world
+        .challenges
+        .iter()
+        .filter(|c| c.resolved > releases.last().map(|r| r.published).unwrap_or(DayStamp(0)))
+        .count();
+    series.push(("v1.final".to_string(), tail));
+    series.push(("v2.0".to_string(), world.later_challenges.len()));
+    Figure1 {
+        series,
+        major1_total: world.challenges.len(),
+        major2_total: world.later_challenges.len(),
+    }
+}
+
+impl Figure1 {
+    pub fn render(&self) -> String {
+        let mut s = format!(
+            "Figure 1: challenges per release (major 1 total {}, major 2 total {})\n",
+            self.major1_total, self.major2_total
+        );
+        for (label, count) in &self.series {
+            s.push_str(&format!("  {label:<10} {count:>8}\n"));
+        }
+        s
+    }
+}
+
+/// Figure 2: challenges by state, sorted descending.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Figure2 {
+    pub by_state: Vec<(String, usize)>,
+    pub top10_share_pct: f64,
+}
+
+/// Compute Figure 2.
+pub fn figure2(world: &SynthUs) -> Figure2 {
+    let dist = state_distribution(&world.challenges);
+    let mut by_state: Vec<(String, usize)> = dist.into_iter().collect();
+    by_state.sort_by(|a, b| b.1.cmp(&a.1));
+    let total: usize = by_state.iter().map(|(_, c)| c).sum();
+    let top10: usize = by_state.iter().take(10).map(|(_, c)| c).sum();
+    Figure2 {
+        by_state,
+        top10_share_pct: pct(top10, total),
+    }
+}
+
+impl Figure2 {
+    pub fn render(&self) -> String {
+        let mut s = format!(
+            "Figure 2: challenges by state (top-10 share {:.0}%)\n",
+            self.top10_share_pct
+        );
+        for (state, count) in self.by_state.iter().take(15) {
+            s.push_str(&format!("  {state:<4} {count:>8}\n"));
+        }
+        s
+    }
+}
+
+/// Figure 3: mean Jaccard agreement matrix between the four matching methods.
+pub fn figure3(ctx: &AnalysisContext) -> Vec<(String, String, f64)> {
+    ctx.match_report
+        .mean_jaccard_matrix()
+        .into_iter()
+        .map(|((a, b), v)| (a.label().to_string(), b.label().to_string(), v))
+        .collect()
+}
+
+/// Render Figure 3.
+pub fn render_figure3(matrix: &[(String, String, f64)]) -> String {
+    let mut s = String::from("Figure 3: mean Jaccard index between matching methods\n");
+    for (a, b, v) in matrix {
+        s.push_str(&format!("  {a:<24} vs {b:<24} {v:.2}\n"));
+    }
+    s
+}
+
+/// Figure 4: locations claimed by unmatched vs all providers (CDF summary).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Figure4 {
+    pub median_all: usize,
+    pub p90_all: usize,
+    pub median_unmatched: usize,
+    pub p90_unmatched: usize,
+    pub n_unmatched: usize,
+}
+
+/// Compute Figure 4.
+pub fn figure4(world: &SynthUs, ctx: &AnalysisContext) -> Figure4 {
+    let claims = world.initial_release().locations_claimed_by_provider();
+    let mut all: Vec<usize> = claims.values().copied().collect();
+    all.sort_unstable();
+    let matched: std::collections::BTreeSet<u32> = ctx
+        .match_report
+        .provider_to_asns
+        .keys()
+        .copied()
+        .collect();
+    let mut unmatched: Vec<usize> = claims
+        .iter()
+        .filter(|(p, _)| !matched.contains(&p.value()))
+        .map(|(_, c)| *c)
+        .collect();
+    unmatched.sort_unstable();
+    let q = |v: &[usize], f: f64| -> usize {
+        if v.is_empty() {
+            0
+        } else {
+            v[((v.len() - 1) as f64 * f) as usize]
+        }
+    };
+    Figure4 {
+        median_all: q(&all, 0.5),
+        p90_all: q(&all, 0.9),
+        median_unmatched: q(&unmatched, 0.5),
+        p90_unmatched: q(&unmatched, 0.9),
+        n_unmatched: unmatched.len(),
+    }
+}
+
+impl Figure4 {
+    pub fn render(&self) -> String {
+        format!(
+            "Figure 4: locations claimed — all providers median {} / p90 {}; unmatched ({}) median {} / p90 {}\n",
+            self.median_all, self.p90_all, self.n_unmatched, self.median_unmatched, self.p90_unmatched
+        )
+    }
+}
+
+/// Figures 5a/5b/5c: the three ROC evaluations.
+pub fn figure5a(suite: &ExperimentSuite) -> &EvaluationResult {
+    &suite.observation_holdout.evaluation
+}
+
+/// Figure 5b: FCC-adjudicated-only hold-out.
+pub fn figure5b(suite: &ExperimentSuite) -> &EvaluationResult {
+    &suite.adjudicated_holdout.evaluation
+}
+
+/// Figure 5c: held-out states.
+pub fn figure5c(suite: &ExperimentSuite) -> &EvaluationResult {
+    &suite.state_holdout.evaluation
+}
+
+/// Render one ROC evaluation.
+pub fn render_roc(label: &str, e: &EvaluationResult) -> String {
+    format!(
+        "{label}: AUC={:.3} (baseline {:.3}), F1={:.3}, accuracy={:.3}, n={}\n",
+        e.auc, e.baseline_auc, e.f1, e.report.accuracy, e.support
+    )
+}
+
+/// Figure 6: prediction-accuracy breakdown for the major ISPs in the held-out
+/// states.
+pub fn figure6(suite: &ExperimentSuite) -> Vec<GroupBreakdown> {
+    let model = &suite.state_holdout.model;
+    let test_rows = &suite.state_holdout.test_rows;
+    suite
+        .world
+        .providers
+        .major_providers()
+        .iter()
+        .map(|provider| {
+            let rows: Vec<usize> = test_rows
+                .iter()
+                .copied()
+                .filter(|&r| suite.matrix.observations[r].provider == provider.id)
+                .collect();
+            breakdown_for_rows(suite, model, &rows, provider.name.clone())
+        })
+        .filter(|g| g.support > 0)
+        .collect()
+}
+
+/// Figure 7: dataset ablation — ROC-AUC / F1 on held-out states for each label
+/// source combination.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Figure7 {
+    /// (configuration label, AUC, F1, dataset size).
+    pub rows: Vec<(String, f64, f64, usize)>,
+}
+
+/// Compute Figure 7 by retraining under each labelling configuration.
+pub fn figure7(world: &SynthUs, ctx: &AnalysisContext) -> Figure7 {
+    let configs: [(&str, LabelingOptions); 4] = [
+        ("challenges only", LabelingOptions::challenges_only()),
+        ("challenges + changes", LabelingOptions::challenges_and_changes()),
+        (
+            "challenges + likely-served",
+            LabelingOptions::challenges_and_likely_served(),
+        ),
+        ("challenges + changes + likely-served", LabelingOptions::default()),
+    ];
+    let states: Vec<String> = HOLDOUT_STATES.iter().map(|s| s.to_string()).collect();
+    let rows = configs
+        .iter()
+        .map(|(label, options)| {
+            let observations = ctx.build_labels(world, options);
+            let matrix = build_features(world, ctx, &observations, &FeatureConfig::default());
+            let outcome = run_holdout(
+                &matrix,
+                &HoldoutStrategy::States(states.clone()),
+                default_params(world.config.seed + 7),
+            );
+            (
+                label.to_string(),
+                outcome.evaluation.auc,
+                outcome.evaluation.f1,
+                observations.len(),
+            )
+        })
+        .collect();
+    Figure7 { rows }
+}
+
+impl Figure7 {
+    pub fn render(&self) -> String {
+        let mut s = String::from("Figure 7: label-source ablation (state holdout)\n");
+        for (label, auc, f1, n) in &self.rows {
+            s.push_str(&format!("  {label:<38} AUC={auc:.3} F1={f1:.3} n={n}\n"));
+        }
+        s
+    }
+}
+
+/// Figure 8: the Jefferson-County-Cable-style case study.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Figure8 {
+    /// Fraction of the provider's over-claimed hexes the model flags as
+    /// unserved.
+    pub overclaimed_flagged_pct: f64,
+    /// Fraction of the provider's genuinely-served hexes the model flags.
+    pub served_flagged_pct: f64,
+    pub overclaimed_hexes: usize,
+    pub served_hexes: usize,
+}
+
+/// Compute Figure 8: train with the JCC provider's home and neighbouring
+/// states excluded, then score every hex the provider claims.
+pub fn figure8(world: &SynthUs, ctx: &AnalysisContext) -> Option<Figure8> {
+    let jcc = world.jcc.as_ref()?;
+    let observations = ctx.build_labels(world, &LabelingOptions::default());
+    let matrix = build_features(world, ctx, &observations, &FeatureConfig::default());
+    let outcome = run_holdout(
+        &matrix,
+        &HoldoutStrategy::States(jcc.excluded_states.clone()),
+        default_params(world.config.seed + 9),
+    );
+    // Build feature rows for every claim of the JCC provider.
+    let release = world.initial_release();
+    let jcc_claims: Vec<crate::labels::Observation> = release
+        .hex_claims()
+        .iter()
+        .filter(|c| c.provider == jcc.provider)
+        .map(|c| crate::labels::Observation {
+            provider: c.provider,
+            hex: c.hex,
+            technology: c.technology,
+            state: jcc.home_state.clone(),
+            label: Label::Served, // placeholder; only features are used
+            source: LabelSource::LikelyServed,
+        })
+        .collect();
+    let jcc_matrix = build_features(world, ctx, &jcc_claims, &FeatureConfig::default());
+    let mut over_flagged = 0usize;
+    let mut over_total = 0usize;
+    let mut served_flagged = 0usize;
+    let mut served_total = 0usize;
+    for (i, obs) in jcc_claims.iter().enumerate() {
+        let p = outcome.model.predict_proba(jcc_matrix.dataset.row(i));
+        let flagged = p >= 0.5;
+        if jcc.overclaimed_hexes.contains(&obs.hex) {
+            over_total += 1;
+            if flagged {
+                over_flagged += 1;
+            }
+        } else if jcc.served_hexes.contains(&obs.hex) {
+            served_total += 1;
+            if flagged {
+                served_flagged += 1;
+            }
+        }
+    }
+    Some(Figure8 {
+        overclaimed_flagged_pct: pct(over_flagged, over_total),
+        served_flagged_pct: pct(served_flagged, served_total),
+        overclaimed_hexes: over_total,
+        served_hexes: served_total,
+    })
+}
+
+impl Figure8 {
+    pub fn render(&self) -> String {
+        format!(
+            "Figure 8: JCC case study — {:.0}% of {} over-claimed hexes flagged vs {:.0}% of {} served hexes\n",
+            self.overclaimed_flagged_pct, self.overclaimed_hexes, self.served_flagged_pct, self.served_hexes
+        )
+    }
+}
+
+/// Figure 9: BSLs per resolution-8 hex.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Figure9 {
+    pub median: usize,
+    pub p25: usize,
+    pub p75: usize,
+    pub p95: usize,
+    pub occupied_hexes: usize,
+}
+
+/// Compute Figure 9.
+pub fn figure9(world: &SynthUs) -> Figure9 {
+    let dist = world.fabric.bsls_per_hex_distribution();
+    let q = |f: f64| -> usize {
+        if dist.is_empty() {
+            0
+        } else {
+            dist[((dist.len() - 1) as f64 * f) as usize]
+        }
+    };
+    Figure9 {
+        median: q(0.5),
+        p25: q(0.25),
+        p75: q(0.75),
+        p95: q(0.95),
+        occupied_hexes: dist.len(),
+    }
+}
+
+impl Figure9 {
+    pub fn render(&self) -> String {
+        format!(
+            "Figure 9: BSLs per hex — median {}, p25 {}, p75 {}, p95 {} over {} occupied hexes\n",
+            self.median, self.p25, self.p75, self.p95, self.occupied_hexes
+        )
+    }
+}
+
+/// Figure 10: global feature importance (mean |contribution| and direction).
+pub fn figure10(suite: &ExperimentSuite, top_n: usize) -> Vec<ml::FeatureImportance> {
+    let test = suite
+        .matrix
+        .dataset
+        .subset(&suite.observation_holdout.test_rows);
+    let mut summary = summarize_attributions(&suite.observation_holdout.model, &test, 2000);
+    summary.truncate(top_n);
+    summary
+}
+
+/// Render Figure 10.
+pub fn render_figure10(rows: &[ml::FeatureImportance]) -> String {
+    let mut s = String::from("Figure 10: top features by mean |contribution|\n");
+    for r in rows {
+        s.push_str(&format!(
+            "  {:<32} mean|c|={:.4} mean={:+.4} value-direction={:+.2}\n",
+            r.name, r.mean_abs_contribution, r.mean_contribution, r.value_contribution_correlation
+        ));
+    }
+    s
+}
+
+/// Figure 11: waterfall for a single prediction from the hold-out set.
+pub fn figure11(suite: &ExperimentSuite, row_in_test: usize) -> ml::Explanation {
+    let rows = &suite.observation_holdout.test_rows;
+    let r = rows[row_in_test % rows.len()];
+    explain_row(&suite.observation_holdout.model, suite.matrix.dataset.row(r))
+}
+
+/// Render Figure 11.
+pub fn render_figure11(suite: &ExperimentSuite, exp: &ml::Explanation, top_n: usize) -> String {
+    let mut s = format!(
+        "Figure 11: single-prediction waterfall (base={:.3}, margin={:.3}, p={:.3})\n",
+        exp.base_value, exp.margin, exp.probability
+    );
+    for (feature, contribution) in exp.ranked().into_iter().take(top_n) {
+        s.push_str(&format!(
+            "  {:<32} {:+.4}\n",
+            suite.matrix.dataset.feature_names()[feature], contribution
+        ));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// One shared suite for all experiment smoke tests (model training is the
+    /// expensive part, so it runs once).
+    fn suite() -> ExperimentSuite {
+        ExperimentSuite::prepare(&SynthConfig::tiny(5))
+    }
+
+    #[test]
+    fn experiment_suite_reproduces_paper_shapes() {
+        let s = suite();
+
+        // Table 2: most challenges succeed.
+        let t2 = table2(&s.world);
+        assert!((55.0..90.0).contains(&t2.successful_pct), "{}", t2.successful_pct);
+
+        // Table 3: technology/speed dominate the reasons.
+        let t3 = table3(&s.world);
+        let top2: f64 = t3.rows.iter().take(2).map(|(_, _, p)| p).sum();
+        assert!(top2 > 90.0);
+
+        // Table 5: majority of providers matched.
+        let t5 = table5(&s.ctx);
+        assert!(t5.match_rate_pct > 50.0);
+
+        // Figure 1: the second major release sees far fewer challenges.
+        let f1 = figure1(&s.world);
+        assert!(f1.major2_total * 10 < f1.major1_total);
+
+        // Figure 2: top-10 states dominate.
+        let f2 = figure2(&s.world);
+        assert!(f2.top10_share_pct > 70.0);
+
+        // Figure 3: diagonal of the Jaccard matrix is 1.
+        let f3 = figure3(&s.ctx);
+        for (a, b, v) in &f3 {
+            if a == b {
+                assert!(*v > 0.99);
+            }
+        }
+
+        // Figure 4: unmatched providers are smaller.
+        let f4 = figure4(&s.world, &s.ctx);
+        assert!(f4.median_unmatched <= f4.median_all);
+
+        // Figures 5a/c: the model clearly beats the baseline.
+        assert!(figure5a(&s).auc > 0.85, "5a auc {}", figure5a(&s).auc);
+        assert!(figure5c(&s).auc > 0.8, "5c auc {}", figure5c(&s).auc);
+        assert!(figure5a(&s).auc > figure5a(&s).baseline_auc + 0.2);
+        // Figure 5b's adjudicated hold-out has only a few dozen rows at this
+        // test scale and carries genuine label noise, so it is markedly
+        // degraded relative to 5a (the paper sees the same ordering at far
+        // larger support); only sanity-check it here.
+        assert!(figure5b(&s).support > 0);
+        assert!((0.0..=1.0).contains(&figure5b(&s).auc));
+        assert!(figure5b(&s).auc < figure5a(&s).auc);
+
+        // Figure 6: at least one major ISP appears in the holdout states.
+        let f6 = figure6(&s);
+        assert!(!f6.is_empty());
+
+        // Figure 9: median BSLs per hex in a plausible band.
+        let f9 = figure9(&s.world);
+        assert!((1..=9).contains(&f9.median));
+
+        // Figure 10: speed-test presence features rank near the top.
+        let f10 = figure10(&s, 10);
+        let top_names: Vec<&str> = f10.iter().map(|r| r.name.as_str()).collect();
+        assert!(
+            top_names
+                .iter()
+                .any(|n| *n == "ookla_devices_per_location" || *n == "mlab_test_count"),
+            "top features were {top_names:?}"
+        );
+
+        // Figure 11: the waterfall is non-empty and renders.
+        let f11 = figure11(&s, 3);
+        assert_eq!(f11.contributions.len(), s.matrix.dataset.n_features());
+        assert!(!render_figure11(&s, &f11, 5).is_empty());
+
+        // Tables 7/8 render.
+        assert!(!render_breakdowns("Table 7", &table7(&s)).is_empty());
+        assert!(!render_breakdowns("Table 8", &table8(&s)).is_empty());
+        assert!(!table1_schema().is_empty());
+        assert!(!table4_schema(&FeatureConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn ablation_and_case_study_shapes() {
+        let world = SynthUs::generate(&SynthConfig::tiny(5));
+        let ctx = AnalysisContext::prepare(&world);
+
+        // Figure 7: the full dataset beats challenges-only on F1.
+        let f7 = figure7(&world, &ctx);
+        assert_eq!(f7.rows.len(), 4);
+        let f1_of = |label: &str| {
+            f7.rows
+                .iter()
+                .find(|(l, _, _, _)| l == label)
+                .map(|(_, _, f1, _)| *f1)
+                .unwrap()
+        };
+        assert!(
+            f1_of("challenges + changes + likely-served") >= f1_of("challenges only") - 0.05,
+            "full {} vs challenges-only {}",
+            f1_of("challenges + changes + likely-served"),
+            f1_of("challenges only")
+        );
+
+        // Figure 8: the over-claimed region is flagged far more often than the
+        // genuinely served region.
+        let f8 = figure8(&world, &ctx).expect("JCC scenario enabled");
+        assert!(f8.overclaimed_hexes > 0);
+        assert!(
+            f8.overclaimed_flagged_pct > f8.served_flagged_pct,
+            "overclaimed {}% vs served {}%",
+            f8.overclaimed_flagged_pct,
+            f8.served_flagged_pct
+        );
+    }
+}

@@ -1,0 +1,255 @@
+//! Feature engineering (§5.1, Table 4).
+//!
+//! Each observation `(provider, hex, technology)` is vectorised into:
+//! maximum advertised download/upload speed, a low-latency flag, a one-hot
+//! state encoding, the hex centroid, the percentage of the hex's BSLs the
+//! provider claims, an embedding of the provider's filing methodology, the
+//! Ookla unique-device-per-location ratio and the MLab test count attributed
+//! to the provider in the hex. Speed-test *results* are deliberately excluded
+//! — only their presence is used.
+
+use embed::TextEmbedder;
+use ml::Dataset;
+use serde::{Deserialize, Serialize};
+use synth::{SynthUs, STATES};
+
+use crate::labels::Observation;
+use crate::pipeline::AnalysisContext;
+
+/// Which feature groups to include and how large the methodology embedding is
+/// — the axes of the feature ablations.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FeatureConfig {
+    /// Dimensionality of the methodology embedding (the paper uses 384-d
+    /// S-BERT vectors; 32 keeps the default experiments fast with the same
+    /// qualitative behaviour).
+    pub embedding_dim: usize,
+    /// Include the methodology embedding at all.
+    pub include_methodology: bool,
+    /// Include Ookla device density and MLab test counts.
+    pub include_speedtest: bool,
+    /// Include the hex centroid coordinates.
+    pub include_location: bool,
+    /// Include the one-hot state encoding.
+    pub include_state: bool,
+}
+
+impl Default for FeatureConfig {
+    fn default() -> Self {
+        Self {
+            embedding_dim: 32,
+            include_methodology: true,
+            include_speedtest: true,
+            include_location: true,
+            include_state: true,
+        }
+    }
+}
+
+impl FeatureConfig {
+    /// The paper's full-width configuration with 384-dimensional embeddings.
+    pub fn paper_width() -> Self {
+        Self {
+            embedding_dim: embed::SBERT_DIM,
+            ..Self::default()
+        }
+    }
+}
+
+/// A vectorised dataset together with the observations each row came from.
+pub struct FeatureMatrix {
+    /// The dense feature matrix and labels.
+    pub dataset: Dataset,
+    /// Row-aligned observation metadata (provider, state, technology, source).
+    pub observations: Vec<Observation>,
+}
+
+impl FeatureMatrix {
+    /// The state of each row, for group holdouts.
+    pub fn states(&self) -> Vec<String> {
+        self.observations.iter().map(|o| o.state.clone()).collect()
+    }
+
+    /// Row indices whose observation satisfies a predicate.
+    pub fn rows_where<F: Fn(&Observation) -> bool>(&self, predicate: F) -> Vec<usize> {
+        self.observations
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| predicate(o))
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// Build the feature matrix for a set of labelled observations.
+pub fn build_features(
+    world: &SynthUs,
+    ctx: &AnalysisContext,
+    observations: &[Observation],
+    config: &FeatureConfig,
+) -> FeatureMatrix {
+    // Feature names, in a fixed order.
+    let mut names: Vec<String> = vec![
+        "max_adv_download_mbps".into(),
+        "max_adv_upload_mbps".into(),
+        "low_latency".into(),
+        "location_claim_pct".into(),
+    ];
+    if config.include_location {
+        names.push("hex_centroid_lat".into());
+        names.push("hex_centroid_lng".into());
+    }
+    if config.include_state {
+        for s in STATES {
+            names.push(format!("state_{}", s.code));
+        }
+    }
+    if config.include_speedtest {
+        names.push("ookla_devices_per_location".into());
+        names.push("mlab_test_count".into());
+    }
+    if config.include_methodology {
+        for i in 0..config.embedding_dim {
+            names.push(format!("methodology_emb_{i}"));
+        }
+    }
+
+    // Pre-compute methodology embeddings per provider.
+    let embedder = TextEmbedder::new(config.embedding_dim.max(1), 0x5EED_5BEE);
+    let mut embeddings: std::collections::BTreeMap<bdc::ProviderId, Vec<f32>> =
+        std::collections::BTreeMap::new();
+    if config.include_methodology {
+        for (provider, text) in &ctx.methodologies {
+            embeddings.insert(*provider, embedder.embed(text));
+        }
+    }
+
+    let release = world.initial_release();
+    let mut dataset = Dataset::new(names);
+    for obs in observations {
+        let claim = release.claim_for(obs.provider, obs.hex, obs.technology);
+        let mut row: Vec<f32> = Vec::with_capacity(dataset.n_features());
+        match claim {
+            Some(c) => {
+                row.push(c.max_down_mbps as f32);
+                row.push(c.max_up_mbps as f32);
+                row.push(if c.low_latency { 1.0 } else { 0.0 });
+                row.push(c.location_claim_pct() as f32);
+            }
+            None => {
+                row.extend_from_slice(&[f32::NAN, f32::NAN, f32::NAN, f32::NAN]);
+            }
+        }
+        if config.include_location {
+            let center = obs.hex.center();
+            row.push(center.lat as f32);
+            row.push(center.lng as f32);
+        }
+        if config.include_state {
+            for s in STATES {
+                row.push(if obs.state == s.code { 1.0 } else { 0.0 });
+            }
+        }
+        if config.include_speedtest {
+            let devices_per_loc = ctx.ookla_by_hex.get(&obs.hex).map(|agg| {
+                let bsls = world.fabric.bsl_count_in_hex(&obs.hex).max(1) as f64;
+                (agg.devices / bsls) as f32
+            });
+            row.push(devices_per_loc.unwrap_or(f32::NAN));
+            row.push(ctx.mlab_evidence.count(obs.provider, obs.hex) as f32);
+        }
+        if config.include_methodology {
+            match embeddings.get(&obs.provider) {
+                Some(e) => row.extend(e.iter().copied()),
+                None => row.extend(std::iter::repeat(f32::NAN).take(config.embedding_dim)),
+            }
+        }
+        dataset.push_row(&row, obs.label.as_target());
+    }
+
+    FeatureMatrix {
+        dataset,
+        observations: observations.to_vec(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::labels::LabelingOptions;
+    use synth::SynthConfig;
+
+    fn matrix() -> FeatureMatrix {
+        let world = SynthUs::generate(&SynthConfig::tiny(5));
+        let ctx = AnalysisContext::prepare(&world);
+        let labels = ctx.build_labels(&world, &LabelingOptions::default());
+        build_features(&world, &ctx, &labels, &FeatureConfig::default())
+    }
+
+    #[test]
+    fn matrix_shape_matches_observations() {
+        let m = matrix();
+        assert_eq!(m.dataset.n_rows(), m.observations.len());
+        assert!(m.dataset.n_rows() > 100);
+        // 4 claim features + 2 location + 55 states + 2 speedtest + 32 embedding.
+        let expected = 4 + 2 + STATES.len() + 2 + 32;
+        assert_eq!(m.dataset.n_features(), expected);
+    }
+
+    #[test]
+    fn feature_names_include_paper_features() {
+        let m = matrix();
+        for name in [
+            "max_adv_download_mbps",
+            "ookla_devices_per_location",
+            "mlab_test_count",
+            "location_claim_pct",
+            "state_NE",
+            "methodology_emb_0",
+        ] {
+            assert!(
+                m.dataset.feature_index(name).is_some(),
+                "missing feature {name}"
+            );
+        }
+    }
+
+    #[test]
+    fn state_onehot_is_exclusive() {
+        let m = matrix();
+        let state_cols: Vec<usize> = (0..m.dataset.n_features())
+            .filter(|&i| m.dataset.feature_names()[i].starts_with("state_"))
+            .collect();
+        for r in (0..m.dataset.n_rows()).step_by(37) {
+            let ones: f32 = state_cols.iter().map(|&c| m.dataset.get(r, c)).sum();
+            assert_eq!(ones, 1.0, "row {r} has {ones} state bits set");
+        }
+    }
+
+    #[test]
+    fn config_flags_shrink_the_matrix() {
+        let world = SynthUs::generate(&SynthConfig::tiny(5));
+        let ctx = AnalysisContext::prepare(&world);
+        let labels = ctx.build_labels(&world, &LabelingOptions::default());
+        let slim = build_features(
+            &world,
+            &ctx,
+            &labels,
+            &FeatureConfig {
+                include_methodology: false,
+                include_state: false,
+                ..FeatureConfig::default()
+            },
+        );
+        assert_eq!(slim.dataset.n_features(), 4 + 2 + 2);
+    }
+
+    #[test]
+    fn rows_where_filters_by_metadata() {
+        let m = matrix();
+        let unserved = m.rows_where(|o| o.label == crate::labels::Label::Unserved);
+        let served = m.rows_where(|o| o.label == crate::labels::Label::Served);
+        assert_eq!(unserved.len() + served.len(), m.dataset.n_rows());
+        assert!(!unserved.is_empty() && !served.is_empty());
+    }
+}

@@ -1,0 +1,412 @@
+//! Building the labelled dataset of broadband availability (§4.3).
+//!
+//! An observation is a `(provider, H3 resolution-8 hex, technology)` triple
+//! with a binary label: *unserved* (the claim would fail a challenge) or
+//! *served* (the claim holds). Labels come from three sources, applied in
+//! order:
+//!
+//! 1. **Challenges** — successful challenges label the observation unserved,
+//!    failed challenges label it served.
+//! 2. **Non-archived changes** — locations silently removed from a provider's
+//!    claims between the initial and the latest minor release label the
+//!    observation unserved.
+//! 3. **Likely served locations** — hexes with an Ookla service-coverage score
+//!    above 1 that also carry MLab tests attributed to the provider, and that
+//!    the provider claims in the NBM, label the observation served. These are
+//!    consumed in descending coverage-score order to balance the dataset per
+//!    provider and per state.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use bdc::{Challenge, Fabric, MapDiff, NbmRelease, ProviderId, Technology};
+use hexgrid::HexCell;
+use serde::{Deserialize, Serialize};
+use speedtest::{CoverageScore, ProviderHexTests};
+
+/// Binary availability label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Label {
+    /// The provider's claim is (likely) incorrect — it would fail a challenge.
+    Unserved,
+    /// The provider's claim holds.
+    Served,
+}
+
+impl Label {
+    /// The positive class of the classifier is "unserved / suspicious".
+    pub fn as_target(&self) -> f32 {
+        match self {
+            Label::Unserved => 1.0,
+            Label::Served => 0.0,
+        }
+    }
+}
+
+/// Where an observation's label came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LabelSource {
+    /// A resolved public challenge; `adjudicated` is true when the FCC itself
+    /// decided it.
+    Challenge { adjudicated: bool },
+    /// A non-archived removal discovered by diffing NBM releases.
+    MapChange,
+    /// A synthetic likely-served location derived from crowdsourced speed
+    /// tests.
+    LikelyServed,
+}
+
+/// One labelled observation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Observation {
+    pub provider: ProviderId,
+    pub hex: HexCell,
+    pub technology: Technology,
+    pub state: String,
+    pub label: Label,
+    pub source: LabelSource,
+}
+
+/// Which label sources to use and whether to balance — the axes of the
+/// paper's Figure 7 ablation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LabelingOptions {
+    /// Include labels from non-archived map changes.
+    pub include_changes: bool,
+    /// Include synthetic likely-served labels.
+    pub include_likely_served: bool,
+    /// Balance served/unserved per provider (falling back to per state).
+    pub balance: bool,
+}
+
+impl Default for LabelingOptions {
+    fn default() -> Self {
+        Self {
+            include_changes: true,
+            include_likely_served: true,
+            balance: true,
+        }
+    }
+}
+
+impl LabelingOptions {
+    /// Only public challenges (the first bar of Figure 7).
+    pub fn challenges_only() -> Self {
+        Self {
+            include_changes: false,
+            include_likely_served: false,
+            balance: false,
+        }
+    }
+
+    /// Challenges plus non-archived changes.
+    pub fn challenges_and_changes() -> Self {
+        Self {
+            include_changes: true,
+            include_likely_served: false,
+            balance: false,
+        }
+    }
+
+    /// Challenges plus likely-served locations (no changes).
+    pub fn challenges_and_likely_served() -> Self {
+        Self {
+            include_changes: false,
+            include_likely_served: true,
+            balance: true,
+        }
+    }
+}
+
+/// Everything label construction needs to see.
+pub struct LabelInputs<'a> {
+    pub fabric: &'a Fabric,
+    pub initial_release: &'a NbmRelease,
+    pub latest_release: &'a NbmRelease,
+    pub challenges: &'a [Challenge],
+    /// Per-hex Ookla service-coverage scores, sorted descending.
+    pub coverage: &'a [CoverageScore],
+    /// MLab tests attributed and localised per provider/hex.
+    pub mlab_evidence: &'a ProviderHexTests,
+}
+
+/// Build the labelled observation set.
+pub fn build_labels(inputs: &LabelInputs<'_>, options: &LabelingOptions) -> Vec<Observation> {
+    let mut seen: BTreeSet<(ProviderId, HexCell, Technology)> = BTreeSet::new();
+    let mut observations: Vec<Observation> = Vec::new();
+
+    // 1. Challenges. A hex is treated as challenged when any BSL in it is.
+    for challenge in inputs.challenges {
+        let key = (challenge.provider, challenge.hex, challenge.technology);
+        if !seen.insert(key) {
+            continue;
+        }
+        observations.push(Observation {
+            provider: challenge.provider,
+            hex: challenge.hex,
+            technology: challenge.technology,
+            state: challenge.state.clone(),
+            label: if challenge.is_successful() {
+                Label::Unserved
+            } else {
+                Label::Served
+            },
+            source: LabelSource::Challenge {
+                adjudicated: challenge.is_fcc_adjudicated(),
+            },
+        });
+    }
+
+    // 2. Non-archived changes: removals between the initial and latest release.
+    if options.include_changes {
+        let diff = MapDiff::between(inputs.initial_release, inputs.latest_release);
+        for change in diff.removed() {
+            let Some(bsl) = inputs.fabric.get(change.location) else {
+                continue;
+            };
+            let key = (change.provider, bsl.hex, change.technology);
+            if !seen.insert(key) {
+                continue;
+            }
+            observations.push(Observation {
+                provider: change.provider,
+                hex: bsl.hex,
+                technology: change.technology,
+                state: bsl.state.clone(),
+                label: Label::Unserved,
+                source: LabelSource::MapChange,
+            });
+        }
+    }
+
+    // 3. Likely served locations, consumed in descending coverage-score order
+    //    to balance the dataset.
+    if options.include_likely_served {
+        let candidates = likely_served_candidates(inputs);
+        if options.balance {
+            add_balanced(&mut observations, &mut seen, candidates, inputs);
+        } else {
+            for obs in candidates {
+                let key = (obs.provider, obs.hex, obs.technology);
+                if seen.insert(key) {
+                    observations.push(obs);
+                }
+            }
+        }
+    }
+    observations
+}
+
+/// Candidate likely-served observations in descending coverage-score order:
+/// hexes with coverage score > 1, MLab evidence for the provider in the hex,
+/// and an NBM claim by that provider with some technology in the hex.
+fn likely_served_candidates(inputs: &LabelInputs<'_>) -> Vec<Observation> {
+    // Index NBM claims by hex for quick lookup.
+    let mut claims_by_hex: HashMap<HexCell, Vec<(ProviderId, Technology)>> = HashMap::new();
+    for claim in inputs.initial_release.hex_claims() {
+        claims_by_hex
+            .entry(claim.hex)
+            .or_default()
+            .push((claim.provider, claim.technology));
+    }
+    // State of each hex (via any BSL in it).
+    let state_of_hex = |hex: &HexCell| -> Option<String> {
+        inputs
+            .fabric
+            .locations_in_hex(hex)
+            .first()
+            .and_then(|id| inputs.fabric.get(*id))
+            .map(|b| b.state.clone())
+    };
+
+    let mut out = Vec::new();
+    for score in inputs.coverage.iter().filter(|s| s.is_likely_served()) {
+        let Some(claims) = claims_by_hex.get(&score.hex) else {
+            continue;
+        };
+        let Some(state) = state_of_hex(&score.hex) else {
+            continue;
+        };
+        for (provider, technology) in claims {
+            if inputs.mlab_evidence.count(*provider, score.hex) <= 0.0 {
+                continue;
+            }
+            out.push(Observation {
+                provider: *provider,
+                hex: score.hex,
+                technology: *technology,
+                state: state.clone(),
+                label: Label::Served,
+                source: LabelSource::LikelyServed,
+            });
+        }
+    }
+    out
+}
+
+/// Add likely-served candidates so that, per provider (and within the
+/// provider, roughly per state), served observations catch up with unserved
+/// ones; remaining imbalance is then addressed at the state level.
+fn add_balanced(
+    observations: &mut Vec<Observation>,
+    seen: &mut BTreeSet<(ProviderId, HexCell, Technology)>,
+    candidates: Vec<Observation>,
+    _inputs: &LabelInputs<'_>,
+) {
+    // Current per-provider and per-state imbalance (unserved minus served).
+    let mut provider_deficit: BTreeMap<ProviderId, i64> = BTreeMap::new();
+    let mut state_deficit: BTreeMap<String, i64> = BTreeMap::new();
+    for obs in observations.iter() {
+        let delta = match obs.label {
+            Label::Unserved => 1,
+            Label::Served => -1,
+        };
+        *provider_deficit.entry(obs.provider).or_insert(0) += delta;
+        *state_deficit.entry(obs.state.clone()).or_insert(0) += delta;
+    }
+
+    // First pass: fill per-provider deficits in candidate (coverage-score)
+    // order. Second pass: fill remaining per-state deficits.
+    let mut leftovers = Vec::new();
+    for obs in candidates {
+        let key = (obs.provider, obs.hex, obs.technology);
+        if seen.contains(&key) {
+            continue;
+        }
+        let deficit = provider_deficit.entry(obs.provider).or_insert(0);
+        if *deficit > 0 {
+            *deficit -= 1;
+            *state_deficit.entry(obs.state.clone()).or_insert(0) -= 1;
+            seen.insert(key);
+            observations.push(obs);
+        } else {
+            leftovers.push(obs);
+        }
+    }
+    for obs in leftovers {
+        let key = (obs.provider, obs.hex, obs.technology);
+        if seen.contains(&key) {
+            continue;
+        }
+        let deficit = state_deficit.entry(obs.state.clone()).or_insert(0);
+        if *deficit > 0 {
+            *deficit -= 1;
+            seen.insert(key);
+            observations.push(obs);
+        }
+    }
+}
+
+/// Summary counts by label source, used for reporting dataset composition
+/// (§4.3 reports 51% challenges, 22% changes, 27% synthetic).
+pub fn source_composition(observations: &[Observation]) -> BTreeMap<&'static str, usize> {
+    let mut out = BTreeMap::new();
+    for obs in observations {
+        let key = match obs.source {
+            LabelSource::Challenge { .. } => "challenges",
+            LabelSource::MapChange => "changes",
+            LabelSource::LikelyServed => "likely_served",
+        };
+        *out.entry(key).or_insert(0) += 1;
+    }
+    out
+}
+
+/// Fraction of observations labelled unserved.
+pub fn unserved_fraction(observations: &[Observation]) -> f64 {
+    if observations.is_empty() {
+        return 0.0;
+    }
+    observations
+        .iter()
+        .filter(|o| o.label == Label::Unserved)
+        .count() as f64
+        / observations.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::AnalysisContext;
+    use synth::{SynthConfig, SynthUs};
+
+    fn context() -> (SynthUs, AnalysisContext) {
+        let world = SynthUs::generate(&SynthConfig::tiny(5));
+        let ctx = AnalysisContext::prepare(&world);
+        (world, ctx)
+    }
+
+    #[test]
+    fn full_labelling_has_all_three_sources() {
+        let (world, ctx) = context();
+        let labels = ctx.build_labels(&world, &LabelingOptions::default());
+        assert!(labels.len() > 500, "only {} observations", labels.len());
+        let comp = source_composition(&labels);
+        assert!(comp.get("challenges").copied().unwrap_or(0) > 0);
+        assert!(comp.get("changes").copied().unwrap_or(0) > 0);
+        assert!(comp.get("likely_served").copied().unwrap_or(0) > 0);
+    }
+
+    #[test]
+    fn balancing_reduces_class_imbalance() {
+        let (world, ctx) = context();
+        let unbalanced = ctx.build_labels(&world, &LabelingOptions::challenges_and_changes());
+        let balanced = ctx.build_labels(&world, &LabelingOptions::default());
+        let unbalanced_frac = unserved_fraction(&unbalanced);
+        let balanced_frac = unserved_fraction(&balanced);
+        assert!(
+            balanced_frac < unbalanced_frac,
+            "balanced {balanced_frac} vs unbalanced {unbalanced_frac}"
+        );
+        assert!(unbalanced_frac > 0.8, "challenges+changes should be mostly unserved");
+    }
+
+    #[test]
+    fn no_duplicate_observation_keys() {
+        let (world, ctx) = context();
+        let labels = ctx.build_labels(&world, &LabelingOptions::default());
+        let keys: BTreeSet<_> = labels
+            .iter()
+            .map(|o| (o.provider, o.hex, o.technology))
+            .collect();
+        assert_eq!(keys.len(), labels.len());
+    }
+
+    #[test]
+    fn challenges_only_excludes_other_sources() {
+        let (world, ctx) = context();
+        let labels = ctx.build_labels(&world, &LabelingOptions::challenges_only());
+        assert!(labels
+            .iter()
+            .all(|o| matches!(o.source, LabelSource::Challenge { .. })));
+    }
+
+    #[test]
+    fn labels_mostly_agree_with_ground_truth() {
+        // The labelling heuristics should recover the synthetic ground truth
+        // for the overwhelming majority of observations.
+        let (world, ctx) = context();
+        let labels = ctx.build_labels(&world, &LabelingOptions::default());
+        let mut correct = 0usize;
+        let mut total = 0usize;
+        for obs in &labels {
+            if let Some(truly_served) =
+                world.is_truly_served(obs.provider, obs.hex, obs.technology)
+            {
+                total += 1;
+                let label_served = obs.label == Label::Served;
+                if label_served == truly_served {
+                    correct += 1;
+                }
+            }
+        }
+        assert!(total > 0);
+        let agreement = correct as f64 / total as f64;
+        assert!(agreement > 0.8, "label/ground-truth agreement {agreement}");
+    }
+
+    #[test]
+    fn label_target_encoding() {
+        assert_eq!(Label::Unserved.as_target(), 1.0);
+        assert_eq!(Label::Served.as_target(), 0.0);
+    }
+}

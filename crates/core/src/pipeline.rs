@@ -1,0 +1,146 @@
+//! The prepared analysis context: everything that has to be computed once
+//! before labels and features can be built.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use asnmap::{MatchReport, ProviderAsnMatcher};
+use bdc::{Asn, ProviderId};
+use hexgrid::{HexCell, NBM_RESOLUTION};
+use speedtest::{attribute_mlab_tests, coverage_scores, CoverageScore, OoklaHexAggregate, ProviderHexTests};
+use synth::SynthUs;
+
+use crate::labels::{build_labels, LabelInputs, LabelingOptions, Observation};
+
+/// Intermediate products of the pipeline that are shared by labelling, feature
+/// engineering and several experiments: the provider→ASN match report, the
+/// per-hex Ookla aggregates and coverage scores, and the attributed MLab
+/// evidence.
+pub struct AnalysisContext {
+    /// Result of running the four matching methods.
+    pub match_report: MatchReport,
+    /// Provider→ASN mapping recovered by the matcher (typed ids).
+    pub provider_asns: BTreeMap<ProviderId, BTreeSet<Asn>>,
+    /// Ookla open data re-projected onto resolution-8 hexes.
+    pub ookla_by_hex: HashMap<HexCell, OoklaHexAggregate>,
+    /// Per-hex service coverage scores, sorted descending.
+    pub coverage: Vec<CoverageScore>,
+    /// MLab tests attributed to providers and localised to hexes.
+    pub mlab_evidence: ProviderHexTests,
+    /// Each provider's filing methodology text.
+    pub methodologies: BTreeMap<ProviderId, String>,
+}
+
+impl AnalysisContext {
+    /// Run the data-preparation half of the pipeline (§4.1–4.2) over a world.
+    pub fn prepare(world: &SynthUs) -> Self {
+        // Provider → ASN matching.
+        let matcher = ProviderAsnMatcher::new(world.registrations.clone());
+        let match_report = matcher.run(&world.whois);
+        let provider_asns: BTreeMap<ProviderId, BTreeSet<Asn>> = match_report
+            .provider_to_asns
+            .iter()
+            .map(|(p, asns)| {
+                (
+                    ProviderId(*p),
+                    asns.iter().map(|a| Asn(*a)).collect::<BTreeSet<Asn>>(),
+                )
+            })
+            .collect();
+
+        // Ookla re-projection and coverage scores.
+        let ookla_by_hex = world.ookla.aggregate_to_hexes(NBM_RESOLUTION);
+        let coverage = coverage_scores(&ookla_by_hex, &world.fabric);
+
+        // MLab attribution against each provider's claimed footprint.
+        let claimed_hexes: BTreeMap<ProviderId, BTreeSet<HexCell>> = provider_asns
+            .keys()
+            .map(|p| (*p, world.initial_release().hexes_claimed_by(*p)))
+            .collect();
+        let mlab_evidence =
+            attribute_mlab_tests(&world.mlab, &provider_asns, &claimed_hexes, NBM_RESOLUTION);
+
+        let methodologies = world
+            .filings
+            .iter()
+            .map(|f| (f.provider, f.methodology.clone()))
+            .collect();
+
+        Self {
+            match_report,
+            provider_asns,
+            ookla_by_hex,
+            coverage,
+            mlab_evidence,
+            methodologies,
+        }
+    }
+
+    /// Build labelled observations for a world with the given options.
+    pub fn build_labels(&self, world: &SynthUs, options: &LabelingOptions) -> Vec<Observation> {
+        let inputs = LabelInputs {
+            fabric: &world.fabric,
+            initial_release: world.initial_release(),
+            latest_release: world.latest_release(),
+            challenges: &world.challenges,
+            coverage: &self.coverage,
+            mlab_evidence: &self.mlab_evidence,
+        };
+        build_labels(&inputs, options)
+    }
+
+    /// Number of providers for which both an ASN match and MLab evidence
+    /// exist — the subset the paper can model (911 of 2,153 in the paper).
+    pub fn modelable_providers(&self) -> usize {
+        self.provider_asns
+            .keys()
+            .filter(|p| self.mlab_evidence.total_for(**p) > 0.0)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use synth::SynthConfig;
+
+    #[test]
+    fn prepare_produces_consistent_context() {
+        let world = SynthUs::generate(&SynthConfig::tiny(9));
+        let ctx = AnalysisContext::prepare(&world);
+        // A healthy majority of providers should match to ASNs.
+        let match_rate = ctx.match_report.match_rate();
+        assert!(match_rate > 0.5 && match_rate <= 1.0, "match rate {match_rate}");
+        // Coverage scores exist and are sorted descending.
+        assert!(!ctx.coverage.is_empty());
+        for w in ctx.coverage.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+        // MLab evidence exists for at least some providers.
+        assert!(!ctx.mlab_evidence.is_empty());
+        assert!(ctx.modelable_providers() > 0);
+        assert!(ctx.modelable_providers() <= world.providers.len());
+        // Every provider has a methodology string.
+        assert_eq!(ctx.methodologies.len(), world.providers.len());
+    }
+
+    #[test]
+    fn matched_asns_largely_agree_with_ground_truth() {
+        let world = SynthUs::generate(&SynthConfig::tiny(10));
+        let ctx = AnalysisContext::prepare(&world);
+        let mut agree = 0usize;
+        let mut total = 0usize;
+        for (provider, true_asns) in &world.true_provider_asns {
+            if let Some(found) = ctx.provider_asns.get(provider) {
+                total += 1;
+                if found.intersection(true_asns).next().is_some() {
+                    agree += 1;
+                }
+            }
+        }
+        assert!(total > 0);
+        assert!(
+            agree as f64 / total as f64 > 0.9,
+            "only {agree}/{total} matched providers overlap the truth"
+        );
+    }
+}

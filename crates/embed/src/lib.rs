@@ -1,0 +1,228 @@
+//! Deterministic sentence embeddings — the S-BERT substitute.
+//!
+//! The paper embeds each provider's free-text BDC filing methodology with a
+//! pre-trained S-BERT model, producing a 384-dimensional vector that is
+//! appended to every observation (§5.1). Shipping a transformer is neither
+//! possible offline nor necessary: the model only needs a fixed-width dense
+//! representation in which *near-identical methodology statements land close
+//! together* — the signal the paper exploits is that many small ISPs file
+//! word-for-word identical consultant-written methodologies, and that some
+//! methodologies describe disallowed practices (e.g. reporting whole census
+//! blocks).
+//!
+//! This crate provides that representation with classical, fully
+//! deterministic machinery:
+//!
+//! 1. tokenise the text into lowercase word unigrams, word bigrams and
+//!    character trigrams,
+//! 2. hash each token into a large sparse feature space (feature hashing with
+//!    a seeded 64-bit mixer),
+//! 3. project the sparse vector into `DIM` dimensions with a signed random
+//!    projection whose signs are derived from the same hash (a
+//!    Johnson–Lindenstrauss style sketch),
+//! 4. L2-normalise.
+//!
+//! Cosine similarity of the resulting vectors approximates token-level
+//! similarity of the inputs: identical texts embed identically, texts sharing
+//! most of their phrasing have high cosine similarity, and unrelated texts are
+//! near-orthogonal in expectation.
+
+pub mod similarity;
+pub mod tokenize;
+
+pub use similarity::{cosine_similarity, euclidean_distance};
+pub use tokenize::{char_trigrams, word_bigrams, word_unigrams, Tokenizer};
+
+use serde::{Deserialize, Serialize};
+
+/// Dimensionality matching the `all-MiniLM-L6-v2` S-BERT model the paper uses.
+pub const SBERT_DIM: usize = 384;
+
+/// A deterministic text embedder.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TextEmbedder {
+    dim: usize,
+    seed: u64,
+}
+
+impl Default for TextEmbedder {
+    fn default() -> Self {
+        Self::new(SBERT_DIM, 0x5EED_5BEE)
+    }
+}
+
+impl TextEmbedder {
+    /// Create an embedder with a given output dimensionality and seed.
+    ///
+    /// # Panics
+    /// Panics if `dim` is zero.
+    pub fn new(dim: usize, seed: u64) -> Self {
+        assert!(dim > 0, "embedding dimension must be positive");
+        Self { dim, seed }
+    }
+
+    /// Output dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Embed a text into a dense, L2-normalised vector.
+    pub fn embed(&self, text: &str) -> Vec<f32> {
+        let mut v = vec![0.0f32; self.dim];
+        let tokenizer = Tokenizer::default();
+        for (token, weight) in tokenizer.weighted_tokens(text) {
+            let h = splitmix64(hash_str(&token) ^ self.seed);
+            let idx = (h % self.dim as u64) as usize;
+            // The next bit of the hash decides the sign, giving a signed
+            // random projection.
+            let sign = if (h >> 63) & 1 == 1 { -1.0 } else { 1.0 };
+            v[idx] += sign * weight;
+        }
+        l2_normalize(&mut v);
+        v
+    }
+
+    /// Embed many texts.
+    pub fn embed_batch<'a, I>(&self, texts: I) -> Vec<Vec<f32>>
+    where
+        I: IntoIterator<Item = &'a str>,
+    {
+        texts.into_iter().map(|t| self.embed(t)).collect()
+    }
+}
+
+/// FNV-1a hash of a string (stable across platforms and runs).
+fn hash_str(s: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.as_bytes() {
+        hash ^= *b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// The splitmix64 finaliser, used to decorrelate hash bits.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Normalise a vector to unit L2 norm (leaves the zero vector untouched).
+fn l2_normalize(v: &mut [f32]) {
+    let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+    if norm > 0.0 {
+        for x in v.iter_mut() {
+            *x /= norm;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const METHODOLOGY_A: &str = "We determined served locations using engineering records of our \
+        fiber routes and drop lengths, validated against subscriber addresses.";
+    const METHODOLOGY_B: &str = "We determined served locations using engineering records of our \
+        fiber routes and drop lengths, validated against customer addresses.";
+    const METHODOLOGY_C: &str = "Coverage was reported for all census blocks in which the company \
+        offers or advertises service, consistent with prior Form 477 filings.";
+
+    #[test]
+    fn identical_text_embeds_identically() {
+        let e = TextEmbedder::default();
+        assert_eq!(e.embed(METHODOLOGY_A), e.embed(METHODOLOGY_A));
+    }
+
+    #[test]
+    fn embedding_is_unit_norm() {
+        let e = TextEmbedder::default();
+        let v = e.embed(METHODOLOGY_A);
+        let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+        assert!((norm - 1.0).abs() < 1e-5);
+        assert_eq!(v.len(), SBERT_DIM);
+    }
+
+    #[test]
+    fn near_duplicates_are_closer_than_unrelated_texts() {
+        let e = TextEmbedder::default();
+        let a = e.embed(METHODOLOGY_A);
+        let b = e.embed(METHODOLOGY_B);
+        let c = e.embed(METHODOLOGY_C);
+        let sim_ab = cosine_similarity(&a, &b);
+        let sim_ac = cosine_similarity(&a, &c);
+        assert!(sim_ab > 0.8, "near-duplicate similarity {sim_ab}");
+        assert!(sim_ab > sim_ac + 0.2, "ab={sim_ab} ac={sim_ac}");
+    }
+
+    #[test]
+    fn empty_text_embeds_to_zero_vector() {
+        let e = TextEmbedder::default();
+        let v = e.embed("");
+        assert!(v.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn different_seeds_give_different_embeddings() {
+        let a = TextEmbedder::new(64, 1).embed(METHODOLOGY_A);
+        let b = TextEmbedder::new(64, 2).embed(METHODOLOGY_A);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn batch_matches_single() {
+        let e = TextEmbedder::default();
+        let batch = e.embed_batch([METHODOLOGY_A, METHODOLOGY_C]);
+        assert_eq!(batch[0], e.embed(METHODOLOGY_A));
+        assert_eq!(batch[1], e.embed(METHODOLOGY_C));
+    }
+
+    #[test]
+    fn dimension_is_configurable() {
+        let e = TextEmbedder::new(32, 7);
+        assert_eq!(e.embed(METHODOLOGY_A).len(), 32);
+        assert_eq!(e.dim(), 32);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_dimension_panics() {
+        let _ = TextEmbedder::new(0, 7);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Every embedding has norm 0 (empty token set) or 1.
+        #[test]
+        fn norm_is_zero_or_one(text in ".{0,200}") {
+            let e = TextEmbedder::new(64, 42);
+            let v = e.embed(&text);
+            let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+            prop_assert!(norm < 1e-6 || (norm - 1.0).abs() < 1e-4);
+        }
+
+        /// Embedding is deterministic regardless of input.
+        #[test]
+        fn deterministic(text in ".{0,200}") {
+            let e = TextEmbedder::new(64, 42);
+            prop_assert_eq!(e.embed(&text), e.embed(&text));
+        }
+
+        /// Cosine similarity of any two embeddings stays in [-1, 1].
+        #[test]
+        fn cosine_bounded(a in ".{1,100}", b in ".{1,100}") {
+            let e = TextEmbedder::new(64, 42);
+            let va = e.embed(&a);
+            let vb = e.embed(&b);
+            let s = cosine_similarity(&va, &vb);
+            prop_assert!((-1.0001..=1.0001).contains(&s));
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Tokenisation for the hashing embedder.
+
+/// Lowercase word unigrams (alphanumeric runs).
+pub fn word_unigrams(text: &str) -> Vec<String> {
+    text.to_ascii_lowercase()
+        .split(|c: char| !c.is_ascii_alphanumeric())
+        .filter(|t| !t.is_empty())
+        .map(str::to_string)
+        .collect()
+}
+
+/// Adjacent word bigrams joined with an underscore.
+pub fn word_bigrams(text: &str) -> Vec<String> {
+    let words = word_unigrams(text);
+    words
+        .windows(2)
+        .map(|w| format!("{}_{}", w[0], w[1]))
+        .collect()
+}
+
+/// Character trigrams of the lowercased text with whitespace collapsed;
+/// robust to small spelling differences between filings.
+pub fn char_trigrams(text: &str) -> Vec<String> {
+    let cleaned: Vec<char> = text
+        .to_ascii_lowercase()
+        .chars()
+        .filter(|c| c.is_ascii_alphanumeric())
+        .collect();
+    if cleaned.len() < 3 {
+        return Vec::new();
+    }
+    cleaned
+        .windows(3)
+        .map(|w| w.iter().collect::<String>())
+        .collect()
+}
+
+/// Produces weighted tokens from a text: word unigrams (weight 1.0), bigrams
+/// (weight 0.7) and character trigrams (weight 0.3). The weights bias the
+/// embedding towards word-level semantics while the trigrams provide
+/// robustness to punctuation and inflection differences.
+#[derive(Debug, Clone)]
+pub struct Tokenizer {
+    pub unigram_weight: f32,
+    pub bigram_weight: f32,
+    pub trigram_weight: f32,
+}
+
+impl Default for Tokenizer {
+    fn default() -> Self {
+        Self {
+            unigram_weight: 1.0,
+            bigram_weight: 0.7,
+            trigram_weight: 0.3,
+        }
+    }
+}
+
+impl Tokenizer {
+    /// Iterate weighted `(token, weight)` pairs for a text. Tokens are
+    /// prefixed with their kind so a unigram can never collide with a trigram
+    /// of the same spelling.
+    pub fn weighted_tokens(&self, text: &str) -> Vec<(String, f32)> {
+        let mut out = Vec::new();
+        for t in word_unigrams(text) {
+            out.push((format!("u:{t}"), self.unigram_weight));
+        }
+        for t in word_bigrams(text) {
+            out.push((format!("b:{t}"), self.bigram_weight));
+        }
+        for t in char_trigrams(text) {
+            out.push((format!("t:{t}"), self.trigram_weight));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unigrams_lowercase_and_split_on_punctuation() {
+        assert_eq!(
+            word_unigrams("Fiber-to-the-Home, validated!"),
+            vec!["fiber", "to", "the", "home", "validated"]
+        );
+    }
+
+    #[test]
+    fn bigrams_join_adjacent_words() {
+        assert_eq!(
+            word_bigrams("census block coverage"),
+            vec!["census_block", "block_coverage"]
+        );
+    }
+
+    #[test]
+    fn bigrams_empty_for_single_word() {
+        assert!(word_bigrams("coverage").is_empty());
+    }
+
+    #[test]
+    fn trigrams_skip_whitespace_and_punctuation() {
+        assert_eq!(char_trigrams("ab c"), vec!["abc"]);
+        assert!(char_trigrams("ab").is_empty());
+    }
+
+    #[test]
+    fn weighted_tokens_are_kind_prefixed() {
+        let t = Tokenizer::default();
+        let tokens = t.weighted_tokens("fiber routes");
+        assert!(tokens.iter().any(|(s, w)| s == "u:fiber" && *w == 1.0));
+        assert!(tokens.iter().any(|(s, w)| s == "b:fiber_routes" && *w == 0.7));
+        assert!(tokens.iter().any(|(s, _)| s.starts_with("t:")));
+    }
+
+    #[test]
+    fn empty_text_yields_no_tokens() {
+        assert!(Tokenizer::default().weighted_tokens("").is_empty());
+        assert!(Tokenizer::default().weighted_tokens("  ,,, ").is_empty());
+    }
+}

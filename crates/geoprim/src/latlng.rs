@@ -1,0 +1,167 @@
+//! Geodetic coordinates and great-circle math.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{clamp_lat, normalize_lng, EARTH_RADIUS_M};
+
+/// A point on the Earth's surface expressed as latitude/longitude in degrees
+/// (WGS-84 datum is assumed but never needed at the precision of this work).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatLng {
+    /// Latitude in degrees, positive north, in `[-90, 90]`.
+    pub lat: f64,
+    /// Longitude in degrees, positive east, in `[-180, 180)`.
+    pub lng: f64,
+}
+
+impl LatLng {
+    /// Create a coordinate, normalising longitude and clamping latitude.
+    pub fn new(lat: f64, lng: f64) -> Self {
+        Self {
+            lat: clamp_lat(lat),
+            lng: normalize_lng(lng),
+        }
+    }
+
+    /// Great-circle distance to `other` in metres (haversine formula).
+    pub fn haversine_m(&self, other: &LatLng) -> f64 {
+        let (lat1, lng1) = (self.lat.to_radians(), self.lng.to_radians());
+        let (lat2, lng2) = (other.lat.to_radians(), other.lng.to_radians());
+        let dlat = lat2 - lat1;
+        let dlng = lng2 - lng1;
+        let a = (dlat / 2.0).sin().powi(2) + lat1.cos() * lat2.cos() * (dlng / 2.0).sin().powi(2);
+        2.0 * EARTH_RADIUS_M * a.sqrt().asin()
+    }
+
+    /// Great-circle distance to `other` in kilometres.
+    pub fn haversine_km(&self, other: &LatLng) -> f64 {
+        self.haversine_m(other) / 1000.0
+    }
+
+    /// Initial bearing from this point towards `other`, in degrees clockwise
+    /// from true north, in `[0, 360)`.
+    pub fn bearing_deg(&self, other: &LatLng) -> f64 {
+        let (lat1, lng1) = (self.lat.to_radians(), self.lng.to_radians());
+        let (lat2, lng2) = (other.lat.to_radians(), other.lng.to_radians());
+        let dlng = lng2 - lng1;
+        let y = dlng.sin() * lat2.cos();
+        let x = lat1.cos() * lat2.sin() - lat1.sin() * lat2.cos() * dlng.cos();
+        let b = y.atan2(x).to_degrees();
+        (b + 360.0) % 360.0
+    }
+
+    /// The point reached by travelling `distance_m` metres from this point on
+    /// the initial bearing `bearing_deg` (degrees clockwise from north).
+    pub fn destination(&self, bearing_deg: f64, distance_m: f64) -> LatLng {
+        let delta = distance_m / EARTH_RADIUS_M;
+        let theta = bearing_deg.to_radians();
+        let lat1 = self.lat.to_radians();
+        let lng1 = self.lng.to_radians();
+        let lat2 = (lat1.sin() * delta.cos() + lat1.cos() * delta.sin() * theta.cos()).asin();
+        let lng2 = lng1
+            + (theta.sin() * delta.sin() * lat1.cos()).atan2(delta.cos() - lat1.sin() * lat2.sin());
+        LatLng::new(lat2.to_degrees(), lng2.to_degrees())
+    }
+
+    /// Spherical midpoint between this point and `other`.
+    pub fn midpoint(&self, other: &LatLng) -> LatLng {
+        let lat1 = self.lat.to_radians();
+        let lng1 = self.lng.to_radians();
+        let lat2 = other.lat.to_radians();
+        let dlng = (other.lng - self.lng).to_radians();
+        let bx = lat2.cos() * dlng.cos();
+        let by = lat2.cos() * dlng.sin();
+        let lat3 = (lat1.sin() + lat2.sin()).atan2(((lat1.cos() + bx).powi(2) + by * by).sqrt());
+        let lng3 = lng1 + by.atan2(lat1.cos() + bx);
+        LatLng::new(lat3.to_degrees(), lng3.to_degrees())
+    }
+
+    /// True when both coordinates differ by less than `eps` degrees.
+    pub fn approx_eq(&self, other: &LatLng, eps: f64) -> bool {
+        (self.lat - other.lat).abs() < eps && (self.lng - other.lng).abs() < eps
+    }
+}
+
+impl std::fmt::Display for LatLng {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({:.6}, {:.6})", self.lat, self.lng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blacksburg() -> LatLng {
+        LatLng::new(37.2296, -80.4139)
+    }
+
+    fn madrid() -> LatLng {
+        LatLng::new(40.4168, -3.7038)
+    }
+
+    #[test]
+    fn haversine_zero_for_identical_points() {
+        let p = blacksburg();
+        assert!(p.haversine_m(&p) < 1e-6);
+    }
+
+    #[test]
+    fn haversine_blacksburg_to_madrid() {
+        // Roughly 6,400-6,500 km (IMC 2024 venue!). Allow slack for the
+        // spherical approximation.
+        let d = blacksburg().haversine_km(&madrid());
+        assert!((6300.0..6600.0).contains(&d), "distance was {d} km");
+    }
+
+    #[test]
+    fn haversine_is_symmetric() {
+        let a = blacksburg();
+        let b = madrid();
+        assert!((a.haversine_m(&b) - b.haversine_m(&a)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn destination_round_trip() {
+        let start = blacksburg();
+        let dest = start.destination(73.0, 12_345.0);
+        assert!((start.haversine_m(&dest) - 12_345.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn bearing_due_north() {
+        let a = LatLng::new(10.0, 20.0);
+        let b = LatLng::new(11.0, 20.0);
+        assert!(a.bearing_deg(&b).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bearing_due_east_near_equator() {
+        let a = LatLng::new(0.0, 20.0);
+        let b = LatLng::new(0.0, 21.0);
+        assert!((a.bearing_deg(&b) - 90.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn midpoint_lies_between() {
+        let a = blacksburg();
+        let b = madrid();
+        let m = a.midpoint(&b);
+        let total = a.haversine_m(&b);
+        let via = a.haversine_m(&m) + m.haversine_m(&b);
+        assert!((via - total).abs() < 1.0);
+    }
+
+    #[test]
+    fn constructor_normalises() {
+        let p = LatLng::new(95.0, 200.0);
+        assert_eq!(p.lat, 90.0);
+        assert!((p.lng - (-160.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_formats() {
+        let p = LatLng::new(1.0, 2.0);
+        assert_eq!(format!("{p}"), "(1.000000, 2.000000)");
+    }
+}

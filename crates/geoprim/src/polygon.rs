@@ -1,0 +1,223 @@
+//! Simple (non-self-intersecting, single-ring) polygons on the sphere.
+//!
+//! Wireless providers may submit coverage polygons to the BDC instead of
+//! location lists; the hex grid also exposes cell boundaries as polygons. At
+//! hex-cell scale a local planar treatment (equirectangular, scaled by the
+//! cosine of the mean latitude) is accurate to well under a metre, which is all
+//! the pipeline needs.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{BoundingBox, LatLng, EARTH_RADIUS_M};
+
+/// A closed ring of vertices. The last vertex is implicitly connected back to
+/// the first; callers should not repeat the first vertex.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Polygon {
+    vertices: Vec<LatLng>,
+}
+
+impl Polygon {
+    /// Build a polygon from its ring of vertices.
+    ///
+    /// # Panics
+    /// Panics if fewer than three vertices are supplied.
+    pub fn new(vertices: Vec<LatLng>) -> Self {
+        assert!(vertices.len() >= 3, "a polygon needs at least 3 vertices");
+        Self { vertices }
+    }
+
+    /// The ring of vertices.
+    pub fn vertices(&self) -> &[LatLng] {
+        &self.vertices
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// A polygon can never be empty; provided for clippy's `len` convention.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Axis-aligned bounding box of the ring.
+    pub fn bounding_box(&self) -> BoundingBox {
+        BoundingBox::from_points(&self.vertices).expect("polygon has >= 3 vertices")
+    }
+
+    /// Mean latitude of the vertices, used as the local projection latitude.
+    fn mean_lat(&self) -> f64 {
+        self.vertices.iter().map(|v| v.lat).sum::<f64>() / self.vertices.len() as f64
+    }
+
+    /// Project a coordinate to local planar metres around the polygon.
+    fn to_local(&self, p: &LatLng) -> (f64, f64) {
+        let lat0 = self.mean_lat().to_radians();
+        let x = p.lng.to_radians() * lat0.cos() * EARTH_RADIUS_M;
+        let y = p.lat.to_radians() * EARTH_RADIUS_M;
+        (x, y)
+    }
+
+    /// Signed planar area in square metres (positive for counter-clockwise
+    /// rings).
+    pub fn signed_area_m2(&self) -> f64 {
+        let pts: Vec<(f64, f64)> = self.vertices.iter().map(|v| self.to_local(v)).collect();
+        let mut acc = 0.0;
+        for i in 0..pts.len() {
+            let (x1, y1) = pts[i];
+            let (x2, y2) = pts[(i + 1) % pts.len()];
+            acc += x1 * y2 - x2 * y1;
+        }
+        acc / 2.0
+    }
+
+    /// Absolute area in square kilometres.
+    pub fn area_km2(&self) -> f64 {
+        self.signed_area_m2().abs() / 1.0e6
+    }
+
+    /// Area-weighted centroid of the ring.
+    pub fn centroid(&self) -> LatLng {
+        let pts: Vec<(f64, f64)> = self.vertices.iter().map(|v| self.to_local(v)).collect();
+        let a = self.signed_area_m2();
+        if a.abs() < 1e-9 {
+            // Degenerate ring: fall back to the vertex mean.
+            let lat = self.vertices.iter().map(|v| v.lat).sum::<f64>() / self.len() as f64;
+            let lng = self.vertices.iter().map(|v| v.lng).sum::<f64>() / self.len() as f64;
+            return LatLng::new(lat, lng);
+        }
+        let mut cx = 0.0;
+        let mut cy = 0.0;
+        for i in 0..pts.len() {
+            let (x1, y1) = pts[i];
+            let (x2, y2) = pts[(i + 1) % pts.len()];
+            let cross = x1 * y2 - x2 * y1;
+            cx += (x1 + x2) * cross;
+            cy += (y1 + y2) * cross;
+        }
+        cx /= 6.0 * a;
+        cy /= 6.0 * a;
+        let lat0 = self.mean_lat().to_radians();
+        LatLng::new(
+            (cy / EARTH_RADIUS_M).to_degrees(),
+            (cx / (EARTH_RADIUS_M * lat0.cos())).to_degrees(),
+        )
+    }
+
+    /// Ray-casting point-in-polygon test. Points exactly on an edge may be
+    /// classified either way; the pipeline never depends on edge cases.
+    pub fn contains(&self, p: &LatLng) -> bool {
+        let (px, py) = self.to_local(p);
+        let pts: Vec<(f64, f64)> = self.vertices.iter().map(|v| self.to_local(v)).collect();
+        let mut inside = false;
+        let n = pts.len();
+        let mut j = n - 1;
+        for i in 0..n {
+            let (xi, yi) = pts[i];
+            let (xj, yj) = pts[j];
+            let crosses = (yi > py) != (yj > py);
+            if crosses {
+                let x_at = xi + (py - yi) / (yj - yi) * (xj - xi);
+                if px < x_at {
+                    inside = !inside;
+                }
+            }
+            j = i;
+        }
+        inside
+    }
+
+    /// A regular polygon approximating a circle of `radius_m` metres around
+    /// `center`, with `segments` vertices. Used for IP-geolocation accuracy
+    /// discs and simple wireless coverage footprints.
+    pub fn circle(center: LatLng, radius_m: f64, segments: usize) -> Self {
+        assert!(segments >= 3);
+        let vertices = (0..segments)
+            .map(|i| {
+                let bearing = 360.0 * i as f64 / segments as f64;
+                center.destination(bearing, radius_m)
+            })
+            .collect();
+        Self::new(vertices)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_square() -> Polygon {
+        // Roughly a 1-degree square near Blacksburg, VA.
+        Polygon::new(vec![
+            LatLng::new(37.0, -81.0),
+            LatLng::new(37.0, -80.0),
+            LatLng::new(38.0, -80.0),
+            LatLng::new(38.0, -81.0),
+        ])
+    }
+
+    #[test]
+    fn contains_center() {
+        assert!(unit_square().contains(&LatLng::new(37.5, -80.5)));
+    }
+
+    #[test]
+    fn excludes_outside_point() {
+        assert!(!unit_square().contains(&LatLng::new(39.0, -80.5)));
+        assert!(!unit_square().contains(&LatLng::new(37.5, -82.0)));
+    }
+
+    #[test]
+    fn centroid_near_center() {
+        let c = unit_square().centroid();
+        assert!(c.approx_eq(&LatLng::new(37.5, -80.5), 0.02), "centroid {c}");
+    }
+
+    #[test]
+    fn area_of_degree_square() {
+        // 1 degree of latitude ~111 km; 1 degree of longitude at 37.5N ~88 km.
+        let a = unit_square().area_km2();
+        assert!((a - 111.0 * 88.0).abs() < 800.0, "area {a}");
+    }
+
+    #[test]
+    fn bounding_box_encloses_vertices() {
+        let p = unit_square();
+        let b = p.bounding_box();
+        for v in p.vertices() {
+            assert!(b.contains(v));
+        }
+    }
+
+    #[test]
+    fn circle_contains_center_and_not_far_point() {
+        let center = LatLng::new(40.0, -100.0);
+        let c = Polygon::circle(center, 5_000.0, 24);
+        assert!(c.contains(&center));
+        assert!(!c.contains(&center.destination(45.0, 10_000.0)));
+        assert!(c.contains(&center.destination(200.0, 2_000.0)));
+    }
+
+    #[test]
+    fn circle_area_close_to_pi_r_squared() {
+        let c = Polygon::circle(LatLng::new(35.0, -90.0), 10_000.0, 64);
+        let expected = std::f64::consts::PI * 10.0 * 10.0;
+        assert!((c.area_km2() - expected).abs() / expected < 0.05);
+    }
+
+    #[test]
+    #[should_panic]
+    fn too_few_vertices_panics() {
+        let _ = Polygon::new(vec![LatLng::new(0.0, 0.0), LatLng::new(1.0, 1.0)]);
+    }
+
+    #[test]
+    fn signed_area_orientation() {
+        let ccw = unit_square();
+        let cw = Polygon::new(ccw.vertices().iter().rev().copied().collect());
+        assert!(ccw.signed_area_m2() > 0.0);
+        assert!(cw.signed_area_m2() < 0.0);
+    }
+}

@@ -1,0 +1,119 @@
+//! Map projections.
+//!
+//! Two projections are needed by the pipeline:
+//!
+//! * **Web Mercator** — the Bing Maps tile system that the public Ookla open
+//!   dataset is aggregated on ("quadkeys") lives in this projection.
+//! * **Lambert cylindrical equal-area** — our hexagonal grid (the H3
+//!   substitute) is laid out on an equal-area projection so every resolution-8
+//!   cell covers the same ground area, mirroring H3's near-equal-area cells.
+
+use serde::{Deserialize, Serialize};
+
+use crate::LatLng;
+
+/// Maximum latitude representable in Web Mercator (same cut-off Bing/Google
+/// use so that the world map is square).
+pub const MERCATOR_MAX_LAT: f64 = 85.05112878;
+
+/// The spherical Web Mercator projection normalised to the unit square.
+///
+/// `project` maps (lat, lng) to (x, y) with x, y in `[0, 1]`: x grows east
+/// from the antimeridian and y grows **south** from `MERCATOR_MAX_LAT`, which
+/// matches the tile-pyramid convention used by quadkeys.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct WebMercator;
+
+impl WebMercator {
+    /// Project to the unit square.
+    pub fn project(&self, p: &LatLng) -> (f64, f64) {
+        let lat = p.lat.clamp(-MERCATOR_MAX_LAT, MERCATOR_MAX_LAT);
+        let x = (p.lng + 180.0) / 360.0;
+        let sin_lat = lat.to_radians().sin();
+        let y = 0.5 - ((1.0 + sin_lat) / (1.0 - sin_lat)).ln() / (4.0 * std::f64::consts::PI);
+        (x.clamp(0.0, 1.0), y.clamp(0.0, 1.0))
+    }
+
+    /// Inverse projection from the unit square back to geographic coordinates.
+    pub fn unproject(&self, x: f64, y: f64) -> LatLng {
+        let lng = x * 360.0 - 180.0;
+        let n = std::f64::consts::PI * (1.0 - 2.0 * y);
+        let lat = n.sinh().atan().to_degrees();
+        LatLng::new(lat, lng)
+    }
+}
+
+/// Lambert cylindrical equal-area projection normalised so that the world maps
+/// to the rectangle `[0, 1) x [0, 1]`, with x growing east and y growing
+/// north. Equal areas on the sphere map to equal areas in the rectangle.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct EqualAreaProjection;
+
+impl EqualAreaProjection {
+    /// Project to the unit rectangle.
+    pub fn project(&self, p: &LatLng) -> (f64, f64) {
+        let x = (p.lng + 180.0) / 360.0;
+        let y = (p.lat.to_radians().sin() + 1.0) / 2.0;
+        (x, y)
+    }
+
+    /// Inverse projection.
+    pub fn unproject(&self, x: f64, y: f64) -> LatLng {
+        let lng = x * 360.0 - 180.0;
+        let lat = (2.0 * y.clamp(0.0, 1.0) - 1.0).asin().to_degrees();
+        LatLng::new(lat, lng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mercator_round_trip() {
+        let m = WebMercator;
+        for &(lat, lng) in &[(0.0, 0.0), (37.2, -80.4), (-45.0, 170.0), (60.0, -120.0)] {
+            let p = LatLng::new(lat, lng);
+            let (x, y) = m.project(&p);
+            let q = m.unproject(x, y);
+            assert!(p.approx_eq(&q, 1e-6), "{p} -> {q}");
+        }
+    }
+
+    #[test]
+    fn mercator_origin_maps_to_center() {
+        let (x, y) = WebMercator.project(&LatLng::new(0.0, 0.0));
+        assert!((x - 0.5).abs() < 1e-12);
+        assert!((y - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mercator_y_grows_south() {
+        let m = WebMercator;
+        let (_, y_north) = m.project(&LatLng::new(40.0, 0.0));
+        let (_, y_south) = m.project(&LatLng::new(-40.0, 0.0));
+        assert!(y_north < 0.5 && y_south > 0.5);
+    }
+
+    #[test]
+    fn equal_area_round_trip() {
+        let e = EqualAreaProjection;
+        for &(lat, lng) in &[(0.0, 0.0), (37.2, -80.4), (-45.0, 170.0), (71.0, -156.0)] {
+            let p = LatLng::new(lat, lng);
+            let (x, y) = e.project(&p);
+            let q = e.unproject(x, y);
+            assert!(p.approx_eq(&q, 1e-6), "{p} -> {q}");
+        }
+    }
+
+    #[test]
+    fn equal_area_preserves_band_area() {
+        // Two latitude bands of equal sine-extent must map to equal heights.
+        let e = EqualAreaProjection;
+        let (_, y0) = e.project(&LatLng::new(0.0, 0.0));
+        let (_, y30) = e.project(&LatLng::new(30.0, 0.0));
+        let (_, y90) = e.project(&LatLng::new(90.0, 0.0));
+        // sin(30) = 0.5, so 0..30 deg covers half the sine range of 0..90 deg.
+        assert!(((y30 - y0) - (y90 - y30)).abs() < 1e-12);
+    }
+}

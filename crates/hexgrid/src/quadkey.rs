@@ -1,0 +1,263 @@
+//! The Bing-Maps tile system ("quadkeys").
+//!
+//! Ookla's public open dataset aggregates speed tests into Web-Mercator tiles
+//! of roughly 500 m a side (zoom level 16) and identifies each tile by its
+//! quadkey string. This module implements the tile system exactly as described
+//! in Microsoft's documentation: XYZ tile coordinates at a zoom level, the
+//! base-4 quadkey encoding, tile bounds and centroids.
+
+use geoprim::{BoundingBox, LatLng, WebMercator};
+use serde::{Deserialize, Serialize};
+
+/// The zoom level at which Ookla publishes its open data tiles (~500 m tiles
+/// in mid-latitudes).
+pub const OOKLA_ZOOM: u8 = 16;
+
+/// Maximum supported zoom level.
+pub const MAX_ZOOM: u8 = 23;
+
+/// A Web-Mercator map tile: `(x, y)` tile coordinates at a zoom level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct QuadTile {
+    x: u32,
+    y: u32,
+    zoom: u8,
+}
+
+/// Error returned when parsing an invalid quadkey string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QuadkeyError {
+    /// The string was empty or longer than [`MAX_ZOOM`] characters.
+    BadLength(usize),
+    /// A character other than `0`-`3` was found.
+    BadDigit(char),
+}
+
+impl std::fmt::Display for QuadkeyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QuadkeyError::BadLength(n) => write!(f, "quadkey length {n} out of range 1..={MAX_ZOOM}"),
+            QuadkeyError::BadDigit(c) => write!(f, "invalid quadkey digit '{c}'"),
+        }
+    }
+}
+
+impl std::error::Error for QuadkeyError {}
+
+impl QuadTile {
+    /// Construct a tile from raw XYZ coordinates, clamping to the valid range
+    /// for the zoom level.
+    pub fn new(x: u32, y: u32, zoom: u8) -> Self {
+        let zoom = zoom.min(MAX_ZOOM);
+        let max = (1u32 << zoom) - 1;
+        Self {
+            x: x.min(max),
+            y: y.min(max),
+            zoom,
+        }
+    }
+
+    /// The tile containing geographic point `p` at the given zoom level.
+    pub fn containing(p: &LatLng, zoom: u8) -> Self {
+        let zoom = zoom.min(MAX_ZOOM);
+        let (px, py) = WebMercator.project(p);
+        let n = (1u64 << zoom) as f64;
+        let x = ((px * n).floor() as i64).clamp(0, (1i64 << zoom) - 1) as u32;
+        let y = ((py * n).floor() as i64).clamp(0, (1i64 << zoom) - 1) as u32;
+        Self { x, y, zoom }
+    }
+
+    /// Tile X coordinate.
+    pub fn x(&self) -> u32 {
+        self.x
+    }
+
+    /// Tile Y coordinate.
+    pub fn y(&self) -> u32 {
+        self.y
+    }
+
+    /// Zoom level.
+    pub fn zoom(&self) -> u8 {
+        self.zoom
+    }
+
+    /// The quadkey string for this tile (one base-4 digit per zoom level,
+    /// most-significant first), per the Bing Maps tile system.
+    pub fn quadkey(&self) -> String {
+        let mut key = String::with_capacity(self.zoom as usize);
+        for i in (1..=self.zoom).rev() {
+            let mask = 1u32 << (i - 1);
+            let mut digit = 0u8;
+            if self.x & mask != 0 {
+                digit += 1;
+            }
+            if self.y & mask != 0 {
+                digit += 2;
+            }
+            key.push(char::from(b'0' + digit));
+        }
+        key
+    }
+
+    /// Parse a quadkey string back into a tile.
+    pub fn from_quadkey(key: &str) -> Result<Self, QuadkeyError> {
+        let len = key.len();
+        if len == 0 || len > MAX_ZOOM as usize {
+            return Err(QuadkeyError::BadLength(len));
+        }
+        let mut x = 0u32;
+        let mut y = 0u32;
+        for c in key.chars() {
+            x <<= 1;
+            y <<= 1;
+            match c {
+                '0' => {}
+                '1' => x |= 1,
+                '2' => y |= 1,
+                '3' => {
+                    x |= 1;
+                    y |= 1;
+                }
+                other => return Err(QuadkeyError::BadDigit(other)),
+            }
+        }
+        Ok(Self {
+            x,
+            y,
+            zoom: len as u8,
+        })
+    }
+
+    /// Geographic bounding box of the tile.
+    pub fn bounds(&self) -> BoundingBox {
+        let n = (1u64 << self.zoom) as f64;
+        let m = WebMercator;
+        let nw = m.unproject(self.x as f64 / n, self.y as f64 / n);
+        let se = m.unproject((self.x + 1) as f64 / n, (self.y + 1) as f64 / n);
+        BoundingBox::new(nw.lat, nw.lng, se.lat, se.lng)
+    }
+
+    /// Centre of the tile.
+    pub fn center(&self) -> LatLng {
+        let n = (1u64 << self.zoom) as f64;
+        WebMercator.unproject((self.x as f64 + 0.5) / n, (self.y as f64 + 0.5) / n)
+    }
+
+    /// The parent tile one zoom level up, or `None` at zoom 0/1 boundary.
+    pub fn parent(&self) -> Option<QuadTile> {
+        if self.zoom == 0 {
+            return None;
+        }
+        Some(QuadTile {
+            x: self.x / 2,
+            y: self.y / 2,
+            zoom: self.zoom - 1,
+        })
+    }
+
+    /// The four child tiles one zoom level down, or `None` at [`MAX_ZOOM`].
+    pub fn children(&self) -> Option<[QuadTile; 4]> {
+        if self.zoom >= MAX_ZOOM {
+            return None;
+        }
+        let z = self.zoom + 1;
+        let (x, y) = (self.x * 2, self.y * 2);
+        Some([
+            QuadTile { x, y, zoom: z },
+            QuadTile { x: x + 1, y, zoom: z },
+            QuadTile { x, y: y + 1, zoom: z },
+            QuadTile {
+                x: x + 1,
+                y: y + 1,
+                zoom: z,
+            },
+        ])
+    }
+
+    /// Approximate tile width in metres at the tile's own latitude.
+    pub fn width_m(&self) -> f64 {
+        let b = self.bounds();
+        let west = LatLng::new(self.center().lat, b.min_lng);
+        let east = LatLng::new(self.center().lat, b.max_lng);
+        west.haversine_m(&east)
+    }
+}
+
+impl std::fmt::Display for QuadTile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.quadkey())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bing_doc_example() {
+        // From the Bing Maps tile system documentation: tile (3, 5) at zoom 3
+        // has quadkey "213".
+        let t = QuadTile::new(3, 5, 3);
+        assert_eq!(t.quadkey(), "213");
+        assert_eq!(QuadTile::from_quadkey("213").unwrap(), t);
+    }
+
+    #[test]
+    fn quadkey_parse_rejects_bad_input() {
+        assert_eq!(QuadTile::from_quadkey(""), Err(QuadkeyError::BadLength(0)));
+        assert_eq!(
+            QuadTile::from_quadkey("0124"),
+            Err(QuadkeyError::BadDigit('4'))
+        );
+    }
+
+    #[test]
+    fn containing_tile_bounds_contain_point() {
+        let p = LatLng::new(37.2296, -80.4139);
+        let t = QuadTile::containing(&p, OOKLA_ZOOM);
+        assert!(t.bounds().contains(&p));
+    }
+
+    #[test]
+    fn ookla_zoom_tile_about_500m() {
+        let p = LatLng::new(37.2296, -80.4139);
+        let t = QuadTile::containing(&p, OOKLA_ZOOM);
+        let w = t.width_m();
+        assert!((300.0..700.0).contains(&w), "width {w} m");
+    }
+
+    #[test]
+    fn parent_child_round_trip() {
+        let p = LatLng::new(40.0, -100.0);
+        let t = QuadTile::containing(&p, 10);
+        let kids = t.children().unwrap();
+        for k in kids {
+            assert_eq!(k.parent().unwrap(), t);
+        }
+    }
+
+    #[test]
+    fn zoom0_has_no_parent() {
+        assert!(QuadTile::new(0, 0, 0).parent().is_none());
+    }
+
+    #[test]
+    fn neighbouring_points_get_distinct_tiles() {
+        let a = QuadTile::containing(&LatLng::new(37.0, -80.0), OOKLA_ZOOM);
+        let b = QuadTile::containing(&LatLng::new(37.1, -80.0), OOKLA_ZOOM);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn constructor_clamps_to_zoom_range() {
+        let t = QuadTile::new(1000, 1000, 3);
+        assert!(t.x() < 8 && t.y() < 8);
+    }
+
+    #[test]
+    fn display_is_quadkey() {
+        let t = QuadTile::new(3, 5, 3);
+        assert_eq!(format!("{t}"), "213");
+    }
+}

@@ -1,0 +1,94 @@
+//! Re-projecting quadkey tiles onto the hexagonal grid.
+//!
+//! The Ookla open dataset is keyed by ~500 m quadkey tiles while every other
+//! dataset in the pipeline is keyed by resolution-8 hexes. Appendix D of the
+//! paper describes the re-projection: most quadkey tiles fall entirely inside a
+//! single hex, and tiles spanning several hexes are mapped to each of them.
+//! This module reproduces that logic by sampling a small lattice of points
+//! inside each tile and collecting the distinct hexes they fall in.
+
+use std::collections::BTreeSet;
+
+use crate::{HexCell, QuadTile, Resolution};
+
+/// Number of sample points per axis used when covering a tile with hexes.
+/// A 4×4 lattice is ample: a zoom-16 tile (~500 m) is smaller than a res-8 hex
+/// (~900 m across), so it can overlap at most a handful of hexes.
+const SAMPLES_PER_AXIS: usize = 4;
+
+/// The set of hex cells (at `res`) that a quadkey tile overlaps, in sorted
+/// order. The tile centre's hex is always included.
+pub fn cover_tile_with_hexes(tile: &QuadTile, res: Resolution) -> Vec<HexCell> {
+    let bounds = tile.bounds();
+    let mut out: BTreeSet<HexCell> = BTreeSet::new();
+    out.insert(HexCell::containing(&tile.center(), res));
+    for i in 0..SAMPLES_PER_AXIS {
+        for j in 0..SAMPLES_PER_AXIS {
+            let u = (i as f64 + 0.5) / SAMPLES_PER_AXIS as f64;
+            let v = (j as f64 + 0.5) / SAMPLES_PER_AXIS as f64;
+            out.insert(HexCell::containing(&bounds.lerp(u, v), res));
+        }
+    }
+    out.into_iter().collect()
+}
+
+/// Distribute a per-tile quantity over the hexes the tile overlaps.
+///
+/// Returns `(hex, share)` pairs where the shares are the tile's value divided
+/// evenly among its covering hexes (so the total is conserved). This is how
+/// Ookla test/device counts are moved onto the hex grid before computing the
+/// per-hex service-coverage score.
+pub fn reproject_to_hexes(tile: &QuadTile, value: f64, res: Resolution) -> Vec<(HexCell, f64)> {
+    let hexes = cover_tile_with_hexes(tile, res);
+    let share = value / hexes.len() as f64;
+    hexes.into_iter().map(|h| (h, share)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{NBM_RESOLUTION, OOKLA_ZOOM};
+    use geoprim::LatLng;
+
+    #[test]
+    fn tile_covered_by_few_hexes() {
+        let tile = QuadTile::containing(&LatLng::new(37.2296, -80.4139), OOKLA_ZOOM);
+        let hexes = cover_tile_with_hexes(&tile, NBM_RESOLUTION);
+        assert!(!hexes.is_empty());
+        assert!(hexes.len() <= 6, "tile covered by {} hexes", hexes.len());
+    }
+
+    #[test]
+    fn cover_includes_center_hex() {
+        let tile = QuadTile::containing(&LatLng::new(40.0, -89.5), OOKLA_ZOOM);
+        let hexes = cover_tile_with_hexes(&tile, NBM_RESOLUTION);
+        let center_hex = HexCell::containing(&tile.center(), NBM_RESOLUTION);
+        assert!(hexes.contains(&center_hex));
+    }
+
+    #[test]
+    fn cover_is_sorted_and_unique() {
+        let tile = QuadTile::containing(&LatLng::new(44.98, -93.26), OOKLA_ZOOM);
+        let hexes = cover_tile_with_hexes(&tile, NBM_RESOLUTION);
+        let mut sorted = hexes.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(hexes, sorted);
+    }
+
+    #[test]
+    fn reproject_conserves_total_value() {
+        let tile = QuadTile::containing(&LatLng::new(33.75, -84.39), OOKLA_ZOOM);
+        let shares = reproject_to_hexes(&tile, 42.0, NBM_RESOLUTION);
+        let total: f64 = shares.iter().map(|(_, v)| v).sum();
+        assert!((total - 42.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn coarse_resolution_single_hex() {
+        // At a very coarse resolution any single tile falls in exactly one hex.
+        let tile = QuadTile::containing(&LatLng::new(38.0, -100.0), OOKLA_ZOOM);
+        let hexes = cover_tile_with_hexes(&tile, Resolution::new(3).unwrap());
+        assert_eq!(hexes.len(), 1);
+    }
+}

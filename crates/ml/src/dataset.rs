@@ -1,0 +1,206 @@
+//! Dense datasets for supervised binary classification.
+//!
+//! Rows are stored row-major as `f32`; missing values are encoded as `NaN`
+//! (the trees learn a default direction for them, like XGBoost's sparsity-aware
+//! splits). Labels are 0.0 / 1.0.
+
+use serde::{Deserialize, Serialize};
+
+/// A dense feature matrix with binary labels.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dataset {
+    feature_names: Vec<String>,
+    n_features: usize,
+    data: Vec<f32>,
+    labels: Vec<f32>,
+}
+
+impl Dataset {
+    /// Create an empty dataset with the given feature names.
+    ///
+    /// # Panics
+    /// Panics when no features are given.
+    pub fn new(feature_names: Vec<String>) -> Self {
+        assert!(!feature_names.is_empty(), "a dataset needs features");
+        let n_features = feature_names.len();
+        Self {
+            feature_names,
+            n_features,
+            data: Vec::new(),
+            labels: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    ///
+    /// # Panics
+    /// Panics when the row length does not match the feature count or the
+    /// label is not 0 or 1.
+    pub fn push_row(&mut self, row: &[f32], label: f32) {
+        assert_eq!(row.len(), self.n_features, "row width mismatch");
+        assert!(label == 0.0 || label == 1.0, "labels must be 0 or 1");
+        self.data.extend_from_slice(row);
+        self.labels.push(label);
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of features.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// True when the dataset holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Feature names.
+    pub fn feature_names(&self) -> &[String] {
+        &self.feature_names
+    }
+
+    /// Index of a feature by name.
+    pub fn feature_index(&self, name: &str) -> Option<usize> {
+        self.feature_names.iter().position(|n| n == name)
+    }
+
+    /// A row as a slice.
+    pub fn row(&self, i: usize) -> &[f32] {
+        &self.data[i * self.n_features..(i + 1) * self.n_features]
+    }
+
+    /// One cell.
+    pub fn get(&self, row: usize, feature: usize) -> f32 {
+        self.data[row * self.n_features + feature]
+    }
+
+    /// All labels.
+    pub fn labels(&self) -> &[f32] {
+        &self.labels
+    }
+
+    /// Label of one row.
+    pub fn label(&self, i: usize) -> f32 {
+        self.labels[i]
+    }
+
+    /// Number of positive (label 1) rows.
+    pub fn positives(&self) -> usize {
+        self.labels.iter().filter(|&&l| l == 1.0).count()
+    }
+
+    /// Number of negative (label 0) rows.
+    pub fn negatives(&self) -> usize {
+        self.n_rows() - self.positives()
+    }
+
+    /// Fraction of positive rows (0 when empty).
+    pub fn positive_rate(&self) -> f64 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.positives() as f64 / self.n_rows() as f64
+        }
+    }
+
+    /// A new dataset containing only the given row indices (in order).
+    pub fn subset(&self, rows: &[usize]) -> Dataset {
+        let mut out = Dataset::new(self.feature_names.clone());
+        for &r in rows {
+            out.push_row(self.row(r), self.labels[r]);
+        }
+        out
+    }
+
+    /// Mean of a feature over rows where it is present (ignores NaN).
+    pub fn feature_mean(&self, feature: usize) -> f64 {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for r in 0..self.n_rows() {
+            let v = self.get(r, feature);
+            if !v.is_nan() {
+                sum += v as f64;
+                n += 1;
+            }
+        }
+        if n == 0 {
+            0.0
+        } else {
+            sum / n as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        let mut d = Dataset::new(vec!["a".into(), "b".into()]);
+        d.push_row(&[1.0, 2.0], 0.0);
+        d.push_row(&[3.0, f32::NAN], 1.0);
+        d.push_row(&[5.0, 6.0], 1.0);
+        d
+    }
+
+    #[test]
+    fn shape_and_access() {
+        let d = toy();
+        assert_eq!(d.n_rows(), 3);
+        assert_eq!(d.n_features(), 2);
+        assert_eq!(d.row(1)[0], 3.0);
+        assert!(d.get(1, 1).is_nan());
+        assert_eq!(d.label(2), 1.0);
+        assert_eq!(d.feature_index("b"), Some(1));
+        assert_eq!(d.feature_index("zzz"), None);
+    }
+
+    #[test]
+    fn class_counts() {
+        let d = toy();
+        assert_eq!(d.positives(), 2);
+        assert_eq!(d.negatives(), 1);
+        assert!((d.positive_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn subset_preserves_rows() {
+        let d = toy();
+        let s = d.subset(&[2, 0]);
+        assert_eq!(s.n_rows(), 2);
+        assert_eq!(s.row(0)[0], 5.0);
+        assert_eq!(s.label(1), 0.0);
+    }
+
+    #[test]
+    fn feature_mean_ignores_missing() {
+        let d = toy();
+        assert!((d.feature_mean(1) - 4.0).abs() < 1e-9);
+        assert!((d.feature_mean(0) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn wrong_width_panics() {
+        let mut d = Dataset::new(vec!["a".into()]);
+        d.push_row(&[1.0, 2.0], 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_label_panics() {
+        let mut d = Dataset::new(vec!["a".into()]);
+        d.push_row(&[1.0], 0.5);
+    }
+
+    #[test]
+    fn empty_dataset_positive_rate_zero() {
+        let d = Dataset::new(vec!["a".into()]);
+        assert_eq!(d.positive_rate(), 0.0);
+        assert!(d.is_empty());
+    }
+}

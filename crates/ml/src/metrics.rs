@@ -1,0 +1,374 @@
+//! Classification metrics: ROC curves and AUC, precision/recall/F1, confusion
+//! matrices, accuracy and log-loss.
+
+use serde::{Deserialize, Serialize};
+
+/// Area under the ROC curve, computed with the rank statistic (equivalent to
+/// the probability that a random positive scores above a random negative,
+/// counting ties as half). Returns 0.5 when either class is absent.
+pub fn roc_auc(labels: &[f32], scores: &[f64]) -> f64 {
+    assert_eq!(labels.len(), scores.len());
+    let n_pos = labels.iter().filter(|&&l| l == 1.0).count();
+    let n_neg = labels.len() - n_pos;
+    if n_pos == 0 || n_neg == 0 {
+        return 0.5;
+    }
+    // Average ranks, handling ties.
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).unwrap_or(std::cmp::Ordering::Equal));
+    let mut ranks = vec![0.0f64; scores.len()];
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i;
+        while j + 1 < order.len() && scores[order[j + 1]] == scores[order[i]] {
+            j += 1;
+        }
+        let avg_rank = (i + j) as f64 / 2.0 + 1.0;
+        for &idx in &order[i..=j] {
+            ranks[idx] = avg_rank;
+        }
+        i = j + 1;
+    }
+    let sum_pos_ranks: f64 = labels
+        .iter()
+        .zip(ranks.iter())
+        .filter(|(&l, _)| l == 1.0)
+        .map(|(_, &r)| r)
+        .sum();
+    (sum_pos_ranks - (n_pos as f64) * (n_pos as f64 + 1.0) / 2.0) / (n_pos as f64 * n_neg as f64)
+}
+
+/// Points of the ROC curve as `(false_positive_rate, true_positive_rate)`
+/// pairs, ordered from (0,0) to (1,1).
+pub fn roc_curve(labels: &[f32], scores: &[f64]) -> Vec<(f64, f64)> {
+    assert_eq!(labels.len(), scores.len());
+    let n_pos = labels.iter().filter(|&&l| l == 1.0).count() as f64;
+    let n_neg = labels.len() as f64 - n_pos;
+    if n_pos == 0.0 || n_neg == 0.0 {
+        return vec![(0.0, 0.0), (1.0, 1.0)];
+    }
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal));
+    let mut points = vec![(0.0, 0.0)];
+    let mut tp = 0.0;
+    let mut fp = 0.0;
+    let mut i = 0;
+    while i < order.len() {
+        let threshold = scores[order[i]];
+        while i < order.len() && scores[order[i]] == threshold {
+            if labels[order[i]] == 1.0 {
+                tp += 1.0;
+            } else {
+                fp += 1.0;
+            }
+            i += 1;
+        }
+        points.push((fp / n_neg, tp / n_pos));
+    }
+    points
+}
+
+/// A binary confusion matrix at a fixed threshold. "Positive" follows the
+/// paper's convention: the model predicts the claim is suspicious / unserved.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConfusionMatrix {
+    pub true_positive: usize,
+    pub false_positive: usize,
+    pub true_negative: usize,
+    pub false_negative: usize,
+}
+
+impl ConfusionMatrix {
+    /// Total number of examples.
+    pub fn total(&self) -> usize {
+        self.true_positive + self.false_positive + self.true_negative + self.false_negative
+    }
+
+    /// Overall accuracy.
+    pub fn accuracy(&self) -> f64 {
+        if self.total() == 0 {
+            return 0.0;
+        }
+        (self.true_positive + self.true_negative) as f64 / self.total() as f64
+    }
+
+    /// Rates as fractions of the total, in the order `(tn, tp, fn, fp)` used
+    /// by the paper's Tables 7 and 8.
+    pub fn rates(&self) -> (f64, f64, f64, f64) {
+        let t = self.total().max(1) as f64;
+        (
+            self.true_negative as f64 / t,
+            self.true_positive as f64 / t,
+            self.false_negative as f64 / t,
+            self.false_positive as f64 / t,
+        )
+    }
+}
+
+/// Build a confusion matrix by thresholding probabilities at `threshold`.
+pub fn confusion_matrix(labels: &[f32], probabilities: &[f64], threshold: f64) -> ConfusionMatrix {
+    assert_eq!(labels.len(), probabilities.len());
+    let mut m = ConfusionMatrix::default();
+    for (&y, &p) in labels.iter().zip(probabilities.iter()) {
+        let predicted_positive = p >= threshold;
+        match (y == 1.0, predicted_positive) {
+            (true, true) => m.true_positive += 1,
+            (true, false) => m.false_negative += 1,
+            (false, true) => m.false_positive += 1,
+            (false, false) => m.true_negative += 1,
+        }
+    }
+    m
+}
+
+/// Precision, recall and F1 for one class.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct ClassMetrics {
+    pub precision: f64,
+    pub recall: f64,
+    pub f1: f64,
+    pub support: usize,
+}
+
+/// Precision/recall/F1 for the positive and negative classes at a threshold,
+/// plus macro averages.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct ClassificationReport {
+    pub positive: ClassMetrics,
+    pub negative: ClassMetrics,
+    pub accuracy: f64,
+    pub macro_f1: f64,
+    pub confusion: ConfusionMatrix,
+}
+
+/// Precision/recall/F1 for the positive class.
+pub fn precision_recall_f1(labels: &[f32], probabilities: &[f64], threshold: f64) -> ClassMetrics {
+    let m = confusion_matrix(labels, probabilities, threshold);
+    class_metrics(m.true_positive, m.false_positive, m.false_negative)
+}
+
+fn class_metrics(tp: usize, fp: usize, fn_: usize) -> ClassMetrics {
+    let precision = if tp + fp == 0 {
+        0.0
+    } else {
+        tp as f64 / (tp + fp) as f64
+    };
+    let recall = if tp + fn_ == 0 {
+        0.0
+    } else {
+        tp as f64 / (tp + fn_) as f64
+    };
+    let f1 = if precision + recall == 0.0 {
+        0.0
+    } else {
+        2.0 * precision * recall / (precision + recall)
+    };
+    ClassMetrics {
+        precision,
+        recall,
+        f1,
+        support: tp + fn_,
+    }
+}
+
+/// F1 score of the positive class.
+pub fn f1_score(labels: &[f32], probabilities: &[f64], threshold: f64) -> f64 {
+    precision_recall_f1(labels, probabilities, threshold).f1
+}
+
+/// Full classification report at a threshold.
+pub fn classification_report(
+    labels: &[f32],
+    probabilities: &[f64],
+    threshold: f64,
+) -> ClassificationReport {
+    let m = confusion_matrix(labels, probabilities, threshold);
+    let positive = class_metrics(m.true_positive, m.false_positive, m.false_negative);
+    // For the negative class, swap the roles.
+    let negative = class_metrics(m.true_negative, m.false_negative, m.false_positive);
+    ClassificationReport {
+        positive,
+        negative,
+        accuracy: m.accuracy(),
+        macro_f1: (positive.f1 + negative.f1) / 2.0,
+        confusion: m,
+    }
+}
+
+/// Overall accuracy at a threshold.
+pub fn accuracy(labels: &[f32], probabilities: &[f64], threshold: f64) -> f64 {
+    confusion_matrix(labels, probabilities, threshold).accuracy()
+}
+
+/// Binary cross-entropy of predicted probabilities, clipped away from 0/1 for
+/// numerical stability.
+pub fn log_loss(labels: &[f32], probabilities: &[f64]) -> f64 {
+    assert_eq!(labels.len(), probabilities.len());
+    if labels.is_empty() {
+        return 0.0;
+    }
+    let eps = 1e-12;
+    let total: f64 = labels
+        .iter()
+        .zip(probabilities.iter())
+        .map(|(&y, &p)| {
+            let p = p.clamp(eps, 1.0 - eps);
+            if y == 1.0 {
+                -p.ln()
+            } else {
+                -(1.0 - p).ln()
+            }
+        })
+        .sum();
+    total / labels.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_separation_gives_auc_one() {
+        let labels = vec![0.0, 0.0, 1.0, 1.0];
+        let scores = vec![0.1, 0.2, 0.8, 0.9];
+        assert!((roc_auc(&labels, &scores) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reversed_scores_give_auc_zero() {
+        let labels = vec![0.0, 0.0, 1.0, 1.0];
+        let scores = vec![0.9, 0.8, 0.2, 0.1];
+        assert!(roc_auc(&labels, &scores) < 1e-12);
+    }
+
+    #[test]
+    fn constant_scores_give_auc_half() {
+        let labels = vec![0.0, 1.0, 0.0, 1.0];
+        let scores = vec![0.5, 0.5, 0.5, 0.5];
+        assert!((roc_auc(&labels, &scores) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_class_gives_auc_half() {
+        assert_eq!(roc_auc(&[1.0, 1.0], &[0.1, 0.9]), 0.5);
+        assert_eq!(roc_auc(&[0.0, 0.0], &[0.1, 0.9]), 0.5);
+    }
+
+    #[test]
+    fn roc_curve_starts_at_origin_and_ends_at_one_one() {
+        let labels = vec![0.0, 1.0, 0.0, 1.0, 1.0];
+        let scores = vec![0.1, 0.9, 0.4, 0.35, 0.8];
+        let curve = roc_curve(&labels, &scores);
+        assert_eq!(curve.first(), Some(&(0.0, 0.0)));
+        assert_eq!(curve.last(), Some(&(1.0, 1.0)));
+        // Monotone non-decreasing in both coordinates.
+        for w in curve.windows(2) {
+            assert!(w[1].0 >= w[0].0);
+            assert!(w[1].1 >= w[0].1);
+        }
+    }
+
+    #[test]
+    fn confusion_matrix_counts() {
+        let labels = vec![1.0, 1.0, 0.0, 0.0, 1.0];
+        let probs = vec![0.9, 0.3, 0.8, 0.2, 0.6];
+        let m = confusion_matrix(&labels, &probs, 0.5);
+        assert_eq!(m.true_positive, 2);
+        assert_eq!(m.false_negative, 1);
+        assert_eq!(m.false_positive, 1);
+        assert_eq!(m.true_negative, 1);
+        assert_eq!(m.total(), 5);
+        assert!((m.accuracy() - 0.6).abs() < 1e-12);
+        let (tn, tp, fn_, fp) = m.rates();
+        assert!((tn + tp + fn_ + fp - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn precision_recall_f1_known_values() {
+        let labels = vec![1.0, 1.0, 0.0, 0.0, 1.0];
+        let probs = vec![0.9, 0.3, 0.8, 0.2, 0.6];
+        let m = precision_recall_f1(&labels, &probs, 0.5);
+        assert!((m.precision - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.recall - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.f1 - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(m.support, 3);
+    }
+
+    #[test]
+    fn report_macro_f1_between_class_f1s() {
+        let labels = vec![1.0, 1.0, 0.0, 0.0, 1.0, 0.0];
+        let probs = vec![0.9, 0.3, 0.8, 0.2, 0.6, 0.1];
+        let r = classification_report(&labels, &probs, 0.5);
+        let lo = r.positive.f1.min(r.negative.f1);
+        let hi = r.positive.f1.max(r.negative.f1);
+        assert!(r.macro_f1 >= lo && r.macro_f1 <= hi);
+        assert_eq!(r.confusion.total(), 6);
+    }
+
+    #[test]
+    fn perfect_classifier_f1_is_one() {
+        let labels = vec![1.0, 0.0, 1.0, 0.0];
+        let probs = vec![0.99, 0.01, 0.98, 0.02];
+        assert!((f1_score(&labels, &probs, 0.5) - 1.0).abs() < 1e-12);
+        assert!((accuracy(&labels, &probs, 0.5) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_metrics_are_zero_not_nan() {
+        let m = precision_recall_f1(&[0.0, 0.0], &[0.1, 0.2], 0.5);
+        assert_eq!(m.precision, 0.0);
+        assert_eq!(m.recall, 0.0);
+        assert_eq!(m.f1, 0.0);
+    }
+
+    #[test]
+    fn log_loss_lower_for_better_predictions() {
+        let labels = vec![1.0, 0.0];
+        let good = log_loss(&labels, &[0.9, 0.1]);
+        let bad = log_loss(&labels, &[0.6, 0.4]);
+        assert!(good < bad);
+        assert_eq!(log_loss(&[], &[]), 0.0);
+        assert!(log_loss(&labels, &[1.0, 0.0]).is_finite());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// AUC is always in [0, 1].
+        #[test]
+        fn auc_bounded(scores in proptest::collection::vec(0.0f64..1.0, 2..60),
+                       labels in proptest::collection::vec(0u8..2, 2..60)) {
+            let n = scores.len().min(labels.len());
+            let labels: Vec<f32> = labels[..n].iter().map(|&l| l as f32).collect();
+            let auc = roc_auc(&labels, &scores[..n]);
+            prop_assert!((0.0..=1.0).contains(&auc));
+        }
+
+        /// Flipping labels maps AUC to 1 - AUC (when both classes present).
+        #[test]
+        fn auc_antisymmetric(scores in proptest::collection::vec(0.0f64..1.0, 4..60)) {
+            let n = scores.len();
+            let labels: Vec<f32> = (0..n).map(|i| (i % 2) as f32).collect();
+            let flipped: Vec<f32> = labels.iter().map(|l| 1.0 - l).collect();
+            let a = roc_auc(&labels, &scores);
+            let b = roc_auc(&flipped, &scores);
+            prop_assert!((a + b - 1.0).abs() < 1e-9);
+        }
+
+        /// Confusion-matrix rates always sum to 1.
+        #[test]
+        fn rates_sum_to_one(probs in proptest::collection::vec(0.0f64..1.0, 1..50),
+                            labels in proptest::collection::vec(0u8..2, 1..50),
+                            threshold in 0.0f64..1.0) {
+            let n = probs.len().min(labels.len());
+            let labels: Vec<f32> = labels[..n].iter().map(|&l| l as f32).collect();
+            let m = confusion_matrix(&labels, &probs[..n], threshold);
+            let (tn, tp, fn_, fp) = m.rates();
+            prop_assert!((tn + tp + fn_ + fp - 1.0).abs() < 1e-9);
+        }
+    }
+}

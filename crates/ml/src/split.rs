@@ -1,0 +1,167 @@
+//! Seeded dataset splitting: train/test, stratified, k-fold and group
+//! holdouts.
+//!
+//! The paper evaluates with three hold-out strategies (§6.2): random
+//! observation hold-outs, hold-outs restricted to FCC-adjudicated challenges
+//! and whole-state hold-outs. The first two are row-level splits; the last is
+//! a group holdout where the group is the observation's state.
+
+use std::collections::HashSet;
+use std::hash::Hash;
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Split `n` row indices into `(train, test)` with `test_fraction` of rows in
+/// the test set, shuffled with `seed`.
+pub fn train_test_split(n: usize, test_fraction: f64, seed: u64) -> (Vec<usize>, Vec<usize>) {
+    assert!((0.0..=1.0).contains(&test_fraction));
+    let mut idx: Vec<usize> = (0..n).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    idx.shuffle(&mut rng);
+    let n_test = ((n as f64) * test_fraction).round() as usize;
+    let test = idx[..n_test].to_vec();
+    let train = idx[n_test..].to_vec();
+    (train, test)
+}
+
+/// Stratified train/test split preserving the label balance in both parts.
+pub fn stratified_split(labels: &[f32], test_fraction: f64, seed: u64) -> (Vec<usize>, Vec<usize>) {
+    assert!((0.0..=1.0).contains(&test_fraction));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut train = Vec::new();
+    let mut test = Vec::new();
+    for class in [0.0f32, 1.0f32] {
+        let mut class_idx: Vec<usize> = labels
+            .iter()
+            .enumerate()
+            .filter(|(_, &l)| l == class)
+            .map(|(i, _)| i)
+            .collect();
+        class_idx.shuffle(&mut rng);
+        let n_test = ((class_idx.len() as f64) * test_fraction).round() as usize;
+        test.extend_from_slice(&class_idx[..n_test]);
+        train.extend_from_slice(&class_idx[n_test..]);
+    }
+    train.sort_unstable();
+    test.sort_unstable();
+    (train, test)
+}
+
+/// Stratified k-fold cross-validation: returns `k` `(train, validation)`
+/// index pairs with class balance preserved per fold.
+pub fn stratified_kfold(labels: &[f32], k: usize, seed: u64) -> Vec<(Vec<usize>, Vec<usize>)> {
+    assert!(k >= 2, "k-fold needs k >= 2");
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Assign each row to a fold, round-robin within its class after shuffling.
+    let mut fold_of = vec![0usize; labels.len()];
+    for class in [0.0f32, 1.0f32] {
+        let mut class_idx: Vec<usize> = labels
+            .iter()
+            .enumerate()
+            .filter(|(_, &l)| l == class)
+            .map(|(i, _)| i)
+            .collect();
+        class_idx.shuffle(&mut rng);
+        for (pos, idx) in class_idx.into_iter().enumerate() {
+            fold_of[idx] = pos % k;
+        }
+    }
+    (0..k)
+        .map(|fold| {
+            let mut train = Vec::new();
+            let mut val = Vec::new();
+            for (i, &f) in fold_of.iter().enumerate() {
+                if f == fold {
+                    val.push(i);
+                } else {
+                    train.push(i);
+                }
+            }
+            (train, val)
+        })
+        .collect()
+}
+
+/// Group holdout: rows whose group is in `held_out` become the test set, all
+/// other rows the training set. Used for the state-level holdout (§6.2.2) and
+/// the JCC case study's "hold out all bordering states" strategy (§6.3).
+pub fn group_holdout<G: Eq + Hash>(groups: &[G], held_out: &HashSet<G>) -> (Vec<usize>, Vec<usize>) {
+    let mut train = Vec::new();
+    let mut test = Vec::new();
+    for (i, g) in groups.iter().enumerate() {
+        if held_out.contains(g) {
+            test.push(i);
+        } else {
+            train.push(i);
+        }
+    }
+    (train, test)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_is_disjoint_and_complete() {
+        let (train, test) = train_test_split(100, 0.1, 42);
+        assert_eq!(train.len(), 90);
+        assert_eq!(test.len(), 10);
+        let mut all: Vec<usize> = train.iter().chain(test.iter()).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn split_is_deterministic_per_seed() {
+        assert_eq!(train_test_split(50, 0.2, 7), train_test_split(50, 0.2, 7));
+        assert_ne!(train_test_split(50, 0.2, 7).1, train_test_split(50, 0.2, 8).1);
+    }
+
+    #[test]
+    fn stratified_split_preserves_balance() {
+        // 20% positives.
+        let labels: Vec<f32> = (0..200).map(|i| if i % 5 == 0 { 1.0 } else { 0.0 }).collect();
+        let (train, test) = stratified_split(&labels, 0.25, 1);
+        let rate = |idx: &[usize]| {
+            idx.iter().filter(|&&i| labels[i] == 1.0).count() as f64 / idx.len() as f64
+        };
+        assert!((rate(&train) - 0.2).abs() < 0.02);
+        assert!((rate(&test) - 0.2).abs() < 0.02);
+        assert_eq!(train.len() + test.len(), 200);
+    }
+
+    #[test]
+    fn kfold_covers_every_row_exactly_once_as_validation() {
+        let labels: Vec<f32> = (0..60).map(|i| if i % 3 == 0 { 1.0 } else { 0.0 }).collect();
+        let folds = stratified_kfold(&labels, 5, 3);
+        assert_eq!(folds.len(), 5);
+        let mut seen = vec![0usize; 60];
+        for (train, val) in &folds {
+            assert_eq!(train.len() + val.len(), 60);
+            for &i in val {
+                seen[i] += 1;
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn group_holdout_respects_groups() {
+        let groups = vec!["VA", "NE", "VA", "GA", "NE"];
+        let held: HashSet<&str> = ["NE"].into();
+        let (train, test) = group_holdout(&groups, &held);
+        assert_eq!(test, vec![1, 4]);
+        assert_eq!(train, vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn empty_holdout_set_keeps_everything_in_train() {
+        let groups = vec![1, 2, 3];
+        let (train, test) = group_holdout(&groups, &HashSet::new());
+        assert_eq!(train.len(), 3);
+        assert!(test.is_empty());
+    }
+}

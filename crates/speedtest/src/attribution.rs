@@ -1,0 +1,251 @@
+//! Attributing and localising MLab tests to providers (§4.2.2).
+//!
+//! Each usable MLab test carries an ASN and an IP-geolocation disc. Given the
+//! provider→ASN mapping produced by the `asnmap` matcher and each provider's
+//! claimed footprint in the NBM, a test contributes evidence to every hex that
+//! is (a) within the geolocation disc and (b) claimed by the provider the
+//! test's ASN belongs to.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use bdc::{Asn, ProviderId};
+use hexgrid::{HexCell, Resolution};
+use serde::{Deserialize, Serialize};
+
+use crate::mlab::MlabDataset;
+
+/// Per-provider, per-hex MLab evidence: how many usable tests could have been
+/// run from each hex of the provider's claimed footprint.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ProviderHexTests {
+    counts: HashMap<(ProviderId, HexCell), f64>,
+}
+
+impl ProviderHexTests {
+    /// Test count attributed to a provider in a hex (0 when none).
+    pub fn count(&self, provider: ProviderId, hex: HexCell) -> f64 {
+        *self.counts.get(&(provider, hex)).unwrap_or(&0.0)
+    }
+
+    /// All hexes with attributed tests for a provider.
+    pub fn hexes_for(&self, provider: ProviderId) -> BTreeSet<HexCell> {
+        self.counts
+            .keys()
+            .filter(|(p, _)| *p == provider)
+            .map(|(_, h)| *h)
+            .collect()
+    }
+
+    /// Total number of (provider, hex) pairs with evidence.
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// True when no tests were attributed.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Total attributed test mass for a provider.
+    pub fn total_for(&self, provider: ProviderId) -> f64 {
+        self.counts
+            .iter()
+            .filter(|((p, _), _)| *p == provider)
+            .map(|(_, v)| v)
+            .sum()
+    }
+
+    /// Iterate over all `(provider, hex, count)` entries.
+    pub fn iter(&self) -> impl Iterator<Item = (ProviderId, HexCell, f64)> + '_ {
+        self.counts.iter().map(|((p, h), c)| (*p, *h, *c))
+    }
+}
+
+/// The hexes a test could have been run from: every cell whose centroid lies
+/// within the geolocation accuracy radius of the test's centre (plus the
+/// centre cell itself).
+pub fn candidate_hexes(
+    center: &geoprim::LatLng,
+    accuracy_radius_km: f64,
+    res: Resolution,
+) -> Vec<HexCell> {
+    let center_cell = HexCell::containing(center, res);
+    // One grid step moves roughly sqrt(3) * circumradius between centroids.
+    let step_km = res.hex_size_km() * 3.0_f64.sqrt();
+    let k = (accuracy_radius_km / step_km).ceil().max(0.0) as usize;
+    center_cell
+        .grid_disk(k)
+        .into_iter()
+        .filter(|cell| {
+            cell == &center_cell || cell.center().haversine_km(center) <= accuracy_radius_km
+        })
+        .collect()
+}
+
+/// Attribute every usable MLab test to providers and localise it to hexes.
+///
+/// * `provider_asns` — the provider→ASN mapping from the `asnmap` matcher.
+/// * `claimed_hexes` — each provider's claimed footprint in the NBM.
+///
+/// A test whose ASN maps to several providers contributes to each of them (the
+/// paper notes shared ASNs are usually corporate siblings or wholesale
+/// transit). Tests are split evenly across the candidate hexes that survive
+/// the footprint intersection so that each test contributes one unit of mass.
+pub fn attribute_mlab_tests(
+    mlab: &MlabDataset,
+    provider_asns: &BTreeMap<ProviderId, BTreeSet<Asn>>,
+    claimed_hexes: &BTreeMap<ProviderId, BTreeSet<HexCell>>,
+    res: Resolution,
+) -> ProviderHexTests {
+    // Invert the provider→ASN map for lookup by test ASN.
+    let mut asn_to_providers: BTreeMap<Asn, Vec<ProviderId>> = BTreeMap::new();
+    for (provider, asns) in provider_asns {
+        for asn in asns {
+            asn_to_providers.entry(*asn).or_default().push(*provider);
+        }
+    }
+
+    let mut out = ProviderHexTests::default();
+    for test in mlab.usable_tests() {
+        let Some(providers) = asn_to_providers.get(&test.asn) else {
+            continue;
+        };
+        let candidates = candidate_hexes(&test.geo_center, test.accuracy_radius_km, res);
+        for provider in providers {
+            let Some(footprint) = claimed_hexes.get(provider) else {
+                continue;
+            };
+            let localized: Vec<&HexCell> = candidates
+                .iter()
+                .filter(|h| footprint.contains(h))
+                .collect();
+            if localized.is_empty() {
+                continue;
+            }
+            let share = 1.0 / localized.len() as f64;
+            for hex in localized {
+                *out.counts.entry((*provider, *hex)).or_insert(0.0) += share;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mlab::MlabTest;
+    use bdc::DayStamp;
+    use geoprim::LatLng;
+    use hexgrid::NBM_RESOLUTION;
+
+    fn center() -> LatLng {
+        LatLng::new(37.2296, -80.4139)
+    }
+
+    fn test_at(asn: u32, center: LatLng, radius: f64) -> MlabTest {
+        MlabTest {
+            asn: Asn(asn),
+            download_mbps: 100.0,
+            upload_mbps: 10.0,
+            latency_ms: 20.0,
+            geo_center: center,
+            accuracy_radius_km: radius,
+            day: DayStamp::from_ymd(2022, 3, 1),
+        }
+    }
+
+    #[test]
+    fn candidate_hexes_grow_with_radius() {
+        let small = candidate_hexes(&center(), 1.0, NBM_RESOLUTION);
+        let large = candidate_hexes(&center(), 10.0, NBM_RESOLUTION);
+        assert!(!small.is_empty());
+        assert!(large.len() > small.len());
+        let center_cell = HexCell::containing(&center(), NBM_RESOLUTION);
+        assert!(small.contains(&center_cell));
+        assert!(large.contains(&center_cell));
+    }
+
+    #[test]
+    fn zero_radius_still_returns_center_cell() {
+        let cells = candidate_hexes(&center(), 0.0, NBM_RESOLUTION);
+        assert_eq!(cells, vec![HexCell::containing(&center(), NBM_RESOLUTION)]);
+    }
+
+    fn maps(
+        provider: u32,
+        asn: u32,
+        footprint: BTreeSet<HexCell>,
+    ) -> (
+        BTreeMap<ProviderId, BTreeSet<Asn>>,
+        BTreeMap<ProviderId, BTreeSet<HexCell>>,
+    ) {
+        let mut pa = BTreeMap::new();
+        pa.insert(ProviderId(provider), BTreeSet::from([Asn(asn)]));
+        let mut ch = BTreeMap::new();
+        ch.insert(ProviderId(provider), footprint);
+        (pa, ch)
+    }
+
+    #[test]
+    fn test_attributed_to_claimed_footprint_only() {
+        let footprint: BTreeSet<HexCell> = candidate_hexes(&center(), 2.0, NBM_RESOLUTION)
+            .into_iter()
+            .collect();
+        let (pa, ch) = maps(1, 64500, footprint.clone());
+        let mlab = MlabDataset::new(vec![test_at(64500, center(), 5.0)]);
+        let attributed = attribute_mlab_tests(&mlab, &pa, &ch, NBM_RESOLUTION);
+        assert!(!attributed.is_empty());
+        // Every attributed hex is inside the claimed footprint.
+        for hex in attributed.hexes_for(ProviderId(1)) {
+            assert!(footprint.contains(&hex));
+        }
+        // The test contributes exactly one unit of mass in total.
+        assert!((attributed.total_for(ProviderId(1)) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unusable_or_unmapped_tests_are_ignored() {
+        let footprint: BTreeSet<HexCell> = candidate_hexes(&center(), 2.0, NBM_RESOLUTION)
+            .into_iter()
+            .collect();
+        let (pa, ch) = maps(1, 64500, footprint);
+        let mlab = MlabDataset::new(vec![
+            test_at(64500, center(), 50.0), // radius too large
+            test_at(99999, center(), 5.0),  // unmapped ASN
+        ]);
+        let attributed = attribute_mlab_tests(&mlab, &pa, &ch, NBM_RESOLUTION);
+        assert!(attributed.is_empty());
+        assert_eq!(attributed.count(ProviderId(1), HexCell::containing(&center(), NBM_RESOLUTION)), 0.0);
+    }
+
+    #[test]
+    fn test_outside_footprint_contributes_nothing() {
+        // Footprint far away from the test's geolocation disc.
+        let far = LatLng::new(45.0, -93.0);
+        let footprint: BTreeSet<HexCell> = candidate_hexes(&far, 2.0, NBM_RESOLUTION)
+            .into_iter()
+            .collect();
+        let (pa, ch) = maps(1, 64500, footprint);
+        let mlab = MlabDataset::new(vec![test_at(64500, center(), 5.0)]);
+        let attributed = attribute_mlab_tests(&mlab, &pa, &ch, NBM_RESOLUTION);
+        assert!(attributed.is_empty());
+    }
+
+    #[test]
+    fn shared_asn_contributes_to_both_providers() {
+        let footprint: BTreeSet<HexCell> = candidate_hexes(&center(), 2.0, NBM_RESOLUTION)
+            .into_iter()
+            .collect();
+        let mut pa: BTreeMap<ProviderId, BTreeSet<Asn>> = BTreeMap::new();
+        pa.insert(ProviderId(1), BTreeSet::from([Asn(64500)]));
+        pa.insert(ProviderId(2), BTreeSet::from([Asn(64500)]));
+        let mut ch: BTreeMap<ProviderId, BTreeSet<HexCell>> = BTreeMap::new();
+        ch.insert(ProviderId(1), footprint.clone());
+        ch.insert(ProviderId(2), footprint);
+        let mlab = MlabDataset::new(vec![test_at(64500, center(), 5.0)]);
+        let attributed = attribute_mlab_tests(&mlab, &pa, &ch, NBM_RESOLUTION);
+        assert!(attributed.total_for(ProviderId(1)) > 0.0);
+        assert!(attributed.total_for(ProviderId(2)) > 0.0);
+    }
+}

@@ -1,0 +1,154 @@
+//! The per-hex *service coverage score* (§4.2.3).
+//!
+//! The score of a hex is the ratio of unique Ookla devices observed in the hex
+//! to the number of Broadband Serviceable Locations in it. A score above 1
+//! means at least one unique device ran a speed test per structure — strong
+//! evidence that broadband service is widely available in the hex from *some*
+//! provider (Ookla data alone cannot identify which).
+
+use std::collections::HashMap;
+
+use bdc::Fabric;
+use hexgrid::HexCell;
+use serde::{Deserialize, Serialize};
+
+use crate::ookla::OoklaHexAggregate;
+
+/// A hex's service coverage score together with the quantities it was derived
+/// from.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoverageScore {
+    pub hex: HexCell,
+    /// Unique Ookla devices attributed to the hex.
+    pub devices: f64,
+    /// BSLs in the hex.
+    pub bsls: usize,
+    /// `devices / bsls`; 0 when the hex has no BSLs.
+    pub score: f64,
+}
+
+impl CoverageScore {
+    /// Whether the hex qualifies as "likely served by some provider" under the
+    /// paper's threshold of one device per BSL.
+    pub fn is_likely_served(&self) -> bool {
+        self.score > 1.0
+    }
+}
+
+/// Compute coverage scores for every hex that has both Ookla evidence and at
+/// least one BSL.
+pub fn coverage_scores(
+    ookla_by_hex: &HashMap<HexCell, OoklaHexAggregate>,
+    fabric: &Fabric,
+) -> Vec<CoverageScore> {
+    let mut out: Vec<CoverageScore> = ookla_by_hex
+        .iter()
+        .filter_map(|(hex, agg)| {
+            let bsls = fabric.bsl_count_in_hex(hex);
+            if bsls == 0 {
+                return None;
+            }
+            let score = agg.devices / bsls as f64;
+            Some(CoverageScore {
+                hex: *hex,
+                devices: agg.devices,
+                bsls,
+                score,
+            })
+        })
+        .collect();
+    // Descending by score: the labelling step consumes likely-served hexes in
+    // this order when balancing the dataset (§4.3). Ties break on the hex id
+    // so the ordering is independent of hash-map iteration order.
+    out.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| a.hex.cmp(&b.hex))
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bdc::{Bsl, LocationId};
+    use geoprim::LatLng;
+    use hexgrid::NBM_RESOLUTION;
+
+    fn fabric_with_bsls(n: usize) -> (Fabric, HexCell) {
+        let base = LatLng::new(37.0, -80.0);
+        let hex = HexCell::containing(&base, NBM_RESOLUTION);
+        let bsls: Vec<Bsl> = (0..n as u64)
+            .map(|i| {
+                // Tiny offsets keep all BSLs in the same hex.
+                Bsl::new(
+                    LocationId(i),
+                    LatLng::new(base.lat + i as f64 * 1e-5, base.lng),
+                    1,
+                    false,
+                    "VA",
+                )
+            })
+            .collect();
+        (Fabric::new(bsls), hex)
+    }
+
+    fn ookla(hex: HexCell, devices: f64) -> HashMap<HexCell, OoklaHexAggregate> {
+        let mut m = HashMap::new();
+        m.insert(
+            hex,
+            OoklaHexAggregate {
+                tests: devices * 3.0,
+                devices,
+                max_avg_download_kbps: 100_000.0,
+                max_avg_upload_kbps: 10_000.0,
+                min_latency_ms: 20.0,
+            },
+        );
+        m
+    }
+
+    #[test]
+    fn score_is_devices_per_bsl() {
+        let (fabric, hex) = fabric_with_bsls(4);
+        let scores = coverage_scores(&ookla(hex, 8.0), &fabric);
+        assert_eq!(scores.len(), 1);
+        assert!((scores[0].score - 2.0).abs() < 1e-9);
+        assert!(scores[0].is_likely_served());
+    }
+
+    #[test]
+    fn low_density_hex_not_likely_served() {
+        let (fabric, hex) = fabric_with_bsls(10);
+        let scores = coverage_scores(&ookla(hex, 3.0), &fabric);
+        assert!(!scores[0].is_likely_served());
+    }
+
+    #[test]
+    fn hexes_without_bsls_are_skipped() {
+        let (fabric, _) = fabric_with_bsls(2);
+        let empty_hex = HexCell::containing(&LatLng::new(45.0, -100.0), NBM_RESOLUTION);
+        let scores = coverage_scores(&ookla(empty_hex, 5.0), &fabric);
+        assert!(scores.is_empty());
+    }
+
+    #[test]
+    fn scores_sorted_descending() {
+        let base = LatLng::new(37.0, -80.0);
+        let far = LatLng::new(38.0, -81.0);
+        let hex_a = HexCell::containing(&base, NBM_RESOLUTION);
+        let hex_b = HexCell::containing(&far, NBM_RESOLUTION);
+        let bsls = vec![
+            Bsl::new(LocationId(0), base, 1, false, "VA"),
+            Bsl::new(LocationId(1), far, 1, false, "VA"),
+        ];
+        let fabric = Fabric::new(bsls);
+        let mut ookla_map = ookla(hex_a, 1.0);
+        ookla_map.extend(ookla(hex_b, 9.0));
+        let scores = coverage_scores(&ookla_map, &fabric);
+        assert_eq!(scores.len(), 2);
+        assert!(scores[0].score >= scores[1].score);
+        assert_eq!(scores[0].hex, hex_b);
+    }
+}

@@ -1,0 +1,161 @@
+//! The MLab NDT7 dataset model.
+//!
+//! Unlike Ookla's public aggregates, every NDT7 test is public and carries the
+//! client's source ASN. MLab does not record the client's GPS position; it
+//! publishes an IP-geolocation estimate with an accuracy radius instead. The
+//! paper discards tests with a radius above 20 km and localises the rest to
+//! the hexes inside the radius that the attributed provider claims.
+
+use bdc::{Asn, DayStamp};
+use geoprim::LatLng;
+use serde::{Deserialize, Serialize};
+
+/// Tests whose IP-geolocation accuracy radius exceeds this bound are dropped
+/// (§4.2.2: "We exclude all tests with accuracy radius of more than 20 km").
+pub const MAX_ACCURACY_RADIUS_KM: f64 = 20.0;
+
+/// One NDT7 measurement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MlabTest {
+    /// Autonomous system of the client's IP address.
+    pub asn: Asn,
+    /// Measured download throughput in Mbps.
+    pub download_mbps: f64,
+    /// Measured upload throughput in Mbps.
+    pub upload_mbps: f64,
+    /// Measured minimum round-trip time in milliseconds.
+    pub latency_ms: f64,
+    /// IP-geolocation centre.
+    pub geo_center: LatLng,
+    /// IP-geolocation accuracy radius in kilometres.
+    pub accuracy_radius_km: f64,
+    /// Day the test was run.
+    pub day: DayStamp,
+}
+
+impl MlabTest {
+    /// Whether the test's geolocation is precise enough to use.
+    pub fn usable(&self) -> bool {
+        self.accuracy_radius_km.is_finite()
+            && self.accuracy_radius_km >= 0.0
+            && self.accuracy_radius_km <= MAX_ACCURACY_RADIUS_KM
+    }
+}
+
+/// A collection of NDT7 tests over the analysis window.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct MlabDataset {
+    tests: Vec<MlabTest>,
+}
+
+impl MlabDataset {
+    /// Build a dataset from tests.
+    pub fn new(tests: Vec<MlabTest>) -> Self {
+        Self { tests }
+    }
+
+    /// All tests, including unusable ones.
+    pub fn tests(&self) -> &[MlabTest] {
+        &self.tests
+    }
+
+    /// Number of tests.
+    pub fn len(&self) -> usize {
+        self.tests.len()
+    }
+
+    /// True when the dataset holds no tests.
+    pub fn is_empty(&self) -> bool {
+        self.tests.is_empty()
+    }
+
+    /// Tests that pass the accuracy-radius filter.
+    pub fn usable_tests(&self) -> impl Iterator<Item = &MlabTest> {
+        self.tests.iter().filter(|t| t.usable())
+    }
+
+    /// Tests attributed to a specific ASN (usable only).
+    pub fn usable_tests_for_asn(&self, asn: Asn) -> impl Iterator<Item = &MlabTest> {
+        self.usable_tests().filter(move |t| t.asn == asn)
+    }
+
+    /// Distinct ASNs appearing in the dataset.
+    pub fn asns(&self) -> Vec<Asn> {
+        let mut asns: Vec<Asn> = self.tests.iter().map(|t| t.asn).collect();
+        asns.sort();
+        asns.dedup();
+        asns
+    }
+
+    /// Restrict the dataset to tests within a day range (inclusive); the
+    /// paper uses October 2021 – September 2022.
+    pub fn filter_window(&self, from: DayStamp, to: DayStamp) -> MlabDataset {
+        MlabDataset::new(
+            self.tests
+                .iter()
+                .filter(|t| t.day >= from && t.day <= to)
+                .cloned()
+                .collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test(asn: u32, radius: f64, day: DayStamp) -> MlabTest {
+        MlabTest {
+            asn: Asn(asn),
+            download_mbps: 120.0,
+            upload_mbps: 12.0,
+            latency_ms: 25.0,
+            geo_center: LatLng::new(37.0, -80.0),
+            accuracy_radius_km: radius,
+            day,
+        }
+    }
+
+    #[test]
+    fn accuracy_filter() {
+        assert!(test(1, 5.0, DayStamp(0)).usable());
+        assert!(test(1, 20.0, DayStamp(0)).usable());
+        assert!(!test(1, 20.5, DayStamp(0)).usable());
+        assert!(!test(1, -1.0, DayStamp(0)).usable());
+        assert!(!test(1, f64::NAN, DayStamp(0)).usable());
+    }
+
+    #[test]
+    fn usable_tests_filters() {
+        let ds = MlabDataset::new(vec![
+            test(1, 5.0, DayStamp(0)),
+            test(1, 50.0, DayStamp(0)),
+            test(2, 10.0, DayStamp(0)),
+        ]);
+        assert_eq!(ds.len(), 3);
+        assert_eq!(ds.usable_tests().count(), 2);
+        assert_eq!(ds.usable_tests_for_asn(Asn(1)).count(), 1);
+        assert_eq!(ds.asns(), vec![Asn(1), Asn(2)]);
+    }
+
+    #[test]
+    fn window_filter() {
+        let ds = MlabDataset::new(vec![
+            test(1, 5.0, DayStamp::from_ymd(2021, 10, 5)),
+            test(1, 5.0, DayStamp::from_ymd(2022, 5, 1)),
+            test(1, 5.0, DayStamp::from_ymd(2022, 12, 1)),
+        ]);
+        let window = ds.filter_window(
+            DayStamp::from_ymd(2021, 10, 1),
+            DayStamp::from_ymd(2022, 9, 30),
+        );
+        assert_eq!(window.len(), 2);
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let ds = MlabDataset::default();
+        assert!(ds.is_empty());
+        assert!(ds.asns().is_empty());
+    }
+}

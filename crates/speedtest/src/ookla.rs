@@ -1,0 +1,174 @@
+//! The Ookla Open Data Initiative dataset model.
+//!
+//! Ookla publishes quarterly aggregates of Speedtest results for tests with
+//! precise client GPS locations, keyed by ~500 m quadkey tiles. Each tile
+//! carries the count of tests, count of unique devices, and mean
+//! download/upload throughput and latency, aggregated across all providers.
+
+use std::collections::HashMap;
+
+use hexgrid::{cover_tile_with_hexes, HexCell, QuadTile, Resolution};
+use serde::{Deserialize, Serialize};
+
+/// One tile of the public Ookla dataset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OoklaTileRecord {
+    pub tile: QuadTile,
+    /// Number of tests run in the tile during the quarter.
+    pub tests: u32,
+    /// Number of unique devices that ran tests in the tile.
+    pub devices: u32,
+    /// Mean download throughput in kbps (Ookla publishes kbps).
+    pub avg_download_kbps: f64,
+    /// Mean upload throughput in kbps.
+    pub avg_upload_kbps: f64,
+    /// Mean latency in milliseconds.
+    pub avg_latency_ms: f64,
+}
+
+/// A per-hex aggregate of Ookla data after re-projection (Appendix D): test
+/// and device counts are summed (splitting tiles that straddle hexes), the
+/// maximum of the tile-average throughputs and the minimum latency are kept.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct OoklaHexAggregate {
+    /// Total tests attributed to the hex (fractional when a tile straddles
+    /// several hexes and its count is split evenly).
+    pub tests: f64,
+    /// Total unique devices attributed to the hex.
+    pub devices: f64,
+    /// Maximum of the contributing tiles' average download throughput (kbps).
+    pub max_avg_download_kbps: f64,
+    /// Maximum of the contributing tiles' average upload throughput (kbps).
+    pub max_avg_upload_kbps: f64,
+    /// Minimum of the contributing tiles' average latency (ms); infinity when
+    /// no tile contributed.
+    pub min_latency_ms: f64,
+}
+
+/// A quarter's worth of Ookla open data.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct OoklaDataset {
+    records: Vec<OoklaTileRecord>,
+}
+
+impl OoklaDataset {
+    /// Build a dataset from tile records.
+    pub fn new(records: Vec<OoklaTileRecord>) -> Self {
+        Self { records }
+    }
+
+    /// The underlying tile records.
+    pub fn records(&self) -> &[OoklaTileRecord] {
+        &self.records
+    }
+
+    /// Number of tiles.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when the dataset holds no tiles.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Total tests across all tiles.
+    pub fn total_tests(&self) -> u64 {
+        self.records.iter().map(|r| r.tests as u64).sum()
+    }
+
+    /// Total unique devices across all tiles (devices are unique per tile, so
+    /// this is an upper bound nationally — exactly how the paper uses it).
+    pub fn total_devices(&self) -> u64 {
+        self.records.iter().map(|r| r.devices as u64).sum()
+    }
+
+    /// Re-project the dataset onto the hexagonal grid at `res`, following
+    /// Appendix D: counts are split evenly over the hexes a tile overlaps;
+    /// throughput keeps the max of tile averages; latency keeps the minimum.
+    pub fn aggregate_to_hexes(&self, res: Resolution) -> HashMap<HexCell, OoklaHexAggregate> {
+        let mut out: HashMap<HexCell, OoklaHexAggregate> = HashMap::new();
+        for rec in &self.records {
+            let hexes = cover_tile_with_hexes(&rec.tile, res);
+            let share = 1.0 / hexes.len() as f64;
+            for hex in hexes {
+                let agg = out.entry(hex).or_insert_with(|| OoklaHexAggregate {
+                    min_latency_ms: f64::INFINITY,
+                    ..Default::default()
+                });
+                agg.tests += rec.tests as f64 * share;
+                agg.devices += rec.devices as f64 * share;
+                agg.max_avg_download_kbps = agg.max_avg_download_kbps.max(rec.avg_download_kbps);
+                agg.max_avg_upload_kbps = agg.max_avg_upload_kbps.max(rec.avg_upload_kbps);
+                agg.min_latency_ms = agg.min_latency_ms.min(rec.avg_latency_ms);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geoprim::LatLng;
+    use hexgrid::{NBM_RESOLUTION, OOKLA_ZOOM};
+
+    fn record(lat: f64, lng: f64, tests: u32, devices: u32) -> OoklaTileRecord {
+        OoklaTileRecord {
+            tile: QuadTile::containing(&LatLng::new(lat, lng), OOKLA_ZOOM),
+            tests,
+            devices,
+            avg_download_kbps: 250_000.0,
+            avg_upload_kbps: 30_000.0,
+            avg_latency_ms: 18.0,
+        }
+    }
+
+    #[test]
+    fn totals() {
+        let ds = OoklaDataset::new(vec![record(37.0, -80.0, 10, 4), record(37.5, -80.5, 6, 2)]);
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds.total_tests(), 16);
+        assert_eq!(ds.total_devices(), 6);
+        assert!(!ds.is_empty());
+    }
+
+    #[test]
+    fn aggregation_conserves_counts() {
+        let ds = OoklaDataset::new(vec![record(37.0, -80.0, 10, 4), record(37.001, -80.001, 6, 2)]);
+        let agg = ds.aggregate_to_hexes(NBM_RESOLUTION);
+        let total_tests: f64 = agg.values().map(|a| a.tests).sum();
+        let total_devices: f64 = agg.values().map(|a| a.devices).sum();
+        assert!((total_tests - 16.0).abs() < 1e-9);
+        assert!((total_devices - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn aggregation_keeps_max_throughput_and_min_latency() {
+        let mut fast = record(37.0, -80.0, 1, 1);
+        fast.avg_download_kbps = 900_000.0;
+        fast.avg_latency_ms = 5.0;
+        let slow = record(37.0, -80.0, 1, 1);
+        let ds = OoklaDataset::new(vec![fast, slow]);
+        let agg = ds.aggregate_to_hexes(NBM_RESOLUTION);
+        // Both records share the same tile, hence the same hexes.
+        for a in agg.values() {
+            assert_eq!(a.max_avg_download_kbps, 900_000.0);
+            assert_eq!(a.min_latency_ms, 5.0);
+        }
+    }
+
+    #[test]
+    fn empty_dataset_aggregates_to_nothing() {
+        let ds = OoklaDataset::default();
+        assert!(ds.aggregate_to_hexes(NBM_RESOLUTION).is_empty());
+        assert!(ds.is_empty());
+    }
+
+    #[test]
+    fn distant_tiles_map_to_distinct_hexes() {
+        let ds = OoklaDataset::new(vec![record(37.0, -80.0, 1, 1), record(40.0, -90.0, 1, 1)]);
+        let agg = ds.aggregate_to_hexes(NBM_RESOLUTION);
+        assert!(agg.len() >= 2);
+    }
+}

@@ -1,0 +1,388 @@
+//! Filings, NBM releases, challenges and silent corrections.
+//!
+//! This module turns the providers' claimed/true service sets into the
+//! regulatory record the pipeline consumes: the initial BDC filings, the
+//! initial NBM release, a sequence of bi-weekly-style minor releases in which
+//! successful challenges and silent corrections remove claims, and the
+//! challenge outcomes themselves with the paper's Table 2/3 mix and Figure 2's
+//! state skew.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use bdc::{
+    AvailabilityRecord, Challenge, ChallengeOutcome, ChallengeReason, DayStamp, Fabric, Filing,
+    LocationId, NbmRelease, ProviderId, ReleaseVersion, ServiceType, Technology,
+};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::config::SynthConfig;
+use crate::providers_gen::{ClaimTruth, ProviderProfile};
+use crate::states::{state_by_code, STATES};
+
+/// The maximum `challenge_activity` weight over all states, used to normalise
+/// per-state challenge probabilities.
+fn max_activity() -> f64 {
+    STATES
+        .iter()
+        .map(|s| s.challenge_activity)
+        .fold(0.0, f64::max)
+}
+
+/// Build one filing per provider from its claims.
+pub fn build_filings(
+    profiles: &[ProviderProfile],
+    claims: &BTreeMap<ProviderId, Vec<ClaimTruth>>,
+) -> Vec<Filing> {
+    profiles
+        .iter()
+        .map(|profile| {
+            let mut filing = Filing::new(
+                profile.provider.id,
+                DayStamp::initial_filing_deadline(),
+                profile.methodology.text(&profile.provider.brand),
+            );
+            if let Some(provider_claims) = claims.get(&profile.provider.id) {
+                for c in provider_claims {
+                    filing.records.push(AvailabilityRecord {
+                        provider: profile.provider.id,
+                        location: c.location,
+                        technology: c.technology,
+                        max_down_mbps: c.max_down_mbps,
+                        max_up_mbps: c.max_up_mbps,
+                        low_latency: c.low_latency,
+                        service_type: ServiceType::Both,
+                    });
+                }
+            }
+            filing
+        })
+        .collect()
+}
+
+/// Sample a challenge reason with Table 3's distribution.
+fn sample_reason(rng: &mut StdRng) -> ChallengeReason {
+    let r: f64 = rng.gen();
+    if r < 0.55 {
+        ChallengeReason::TechnologyUnavailable
+    } else if r < 0.98 {
+        ChallengeReason::SpeedsUnavailable
+    } else if r < 0.99 {
+        ChallengeReason::ServiceRequestDenied
+    } else if r < 0.997 {
+        ChallengeReason::NoSignal
+    } else if r < 0.998 {
+        ChallengeReason::HigherConnectionFee
+    } else if r < 0.999 {
+        ChallengeReason::FailedWithinTenDays
+    } else if r < 0.9995 {
+        ChallengeReason::ProviderNotReady
+    } else {
+        ChallengeReason::FailedInstallTimeline
+    }
+}
+
+/// Sample a challenge outcome conditioned on whether the claim was actually
+/// false (the provider does not serve the location). The unconditional mix
+/// reproduces Table 2's ~69% success rate.
+fn sample_outcome(rng: &mut StdRng, claim_is_false: bool) -> ChallengeOutcome {
+    if claim_is_false {
+        if rng.gen_bool(0.93) {
+            let r: f64 = rng.gen();
+            if r < 0.56 {
+                ChallengeOutcome::ProviderConceded
+            } else if r < 0.88 {
+                ChallengeOutcome::ServiceChanged
+            } else {
+                ChallengeOutcome::FccUpheld
+            }
+        } else if rng.gen_bool(0.7) {
+            ChallengeOutcome::ChallengeWithdrawn
+        } else {
+            ChallengeOutcome::FccOverturned
+        }
+    } else if rng.gen_bool(0.08) {
+        // Occasionally a provider concedes a claim it could have defended.
+        if rng.gen_bool(0.7) {
+            ChallengeOutcome::ProviderConceded
+        } else {
+            ChallengeOutcome::FccUpheld
+        }
+    } else if rng.gen_bool(0.48) {
+        ChallengeOutcome::ChallengeWithdrawn
+    } else {
+        ChallengeOutcome::FccOverturned
+    }
+}
+
+/// Generate the challenge wave against the initial NBM release. Challenge
+/// volume per state follows the `challenge_activity` skew, and challengers
+/// preferentially target claims that are actually false.
+pub fn generate_challenges(
+    config: &SynthConfig,
+    fabric: &Fabric,
+    claims: &BTreeMap<ProviderId, Vec<ClaimTruth>>,
+    rng: &mut StdRng,
+) -> Vec<Challenge> {
+    let max_act = max_activity();
+    let window_start = DayStamp::from_ymd(2023, 2, 1);
+    let mut out = Vec::new();
+    for (provider, provider_claims) in claims {
+        for c in provider_claims {
+            let Some(bsl) = fabric.get(c.location) else { continue };
+            let activity = state_by_code(&bsl.state)
+                .map(|s| s.challenge_activity / max_act)
+                .unwrap_or(0.01);
+            let base_rate = if c.truly_served {
+                config.challenge_rate_true
+            } else {
+                config.challenge_rate_false
+            };
+            if !rng.gen_bool((activity * base_rate).clamp(0.0, 1.0)) {
+                continue;
+            }
+            let filed = window_start.plus_days(rng.gen_range(0..240));
+            let resolved = filed.plus_days(rng.gen_range(14..180));
+            out.push(Challenge {
+                provider: *provider,
+                location: c.location,
+                hex: bsl.hex,
+                technology: c.technology,
+                state: bsl.state.clone(),
+                reason: sample_reason(rng),
+                outcome: sample_outcome(rng, !c.truly_served),
+                filed,
+                resolved,
+            });
+        }
+    }
+    out
+}
+
+/// Generate the much smaller challenge wave against the *next* major release
+/// (Figure 1 shows roughly two orders of magnitude fewer challenges).
+pub fn generate_later_challenges(first_wave: &[Challenge], rng: &mut StdRng) -> Vec<Challenge> {
+    let window_start = DayStamp::from_ymd(2023, 12, 1);
+    let mut out = Vec::new();
+    for c in first_wave {
+        if !rng.gen_bool(0.012) {
+            continue;
+        }
+        let filed = window_start.plus_days(rng.gen_range(0..80));
+        out.push(Challenge {
+            filed,
+            resolved: filed.plus_days(rng.gen_range(14..120)),
+            ..c.clone()
+        });
+    }
+    out
+}
+
+/// Claims silently removed by providers without a public challenge (FCC data
+/// quality checks or methodology corrections, §4.1.3). Returns the removed
+/// claim keys together with the index of the minor release they disappear in.
+pub fn generate_corrections(
+    config: &SynthConfig,
+    claims: &BTreeMap<ProviderId, Vec<ClaimTruth>>,
+    challenged: &BTreeSet<(ProviderId, LocationId, Technology)>,
+    rng: &mut StdRng,
+) -> Vec<(ProviderId, LocationId, Technology, usize)> {
+    let mut out = Vec::new();
+    for (provider, provider_claims) in claims {
+        for c in provider_claims {
+            if c.truly_served {
+                continue;
+            }
+            let key = (*provider, c.location, c.technology);
+            if challenged.contains(&key) {
+                continue;
+            }
+            if rng.gen_bool(config.correction_rate) {
+                let release_idx = rng.gen_range(1..=config.n_minor_releases.max(1));
+                out.push((*provider, c.location, c.technology, release_idx));
+            }
+        }
+    }
+    out
+}
+
+/// Build the initial release plus `n_minor_releases` minor releases, removing
+/// successfully-challenged claims (once resolved) and silent corrections over
+/// time.
+pub fn build_releases(
+    config: &SynthConfig,
+    filings: &[Filing],
+    fabric: &Fabric,
+    challenges: &[Challenge],
+    corrections: &[(ProviderId, LocationId, Technology, usize)],
+) -> Vec<NbmRelease> {
+    let initial_records: Vec<AvailabilityRecord> = filings
+        .iter()
+        .flat_map(|f| f.records.iter().cloned())
+        .collect();
+    let mut releases = vec![NbmRelease::from_records(
+        ReleaseVersion::initial(),
+        DayStamp::initial_nbm_release(),
+        initial_records.clone(),
+        fabric,
+    )];
+
+    let mut version = ReleaseVersion::initial();
+    for k in 1..=config.n_minor_releases {
+        version = version.next_minor();
+        // Minor releases are spaced through the challenge window (Feb–Nov 2023).
+        let published = DayStamp::from_ymd(2023, 2, 1).plus_days((k as u32) * 45);
+        let mut removed: BTreeSet<(ProviderId, LocationId, Technology)> = BTreeSet::new();
+        for c in challenges {
+            if c.is_successful() && c.resolved <= published {
+                removed.insert((c.provider, c.location, c.technology));
+            }
+        }
+        for (p, l, t, idx) in corrections {
+            if *idx <= k {
+                removed.insert((*p, *l, *t));
+            }
+        }
+        let records: Vec<AvailabilityRecord> = initial_records
+            .iter()
+            .filter(|r| !removed.contains(&r.claim_key()))
+            .cloned()
+            .collect();
+        releases.push(NbmRelease::from_records(version, published, records, fabric));
+    }
+    releases
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fabric_gen::{generate_fabric, generate_towns};
+    use crate::providers_gen::{compute_claims, generate_providers};
+    use bdc::challenge::{state_distribution, success_rate};
+    use rand::SeedableRng;
+
+    struct World {
+        config: SynthConfig,
+        fabric: Fabric,
+        profiles: Vec<ProviderProfile>,
+        claims: BTreeMap<ProviderId, Vec<ClaimTruth>>,
+    }
+
+    fn world() -> World {
+        let config = SynthConfig::tiny(21);
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let towns = generate_towns(&config, &mut rng);
+        let fabric = generate_fabric(&towns, &mut rng);
+        let profiles = generate_providers(&config, &towns, &mut rng);
+        let claims: BTreeMap<ProviderId, Vec<ClaimTruth>> = profiles
+            .iter()
+            .map(|p| (p.provider.id, compute_claims(p, &towns, &fabric, &config)))
+            .collect();
+        World {
+            config,
+            fabric,
+            profiles,
+            claims,
+        }
+    }
+
+    #[test]
+    fn filings_cover_every_provider_with_claims() {
+        let w = world();
+        let filings = build_filings(&w.profiles, &w.claims);
+        assert_eq!(filings.len(), w.profiles.len());
+        let total_records: usize = filings.iter().map(|f| f.records.len()).sum();
+        let total_claims: usize = w.claims.values().map(Vec::len).sum();
+        assert_eq!(total_records, total_claims);
+        assert!(total_records > 1000, "too few claims generated: {total_records}");
+    }
+
+    #[test]
+    fn challenge_success_rate_near_paper_value() {
+        let w = world();
+        let mut rng = StdRng::seed_from_u64(99);
+        let challenges = generate_challenges(&w.config, &w.fabric, &w.claims, &mut rng);
+        assert!(challenges.len() > 100, "only {} challenges", challenges.len());
+        let rate = success_rate(&challenges);
+        assert!((0.55..0.85).contains(&rate), "success rate {rate}");
+    }
+
+    #[test]
+    fn challenges_concentrate_in_active_states() {
+        let w = world();
+        let mut rng = StdRng::seed_from_u64(100);
+        let challenges = generate_challenges(&w.config, &w.fabric, &w.claims, &mut rng);
+        let by_state = state_distribution(&challenges);
+        let total: usize = by_state.values().sum();
+        let mut counts: Vec<usize> = by_state.values().copied().collect();
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        let top10: usize = counts.iter().take(10).sum();
+        assert!(
+            top10 as f64 / total as f64 > 0.7,
+            "top-10 share {}",
+            top10 as f64 / total as f64
+        );
+    }
+
+    #[test]
+    fn later_wave_is_tiny() {
+        let w = world();
+        let mut rng = StdRng::seed_from_u64(101);
+        let wave1 = generate_challenges(&w.config, &w.fabric, &w.claims, &mut rng);
+        let wave2 = generate_later_challenges(&wave1, &mut rng);
+        assert!(wave2.len() < wave1.len() / 20);
+        for c in &wave2 {
+            assert!(c.filed >= DayStamp::from_ymd(2023, 12, 1));
+        }
+    }
+
+    #[test]
+    fn corrections_only_remove_unchallenged_false_claims() {
+        let w = world();
+        let mut rng = StdRng::seed_from_u64(102);
+        let challenges = generate_challenges(&w.config, &w.fabric, &w.claims, &mut rng);
+        let challenged: BTreeSet<_> = challenges
+            .iter()
+            .map(|c| (c.provider, c.location, c.technology))
+            .collect();
+        let corrections = generate_corrections(&w.config, &w.claims, &challenged, &mut rng);
+        assert!(!corrections.is_empty());
+        let truth: BTreeMap<(ProviderId, LocationId, Technology), bool> = w
+            .claims
+            .iter()
+            .flat_map(|(p, cs)| cs.iter().map(|c| ((*p, c.location, c.technology), c.truly_served)))
+            .collect();
+        for (p, l, t, idx) in &corrections {
+            assert!(!challenged.contains(&(*p, *l, *t)));
+            assert!(!truth[&(*p, *l, *t)], "correction removed a truthful claim");
+            assert!(*idx >= 1 && *idx <= w.config.n_minor_releases);
+        }
+    }
+
+    #[test]
+    fn releases_shrink_over_time() {
+        let w = world();
+        let mut rng = StdRng::seed_from_u64(103);
+        let filings = build_filings(&w.profiles, &w.claims);
+        let challenges = generate_challenges(&w.config, &w.fabric, &w.claims, &mut rng);
+        let challenged: BTreeSet<_> = challenges
+            .iter()
+            .map(|c| (c.provider, c.location, c.technology))
+            .collect();
+        let corrections = generate_corrections(&w.config, &w.claims, &challenged, &mut rng);
+        let releases = build_releases(&w.config, &filings, &w.fabric, &challenges, &corrections);
+        assert_eq!(releases.len(), w.config.n_minor_releases + 1);
+        let first = releases.first().unwrap().records().len();
+        let last = releases.last().unwrap().records().len();
+        assert!(last < first, "claims should shrink: {first} -> {last}");
+        // Versions are ordered minor releases of the same major.
+        for (i, r) in releases.iter().enumerate() {
+            assert_eq!(r.version.major, 1);
+            assert_eq!(r.version.minor, i as u32);
+        }
+        // Publication dates increase.
+        for w2 in releases.windows(2) {
+            assert!(w2[0].published < w2[1].published);
+        }
+    }
+}

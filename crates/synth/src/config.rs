@@ -1,0 +1,152 @@
+//! Configuration of the synthetic world generator.
+
+use serde::{Deserialize, Serialize};
+
+/// All knobs of the synthetic United States. Every quantity scales linearly
+/// from `n_bsls`, so the same code path is used for quick unit tests
+/// ([`SynthConfig::tiny`]), the default experiment scale
+/// ([`SynthConfig::default`]) and larger runs ([`SynthConfig::large`]).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SynthConfig {
+    /// Master RNG seed; the entire world is a pure function of the config.
+    pub seed: u64,
+    /// Total number of Broadband Serviceable Locations to generate.
+    pub n_bsls: usize,
+    /// Number of providers (including the majors).
+    pub n_providers: usize,
+    /// Number of "major" national ISPs (the paper's Figure 6 breaks out 8).
+    pub n_major_providers: usize,
+    /// Average number of BSLs per town cluster (controls hex density; ~250
+    /// yields the paper's median of ~4 BSLs per occupied res-8 hex).
+    pub bsls_per_town: usize,
+    /// Fraction of a provider's truthful footprint additionally over-claimed
+    /// by a typical (non-JCC) provider.
+    pub overclaim_fraction: f64,
+    /// Probability that a false claim in an active state gets challenged.
+    pub challenge_rate_false: f64,
+    /// Probability that a true claim in an active state gets challenged.
+    pub challenge_rate_true: f64,
+    /// Probability that an unchallenged false claim is silently corrected by
+    /// the provider in a later minor release (the "map diff" signal).
+    pub correction_rate: f64,
+    /// Expected Ookla unique devices per BSL in genuinely served areas.
+    pub ookla_devices_per_served_bsl: f64,
+    /// Expected MLab tests per provider per genuinely served hex.
+    pub mlab_tests_per_served_hex: f64,
+    /// Fraction of providers that can be matched to ASNs (the paper matches
+    /// 72.4%).
+    pub asn_match_rate: f64,
+    /// Include a Jefferson-County-Cable-style intentional over-claimer.
+    pub include_jcc: bool,
+    /// Number of bi-weekly minor releases to generate after the initial one.
+    pub n_minor_releases: usize,
+}
+
+impl Default for SynthConfig {
+    fn default() -> Self {
+        Self {
+            seed: 20221118, // the initial NBM's release month
+            n_bsls: 40_000,
+            n_providers: 160,
+            n_major_providers: 8,
+            bsls_per_town: 250,
+            overclaim_fraction: 0.22,
+            challenge_rate_false: 0.60,
+            challenge_rate_true: 0.015,
+            correction_rate: 0.25,
+            ookla_devices_per_served_bsl: 1.6,
+            mlab_tests_per_served_hex: 3.0,
+            asn_match_rate: 0.72,
+            include_jcc: true,
+            n_minor_releases: 6,
+        }
+    }
+}
+
+impl SynthConfig {
+    /// A very small world for unit tests (a few thousand BSLs, a handful of
+    /// providers) that still exercises every code path.
+    pub fn tiny(seed: u64) -> Self {
+        Self {
+            seed,
+            n_bsls: 4_000,
+            n_providers: 30,
+            n_major_providers: 4,
+            ..Self::default()
+        }
+    }
+
+    /// The default experiment scale used by the benchmark harness.
+    pub fn experiment(seed: u64) -> Self {
+        Self {
+            seed,
+            ..Self::default()
+        }
+    }
+
+    /// A larger world for longer benchmark runs.
+    pub fn large(seed: u64) -> Self {
+        Self {
+            seed,
+            n_bsls: 120_000,
+            n_providers: 400,
+            n_major_providers: 8,
+            ..Self::default()
+        }
+    }
+
+    /// Basic sanity checks; called by the generator before doing any work.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.n_bsls == 0 {
+            return Err("n_bsls must be positive".into());
+        }
+        if self.n_providers == 0 {
+            return Err("n_providers must be positive".into());
+        }
+        if self.n_major_providers > self.n_providers {
+            return Err("n_major_providers cannot exceed n_providers".into());
+        }
+        for (name, v) in [
+            ("overclaim_fraction", self.overclaim_fraction),
+            ("challenge_rate_false", self.challenge_rate_false),
+            ("challenge_rate_true", self.challenge_rate_true),
+            ("correction_rate", self.correction_rate),
+            ("asn_match_rate", self.asn_match_rate),
+        ] {
+            if !(0.0..=1.0).contains(&v) {
+                return Err(format!("{name} must be in [0, 1], got {v}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        assert!(SynthConfig::default().validate().is_ok());
+        assert!(SynthConfig::tiny(1).validate().is_ok());
+        assert!(SynthConfig::large(1).validate().is_ok());
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let mut c = SynthConfig::default();
+        c.n_bsls = 0;
+        assert!(c.validate().is_err());
+        let mut c = SynthConfig::default();
+        c.overclaim_fraction = 1.5;
+        assert!(c.validate().is_err());
+        let mut c = SynthConfig::default();
+        c.n_major_providers = c.n_providers + 1;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn tiny_is_smaller_than_default() {
+        assert!(SynthConfig::tiny(1).n_bsls < SynthConfig::default().n_bsls);
+    }
+}

@@ -1,0 +1,185 @@
+//! Generating the synthetic Broadband Serviceable Location Fabric.
+//!
+//! BSLs are clustered into "towns": each state gets a number of towns
+//! proportional to its population weight, and BSLs scatter around each town
+//! centre with a roughly Gaussian radial profile plus a thin rural tail. The
+//! clustering constant is tuned so the median number of BSLs per occupied
+//! resolution-8 hex lands near the paper's reported value of 4 (Figure 9).
+
+use bdc::{Bsl, Fabric, LocationId};
+use geoprim::LatLng;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::config::SynthConfig;
+use crate::states::{total_population_weight, STATES};
+
+/// A population cluster that providers build networks around.
+#[derive(Debug, Clone)]
+pub struct Town {
+    /// Index of the state in [`STATES`].
+    pub state_index: usize,
+    /// Two-letter state code (denormalised for convenience).
+    pub state: String,
+    /// Town centre.
+    pub center: LatLng,
+    /// Number of BSLs generated around the town.
+    pub n_bsls: usize,
+}
+
+/// Generate town centres for every state.
+pub fn generate_towns(config: &SynthConfig, rng: &mut StdRng) -> Vec<Town> {
+    let total_weight = total_population_weight();
+    let mut towns = Vec::new();
+    for (state_index, state) in STATES.iter().enumerate() {
+        let state_bsls =
+            ((config.n_bsls as f64) * state.population_weight / total_weight).round() as usize;
+        if state_bsls == 0 {
+            continue;
+        }
+        let n_towns = (state_bsls / config.bsls_per_town).max(1);
+        let bbox = state.bounding_box();
+        // Shrink the sampling box slightly so towns (and their scatter) stay
+        // well inside the state's bounding box.
+        for t in 0..n_towns {
+            let u = rng.gen_range(0.1..0.9);
+            let v = rng.gen_range(0.1..0.9);
+            let center = bbox.lerp(u, v);
+            let mut n = state_bsls / n_towns;
+            if t == 0 {
+                n += state_bsls % n_towns;
+            }
+            towns.push(Town {
+                state_index,
+                state: state.code.to_string(),
+                center,
+                n_bsls: n,
+            });
+        }
+    }
+    towns
+}
+
+/// Generate the fabric by scattering BSLs around every town.
+pub fn generate_fabric(towns: &[Town], rng: &mut StdRng) -> Fabric {
+    let mut bsls = Vec::new();
+    let mut next_id: u64 = 1;
+    for town in towns {
+        for _ in 0..town.n_bsls {
+            // Radial profile: most structures spread uniformly over a compact
+            // town disc (giving a few BSLs per res-8 hex, as in Figure 9),
+            // plus a thin rural tail.
+            let town_radius_km = 3.8;
+            let distance_km = if rng.gen_bool(0.92) {
+                // Uniform areal density inside the town disc.
+                town_radius_km * rng.gen_range(0.0..1.0f64).sqrt()
+            } else {
+                rng.gen_range(town_radius_km..10.0)
+            };
+            let bearing = rng.gen_range(0.0..360.0);
+            let position = town.center.destination(bearing, distance_km * 1000.0);
+            let unit_count = if rng.gen_bool(0.06) {
+                rng.gen_range(2..40)
+            } else {
+                1
+            };
+            let community_anchor = rng.gen_bool(0.01);
+            bsls.push(Bsl::new(
+                LocationId(next_id),
+                position,
+                unit_count,
+                community_anchor,
+                town.state.clone(),
+            ));
+            next_id += 1;
+        }
+    }
+    Fabric::new(bsls)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn small_world() -> (Vec<Town>, Fabric) {
+        let config = SynthConfig::tiny(7);
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let towns = generate_towns(&config, &mut rng);
+        let fabric = generate_fabric(&towns, &mut rng);
+        (towns, fabric)
+    }
+
+    #[test]
+    fn bsl_count_close_to_requested() {
+        let config = SynthConfig::tiny(7);
+        let (_, fabric) = small_world();
+        let n = fabric.len() as f64;
+        let target = config.n_bsls as f64;
+        assert!((n - target).abs() / target < 0.05, "generated {n} vs target {target}");
+    }
+
+    #[test]
+    fn every_state_with_weight_gets_towns() {
+        let (towns, _) = small_world();
+        let states_with_towns: std::collections::HashSet<&str> =
+            towns.iter().map(|t| t.state.as_str()).collect();
+        // At tiny scale small territories may round to zero BSLs, but the big
+        // states must all be present.
+        for code in ["CA", "TX", "NY", "VA", "NE"] {
+            assert!(states_with_towns.contains(code), "missing {code}");
+        }
+    }
+
+    #[test]
+    fn bsls_stay_reasonably_near_their_town() {
+        let (towns, fabric) = small_world();
+        // Spot-check: every BSL is within 25 km of *some* town centre.
+        for bsl in fabric.bsls().iter().step_by(97) {
+            let nearest = towns
+                .iter()
+                .map(|t| t.center.haversine_km(&bsl.position))
+                .fold(f64::INFINITY, f64::min);
+            assert!(nearest < 25.0, "BSL {} was {nearest} km from any town", bsl.id);
+        }
+    }
+
+    #[test]
+    fn median_bsls_per_hex_in_paper_range() {
+        // The paper reports a median of 4 BSLs per occupied res-8 hex; the
+        // generator should land in the same ballpark.
+        let config = SynthConfig::default();
+        let mut rng = StdRng::seed_from_u64(11);
+        let towns = generate_towns(&config, &mut rng);
+        let fabric = generate_fabric(&towns, &mut rng);
+        let median = fabric.median_bsls_per_hex();
+        assert!(
+            (2..=9).contains(&median),
+            "median BSLs per hex was {median}"
+        );
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let config = SynthConfig::tiny(3);
+        let gen = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let towns = generate_towns(&config, &mut rng);
+            let fabric = generate_fabric(&towns, &mut rng);
+            fabric.bsls().iter().map(|b| b.hex).collect::<Vec<_>>()
+        };
+        assert_eq!(gen(3), gen(3));
+        assert_ne!(gen(3), gen(4));
+    }
+
+    #[test]
+    fn location_ids_are_unique_and_positive() {
+        let (_, fabric) = small_world();
+        let mut ids: Vec<u64> = fabric.bsls().iter().map(|b| b.id.value()).collect();
+        let before = ids.len();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), before);
+        assert!(ids[0] >= 1);
+    }
+}

@@ -1,0 +1,473 @@
+//! Generating providers, their footprints, reporting behaviour and the
+//! ground-truth / claimed service sets.
+
+use bdc::{Frn, LocationId, Provider, ProviderId, Technology};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::config::SynthConfig;
+use crate::fabric_gen::Town;
+use crate::text::{provider_name, MethodologyKind, MAJOR_PROVIDER_NAMES};
+
+/// How faithfully a provider's filing reflects its real network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReportingStyle {
+    /// Claims only what it truly serves.
+    Accurate,
+    /// Modest edge over-claiming (optimistic buffers).
+    Typical,
+    /// Substantial over-claiming (e.g. whole-census-block reporting).
+    Aggressive,
+    /// Deliberate misrepresentation of a large unserved area — the Jefferson
+    /// County Cable pattern (§6.3).
+    IntentionalOverclaim,
+}
+
+impl ReportingStyle {
+    /// Radius multiplier applied to the true service radius when filing.
+    pub fn overclaim_multiplier(&self) -> f64 {
+        match self {
+            ReportingStyle::Accurate => 1.0,
+            ReportingStyle::Typical => 1.18,
+            ReportingStyle::Aggressive => 1.55,
+            ReportingStyle::IntentionalOverclaim => 1.25,
+        }
+    }
+}
+
+/// One technology a provider deploys, with its true service radius around
+/// each footprint town and the advertised speeds.
+#[derive(Debug, Clone)]
+pub struct TechDeployment {
+    pub technology: Technology,
+    /// Radius (km) around each footprint town that is genuinely serviceable.
+    pub true_radius_km: f64,
+    pub max_down_mbps: f64,
+    pub max_up_mbps: f64,
+    pub low_latency: bool,
+}
+
+/// A provider plus everything the generator knows about it.
+#[derive(Debug, Clone)]
+pub struct ProviderProfile {
+    pub provider: Provider,
+    /// Indices into the town list forming the provider's footprint.
+    pub towns: Vec<usize>,
+    pub deployments: Vec<TechDeployment>,
+    pub style: ReportingStyle,
+    pub methodology: MethodologyKind,
+    /// True for the Jefferson-County-Cable-style scenario provider.
+    pub jcc_like: bool,
+}
+
+/// A location-level claim with its ground truth.
+#[derive(Debug, Clone)]
+pub struct ClaimTruth {
+    pub location: LocationId,
+    pub technology: Technology,
+    pub truly_served: bool,
+    pub max_down_mbps: f64,
+    pub max_up_mbps: f64,
+    pub low_latency: bool,
+}
+
+fn speeds_for(rng: &mut StdRng, tech: Technology) -> (f64, f64, bool) {
+    let max = tech.typical_max_down_mbps();
+    let tier = [0.1, 0.25, 0.5, 1.0][rng.gen_range(0..4)];
+    let down = (max * tier).max(10.0);
+    let up = match tech {
+        Technology::Fiber => down,
+        Technology::Cable => (down / 20.0).max(5.0),
+        Technology::Copper => (down / 10.0).max(1.0),
+        _ => (down / 8.0).max(3.0),
+    };
+    let low_latency = !matches!(tech, Technology::GsoSatellite);
+    (down, up, low_latency)
+}
+
+fn radius_for(rng: &mut StdRng, tech: Technology) -> f64 {
+    match tech {
+        Technology::Fiber => rng.gen_range(1.5..4.0),
+        Technology::Cable => rng.gen_range(2.0..5.0),
+        Technology::Copper => rng.gen_range(2.5..6.0),
+        Technology::UnlicensedFixedWireless => rng.gen_range(4.0..10.0),
+        Technology::LicensedFixedWireless => rng.gen_range(5.0..12.0),
+        Technology::GsoSatellite | Technology::NgsoSatellite => 1.0e6,
+    }
+}
+
+/// Generate the provider population: `n_major_providers` national ISPs and a
+/// long tail of regional and local providers.
+pub fn generate_providers(
+    config: &SynthConfig,
+    towns: &[Town],
+    rng: &mut StdRng,
+) -> Vec<ProviderProfile> {
+    let mut profiles = Vec::with_capacity(config.n_providers);
+    let mut next_id = 1u32;
+
+    // Majors: large multi-state footprints, cable and/or fiber.
+    for m in 0..config.n_major_providers {
+        let name = MAJOR_PROVIDER_NAMES[m % MAJOR_PROVIDER_NAMES.len()].to_string();
+        let share = rng.gen_range(0.25..0.45);
+        let mut footprint: Vec<usize> = (0..towns.len()).filter(|_| rng.gen_bool(share)).collect();
+        if footprint.is_empty() {
+            footprint.push(rng.gen_range(0..towns.len()));
+        }
+        let mut deployments = vec![];
+        for tech in [Technology::Cable, Technology::Fiber] {
+            if rng.gen_bool(0.8) {
+                let (down, up, low_latency) = speeds_for(rng, tech);
+                deployments.push(TechDeployment {
+                    technology: tech,
+                    true_radius_km: radius_for(rng, tech),
+                    max_down_mbps: down,
+                    max_up_mbps: up,
+                    low_latency,
+                });
+            }
+        }
+        if deployments.is_empty() {
+            let (down, up, low_latency) = speeds_for(rng, Technology::Cable);
+            deployments.push(TechDeployment {
+                technology: Technology::Cable,
+                true_radius_km: radius_for(rng, Technology::Cable),
+                max_down_mbps: down,
+                max_up_mbps: up,
+                low_latency,
+            });
+        }
+        let style = if rng.gen_bool(0.6) {
+            ReportingStyle::Typical
+        } else {
+            ReportingStyle::Accurate
+        };
+        let home_state = towns[footprint[0]].state.clone();
+        profiles.push(ProviderProfile {
+            provider: Provider {
+                id: ProviderId(next_id),
+                name: name.clone(),
+                brand: name.split(' ').next().unwrap_or(&name).to_string(),
+                frns: vec![Frn(1_000_000 + next_id as u64)],
+                technologies: deployments.iter().map(|d| d.technology).collect(),
+                major: true,
+                home_state,
+            },
+            towns: footprint,
+            deployments,
+            style,
+            methodology: MethodologyKind::FiberEngineering,
+            jcc_like: false,
+        });
+        next_id += 1;
+    }
+
+    // Regional and local providers.
+    let n_rest = config.n_providers - config.n_major_providers;
+    for i in 0..n_rest {
+        let name = provider_name(rng);
+        // Footprint: a handful of towns, preferentially in one state.
+        let anchor = rng.gen_range(0..towns.len());
+        let anchor_state = towns[anchor].state.clone();
+        let n_towns = 1 + rng.gen_range(0..4usize);
+        let mut footprint = vec![anchor];
+        let same_state: Vec<usize> = (0..towns.len())
+            .filter(|&t| towns[t].state == anchor_state && t != anchor)
+            .collect();
+        for _ in 1..n_towns {
+            if !same_state.is_empty() && rng.gen_bool(0.8) {
+                footprint.push(same_state[rng.gen_range(0..same_state.len())]);
+            } else {
+                footprint.push(rng.gen_range(0..towns.len()));
+            }
+        }
+        footprint.sort_unstable();
+        footprint.dedup();
+
+        let tech = match rng.gen_range(0..10) {
+            0..=2 => Technology::Fiber,
+            3..=4 => Technology::Cable,
+            5..=6 => Technology::Copper,
+            7..=8 => Technology::UnlicensedFixedWireless,
+            _ => Technology::LicensedFixedWireless,
+        };
+        let (down, up, low_latency) = speeds_for(rng, tech);
+        let mut deployments = vec![TechDeployment {
+            technology: tech,
+            true_radius_km: radius_for(rng, tech),
+            max_down_mbps: down,
+            max_up_mbps: up,
+            low_latency,
+        }];
+        // Some providers file a legacy copper offering alongside.
+        if tech == Technology::Fiber && rng.gen_bool(0.3) {
+            let (d2, u2, _) = speeds_for(rng, Technology::Copper);
+            deployments.push(TechDeployment {
+                technology: Technology::Copper,
+                true_radius_km: radius_for(rng, Technology::Copper),
+                max_down_mbps: d2,
+                max_up_mbps: u2,
+                low_latency: true,
+            });
+        }
+
+        // Reporting style and stated methodology are only loosely correlated:
+        // aggressive filers are more likely to describe census-block
+        // reporting, but plenty of careful filers use the same consultant
+        // boilerplate, so the methodology text alone cannot identify the
+        // over-claimers (mirroring reality — the paper finds the embedding is
+        // a secondary signal, not a provider fingerprint).
+        let style = match rng.gen_range(0..10) {
+            0..=3 => ReportingStyle::Accurate,
+            4..=7 => ReportingStyle::Typical,
+            _ => ReportingStyle::Aggressive,
+        };
+        let census_block_prob = if style == ReportingStyle::Aggressive { 0.3 } else { 0.1 };
+        let methodology = if rng.gen_bool(census_block_prob) {
+            MethodologyKind::CensusBlocks
+        } else if matches!(
+            tech,
+            Technology::UnlicensedFixedWireless | Technology::LicensedFixedWireless
+        ) {
+            MethodologyKind::PropagationModel
+        } else {
+            match rng.gen_range(0..10) {
+                0..=3 => MethodologyKind::SubscriberAddresses,
+                4..=7 => MethodologyKind::ConsultantTemplate,
+                _ => MethodologyKind::FiberEngineering,
+            }
+        };
+
+        // The very last regional provider becomes the JCC-style intentional
+        // over-claimer when the scenario is enabled.
+        let jcc_like = config.include_jcc && i == n_rest - 1;
+        let style = if jcc_like {
+            ReportingStyle::IntentionalOverclaim
+        } else {
+            style
+        };
+
+        profiles.push(ProviderProfile {
+            provider: Provider {
+                id: ProviderId(next_id),
+                name: name.clone(),
+                brand: name
+                    .split(',')
+                    .next()
+                    .unwrap_or(&name)
+                    .trim()
+                    .to_string(),
+                frns: vec![Frn(1_000_000 + next_id as u64)],
+                technologies: deployments.iter().map(|d| d.technology).collect(),
+                major: false,
+                home_state: anchor_state,
+            },
+            towns: footprint,
+            deployments,
+            style,
+            methodology: if jcc_like {
+                MethodologyKind::CensusBlocks
+            } else {
+                methodology
+            },
+            jcc_like,
+        });
+        next_id += 1;
+    }
+    profiles
+}
+
+/// Compute the provider's location-level claims together with their ground
+/// truth. A location is *truly served* when it lies within the technology's
+/// true radius of one of the provider's footprint towns; it is *claimed* when
+/// it lies within the (style-inflated) filing radius. The JCC-style provider
+/// additionally claims a broad western sector it does not serve at all.
+pub fn compute_claims(
+    profile: &ProviderProfile,
+    towns: &[Town],
+    fabric: &bdc::Fabric,
+    config: &SynthConfig,
+) -> Vec<ClaimTruth> {
+    let mut claims = Vec::new();
+    let multiplier = profile.style.overclaim_multiplier() * (1.0 + config.overclaim_fraction / 4.0);
+    // The JCC scenario: the provider also claims an entire neighbouring market
+    // it does not serve at all — modelled as the nearest town (preferably in
+    // the same state) that is *not* part of its real footprint.
+    let phantom_town = if profile.jcc_like {
+        phantom_market(profile, towns)
+    } else {
+        None
+    };
+    // Real footprint towns are scanned first so genuine service takes
+    // precedence; the phantom market (if any) is scanned last and everything
+    // claimed from it is unserved — the misrepresented region of Figure 8.
+    let mut scan_towns: Vec<(usize, bool)> = profile.towns.iter().map(|&t| (t, false)).collect();
+    if let Some(p) = phantom_town {
+        scan_towns.push((p, true));
+    }
+    for deployment in &profile.deployments {
+        let claim_radius = deployment.true_radius_km * multiplier;
+        let mut seen: std::collections::HashSet<LocationId> = std::collections::HashSet::new();
+        for &(town_idx, is_phantom) in &scan_towns {
+            let town = &towns[town_idx];
+            for &loc_id in fabric.locations_in_state(&town.state) {
+                if seen.contains(&loc_id) {
+                    continue;
+                }
+                let bsl = fabric.get(loc_id).expect("fabric contains its own ids");
+                let dist = town.center.haversine_km(&bsl.position);
+                let (truly_served, claimed) = if is_phantom {
+                    (false, dist <= deployment.true_radius_km.max(4.0))
+                } else {
+                    (dist <= deployment.true_radius_km, dist <= claim_radius)
+                };
+                if claimed {
+                    seen.insert(loc_id);
+                    claims.push(ClaimTruth {
+                        location: loc_id,
+                        technology: deployment.technology,
+                        truly_served,
+                        max_down_mbps: deployment.max_down_mbps,
+                        max_up_mbps: deployment.max_up_mbps,
+                        low_latency: deployment.low_latency,
+                    });
+                }
+            }
+        }
+    }
+    claims
+}
+
+/// The nearest town outside the provider's footprint (preferring the same
+/// state as its anchor town) — the "market next door" a JCC-style provider
+/// falsely claims.
+fn phantom_market(profile: &ProviderProfile, towns: &[Town]) -> Option<usize> {
+    let anchor = &towns[*profile.towns.first()?];
+    let candidates: Vec<usize> = (0..towns.len())
+        .filter(|t| !profile.towns.contains(t))
+        .collect();
+    let same_state: Vec<usize> = candidates
+        .iter()
+        .copied()
+        .filter(|&t| towns[t].state == anchor.state)
+        .collect();
+    let pool = if same_state.is_empty() { candidates } else { same_state };
+    pool.into_iter().min_by(|&a, &b| {
+        anchor
+            .center
+            .haversine_km(&towns[a].center)
+            .partial_cmp(&anchor.center.haversine_km(&towns[b].center))
+            .unwrap()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fabric_gen::{generate_fabric, generate_towns};
+    use rand::SeedableRng;
+
+    fn world() -> (SynthConfig, Vec<Town>, bdc::Fabric, Vec<ProviderProfile>) {
+        let config = SynthConfig::tiny(13);
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let towns = generate_towns(&config, &mut rng);
+        let fabric = generate_fabric(&towns, &mut rng);
+        let providers = generate_providers(&config, &towns, &mut rng);
+        (config, towns, fabric, providers)
+    }
+
+    #[test]
+    fn provider_counts_match_config() {
+        let (config, _, _, providers) = world();
+        assert_eq!(providers.len(), config.n_providers);
+        let majors = providers.iter().filter(|p| p.provider.major).count();
+        assert_eq!(majors, config.n_major_providers);
+    }
+
+    #[test]
+    fn exactly_one_jcc_provider_when_enabled() {
+        let (_, _, _, providers) = world();
+        let jcc: Vec<_> = providers.iter().filter(|p| p.jcc_like).collect();
+        assert_eq!(jcc.len(), 1);
+        assert_eq!(jcc[0].style, ReportingStyle::IntentionalOverclaim);
+        assert!(!jcc[0].provider.major);
+    }
+
+    #[test]
+    fn no_jcc_provider_when_disabled() {
+        let mut config = SynthConfig::tiny(13);
+        config.include_jcc = false;
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let towns = generate_towns(&config, &mut rng);
+        let providers = generate_providers(&config, &towns, &mut rng);
+        assert!(providers.iter().all(|p| !p.jcc_like));
+    }
+
+    #[test]
+    fn provider_ids_unique() {
+        let (_, _, _, providers) = world();
+        let mut ids: Vec<u32> = providers.iter().map(|p| p.provider.id.value()).collect();
+        let before = ids.len();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(before, ids.len());
+    }
+
+    #[test]
+    fn claims_include_overclaims_for_aggressive_styles() {
+        let (config, towns, fabric, providers) = world();
+        // Find a provider with a non-accurate style and some claims.
+        let mut saw_false_claim = false;
+        let mut saw_true_claim = false;
+        for profile in &providers {
+            let claims = compute_claims(profile, &towns, &fabric, &config);
+            for c in &claims {
+                if c.truly_served {
+                    saw_true_claim = true;
+                } else {
+                    saw_false_claim = true;
+                }
+            }
+        }
+        assert!(saw_true_claim, "no truthful claims generated");
+        assert!(saw_false_claim, "no over-claims generated");
+    }
+
+    #[test]
+    fn accurate_providers_never_overclaim_much() {
+        let (config, towns, fabric, providers) = world();
+        for profile in providers.iter().filter(|p| p.style == ReportingStyle::Accurate) {
+            let claims = compute_claims(profile, &towns, &fabric, &config);
+            if claims.is_empty() {
+                continue;
+            }
+            let false_rate = claims.iter().filter(|c| !c.truly_served).count() as f64
+                / claims.len() as f64;
+            assert!(false_rate < 0.35, "accurate provider false rate {false_rate}");
+        }
+    }
+
+    #[test]
+    fn jcc_provider_has_substantial_false_claims() {
+        let (config, towns, fabric, providers) = world();
+        let jcc = providers.iter().find(|p| p.jcc_like).unwrap();
+        let claims = compute_claims(jcc, &towns, &fabric, &config);
+        assert!(!claims.is_empty());
+        let false_count = claims.iter().filter(|c| !c.truly_served).count();
+        assert!(
+            false_count >= 20,
+            "JCC provider generated too few false claims ({false_count} of {})",
+            claims.len()
+        );
+    }
+
+    #[test]
+    fn majors_span_multiple_states() {
+        let (_, towns, _, providers) = world();
+        for p in providers.iter().filter(|p| p.provider.major) {
+            let states: std::collections::HashSet<&str> =
+                p.towns.iter().map(|&t| towns[t].state.as_str()).collect();
+            assert!(states.len() >= 3, "major {} spans {} states", p.provider.name, states.len());
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! Synthetic provider names and filing-methodology text.
+//!
+//! §5.1 of the paper notes two phenomena in the free-text methodologies that
+//! the model can exploit: some providers describe methodologies the FCC
+//! explicitly disallows (reporting whole census blocks, as under the old Form
+//! 477), and many small providers file word-for-word identical text because
+//! the same consultants prepare their filings. The templates below reproduce
+//! both phenomena.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Styles of availability-reporting methodology a provider may describe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MethodologyKind {
+    /// Reports only addresses with active subscribers.
+    SubscriberAddresses,
+    /// Uses engineering records of fibre routes and drop lengths.
+    FiberEngineering,
+    /// Uses an RF propagation model (wireless providers).
+    PropagationModel,
+    /// Reports entire census blocks — disallowed, correlates with
+    /// over-claiming.
+    CensusBlocks,
+    /// Word-for-word consultant-prepared boilerplate shared by many filers.
+    ConsultantTemplate,
+}
+
+impl MethodologyKind {
+    /// The filing text for this methodology. Consultant templates are
+    /// verbatim-identical across providers; the others embed the provider
+    /// brand so they are near- but not exactly identical.
+    pub fn text(&self, brand: &str) -> String {
+        match self {
+            MethodologyKind::SubscriberAddresses => format!(
+                "{brand} reports broadband serviceable locations at which the company has active \
+                 subscribers, based on billing system records and service addresses validated \
+                 against the location fabric. Locations without an existing subscriber are \
+                 included only where a standard installation could be completed within ten \
+                 business days."
+            ),
+            MethodologyKind::FiberEngineering => format!(
+                "{brand} determined served locations using engineering records of constructed \
+                 fiber routes, splice points and maximum drop lengths. Locations within the \
+                 engineering serving area were matched to the location fabric using geocoded \
+                 addresses and parcel centroids."
+            ),
+            MethodologyKind::PropagationModel => format!(
+                "{brand} determined fixed wireless coverage using a radio frequency propagation \
+                 model incorporating terrain, clutter and antenna characteristics of each access \
+                 point, validated with field measurements. Locations with predicted signal above \
+                 the service threshold are reported as serviceable."
+            ),
+            MethodologyKind::CensusBlocks => format!(
+                "{brand} reports service availability for all locations in census blocks in which \
+                 the company offers or advertises mass market broadband service, consistent with \
+                 the company's prior FCC Form 477 filings."
+            ),
+            MethodologyKind::ConsultantTemplate => "Availability was determined on behalf of the \
+                 filer by Broadband Filing Associates using provider-supplied infrastructure maps, \
+                 buffer analysis of serviceable road segments, and the current broadband \
+                 serviceable location fabric. Locations intersecting the buffered service area are \
+                 reported as served."
+                .to_string(),
+        }
+    }
+
+    /// Whether the methodology is one the FCC disallows for the BDC.
+    pub fn is_disallowed(&self) -> bool {
+        matches!(self, MethodologyKind::CensusBlocks)
+    }
+}
+
+/// Name fragments for synthetic ISPs. No real ISP brand names are used.
+const NAME_PREFIXES: &[&str] = &[
+    "Blue Ridge", "Prairie", "Summit", "Lakeside", "Pioneer", "Granite", "Cedar Valley", "Bayou",
+    "High Plains", "Redwood", "Harbor", "Mesa", "Timberline", "Cascade", "Bluegrass", "Dune",
+    "Foothill", "Ridgeline", "Sandhill", "Palmetto", "Wolverine", "Cornhusker", "Sooner", "Ozark",
+    "Hoosier", "Piedmont", "Tidewater", "Copperhead", "Juniper", "Saguaro",
+];
+
+const NAME_SUFFIXES: &[&str] = &[
+    "Fiber", "Telecom", "Broadband", "Communications", "Cable", "Wireless", "Networks", "Connect",
+    "Internet", "Cooperative",
+];
+
+const CORPORATE_SUFFIXES: &[&str] = &["Inc.", "LLC", "Co.", "Corp.", ""];
+
+/// Names for the major national ISPs (synthetic stand-ins for the paper's
+/// "largest eight terrestrial ISPs").
+pub const MAJOR_PROVIDER_NAMES: &[&str] = &[
+    "National Cable Holdings",
+    "Continental Fiber",
+    "TransAmerica Telecom",
+    "Unified Wireless",
+    "Metro Broadband Group",
+    "Heartland Communications",
+    "Atlantic Gigabit",
+    "Pacific Crest Networks",
+];
+
+/// Generate a synthetic regional/local provider legal name.
+pub fn provider_name(rng: &mut StdRng) -> String {
+    let prefix = NAME_PREFIXES[rng.gen_range(0..NAME_PREFIXES.len())];
+    let suffix = NAME_SUFFIXES[rng.gen_range(0..NAME_SUFFIXES.len())];
+    let corp = CORPORATE_SUFFIXES[rng.gen_range(0..CORPORATE_SUFFIXES.len())];
+    if corp.is_empty() {
+        format!("{prefix} {suffix}")
+    } else {
+        format!("{prefix} {suffix}, {corp}")
+    }
+}
+
+/// Derive a plausible email domain from a company name.
+pub fn email_domain_for(name: &str) -> String {
+    let cleaned: String = name
+        .to_ascii_lowercase()
+        .chars()
+        .filter(|c| c.is_ascii_alphanumeric())
+        .collect();
+    format!("{}.net", &cleaned[..cleaned.len().min(18)])
+}
+
+/// A plausible street address in the provider's home town.
+pub fn street_address_for(rng: &mut StdRng, seq: u32) -> String {
+    let streets = [
+        "Main Street", "Oak Avenue", "Industrial Parkway", "Commerce Drive", "Depot Road",
+        "Telegraph Road", "Courthouse Square", "Mill Lane",
+    ];
+    let street = streets[rng.gen_range(0..streets.len())];
+    format!("{} {street}, Suite {}", 100 + seq * 7 % 899, 1 + seq % 40)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn consultant_template_is_identical_across_brands() {
+        let a = MethodologyKind::ConsultantTemplate.text("Alpha Fiber");
+        let b = MethodologyKind::ConsultantTemplate.text("Beta Cable");
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn branded_methodologies_differ_but_share_structure() {
+        let a = MethodologyKind::FiberEngineering.text("Alpha Fiber");
+        let b = MethodologyKind::FiberEngineering.text("Beta Cable");
+        assert_ne!(a, b);
+        assert!(a.contains("fiber routes") && b.contains("fiber routes"));
+    }
+
+    #[test]
+    fn census_blocks_is_the_disallowed_methodology() {
+        assert!(MethodologyKind::CensusBlocks.is_disallowed());
+        assert!(!MethodologyKind::FiberEngineering.is_disallowed());
+    }
+
+    #[test]
+    fn provider_names_are_deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(5);
+        let mut b = StdRng::seed_from_u64(5);
+        assert_eq!(provider_name(&mut a), provider_name(&mut b));
+    }
+
+    #[test]
+    fn email_domains_are_wellformed() {
+        let d = email_domain_for("Blue Ridge Fiber, LLC");
+        assert!(d.ends_with(".net"));
+        assert!(!d.contains(' '));
+        assert!(d.starts_with("blueridgefiber"));
+    }
+
+    #[test]
+    fn eight_major_names() {
+        assert_eq!(MAJOR_PROVIDER_NAMES.len(), 8);
+    }
+
+    #[test]
+    fn addresses_contain_street_and_suite() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let a = street_address_for(&mut rng, 3);
+        assert!(a.contains("Suite"));
+    }
+}

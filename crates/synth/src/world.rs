@@ -1,0 +1,304 @@
+//! The assembled synthetic world.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use asnmap::{FrnRegistration, SiblingGroups, WhoisDb};
+use bdc::{
+    Asn, Challenge, Fabric, Filing, NbmRelease, Provider, ProviderId, ProviderRegistry, Technology,
+};
+use hexgrid::HexCell;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use speedtest::{MlabDataset, OoklaDataset};
+
+use crate::activity_gen::{
+    build_filings, build_releases, generate_challenges, generate_corrections,
+    generate_later_challenges,
+};
+use crate::config::SynthConfig;
+use crate::fabric_gen::{generate_fabric, generate_towns, Town};
+use crate::providers_gen::{compute_claims, generate_providers, ClaimTruth, ProviderProfile};
+use crate::registration_gen::generate_registrations;
+use crate::speedtest_gen::{generate_mlab, generate_ookla, hex_observation_truth, served_hex_sets};
+use crate::states::{state_by_code, STATES};
+
+/// The Jefferson-County-Cable-style ground-truth scenario (§6.3): which
+/// provider deliberately over-claimed, where, and which states border its
+/// service area (these are held out of training for the case study).
+#[derive(Debug, Clone)]
+pub struct JccScenario {
+    pub provider: ProviderId,
+    pub home_state: String,
+    /// The home state plus every state whose bounding box touches it; the
+    /// case-study training excludes all of them.
+    pub excluded_states: Vec<String>,
+    /// Hexes the provider claimed but does not serve (the misrepresented
+    /// western region of Figure 8).
+    pub overclaimed_hexes: BTreeSet<HexCell>,
+    /// Hexes the provider claims and genuinely serves.
+    pub served_hexes: BTreeSet<HexCell>,
+}
+
+/// The complete synthetic United States: every dataset the paper's pipeline
+/// ingests, plus the ground truth the paper does not have.
+#[derive(Debug, Clone)]
+pub struct SynthUs {
+    pub config: SynthConfig,
+    pub towns: Vec<Town>,
+    pub fabric: Fabric,
+    pub providers: ProviderRegistry,
+    pub profiles: Vec<ProviderProfile>,
+    pub filings: Vec<Filing>,
+    /// NBM releases: index 0 is the initial release, later entries are the
+    /// bi-weekly-style minor releases.
+    pub releases: Vec<NbmRelease>,
+    /// Challenges against the initial release (the paper's analysis window).
+    pub challenges: Vec<Challenge>,
+    /// The much smaller challenge wave against the subsequent release
+    /// (Figure 1's comparison point).
+    pub later_challenges: Vec<Challenge>,
+    pub ookla: OoklaDataset,
+    pub mlab: MlabDataset,
+    pub registrations: Vec<FrnRegistration>,
+    pub whois: WhoisDb,
+    /// Ground-truth provider→ASN assignment (what a perfect matcher recovers).
+    pub true_provider_asns: BTreeMap<ProviderId, BTreeSet<Asn>>,
+    /// as2org-style reference sibling groups.
+    pub reference_groups: SiblingGroups,
+    /// Hex-level ground truth for every claimed observation.
+    pub ground_truth: BTreeMap<(ProviderId, HexCell, Technology), bool>,
+    pub jcc: Option<JccScenario>,
+}
+
+impl SynthUs {
+    /// Generate the full world from a configuration.
+    ///
+    /// # Panics
+    /// Panics when the configuration fails validation.
+    pub fn generate(config: &SynthConfig) -> Self {
+        config.validate().expect("invalid SynthConfig");
+        let mut rng = StdRng::seed_from_u64(config.seed);
+
+        let towns = generate_towns(config, &mut rng);
+        let fabric = generate_fabric(&towns, &mut rng);
+        let profiles = generate_providers(config, &towns, &mut rng);
+
+        let claims: BTreeMap<ProviderId, Vec<ClaimTruth>> = profiles
+            .iter()
+            .map(|p| (p.provider.id, compute_claims(p, &towns, &fabric, config)))
+            .collect();
+
+        let filings = build_filings(&profiles, &claims);
+        let challenges = generate_challenges(config, &fabric, &claims, &mut rng);
+        let later_challenges = generate_later_challenges(&challenges, &mut rng);
+        let challenged_keys: BTreeSet<_> = challenges
+            .iter()
+            .map(|c| (c.provider, c.location, c.technology))
+            .collect();
+        let corrections = generate_corrections(config, &claims, &challenged_keys, &mut rng);
+        let releases = build_releases(config, &filings, &fabric, &challenges, &corrections);
+
+        let claims_count: BTreeMap<ProviderId, usize> = filings
+            .iter()
+            .map(|f| (f.provider, f.claimed_location_count()))
+            .collect();
+        let registration_data =
+            generate_registrations(config, &profiles, &claims_count, &mut rng);
+
+        let (served_hexes, served_by_provider) = served_hex_sets(&fabric, &claims);
+        let ookla = generate_ookla(config, &fabric, &served_hexes, &mut rng);
+        let mlab = generate_mlab(
+            config,
+            &registration_data.true_provider_asns,
+            &served_by_provider,
+            &mut rng,
+        );
+        let ground_truth = hex_observation_truth(&fabric, &claims);
+
+        let jcc = profiles.iter().find(|p| p.jcc_like).map(|p| {
+            let provider = p.provider.id;
+            let mut overclaimed = BTreeSet::new();
+            let mut served = BTreeSet::new();
+            for ((pid, hex, _tech), truly) in &ground_truth {
+                if *pid == provider {
+                    if *truly {
+                        served.insert(*hex);
+                    } else {
+                        overclaimed.insert(*hex);
+                    }
+                }
+            }
+            let home_state = p.provider.home_state.clone();
+            JccScenario {
+                provider,
+                excluded_states: neighboring_states(&home_state),
+                home_state,
+                overclaimed_hexes: overclaimed,
+                served_hexes: served,
+            }
+        });
+
+        let providers = ProviderRegistry::new(
+            profiles.iter().map(|p| p.provider.clone()).collect::<Vec<Provider>>(),
+        );
+
+        Self {
+            config: *config,
+            towns,
+            fabric,
+            providers,
+            profiles,
+            filings,
+            releases,
+            challenges,
+            later_challenges,
+            ookla,
+            mlab,
+            registrations: registration_data.registrations,
+            whois: registration_data.whois,
+            true_provider_asns: registration_data.true_provider_asns,
+            reference_groups: registration_data.reference_groups,
+            ground_truth,
+            jcc,
+        }
+    }
+
+    /// The initial NBM release the paper studies.
+    pub fn initial_release(&self) -> &NbmRelease {
+        &self.releases[0]
+    }
+
+    /// The most recent minor release (used to compute map diffs).
+    pub fn latest_release(&self) -> &NbmRelease {
+        self.releases.last().expect("at least the initial release exists")
+    }
+
+    /// Ground truth for an observation, if the provider claimed it at all.
+    pub fn is_truly_served(
+        &self,
+        provider: ProviderId,
+        hex: HexCell,
+        tech: Technology,
+    ) -> Option<bool> {
+        self.ground_truth.get(&(provider, hex, tech)).copied()
+    }
+}
+
+/// The home state plus every state/territory whose bounding box intersects an
+/// expanded version of it — a stand-in for "all states bordering the provider's
+/// service area" used by the JCC case study.
+pub fn neighboring_states(home: &str) -> Vec<String> {
+    let Some(home_info) = state_by_code(home) else {
+        return vec![home.to_string()];
+    };
+    let expanded = home_info.bounding_box().expanded(0.8);
+    let mut out: Vec<String> = STATES
+        .iter()
+        .filter(|s| expanded.intersects(&s.bounding_box()))
+        .map(|s| s.code.to_string())
+        .collect();
+    if !out.contains(&home.to_string()) {
+        out.push(home.to_string());
+    }
+    out.sort();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bdc::challenge::success_rate;
+    use bdc::MapDiff;
+
+    fn tiny_world() -> SynthUs {
+        SynthUs::generate(&SynthConfig::tiny(55))
+    }
+
+    #[test]
+    fn world_has_all_components() {
+        let w = tiny_world();
+        assert!(!w.fabric.is_empty());
+        assert_eq!(w.providers.len(), w.config.n_providers);
+        assert_eq!(w.filings.len(), w.config.n_providers);
+        assert_eq!(w.releases.len(), w.config.n_minor_releases + 1);
+        assert!(!w.challenges.is_empty());
+        assert!(!w.ookla.is_empty());
+        assert!(!w.mlab.is_empty());
+        assert!(!w.registrations.is_empty());
+        assert!(!w.ground_truth.is_empty());
+        assert!(w.jcc.is_some());
+    }
+
+    #[test]
+    fn diff_between_releases_contains_removals() {
+        let w = tiny_world();
+        let diff = MapDiff::between(w.initial_release(), w.latest_release());
+        let (added, removed, _) = diff.counts();
+        assert!(removed > 0, "expected removals in the diff");
+        assert_eq!(added, 0, "the synthetic timeline never adds claims");
+    }
+
+    #[test]
+    fn challenge_mix_matches_paper_shape() {
+        let w = tiny_world();
+        let rate = success_rate(&w.challenges);
+        assert!((0.55..0.85).contains(&rate), "success rate {rate}");
+        assert!(w.later_challenges.len() < w.challenges.len() / 10);
+    }
+
+    #[test]
+    fn ground_truth_covers_all_initial_claims() {
+        let w = tiny_world();
+        for claim in w.initial_release().hex_claims().iter().step_by(53) {
+            assert!(
+                w.is_truly_served(claim.provider, claim.hex, claim.technology)
+                    .is_some(),
+                "missing ground truth for a claimed observation"
+            );
+        }
+    }
+
+    #[test]
+    fn jcc_scenario_is_consistent() {
+        let w = tiny_world();
+        let jcc = w.jcc.as_ref().unwrap();
+        assert!(!jcc.overclaimed_hexes.is_empty(), "JCC has no over-claimed hexes");
+        assert!(!jcc.served_hexes.is_empty(), "JCC has no served hexes");
+        assert!(jcc.excluded_states.contains(&jcc.home_state));
+        // The provider exists and is not a major.
+        let provider = w.providers.get(jcc.provider).unwrap();
+        assert!(!provider.major);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = SynthUs::generate(&SynthConfig::tiny(77));
+        let b = SynthUs::generate(&SynthConfig::tiny(77));
+        assert_eq!(a.fabric.len(), b.fabric.len());
+        assert_eq!(a.challenges.len(), b.challenges.len());
+        assert_eq!(a.mlab.len(), b.mlab.len());
+        assert_eq!(
+            a.initial_release().claim_count(),
+            b.initial_release().claim_count()
+        );
+    }
+
+    #[test]
+    fn neighboring_states_include_home_and_touching_states() {
+        let n = neighboring_states("OH");
+        assert!(n.contains(&"OH".to_string()));
+        assert!(n.contains(&"MI".to_string()) || n.contains(&"IN".to_string()));
+        assert!(n.len() < 20);
+        assert_eq!(neighboring_states("ZZ"), vec!["ZZ".to_string()]);
+    }
+
+    #[test]
+    fn satellite_free_world() {
+        // The generator only creates terrestrial deployments; the paper
+        // excludes satellite providers from the model anyway.
+        let w = tiny_world();
+        for p in w.providers.providers() {
+            assert!(p.technologies.iter().all(|t| t.is_terrestrial()));
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! Umbrella crate for the `red_is_sus` reproduction.
+//!
+//! Re-exports the workspace crates so the examples and integration tests (and
+//! downstream users who just want "the whole thing") can depend on a single
+//! crate:
+//!
+//! * [`geoprim`] / [`hexgrid`] — geometry, the H3-substitute hex grid and
+//!   quadkey tiles,
+//! * [`bdc`] — the Broadband Data Collection data model (fabric, filings,
+//!   releases, challenges, map diffs),
+//! * [`asnmap`] — provider→ASN matching,
+//! * [`embed`] — methodology text embeddings,
+//! * [`speedtest`] — Ookla/MLab models, attribution and coverage scores,
+//! * [`ml`] — gradient-boosted trees, metrics and attributions,
+//! * [`synth`] — the synthetic United States generator,
+//! * [`core`] (`redsus_core`) — labels, features, models and the paper's
+//!   experiments.
+
+pub use asnmap;
+pub use bdc;
+pub use embed;
+pub use geoprim;
+pub use hexgrid;
+pub use ml;
+pub use redsus_core as core;
+pub use speedtest;
+pub use synth;
+
+/// Crate version, handy for examples that print provenance.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn version_is_set() {
+        assert!(!super::VERSION.is_empty());
+    }
+}
