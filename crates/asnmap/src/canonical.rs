@@ -92,7 +92,15 @@ pub fn canonical_company_name(name: &str) -> String {
     while let Some(last) = tokens.last() {
         if matches!(
             *last,
-            "inc" | "llc" | "corp" | "corporation" | "co" | "company" | "lp" | "ltd" | "incorporated"
+            "inc"
+                | "llc"
+                | "corp"
+                | "corporation"
+                | "co"
+                | "company"
+                | "lp"
+                | "ltd"
+                | "incorporated"
         ) {
             tokens.pop();
         } else {
@@ -136,7 +144,10 @@ mod tests {
 
     #[test]
     fn email_trims_and_lowercases() {
-        assert_eq!(canonical_email("  Admin@Example.NET \n"), "admin@example.net");
+        assert_eq!(
+            canonical_email("  Admin@Example.NET \n"),
+            "admin@example.net"
+        );
     }
 
     #[test]
@@ -166,10 +177,7 @@ mod tests {
             canonical_company_name("Acme Networks, Inc."),
             "acme networks"
         );
-        assert_eq!(
-            canonical_company_name("ACME NETWORKS LLC"),
-            "acme networks"
-        );
+        assert_eq!(canonical_company_name("ACME NETWORKS LLC"), "acme networks");
         assert_eq!(
             canonical_company_name("Acme Networks Company, LLC"),
             "acme networks"

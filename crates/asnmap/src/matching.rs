@@ -361,7 +361,12 @@ mod tests {
             "Blue Fiber LLC",
             "10 Fiber Road",
         )]);
-        let whois = whois_with(64500, "noc@bluefiber.net", "Blue Fiber, Inc.", "10 Fiber Rd");
+        let whois = whois_with(
+            64500,
+            "noc@bluefiber.net",
+            "Blue Fiber, Inc.",
+            "10 Fiber Rd",
+        );
         let report = matcher.run(&whois);
         assert_eq!(report.matched_providers(), 1);
         assert_eq!(report.provider_to_asns[&7], BTreeSet::from([64500]));
@@ -394,10 +399,21 @@ mod tests {
             "Smalltown ISP",
             "1 Main Street",
         )]);
-        let whois = whois_with(64501, "smalltownisp@gmail.com", "Totally Different Name", "2 Other St");
+        let whois = whois_with(
+            64501,
+            "smalltownisp@gmail.com",
+            "Totally Different Name",
+            "2 Other St",
+        );
         let report = matcher.run(&whois);
-        assert_eq!(report.providers_matched_by_method[&MatchMethod::FullEmail], 1);
-        assert_eq!(report.providers_matched_by_method[&MatchMethod::EmailDomain], 0);
+        assert_eq!(
+            report.providers_matched_by_method[&MatchMethod::FullEmail],
+            1
+        );
+        assert_eq!(
+            report.providers_matched_by_method[&MatchMethod::EmailDomain],
+            0
+        );
         assert_eq!(report.single_method_matches, 1);
     }
 

@@ -108,10 +108,7 @@ mod tests {
 
     #[test]
     fn identical_groupings_match_exactly() {
-        let a = SiblingGroups::from_groups(vec![
-            ("p1", set(&[1, 2, 3])),
-            ("p2", set(&[10])),
-        ]);
+        let a = SiblingGroups::from_groups(vec![("p1", set(&[1, 2, 3])), ("p2", set(&[10]))]);
         let cmp = compare_groupings(&a, &a);
         assert_eq!(cmp.groups_compared, 2);
         assert_eq!(cmp.exact_matches, 2);
@@ -121,7 +118,8 @@ mod tests {
     #[test]
     fn partial_overlap_scores_between_zero_and_one() {
         let ours = SiblingGroups::from_groups(vec![("p1", set(&[1, 2, 3, 4]))]);
-        let reference = SiblingGroups::from_groups(vec![("org-a", set(&[1, 2])), ("org-b", set(&[9]))]);
+        let reference =
+            SiblingGroups::from_groups(vec![("org-a", set(&[1, 2])), ("org-b", set(&[9]))]);
         let cmp = compare_groupings(&ours, &reference);
         assert_eq!(cmp.exact_matches, 0);
         assert!(cmp.mean_jaccard > 0.0 && cmp.mean_jaccard < 1.0);

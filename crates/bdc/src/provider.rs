@@ -82,7 +82,10 @@ impl ProviderRegistry {
 
     /// Providers that file only satellite technologies.
     pub fn satellite_only_providers(&self) -> Vec<&Provider> {
-        self.providers.iter().filter(|p| p.satellite_only()).collect()
+        self.providers
+            .iter()
+            .filter(|p| p.satellite_only())
+            .collect()
     }
 }
 

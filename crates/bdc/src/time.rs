@@ -23,9 +23,7 @@ impl DayStamp {
         let years = (year - 2021).max(0) as u32;
         let month = month.clamp(1, 12);
         let mut days = years * 365;
-        for m in 0..(month - 1) as usize {
-            days += DAYS_PER_MONTH[m];
-        }
+        days += DAYS_PER_MONTH[..(month - 1) as usize].iter().sum::<u32>();
         let dim = DAYS_PER_MONTH[(month - 1) as usize];
         days += day.clamp(1, dim) - 1;
         DayStamp(days)
@@ -107,7 +105,14 @@ mod tests {
 
     #[test]
     fn year_month_round_trip() {
-        for (y, m) in [(2021, 10), (2022, 1), (2022, 6), (2022, 12), (2023, 2), (2023, 11)] {
+        for (y, m) in [
+            (2021, 10),
+            (2022, 1),
+            (2022, 6),
+            (2022, 12),
+            (2023, 2),
+            (2023, 11),
+        ] {
             let d = DayStamp::from_ymd(y, m, 15);
             assert_eq!(d.year_month(), (y, m), "date {y}-{m}");
         }

@@ -32,7 +32,9 @@ fn bench_figures(c: &mut Criterion) {
     group.bench_function("fig5c_roc_state_holdout", |b| {
         b.iter(|| black_box(exp::figure5c(&suite).auc))
     });
-    group.bench_function("fig6_major_isps", |b| b.iter(|| black_box(exp::figure6(&suite))));
+    group.bench_function("fig6_major_isps", |b| {
+        b.iter(|| black_box(exp::figure6(&suite)))
+    });
     group.bench_function("fig9_bsl_per_hex", |b| {
         b.iter(|| black_box(exp::figure9(&suite.world)))
     });

@@ -15,7 +15,9 @@ fn bench_tables(c: &mut Criterion) {
     let mut group = c.benchmark_group("tables");
     group.sample_size(10);
 
-    group.bench_function("table1_schema", |b| b.iter(|| black_box(exp::table1_schema())));
+    group.bench_function("table1_schema", |b| {
+        b.iter(|| black_box(exp::table1_schema()))
+    });
     group.bench_function("table2_challenge_outcomes", |b| {
         b.iter(|| black_box(exp::table2(&suite.world)))
     });
@@ -31,7 +33,9 @@ fn bench_tables(c: &mut Criterion) {
     group.bench_function("table7_by_technology", |b| {
         b.iter(|| black_box(exp::table7(&suite)))
     });
-    group.bench_function("table8_by_state", |b| b.iter(|| black_box(exp::table8(&suite))));
+    group.bench_function("table8_by_state", |b| {
+        b.iter(|| black_box(exp::table8(&suite)))
+    });
     group.finish();
 }
 

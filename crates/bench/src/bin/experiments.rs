@@ -48,9 +48,18 @@ fn main() {
     println!("{}", exp::figure2(world).render());
     println!("{}", exp::render_figure3(&exp::figure3(ctx)));
     println!("{}", exp::figure4(world, ctx).render());
-    print!("{}", exp::render_roc("Figure 5a (observation holdout)", exp::figure5a(&suite)));
-    print!("{}", exp::render_roc("Figure 5b (FCC-adjudicated holdout)", exp::figure5b(&suite)));
-    println!("{}", exp::render_roc("Figure 5c (state holdout)", exp::figure5c(&suite)));
+    print!(
+        "{}",
+        exp::render_roc("Figure 5a (observation holdout)", exp::figure5a(&suite))
+    );
+    print!(
+        "{}",
+        exp::render_roc("Figure 5b (FCC-adjudicated holdout)", exp::figure5b(&suite))
+    );
+    println!(
+        "{}",
+        exp::render_roc("Figure 5c (state holdout)", exp::figure5c(&suite))
+    );
     println!(
         "{}",
         exp::render_breakdowns(
@@ -76,7 +85,10 @@ fn main() {
     );
     println!(
         "{}",
-        exp::render_breakdowns("Table 8: classification by holdout state", &exp::table8(&suite))
+        exp::render_breakdowns(
+            "Table 8: classification by holdout state",
+            &exp::table8(&suite)
+        )
     );
     eprintln!("done.");
 }

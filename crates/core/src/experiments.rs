@@ -9,7 +9,7 @@ use std::collections::BTreeMap;
 
 use bdc::challenge::{outcome_distribution, reason_distribution, state_distribution};
 use bdc::{ChallengeOutcome, ChallengeReason, DayStamp, Technology};
-use ml::{summarize_attributions, explain_row, GbdtModel};
+use ml::{explain_row, summarize_attributions, GbdtModel};
 use serde::{Deserialize, Serialize};
 use synth::{SynthConfig, SynthUs};
 
@@ -288,7 +288,11 @@ fn breakdown_for_rows(
         };
         let entry = acc.entry(class).or_insert((0, 0.0, 0.0, 0.0, 0.0));
         entry.0 += 1;
-        let get = |f: Option<usize>| f.map(|i| ds.get(r, i) as f64).filter(|v| v.is_finite()).unwrap_or(0.0);
+        let get = |f: Option<usize>| {
+            f.map(|i| ds.get(r, i) as f64)
+                .filter(|v| v.is_finite())
+                .unwrap_or(0.0)
+        };
         entry.1 += get(f_ookla);
         entry.2 += get(f_mlab);
         entry.3 += get(f_down);
@@ -298,14 +302,15 @@ fn breakdown_for_rows(
     let rows_out = ["TN", "TP", "FN", "FP"]
         .iter()
         .filter_map(|class| {
-            acc.get(class).map(|(n, ookla, mlab, down, up)| ClassBreakdownRow {
-                class: class.to_string(),
-                share_pct: pct(*n, total),
-                mean_ookla_dev_per_loc: ookla / *n as f64,
-                mean_mlab_tests: mlab / *n as f64,
-                mean_max_down: down / *n as f64,
-                mean_max_up: up / *n as f64,
-            })
+            acc.get(class)
+                .map(|(n, ookla, mlab, down, up)| ClassBreakdownRow {
+                    class: class.to_string(),
+                    share_pct: pct(*n, total),
+                    mean_ookla_dev_per_loc: ookla / *n as f64,
+                    mean_mlab_tests: mlab / *n as f64,
+                    mean_max_down: down / *n as f64,
+                    mean_max_up: up / *n as f64,
+                })
         })
         .collect();
     GroupBreakdown {
@@ -360,7 +365,12 @@ pub fn render_breakdowns(title: &str, groups: &[GroupBreakdown]) -> String {
         for r in &g.rows {
             s.push_str(&format!(
                 "    {:<2} {:>5.1}%  ookla(dev/loc)={:<6.2} mlab={:<8.1} down={:<7.0} up={:<7.0}\n",
-                r.class, r.share_pct, r.mean_ookla_dev_per_loc, r.mean_mlab_tests, r.mean_max_down, r.mean_max_up
+                r.class,
+                r.share_pct,
+                r.mean_ookla_dev_per_loc,
+                r.mean_mlab_tests,
+                r.mean_max_down,
+                r.mean_max_up
             ));
         }
     }
@@ -433,7 +443,7 @@ pub struct Figure2 {
 pub fn figure2(world: &SynthUs) -> Figure2 {
     let dist = state_distribution(&world.challenges);
     let mut by_state: Vec<(String, usize)> = dist.into_iter().collect();
-    by_state.sort_by(|a, b| b.1.cmp(&a.1));
+    by_state.sort_by_key(|&(_, count)| std::cmp::Reverse(count));
     let total: usize = by_state.iter().map(|(_, c)| c).sum();
     let top10: usize = by_state.iter().take(10).map(|(_, c)| c).sum();
     Figure2 {
@@ -488,12 +498,8 @@ pub fn figure4(world: &SynthUs, ctx: &AnalysisContext) -> Figure4 {
     let claims = world.initial_release().locations_claimed_by_provider();
     let mut all: Vec<usize> = claims.values().copied().collect();
     all.sort_unstable();
-    let matched: std::collections::BTreeSet<u32> = ctx
-        .match_report
-        .provider_to_asns
-        .keys()
-        .copied()
-        .collect();
+    let matched: std::collections::BTreeSet<u32> =
+        ctx.match_report.provider_to_asns.keys().copied().collect();
     let mut unmatched: Vec<usize> = claims
         .iter()
         .filter(|(p, _)| !matched.contains(&p.value()))
@@ -582,12 +588,18 @@ pub struct Figure7 {
 pub fn figure7(world: &SynthUs, ctx: &AnalysisContext) -> Figure7 {
     let configs: [(&str, LabelingOptions); 4] = [
         ("challenges only", LabelingOptions::challenges_only()),
-        ("challenges + changes", LabelingOptions::challenges_and_changes()),
+        (
+            "challenges + changes",
+            LabelingOptions::challenges_and_changes(),
+        ),
         (
             "challenges + likely-served",
             LabelingOptions::challenges_and_likely_served(),
         ),
-        ("challenges + changes + likely-served", LabelingOptions::default()),
+        (
+            "challenges + changes + likely-served",
+            LabelingOptions::default(),
+        ),
     ];
     let states: Vec<String> = HOLDOUT_STATES.iter().map(|s| s.to_string()).collect();
     let rows = configs
@@ -761,7 +773,10 @@ pub fn render_figure10(rows: &[ml::FeatureImportance]) -> String {
 pub fn figure11(suite: &ExperimentSuite, row_in_test: usize) -> ml::Explanation {
     let rows = &suite.observation_holdout.test_rows;
     let r = rows[row_in_test % rows.len()];
-    explain_row(&suite.observation_holdout.model, suite.matrix.dataset.row(r))
+    explain_row(
+        &suite.observation_holdout.model,
+        suite.matrix.dataset.row(r),
+    )
 }
 
 /// Render Figure 11.
@@ -773,7 +788,8 @@ pub fn render_figure11(suite: &ExperimentSuite, exp: &ml::Explanation, top_n: us
     for (feature, contribution) in exp.ranked().into_iter().take(top_n) {
         s.push_str(&format!(
             "  {:<32} {:+.4}\n",
-            suite.matrix.dataset.feature_names()[feature], contribution
+            suite.matrix.dataset.feature_names()[feature],
+            contribution
         ));
     }
     s
@@ -795,7 +811,11 @@ mod tests {
 
         // Table 2: most challenges succeed.
         let t2 = table2(&s.world);
-        assert!((55.0..90.0).contains(&t2.successful_pct), "{}", t2.successful_pct);
+        assert!(
+            (55.0..90.0).contains(&t2.successful_pct),
+            "{}",
+            t2.successful_pct
+        );
 
         // Table 3: technology/speed dominate the reasons.
         let t3 = table3(&s.world);

@@ -161,7 +161,7 @@ pub fn build_features(
         if config.include_methodology {
             match embeddings.get(&obs.provider) {
                 Some(e) => row.extend(e.iter().copied()),
-                None => row.extend(std::iter::repeat(f32::NAN).take(config.embedding_dim)),
+                None => row.extend(std::iter::repeat_n(f32::NAN, config.embedding_dim)),
             }
         }
         dataset.push_row(&row, obs.label.as_target());

@@ -357,7 +357,10 @@ mod tests {
             balanced_frac < unbalanced_frac,
             "balanced {balanced_frac} vs unbalanced {unbalanced_frac}"
         );
-        assert!(unbalanced_frac > 0.8, "challenges+changes should be mostly unserved");
+        assert!(
+            unbalanced_frac > 0.8,
+            "challenges+changes should be mostly unserved"
+        );
     }
 
     #[test]
@@ -389,8 +392,7 @@ mod tests {
         let mut correct = 0usize;
         let mut total = 0usize;
         for obs in &labels {
-            if let Some(truly_served) =
-                world.is_truly_served(obs.provider, obs.hex, obs.technology)
+            if let Some(truly_served) = world.is_truly_served(obs.provider, obs.hex, obs.technology)
             {
                 total += 1;
                 let label_served = obs.label == Label::Served;

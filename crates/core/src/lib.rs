@@ -28,4 +28,7 @@ pub mod pipeline;
 pub use features::{FeatureConfig, FeatureMatrix};
 pub use labels::{Label, LabelSource, LabelingOptions, Observation};
 pub use model::{EvaluationResult, HoldoutStrategy};
-pub use pipeline::AnalysisContext;
+pub use pipeline::{
+    AnalysisContext, ExecutionMode, PipelineEngine, PipelineReport, PipelineRun, PipelineStage,
+    StageTiming,
+};

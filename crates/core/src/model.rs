@@ -69,7 +69,12 @@ pub fn default_params(seed: u64) -> GbdtParams {
 }
 
 /// Evaluate a trained model against a hold-out subset of the matrix.
-pub fn evaluate(model: &GbdtModel, matrix: &FeatureMatrix, rows: &[usize], seed: u64) -> EvaluationResult {
+pub fn evaluate(
+    model: &GbdtModel,
+    matrix: &FeatureMatrix,
+    rows: &[usize],
+    seed: u64,
+) -> EvaluationResult {
     let test = matrix.dataset.subset(rows);
     let probs = model.predict_dataset(&test);
     let baseline = RandomBaseline::fit(&test, seed).predict_dataset(&test);
@@ -97,9 +102,8 @@ pub fn run_holdout(
         HoldoutStrategy::AdjudicatedOnly { fraction } => {
             // Hold out a fraction of the FCC-adjudicated observations; train
             // on everything else.
-            let adjudicated: Vec<usize> = matrix.rows_where(|o| {
-                matches!(o.source, LabelSource::Challenge { adjudicated: true })
-            });
+            let adjudicated: Vec<usize> = matrix
+                .rows_where(|o| matches!(o.source, LabelSource::Challenge { adjudicated: true }));
             let (_, held) = train_test_split(adjudicated.len(), *fraction, params.seed);
             let held: HashSet<usize> = held.into_iter().map(|i| adjudicated[i]).collect();
             let train: Vec<usize> = (0..n).filter(|i| !held.contains(i)).collect();
@@ -175,7 +179,11 @@ mod tests {
         for &r in &outcome.test_rows {
             assert!(["NE", "GA", "OK"].contains(&m.observations[r].state.as_str()));
         }
-        assert!(outcome.evaluation.auc > 0.8, "state-holdout AUC {}", outcome.evaluation.auc);
+        assert!(
+            outcome.evaluation.auc > 0.8,
+            "state-holdout AUC {}",
+            outcome.evaluation.auc
+        );
     }
 
     #[test]
@@ -196,6 +204,10 @@ mod tests {
         // (claims the FCC could not find enough evidence against); the paper
         // also reports degraded performance here. The model must still beat
         // chance clearly.
-        assert!(outcome.evaluation.auc > 0.55, "auc {}", outcome.evaluation.auc);
+        assert!(
+            outcome.evaluation.auc > 0.55,
+            "auc {}",
+            outcome.evaluation.auc
+        );
     }
 }

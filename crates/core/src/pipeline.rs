@@ -1,20 +1,348 @@
-//! The prepared analysis context: everything that has to be computed once
-//! before labels and features can be built.
+//! The staged pipeline engine: everything that has to be computed once before
+//! labels and features can be built, expressed as named, independently
+//! runnable stages with recorded wall-clock timings.
+//!
+//! The data-preparation half of the paper (§4.1–4.2) decomposes into five
+//! stages with a small dependency graph:
+//!
+//! ```text
+//! AsnMatching ──────────────► MlabAttribution ─┐
+//! OoklaReprojection ────────► CoverageScoring ─┼─► AnalysisContext
+//! MethodologyCollection ───────────────────────┘
+//! ```
+//!
+//! The three chains share no intermediate data, so [`PipelineEngine`] runs
+//! them concurrently by default (scoped threads; no external runtime). Every
+//! stage is a pure function of its inputs, which makes parallel execution
+//! produce *identical* results to sequential execution — a property asserted
+//! by the `parallel_matches_sequential` test below via
+//! [`AnalysisContext::canonical_fingerprint`].
 
 use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::hash::{Hash, Hasher};
+use std::time::{Duration, Instant};
 
 use asnmap::{MatchReport, ProviderAsnMatcher};
 use bdc::{Asn, ProviderId};
 use hexgrid::{HexCell, NBM_RESOLUTION};
-use speedtest::{attribute_mlab_tests, coverage_scores, CoverageScore, OoklaHexAggregate, ProviderHexTests};
+use speedtest::{
+    attribute_mlab_tests, coverage_scores, CoverageScore, OoklaHexAggregate, ProviderHexTests,
+};
 use synth::SynthUs;
 
 use crate::labels::{build_labels, LabelInputs, LabelingOptions, Observation};
+
+/// The named stages of the preparation pipeline, in canonical (sequential)
+/// execution order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum PipelineStage {
+    /// Provider→ASN matching: FRN registrations joined against WHOIS.
+    AsnMatching,
+    /// Ookla open-data tiles re-projected onto resolution-8 hexes.
+    OoklaReprojection,
+    /// Per-hex service coverage scores (devices per BSL), sorted descending.
+    CoverageScoring,
+    /// MLab tests attributed to providers and localised to claimed hexes.
+    MlabAttribution,
+    /// Each provider's filing methodology text, collected for embedding.
+    MethodologyCollection,
+}
+
+impl PipelineStage {
+    /// All stages in canonical order.
+    pub const ALL: [PipelineStage; 5] = [
+        PipelineStage::AsnMatching,
+        PipelineStage::OoklaReprojection,
+        PipelineStage::CoverageScoring,
+        PipelineStage::MlabAttribution,
+        PipelineStage::MethodologyCollection,
+    ];
+
+    /// Stable snake_case name, used in reports and benchmarks.
+    pub fn name(self) -> &'static str {
+        match self {
+            PipelineStage::AsnMatching => "asn_matching",
+            PipelineStage::OoklaReprojection => "ookla_reprojection",
+            PipelineStage::CoverageScoring => "coverage_scoring",
+            PipelineStage::MlabAttribution => "mlab_attribution",
+            PipelineStage::MethodologyCollection => "methodology_collection",
+        }
+    }
+}
+
+/// How the engine schedules independent stages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecutionMode {
+    /// Run every stage on the calling thread in canonical order.
+    Sequential,
+    /// Run the three independent stage chains on scoped threads (default).
+    #[default]
+    Parallel,
+}
+
+/// Wall-clock timing of one executed stage.
+#[derive(Debug, Clone, Copy)]
+pub struct StageTiming {
+    pub stage: PipelineStage,
+    pub wall: Duration,
+}
+
+/// Execution report: which mode ran, per-stage wall-clock, and the end-to-end
+/// wall-clock (which is less than the stage sum under parallel execution).
+#[derive(Debug, Clone)]
+pub struct PipelineReport {
+    /// The mode the engine was configured with.
+    pub mode: ExecutionMode,
+    /// The schedule that actually ran: `Parallel` degrades to `Sequential`
+    /// on single-core hosts, and timing comparisons are only meaningful
+    /// against what executed.
+    pub executed: ExecutionMode,
+    /// One entry per stage, in canonical stage order.
+    pub timings: Vec<StageTiming>,
+    pub total_wall: Duration,
+}
+
+impl PipelineReport {
+    /// Wall-clock of a specific stage, if it ran.
+    pub fn wall_for(&self, stage: PipelineStage) -> Option<Duration> {
+        self.timings
+            .iter()
+            .find(|t| t.stage == stage)
+            .map(|t| t.wall)
+    }
+
+    /// Sum of all stage wall-clocks (the sequential-equivalent work).
+    pub fn stage_sum(&self) -> Duration {
+        self.timings.iter().map(|t| t.wall).sum()
+    }
+}
+
+/// A finished pipeline run: the prepared context plus its execution report.
+#[derive(Debug)]
+pub struct PipelineRun {
+    pub context: AnalysisContext,
+    pub report: PipelineReport,
+}
+
+/// The staged, parallel-by-default execution engine for the preparation half
+/// of the pipeline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PipelineEngine {
+    mode: ExecutionMode,
+}
+
+impl PipelineEngine {
+    /// Engine with an explicit execution mode.
+    pub fn new(mode: ExecutionMode) -> Self {
+        Self { mode }
+    }
+
+    /// Engine running stages sequentially on the calling thread.
+    pub fn sequential() -> Self {
+        Self::new(ExecutionMode::Sequential)
+    }
+
+    /// Engine running independent stage chains concurrently (the default).
+    pub fn parallel() -> Self {
+        Self::new(ExecutionMode::Parallel)
+    }
+
+    /// The configured execution mode.
+    pub fn mode(&self) -> ExecutionMode {
+        self.mode
+    }
+
+    /// Run all five stages over a world and return the prepared context with
+    /// its timing report.
+    ///
+    /// `Parallel` mode degrades to the sequential schedule on single-core
+    /// hosts, where spawning chain threads is pure overhead; both schedules
+    /// produce identical contexts, so this is purely a scheduling decision.
+    pub fn run(&self, world: &SynthUs) -> PipelineRun {
+        let start = Instant::now();
+        let multicore = std::thread::available_parallelism()
+            .map(|n| n.get() > 1)
+            .unwrap_or(false);
+        let executed = match self.mode {
+            ExecutionMode::Parallel if multicore => ExecutionMode::Parallel,
+            _ => ExecutionMode::Sequential,
+        };
+        let (context, mut timings) = match executed {
+            ExecutionMode::Parallel => run_parallel(world),
+            ExecutionMode::Sequential => run_sequential(world),
+        };
+        timings.sort_by_key(|t| t.stage);
+        PipelineRun {
+            context,
+            report: PipelineReport {
+                mode: self.mode,
+                executed,
+                timings,
+                total_wall: start.elapsed(),
+            },
+        }
+    }
+}
+
+/// Time one stage's body.
+fn timed<T>(stage: PipelineStage, f: impl FnOnce() -> T) -> (T, StageTiming) {
+    let start = Instant::now();
+    let out = f();
+    (
+        out,
+        StageTiming {
+            stage,
+            wall: start.elapsed(),
+        },
+    )
+}
+
+// ---------------------------------------------------------------------------
+// The stages. Each is a pure, independently runnable function of its inputs.
+
+/// [`PipelineStage::AsnMatching`]: run the four matching methods and lift the
+/// result into typed ids.
+pub fn stage_asn_matching(world: &SynthUs) -> (MatchReport, BTreeMap<ProviderId, BTreeSet<Asn>>) {
+    let matcher = ProviderAsnMatcher::new(world.registrations.clone());
+    let match_report = matcher.run(&world.whois);
+    let provider_asns = match_report
+        .provider_to_asns
+        .iter()
+        .map(|(p, asns)| {
+            (
+                ProviderId(*p),
+                asns.iter().map(|a| Asn(*a)).collect::<BTreeSet<Asn>>(),
+            )
+        })
+        .collect();
+    (match_report, provider_asns)
+}
+
+/// [`PipelineStage::OoklaReprojection`]: re-project Ookla quadkey tiles onto
+/// resolution-8 hexes.
+pub fn stage_ookla_reprojection(world: &SynthUs) -> HashMap<HexCell, OoklaHexAggregate> {
+    world.ookla.aggregate_to_hexes(NBM_RESOLUTION)
+}
+
+/// [`PipelineStage::CoverageScoring`]: per-hex devices-per-BSL coverage
+/// scores, sorted descending.
+pub fn stage_coverage_scoring(
+    world: &SynthUs,
+    ookla_by_hex: &HashMap<HexCell, OoklaHexAggregate>,
+) -> Vec<CoverageScore> {
+    coverage_scores(ookla_by_hex, &world.fabric)
+}
+
+/// [`PipelineStage::MlabAttribution`]: attribute MLab tests to providers via
+/// the ASN mapping and localise them within each claimed footprint.
+pub fn stage_mlab_attribution(
+    world: &SynthUs,
+    provider_asns: &BTreeMap<ProviderId, BTreeSet<Asn>>,
+) -> ProviderHexTests {
+    let claimed_hexes: BTreeMap<ProviderId, BTreeSet<HexCell>> = provider_asns
+        .keys()
+        .map(|p| (*p, world.initial_release().hexes_claimed_by(*p)))
+        .collect();
+    attribute_mlab_tests(&world.mlab, provider_asns, &claimed_hexes, NBM_RESOLUTION)
+}
+
+/// [`PipelineStage::MethodologyCollection`]: each provider's filing
+/// methodology text.
+pub fn stage_methodology_collection(world: &SynthUs) -> BTreeMap<ProviderId, String> {
+    world
+        .filings
+        .iter()
+        .map(|f| (f.provider, f.methodology.clone()))
+        .collect()
+}
+
+fn run_sequential(world: &SynthUs) -> (AnalysisContext, Vec<StageTiming>) {
+    let ((match_report, provider_asns), t_asn) =
+        timed(PipelineStage::AsnMatching, || stage_asn_matching(world));
+    let (ookla_by_hex, t_ookla) = timed(PipelineStage::OoklaReprojection, || {
+        stage_ookla_reprojection(world)
+    });
+    let (coverage, t_cov) = timed(PipelineStage::CoverageScoring, || {
+        stage_coverage_scoring(world, &ookla_by_hex)
+    });
+    let (mlab_evidence, t_mlab) = timed(PipelineStage::MlabAttribution, || {
+        stage_mlab_attribution(world, &provider_asns)
+    });
+    let (methodologies, t_meth) = timed(PipelineStage::MethodologyCollection, || {
+        stage_methodology_collection(world)
+    });
+    (
+        AnalysisContext {
+            match_report,
+            provider_asns,
+            ookla_by_hex,
+            coverage,
+            mlab_evidence,
+            methodologies,
+        },
+        vec![t_asn, t_ookla, t_cov, t_mlab, t_meth],
+    )
+}
+
+fn run_parallel(world: &SynthUs) -> (AnalysisContext, Vec<StageTiming>) {
+    // Three independent chains:
+    //   A: AsnMatching → MlabAttribution   (heaviest)
+    //   B: OoklaReprojection → CoverageScoring
+    //   C: MethodologyCollection           (trivial)
+    // Chains only read the (shared) world; each stage body is identical to
+    // the sequential path, so the assembled context is identical too.
+    std::thread::scope(|scope| {
+        let chain_a = scope.spawn(|| {
+            let ((match_report, provider_asns), t_asn) =
+                timed(PipelineStage::AsnMatching, || stage_asn_matching(world));
+            let (mlab_evidence, t_mlab) = timed(PipelineStage::MlabAttribution, || {
+                stage_mlab_attribution(world, &provider_asns)
+            });
+            (match_report, provider_asns, mlab_evidence, [t_asn, t_mlab])
+        });
+        let chain_b = scope.spawn(|| {
+            let (ookla_by_hex, t_ookla) = timed(PipelineStage::OoklaReprojection, || {
+                stage_ookla_reprojection(world)
+            });
+            let (coverage, t_cov) = timed(PipelineStage::CoverageScoring, || {
+                stage_coverage_scoring(world, &ookla_by_hex)
+            });
+            (ookla_by_hex, coverage, [t_ookla, t_cov])
+        });
+        // The trivial chain runs inline on the calling thread.
+        let (methodologies, t_meth) = timed(PipelineStage::MethodologyCollection, || {
+            stage_methodology_collection(world)
+        });
+
+        let (match_report, provider_asns, mlab_evidence, ta) =
+            chain_a.join().expect("ASN/MLab pipeline chain panicked");
+        let (ookla_by_hex, coverage, tb) = chain_b
+            .join()
+            .expect("Ookla/coverage pipeline chain panicked");
+
+        let mut timings = Vec::with_capacity(5);
+        timings.extend(ta);
+        timings.extend(tb);
+        timings.push(t_meth);
+        (
+            AnalysisContext {
+                match_report,
+                provider_asns,
+                ookla_by_hex,
+                coverage,
+                mlab_evidence,
+                methodologies,
+            },
+            timings,
+        )
+    })
+}
 
 /// Intermediate products of the pipeline that are shared by labelling, feature
 /// engineering and several experiments: the provider→ASN match report, the
 /// per-hex Ookla aggregates and coverage scores, and the attributed MLab
 /// evidence.
+#[derive(Debug)]
 pub struct AnalysisContext {
     /// Result of running the four matching methods.
     pub match_report: MatchReport,
@@ -31,48 +359,10 @@ pub struct AnalysisContext {
 }
 
 impl AnalysisContext {
-    /// Run the data-preparation half of the pipeline (§4.1–4.2) over a world.
+    /// Run the data-preparation half of the pipeline (§4.1–4.2) over a world
+    /// with the default (parallel) engine.
     pub fn prepare(world: &SynthUs) -> Self {
-        // Provider → ASN matching.
-        let matcher = ProviderAsnMatcher::new(world.registrations.clone());
-        let match_report = matcher.run(&world.whois);
-        let provider_asns: BTreeMap<ProviderId, BTreeSet<Asn>> = match_report
-            .provider_to_asns
-            .iter()
-            .map(|(p, asns)| {
-                (
-                    ProviderId(*p),
-                    asns.iter().map(|a| Asn(*a)).collect::<BTreeSet<Asn>>(),
-                )
-            })
-            .collect();
-
-        // Ookla re-projection and coverage scores.
-        let ookla_by_hex = world.ookla.aggregate_to_hexes(NBM_RESOLUTION);
-        let coverage = coverage_scores(&ookla_by_hex, &world.fabric);
-
-        // MLab attribution against each provider's claimed footprint.
-        let claimed_hexes: BTreeMap<ProviderId, BTreeSet<HexCell>> = provider_asns
-            .keys()
-            .map(|p| (*p, world.initial_release().hexes_claimed_by(*p)))
-            .collect();
-        let mlab_evidence =
-            attribute_mlab_tests(&world.mlab, &provider_asns, &claimed_hexes, NBM_RESOLUTION);
-
-        let methodologies = world
-            .filings
-            .iter()
-            .map(|f| (f.provider, f.methodology.clone()))
-            .collect();
-
-        Self {
-            match_report,
-            provider_asns,
-            ookla_by_hex,
-            coverage,
-            mlab_evidence,
-            methodologies,
-        }
+        PipelineEngine::default().run(world).context
     }
 
     /// Build labelled observations for a world with the given options.
@@ -96,6 +386,69 @@ impl AnalysisContext {
             .filter(|p| self.mlab_evidence.total_for(**p) > 0.0)
             .count()
     }
+
+    /// An order-independent digest of every field, for asserting that two
+    /// contexts are identical (e.g. parallel vs sequential execution).
+    ///
+    /// Hash-map contents are folded in sorted order and floats are hashed by
+    /// their exact bit patterns, so two contexts fingerprint equal iff every
+    /// value in every field is bit-identical.
+    pub fn canonical_fingerprint(&self) -> u64 {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+
+        let mr = &self.match_report;
+        mr.providers_matched_by_method.len().hash(&mut h);
+        for (m, n) in &mr.providers_matched_by_method {
+            format!("{m:?}").hash(&mut h);
+            n.hash(&mut h);
+        }
+        mr.provider_to_asns.hash(&mut h);
+        for (m, mapping) in &mr.per_method {
+            format!("{m:?}").hash(&mut h);
+            mapping.hash(&mut h);
+        }
+        (
+            mr.total_providers,
+            mr.strong_matches,
+            mr.partial_matches,
+            mr.single_method_matches,
+            mr.shared_asns,
+        )
+            .hash(&mut h);
+
+        self.provider_asns.hash(&mut h);
+
+        let mut ookla: Vec<(&HexCell, &OoklaHexAggregate)> = self.ookla_by_hex.iter().collect();
+        ookla.sort_by_key(|(hex, _)| *hex);
+        for (hex, agg) in ookla {
+            hex.hash(&mut h);
+            for v in [
+                agg.tests,
+                agg.devices,
+                agg.max_avg_download_kbps,
+                agg.max_avg_upload_kbps,
+                agg.min_latency_ms,
+            ] {
+                v.to_bits().hash(&mut h);
+            }
+        }
+
+        for c in &self.coverage {
+            c.hex.hash(&mut h);
+            c.devices.to_bits().hash(&mut h);
+            c.bsls.hash(&mut h);
+            c.score.to_bits().hash(&mut h);
+        }
+
+        let mut evidence: Vec<(ProviderId, HexCell, f64)> = self.mlab_evidence.iter().collect();
+        evidence.sort_by_key(|(p, hex, _)| (*p, *hex));
+        for (p, hex, count) in evidence {
+            (p, hex, count.to_bits()).hash(&mut h);
+        }
+
+        self.methodologies.hash(&mut h);
+        h.finish()
+    }
 }
 
 #[cfg(test)]
@@ -109,7 +462,10 @@ mod tests {
         let ctx = AnalysisContext::prepare(&world);
         // A healthy majority of providers should match to ASNs.
         let match_rate = ctx.match_report.match_rate();
-        assert!(match_rate > 0.5 && match_rate <= 1.0, "match rate {match_rate}");
+        assert!(
+            match_rate > 0.5 && match_rate <= 1.0,
+            "match rate {match_rate}"
+        );
         // Coverage scores exist and are sorted descending.
         assert!(!ctx.coverage.is_empty());
         for w in ctx.coverage.windows(2) {
@@ -142,5 +498,80 @@ mod tests {
             agree as f64 / total as f64 > 0.9,
             "only {agree}/{total} matched providers overlap the truth"
         );
+    }
+
+    #[test]
+    fn engine_records_timings_for_every_stage() {
+        let world = SynthUs::generate(&SynthConfig::tiny(9));
+        for engine in [PipelineEngine::sequential(), PipelineEngine::parallel()] {
+            let run = engine.run(&world);
+            assert_eq!(run.report.mode, engine.mode());
+            // `executed` reflects the schedule that actually ran: Sequential
+            // always executes sequentially; Parallel only executes the
+            // threaded schedule on multicore hosts.
+            let multicore = std::thread::available_parallelism()
+                .map(|n| n.get() > 1)
+                .unwrap_or(false);
+            match engine.mode() {
+                ExecutionMode::Sequential => {
+                    assert_eq!(run.report.executed, ExecutionMode::Sequential)
+                }
+                ExecutionMode::Parallel => assert_eq!(
+                    run.report.executed == ExecutionMode::Parallel,
+                    multicore,
+                    "executed schedule must track core availability"
+                ),
+            }
+            assert_eq!(run.report.timings.len(), PipelineStage::ALL.len());
+            for (timing, expected) in run.report.timings.iter().zip(PipelineStage::ALL) {
+                assert_eq!(timing.stage, expected, "timings not in canonical order");
+            }
+            for stage in PipelineStage::ALL {
+                assert!(
+                    run.report.wall_for(stage).is_some(),
+                    "{} missing",
+                    stage.name()
+                );
+            }
+            // Total wall-clock is bounded by the sum of the stage timings
+            // (parallel overlap can only shrink it) and is non-trivial.
+            assert!(
+                run.report.total_wall >= run.report.wall_for(PipelineStage::AsnMatching).unwrap()
+            );
+            assert!(run.report.stage_sum() > Duration::ZERO);
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let world = SynthUs::generate(&SynthConfig::tiny(9));
+        // Call the schedules directly (not `run`, which may degrade Parallel
+        // to the sequential schedule on single-core hosts) so the threaded
+        // path is exercised on any machine.
+        let (seq, _) = run_sequential(&world);
+        let (par, _) = run_parallel(&world);
+        assert_eq!(
+            seq.canonical_fingerprint(),
+            par.canonical_fingerprint(),
+            "parallel execution must produce bit-identical results"
+        );
+        // Fingerprints are not vacuous: a different seed fingerprints differently.
+        let other = AnalysisContext::prepare(&SynthUs::generate(&SynthConfig::tiny(10)));
+        assert_ne!(seq.canonical_fingerprint(), other.canonical_fingerprint());
+    }
+
+    #[test]
+    fn stages_are_independently_runnable() {
+        let world = SynthUs::generate(&SynthConfig::tiny(9));
+        // Chain B alone.
+        let ookla = stage_ookla_reprojection(&world);
+        let coverage = stage_coverage_scoring(&world, &ookla);
+        assert!(!coverage.is_empty());
+        // Chain A alone.
+        let (_, provider_asns) = stage_asn_matching(&world);
+        let evidence = stage_mlab_attribution(&world, &provider_asns);
+        assert!(!evidence.is_empty());
+        // Chain C alone.
+        assert!(!stage_methodology_collection(&world).is_empty());
     }
 }

@@ -111,7 +111,9 @@ mod tests {
         let t = Tokenizer::default();
         let tokens = t.weighted_tokens("fiber routes");
         assert!(tokens.iter().any(|(s, w)| s == "u:fiber" && *w == 1.0));
-        assert!(tokens.iter().any(|(s, w)| s == "b:fiber_routes" && *w == 0.7));
+        assert!(tokens
+            .iter()
+            .any(|(s, w)| s == "b:fiber_routes" && *w == 0.7));
         assert!(tokens.iter().any(|(s, _)| s.starts_with("t:")));
     }
 

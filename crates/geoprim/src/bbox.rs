@@ -58,7 +58,10 @@ impl BoundingBox {
 
     /// True when `p` lies inside or on the boundary of the box.
     pub fn contains(&self, p: &LatLng) -> bool {
-        p.lat >= self.min_lat && p.lat <= self.max_lat && p.lng >= self.min_lng && p.lng <= self.max_lng
+        p.lat >= self.min_lat
+            && p.lat <= self.max_lat
+            && p.lng >= self.min_lng
+            && p.lng <= self.max_lng
     }
 
     /// True when the two boxes share any point.

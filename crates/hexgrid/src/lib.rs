@@ -37,91 +37,128 @@ pub use reproject::{cover_tile_with_hexes, reproject_to_hexes};
 
 #[cfg(test)]
 mod proptests {
+    //! Property-style tests over seeded random inputs. The environment has no
+    //! registry access for the real `proptest`, so each property is checked
+    //! over a deterministic sample of the input space instead of a shrinking
+    //! search; the invariants are unchanged.
+
     use super::*;
     use geoprim::LatLng;
-    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    const CASES: usize = 250;
 
     /// Latitude range where the US (including Alaska) lives; the grid is only
     /// exercised there by the pipeline.
-    fn us_latlng() -> impl Strategy<Value = LatLng> {
-        (18.0f64..71.5, -179.0f64..-65.0).prop_map(|(lat, lng)| LatLng::new(lat, lng))
+    fn us_latlng(rng: &mut StdRng) -> LatLng {
+        LatLng::new(rng.gen_range(18.0..71.5), rng.gen_range(-179.0..-65.0))
     }
 
-    proptest! {
-        /// A cell's centroid must map back to the same cell at the same
-        /// resolution — the fundamental round-trip invariant of any DGGS.
-        #[test]
-        fn centroid_round_trips(p in us_latlng(), res in 0u8..=10) {
-            let res = Resolution::new(res).unwrap();
+    /// A cell's centroid must map back to the same cell at the same
+    /// resolution — the fundamental round-trip invariant of any DGGS.
+    #[test]
+    fn centroid_round_trips() {
+        let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+        for _ in 0..CASES {
+            let p = us_latlng(&mut rng);
+            let res = Resolution::new(rng.gen_range(0..=10u8)).unwrap();
             let cell = HexCell::containing(&p, res);
             let back = HexCell::containing(&cell.center(), res);
-            prop_assert_eq!(cell, back);
+            assert_eq!(cell, back, "centroid of {cell:?} left the cell");
         }
+    }
 
-        /// Packing and unpacking a cell index is lossless.
-        #[test]
-        fn index_round_trips(p in us_latlng(), res in 0u8..=12) {
-            let res = Resolution::new(res).unwrap();
+    /// Packing and unpacking a cell index is lossless.
+    #[test]
+    fn index_round_trips() {
+        let mut rng = StdRng::seed_from_u64(0xBEEF);
+        for _ in 0..CASES {
+            let p = us_latlng(&mut rng);
+            let res = Resolution::new(rng.gen_range(0..=12u8)).unwrap();
             let cell = HexCell::containing(&p, res);
             let reconstructed = HexCell::from_index(cell.index()).unwrap();
-            prop_assert_eq!(cell, reconstructed);
-            prop_assert_eq!(reconstructed.resolution(), res);
+            assert_eq!(cell, reconstructed);
+            assert_eq!(reconstructed.resolution(), res);
         }
+    }
 
-        /// The generating point is always inside (or on the boundary of) the
-        /// cell's hexagonal boundary polygon, within a small tolerance ring.
-        #[test]
-        fn point_near_boundary_center(p in us_latlng()) {
+    /// The generating point is always inside (or on the boundary of) the
+    /// cell's hexagonal boundary polygon, within a small tolerance ring.
+    #[test]
+    fn point_near_boundary_center() {
+        let mut rng = StdRng::seed_from_u64(0xF00D);
+        for _ in 0..CASES {
+            let p = us_latlng(&mut rng);
             let cell = HexCell::containing(&p, NBM_RESOLUTION);
             let d = cell.center().haversine_km(&p);
             // Circumradius of a res-8 cell is ~0.53 km; allow slack for the
             // projection distortion at high latitude.
-            prop_assert!(d < 1.6, "point {} was {} km from centroid", p, d);
+            assert!(d < 1.6, "point {p:?} was {d} km from centroid");
         }
+    }
 
-        /// grid_disk(k) always contains the origin cell and grows with k.
-        #[test]
-        fn grid_disk_contains_origin(p in us_latlng(), k in 0usize..4) {
+    /// grid_disk(k) always contains the origin cell and grows with k.
+    #[test]
+    fn grid_disk_contains_origin() {
+        let mut rng = StdRng::seed_from_u64(0xD15C);
+        for _ in 0..60 {
+            let p = us_latlng(&mut rng);
+            let k = rng.gen_range(0..4usize);
             let cell = HexCell::containing(&p, NBM_RESOLUTION);
             let disk = cell.grid_disk(k);
-            prop_assert!(disk.contains(&cell));
+            assert!(disk.contains(&cell));
             let bigger = cell.grid_disk(k + 1);
-            prop_assert!(bigger.len() > disk.len());
+            assert!(bigger.len() > disk.len());
             for c in &disk {
-                prop_assert!(bigger.contains(c));
+                assert!(bigger.contains(c));
             }
         }
+    }
 
-        /// The parent of a cell is the cell at the coarser resolution that
-        /// contains the child's centroid.
-        #[test]
-        fn parent_contains_child_centroid(p in us_latlng(), res in 1u8..=10) {
-            let res = Resolution::new(res).unwrap();
+    /// The parent of a cell is the cell at the coarser resolution that
+    /// contains the child's centroid.
+    #[test]
+    fn parent_contains_child_centroid() {
+        let mut rng = StdRng::seed_from_u64(0xAB1E);
+        for _ in 0..CASES {
+            let p = us_latlng(&mut rng);
+            let res = Resolution::new(rng.gen_range(1..=10u8)).unwrap();
             let cell = HexCell::containing(&p, res);
             let parent = cell.parent().unwrap();
-            prop_assert_eq!(parent.resolution().level(), res.level() - 1);
+            assert_eq!(parent.resolution().level(), res.level() - 1);
             let expected = HexCell::containing(&cell.center(), parent.resolution());
-            prop_assert_eq!(parent, expected);
+            assert_eq!(parent, expected);
         }
+    }
 
-        /// Quadkey string encode/decode round-trips.
-        #[test]
-        fn quadkey_string_round_trips(p in us_latlng(), zoom in 1u8..=20) {
+    /// Quadkey string encode/decode round-trips.
+    #[test]
+    fn quadkey_string_round_trips() {
+        let mut rng = StdRng::seed_from_u64(0x9E0);
+        for _ in 0..CASES {
+            let p = us_latlng(&mut rng);
+            let zoom = rng.gen_range(1..=20u8);
             let tile = QuadTile::containing(&p, zoom);
             let key = tile.quadkey();
-            prop_assert_eq!(key.len(), zoom as usize);
+            assert_eq!(key.len(), zoom as usize);
             let back = QuadTile::from_quadkey(&key).unwrap();
-            prop_assert_eq!(tile, back);
+            assert_eq!(tile, back);
         }
+    }
 
-        /// A tile's centre is inside its own bounds, and the containing tile of
-        /// the centre is the tile itself.
-        #[test]
-        fn quadtile_center_round_trips(p in us_latlng(), zoom in 1u8..=20) {
+    /// A tile's centre is inside its own bounds, and the containing tile of
+    /// the centre is the tile itself.
+    #[test]
+    fn quadtile_center_round_trips() {
+        let mut rng = StdRng::seed_from_u64(0x7EA);
+        for _ in 0..CASES {
+            let p = us_latlng(&mut rng);
+            let zoom = rng.gen_range(1..=20u8);
             let tile = QuadTile::containing(&p, zoom);
             let c = tile.center();
-            prop_assert!(tile.bounds().contains(&c));
-            prop_assert_eq!(QuadTile::containing(&c, zoom), tile);
+            assert!(tile.bounds().contains(&c));
+            assert_eq!(QuadTile::containing(&c, zoom), tile);
         }
     }
 }

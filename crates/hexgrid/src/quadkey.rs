@@ -36,7 +36,9 @@ pub enum QuadkeyError {
 impl std::fmt::Display for QuadkeyError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            QuadkeyError::BadLength(n) => write!(f, "quadkey length {n} out of range 1..={MAX_ZOOM}"),
+            QuadkeyError::BadLength(n) => {
+                write!(f, "quadkey length {n} out of range 1..={MAX_ZOOM}")
+            }
             QuadkeyError::BadDigit(c) => write!(f, "invalid quadkey digit '{c}'"),
         }
     }
@@ -165,8 +167,16 @@ impl QuadTile {
         let (x, y) = (self.x * 2, self.y * 2);
         Some([
             QuadTile { x, y, zoom: z },
-            QuadTile { x: x + 1, y, zoom: z },
-            QuadTile { x, y: y + 1, zoom: z },
+            QuadTile {
+                x: x + 1,
+                y,
+                zoom: z,
+            },
+            QuadTile {
+                x,
+                y: y + 1,
+                zoom: z,
+            },
             QuadTile {
                 x: x + 1,
                 y: y + 1,

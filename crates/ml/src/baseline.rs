@@ -34,7 +34,9 @@ impl RandomBaseline {
     /// is 0.5.
     pub fn predict_dataset(&self, data: &Dataset) -> Vec<f64> {
         let mut rng = StdRng::seed_from_u64(self.seed);
-        (0..data.n_rows()).map(|_| rng.gen_range(0.0..1.0)).collect()
+        (0..data.n_rows())
+            .map(|_| rng.gen_range(0.0..1.0))
+            .collect()
     }
 
     /// Hard 0/1 predictions drawn with probability equal to the training
@@ -42,7 +44,13 @@ impl RandomBaseline {
     pub fn predict_labels(&self, data: &Dataset) -> Vec<f32> {
         let mut rng = StdRng::seed_from_u64(self.seed.wrapping_add(1));
         (0..data.n_rows())
-            .map(|_| if rng.gen_bool(self.positive_rate.clamp(0.0, 1.0)) { 1.0 } else { 0.0 })
+            .map(|_| {
+                if rng.gen_bool(self.positive_rate.clamp(0.0, 1.0)) {
+                    1.0
+                } else {
+                    0.0
+                }
+            })
             .collect()
     }
 }

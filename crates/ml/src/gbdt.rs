@@ -135,20 +135,22 @@ impl GbdtModel {
                 params.tree_params(),
             );
             tree.scale_values(params.learning_rate);
-            for i in 0..n {
-                margins[i] += tree.predict_row(train.row(i));
+            for (i, margin) in margins.iter_mut().enumerate().take(n) {
+                *margin += tree.predict_row(train.row(i));
             }
             if let (Some(val), Some(vm)) = (validation, val_margins.as_mut()) {
-                for i in 0..val.n_rows() {
-                    vm[i] += tree.predict_row(val.row(i));
+                for (i, margin) in vm.iter_mut().enumerate().take(val.n_rows()) {
+                    *margin += tree.predict_row(val.row(i));
                 }
             }
             trees.push(tree);
 
             // Early stopping on validation log-loss.
-            if let (Some(val), Some(vm), Some(patience)) =
-                (validation, val_margins.as_ref(), params.early_stopping_rounds)
-            {
+            if let (Some(val), Some(vm), Some(patience)) = (
+                validation,
+                val_margins.as_ref(),
+                params.early_stopping_rounds,
+            ) {
                 let probs: Vec<f64> = vm.iter().map(|&m| sigmoid(m)).collect();
                 let loss = log_loss(val.labels(), &probs);
                 if loss + 1e-9 < best_val_loss {
@@ -230,7 +232,11 @@ mod tests {
             let x0: f32 = rng.gen_range(0.0..1.0);
             let x1: f32 = rng.gen_range(0.0..1.0);
             let noise: f32 = rng.gen_range(0.0..1.0);
-            let label = if (x0 > 0.6 && x1 > 0.3) || x1 > 0.85 { 1.0 } else { 0.0 };
+            let label = if (x0 > 0.6 && x1 > 0.3) || x1 > 0.85 {
+                1.0
+            } else {
+                0.0
+            };
             d.push_row(&[x0, x1, noise], label);
         }
         d
@@ -309,7 +315,11 @@ mod tests {
             ..quick_params()
         };
         let model = GbdtModel::fit_with_validation(&train, Some(&valid), params);
-        assert!(model.n_trees() < 200, "expected early stop, got {}", model.n_trees());
+        assert!(
+            model.n_trees() < 200,
+            "expected early stop, got {}",
+            model.n_trees()
+        );
         assert!(model.n_trees() >= 5);
     }
 
@@ -342,7 +352,10 @@ mod tests {
         }
         let model = GbdtModel::fit(&d, quick_params());
         let p = model.predict_proba(&[10.0]);
-        assert!(p < 0.05, "all-negative training should predict near zero, got {p}");
+        assert!(
+            p < 0.05,
+            "all-negative training should predict near zero, got {p}"
+        );
     }
 
     #[test]

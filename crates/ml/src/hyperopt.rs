@@ -54,7 +54,10 @@ pub struct SearchSpace {
 impl Default for SearchSpace {
     fn default() -> Self {
         Self {
-            learning_rate: ParamRange { min: 0.03, max: 0.4 },
+            learning_rate: ParamRange {
+                min: 0.03,
+                max: 0.4,
+            },
             max_depth: (3, 8),
             lambda: ParamRange { min: 0.5, max: 5.0 },
             gamma: ParamRange { min: 0.0, max: 1.0 },
@@ -83,16 +86,17 @@ impl SearchSpace {
     /// A narrowed space centred on a known-good configuration (the refinement
     /// step of the coarse-to-fine search).
     pub fn refined_around(&self, best: &GbdtParams, factor: f64) -> SearchSpace {
-        let depth_half = (((self.max_depth.1 - self.max_depth.0) as f64 * factor / 2.0).ceil()
-            as usize)
-            .max(1);
+        let depth_half =
+            (((self.max_depth.1 - self.max_depth.0) as f64 * factor / 2.0).ceil() as usize).max(1);
         let est_half = (((self.n_estimators.1 - self.n_estimators.0) as f64 * factor / 2.0).ceil()
             as usize)
             .max(5);
         SearchSpace {
             learning_rate: self.learning_rate.shrink_around(best.learning_rate, factor),
             max_depth: (
-                best.max_depth.saturating_sub(depth_half).max(self.max_depth.0),
+                best.max_depth
+                    .saturating_sub(depth_half)
+                    .max(self.max_depth.0),
                 (best.max_depth + depth_half).min(self.max_depth.1),
             ),
             lambda: self.lambda.shrink_around(best.lambda, factor),
@@ -102,7 +106,9 @@ impl SearchSpace {
                 .colsample_bytree
                 .shrink_around(best.colsample_bytree, factor),
             n_estimators: (
-                best.n_estimators.saturating_sub(est_half).max(self.n_estimators.0),
+                best.n_estimators
+                    .saturating_sub(est_half)
+                    .max(self.n_estimators.0),
                 (best.n_estimators + est_half).min(self.n_estimators.1),
             ),
         }
@@ -174,7 +180,13 @@ pub fn refine_search(
         return best;
     }
     let refined_space = space.refined_around(&best.params, 0.3);
-    let refined = random_search(data, &refined_space, n_refine, folds, seed.wrapping_add(1000));
+    let refined = random_search(
+        data,
+        &refined_space,
+        n_refine,
+        folds,
+        seed.wrapping_add(1000),
+    );
     if let Some(top) = refined.into_iter().next() {
         if top.score > best.score {
             best = top;

@@ -15,7 +15,11 @@ pub fn roc_auc(labels: &[f32], scores: &[f64]) -> f64 {
     }
     // Average ranks, handling ties.
     let mut order: Vec<usize> = (0..scores.len()).collect();
-    order.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).unwrap_or(std::cmp::Ordering::Equal));
+    order.sort_by(|&a, &b| {
+        scores[a]
+            .partial_cmp(&scores[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     let mut ranks = vec![0.0f64; scores.len()];
     let mut i = 0;
     while i < order.len() {
@@ -48,7 +52,11 @@ pub fn roc_curve(labels: &[f32], scores: &[f64]) -> Vec<(f64, f64)> {
         return vec![(0.0, 0.0), (1.0, 1.0)];
     }
     let mut order: Vec<usize> = (0..scores.len()).collect();
-    order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal));
+    order.sort_by(|&a, &b| {
+        scores[b]
+            .partial_cmp(&scores[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     let mut points = vec![(0.0, 0.0)];
     let mut tp = 0.0;
     let mut fp = 0.0;
@@ -334,41 +342,60 @@ mod tests {
 
 #[cfg(test)]
 mod proptests {
+    //! Property-style tests over seeded random inputs (the environment has no
+    //! registry access for the real `proptest`; the invariants are unchanged).
+
     use super::*;
-    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
 
-    proptest! {
-        /// AUC is always in [0, 1].
-        #[test]
-        fn auc_bounded(scores in proptest::collection::vec(0.0f64..1.0, 2..60),
-                       labels in proptest::collection::vec(0u8..2, 2..60)) {
-            let n = scores.len().min(labels.len());
-            let labels: Vec<f32> = labels[..n].iter().map(|&l| l as f32).collect();
-            let auc = roc_auc(&labels, &scores[..n]);
-            prop_assert!((0.0..=1.0).contains(&auc));
+    fn random_scores(rng: &mut StdRng, lo: usize, hi: usize) -> Vec<f64> {
+        let n = rng.gen_range(lo..hi);
+        (0..n).map(|_| rng.gen_range(0.0..1.0)).collect()
+    }
+
+    fn random_labels(rng: &mut StdRng, n: usize) -> Vec<f32> {
+        (0..n).map(|_| rng.gen_range(0u8..2) as f32).collect()
+    }
+
+    /// AUC is always in [0, 1].
+    #[test]
+    fn auc_bounded() {
+        let mut rng = StdRng::seed_from_u64(0xA0C);
+        for _ in 0..300 {
+            let scores = random_scores(&mut rng, 2, 60);
+            let labels = random_labels(&mut rng, scores.len());
+            let auc = roc_auc(&labels, &scores);
+            assert!((0.0..=1.0).contains(&auc), "auc {auc}");
         }
+    }
 
-        /// Flipping labels maps AUC to 1 - AUC (when both classes present).
-        #[test]
-        fn auc_antisymmetric(scores in proptest::collection::vec(0.0f64..1.0, 4..60)) {
+    /// Flipping labels maps AUC to 1 - AUC (when both classes present).
+    #[test]
+    fn auc_antisymmetric() {
+        let mut rng = StdRng::seed_from_u64(0xA17);
+        for _ in 0..300 {
+            let scores = random_scores(&mut rng, 4, 60);
             let n = scores.len();
             let labels: Vec<f32> = (0..n).map(|i| (i % 2) as f32).collect();
             let flipped: Vec<f32> = labels.iter().map(|l| 1.0 - l).collect();
             let a = roc_auc(&labels, &scores);
             let b = roc_auc(&flipped, &scores);
-            prop_assert!((a + b - 1.0).abs() < 1e-9);
+            assert!((a + b - 1.0).abs() < 1e-9, "auc {a} + flipped {b} != 1");
         }
+    }
 
-        /// Confusion-matrix rates always sum to 1.
-        #[test]
-        fn rates_sum_to_one(probs in proptest::collection::vec(0.0f64..1.0, 1..50),
-                            labels in proptest::collection::vec(0u8..2, 1..50),
-                            threshold in 0.0f64..1.0) {
-            let n = probs.len().min(labels.len());
-            let labels: Vec<f32> = labels[..n].iter().map(|&l| l as f32).collect();
-            let m = confusion_matrix(&labels, &probs[..n], threshold);
+    /// Confusion-matrix rates always sum to 1.
+    #[test]
+    fn rates_sum_to_one() {
+        let mut rng = StdRng::seed_from_u64(0xC0);
+        for _ in 0..300 {
+            let probs = random_scores(&mut rng, 1, 50);
+            let labels = random_labels(&mut rng, probs.len());
+            let threshold = rng.gen_range(0.0..1.0);
+            let m = confusion_matrix(&labels, &probs, threshold);
             let (tn, tp, fn_, fp) = m.rates();
-            prop_assert!((tn + tp + fn_ + fp - 1.0).abs() < 1e-9);
+            assert!((tn + tp + fn_ + fp - 1.0).abs() < 1e-9);
         }
     }
 }

@@ -87,7 +87,10 @@ pub fn stratified_kfold(labels: &[f32], k: usize, seed: u64) -> Vec<(Vec<usize>,
 /// Group holdout: rows whose group is in `held_out` become the test set, all
 /// other rows the training set. Used for the state-level holdout (§6.2.2) and
 /// the JCC case study's "hold out all bordering states" strategy (§6.3).
-pub fn group_holdout<G: Eq + Hash>(groups: &[G], held_out: &HashSet<G>) -> (Vec<usize>, Vec<usize>) {
+pub fn group_holdout<G: Eq + Hash>(
+    groups: &[G],
+    held_out: &HashSet<G>,
+) -> (Vec<usize>, Vec<usize>) {
     let mut train = Vec::new();
     let mut test = Vec::new();
     for (i, g) in groups.iter().enumerate() {
@@ -117,13 +120,18 @@ mod tests {
     #[test]
     fn split_is_deterministic_per_seed() {
         assert_eq!(train_test_split(50, 0.2, 7), train_test_split(50, 0.2, 7));
-        assert_ne!(train_test_split(50, 0.2, 7).1, train_test_split(50, 0.2, 8).1);
+        assert_ne!(
+            train_test_split(50, 0.2, 7).1,
+            train_test_split(50, 0.2, 8).1
+        );
     }
 
     #[test]
     fn stratified_split_preserves_balance() {
         // 20% positives.
-        let labels: Vec<f32> = (0..200).map(|i| if i % 5 == 0 { 1.0 } else { 0.0 }).collect();
+        let labels: Vec<f32> = (0..200)
+            .map(|i| if i % 5 == 0 { 1.0 } else { 0.0 })
+            .collect();
         let (train, test) = stratified_split(&labels, 0.25, 1);
         let rate = |idx: &[usize]| {
             idx.iter().filter(|&&i| labels[i] == 1.0).count() as f64 / idx.len() as f64
@@ -135,7 +143,9 @@ mod tests {
 
     #[test]
     fn kfold_covers_every_row_exactly_once_as_validation() {
-        let labels: Vec<f32> = (0..60).map(|i| if i % 3 == 0 { 1.0 } else { 0.0 }).collect();
+        let labels: Vec<f32> = (0..60)
+            .map(|i| if i % 3 == 0 { 1.0 } else { 0.0 })
+            .collect();
         let folds = stratified_kfold(&labels, 5, 3);
         assert_eq!(folds.len(), 5);
         let mut seen = vec![0usize; 60];

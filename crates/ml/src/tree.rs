@@ -186,6 +186,7 @@ struct SplitCandidate {
 impl RegressionTree {
     /// Fit a tree to the gradients/hessians of the rows in `rows`, considering
     /// only `features` as split candidates.
+    #[allow(clippy::too_many_arguments)]
     pub fn fit(
         data: &Dataset,
         binner: &Binner,
@@ -321,7 +322,11 @@ impl RegressionTree {
                     ..
                 } => {
                     let v = row[*feature];
-                    let go_left = if v.is_nan() { *default_left } else { v <= *threshold };
+                    let go_left = if v.is_nan() {
+                        *default_left
+                    } else {
+                        v <= *threshold
+                    };
                     i = if go_left { *left } else { *right };
                 }
             }
@@ -346,7 +351,11 @@ impl RegressionTree {
                     ..
                 } => {
                     let v = row[*feature];
-                    let go_left = if v.is_nan() { *default_left } else { v <= *threshold };
+                    let go_left = if v.is_nan() {
+                        *default_left
+                    } else {
+                        v <= *threshold
+                    };
                     i = if go_left { *left } else { *right };
                 }
             }
@@ -360,6 +369,21 @@ fn find_best_split(
     features: &[usize],
     g_total: f64,
     h_total: f64,
+) -> Option<SplitCandidate> {
+    let n_threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8);
+    find_best_split_with_threads(ctx, rows, features, g_total, h_total, n_threads)
+}
+
+fn find_best_split_with_threads(
+    ctx: &FitContext<'_>,
+    rows: &[usize],
+    features: &[usize],
+    g_total: f64,
+    h_total: f64,
+    n_threads: usize,
 ) -> Option<SplitCandidate> {
     let parent_score = g_total * g_total / (h_total + ctx.params.lambda);
     let evaluate_chunk = |chunk: &[usize]| -> Option<SplitCandidate> {
@@ -424,26 +448,26 @@ fn find_best_split(
     };
 
     // Parallelise the per-feature histogram work across threads when there is
-    // enough of it to pay for the spawn overhead.
+    // enough of it to pay for the spawn overhead (and more than one core to
+    // run it on). Chunk results are reduced in feature order with a strict
+    // `>` comparison, so ties resolve to the lowest feature index —
+    // byte-identical to the sequential scan.
     const PARALLEL_THRESHOLD: usize = 64;
-    let best = if features.len() >= PARALLEL_THRESHOLD {
-        let n_threads = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(2)
-            .min(8)
-            .max(2);
+    let best = if features.len() >= PARALLEL_THRESHOLD && n_threads > 1 {
         let chunk_size = features.len().div_ceil(n_threads);
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let handles: Vec<_> = features
                 .chunks(chunk_size)
-                .map(|chunk| scope.spawn(move |_| evaluate_chunk(chunk)))
+                .map(|chunk| scope.spawn(move || evaluate_chunk(chunk)))
                 .collect();
             handles
                 .into_iter()
                 .filter_map(|h| h.join().expect("split worker panicked"))
-                .max_by(|a, b| a.gain.partial_cmp(&b.gain).unwrap())
+                .fold(None::<SplitCandidate>, |acc, cand| match acc {
+                    Some(best) if cand.gain <= best.gain => Some(best),
+                    _ => Some(cand),
+                })
         })
-        .expect("crossbeam scope failed")
     } else {
         evaluate_chunk(features)
     };
@@ -607,7 +631,10 @@ mod tests {
         let (tree, _) = fit_default(&d, &grad, &hess);
         let path = tree.decision_path(&[0.9, 0.0]);
         assert_eq!(path[0], 0);
-        assert!(matches!(tree.nodes()[*path.last().unwrap()], Node::Leaf { .. }));
+        assert!(matches!(
+            tree.nodes()[*path.last().unwrap()],
+            Node::Leaf { .. }
+        ));
         assert!(path.len() >= 2);
     }
 
@@ -621,6 +648,51 @@ mod tests {
         assert_eq!(r.len(), 10);
         let one = sample_features(5, 0.0, &mut rng);
         assert_eq!(one.len(), 1);
+    }
+
+    /// With more features than `PARALLEL_THRESHOLD`, split finding runs on
+    /// scoped threads; the threaded reduction must agree with the sequential
+    /// scan bit-for-bit, including gain ties resolving to the lowest feature
+    /// index. 70 identical copies of a separating column tie bit-for-bit, so
+    /// the chosen split must use feature 0. Thread counts are forced so the
+    /// threaded path is exercised even on single-core hosts.
+    #[test]
+    fn parallel_split_ties_resolve_to_lowest_feature() {
+        let n_features = 70;
+        let names: Vec<String> = (0..n_features).map(|f| format!("x{f}")).collect();
+        let mut d = Dataset::new(names);
+        for i in 0..100 {
+            let x = i as f32 / 100.0;
+            d.push_row(&vec![x; n_features], if x > 0.5 { 1.0 } else { 0.0 });
+        }
+        let grad: Vec<f32> = d.labels().iter().map(|&y| 0.5 - y).collect();
+        let hess = vec![0.25f32; d.n_rows()];
+        let rows: Vec<usize> = (0..d.n_rows()).collect();
+        let features: Vec<usize> = (0..n_features).collect();
+        let binner = Binner::fit(&d, &rows, 32);
+        let binned = binner.bin_matrix(&d);
+        let ctx = FitContext {
+            binned: &binned,
+            n_features,
+            grad: &grad,
+            hess: &hess,
+            binner: &binner,
+            params: TreeParams::default(),
+        };
+        let g: f64 = grad.iter().map(|&g| g as f64).sum();
+        let h: f64 = hess.iter().map(|&h| h as f64).sum();
+
+        let sequential = find_best_split_with_threads(&ctx, &rows, &features, g, h, 1)
+            .expect("separable data must split");
+        assert_eq!(sequential.feature, 0, "tie must resolve to lowest feature");
+        for n_threads in [2, 4, 7] {
+            let parallel = find_best_split_with_threads(&ctx, &rows, &features, g, h, n_threads)
+                .expect("separable data must split");
+            assert_eq!(parallel.feature, sequential.feature, "{n_threads} threads");
+            assert_eq!(parallel.bin, sequential.bin);
+            assert_eq!(parallel.gain.to_bits(), sequential.gain.to_bits());
+            assert_eq!(parallel.missing_left, sequential.missing_left);
+        }
     }
 
     #[test]

@@ -82,6 +82,37 @@ pub fn candidate_hexes(
         .collect()
 }
 
+/// Tests-per-run below which the parallel path is not worth the thread-spawn
+/// overhead. Both paths produce bit-identical results (see module tests).
+const PARALLEL_MIN_TESTS: usize = 512;
+
+/// Tests per block in the threaded path: candidate-hex vectors are only ever
+/// materialised for one block at a time, bounding peak memory at
+/// `O(TEST_BLOCK × hexes-per-radius)` regardless of dataset size.
+const TEST_BLOCK: usize = 4096;
+
+/// Fold one test's surviving candidate hexes into a provider's counts: the
+/// single accumulation step shared by the streaming and threaded paths (so
+/// the two cannot drift apart and break their bit-identical contract).
+fn accumulate_test(
+    provider: ProviderId,
+    footprint: &BTreeSet<HexCell>,
+    candidates: &[HexCell],
+    counts: &mut HashMap<(ProviderId, HexCell), f64>,
+) {
+    let localized: Vec<&HexCell> = candidates
+        .iter()
+        .filter(|h| footprint.contains(h))
+        .collect();
+    if localized.is_empty() {
+        return;
+    }
+    let share = 1.0 / localized.len() as f64;
+    for hex in localized {
+        *counts.entry((provider, *hex)).or_insert(0.0) += share;
+    }
+}
+
 /// Attribute every usable MLab test to providers and localise it to hexes.
 ///
 /// * `provider_asns` — the provider→ASN mapping from the `asnmap` matcher.
@@ -91,11 +122,31 @@ pub fn candidate_hexes(
 /// paper notes shared ASNs are usually corporate siblings or wholesale
 /// transit). Tests are split evenly across the candidate hexes that survive
 /// the footprint intersection so that each test contributes one unit of mass.
+///
+/// For large inputs the two hot phases — per-test candidate-hex geometry and
+/// per-provider footprint intersection/accumulation — run on scoped threads,
+/// streaming tests through in bounded blocks so candidate geometry for only
+/// one block is ever held in memory. Each (provider, hex) count is
+/// accumulated by exactly one worker in ascending test order, so the result
+/// is bit-identical to the sequential path regardless of thread scheduling.
 pub fn attribute_mlab_tests(
     mlab: &MlabDataset,
     provider_asns: &BTreeMap<ProviderId, BTreeSet<Asn>>,
     claimed_hexes: &BTreeMap<ProviderId, BTreeSet<HexCell>>,
     res: Resolution,
+) -> ProviderHexTests {
+    attribute_mlab_tests_with_threads(mlab, provider_asns, claimed_hexes, res, None)
+}
+
+/// Implementation with an explicit thread override (`None` = auto: threads
+/// only for large inputs on multicore hosts). Tests force a thread count to
+/// exercise the parallel path on any machine.
+fn attribute_mlab_tests_with_threads(
+    mlab: &MlabDataset,
+    provider_asns: &BTreeMap<ProviderId, BTreeSet<Asn>>,
+    claimed_hexes: &BTreeMap<ProviderId, BTreeSet<HexCell>>,
+    res: Resolution,
+    force_threads: Option<usize>,
 ) -> ProviderHexTests {
     // Invert the provider→ASN map for lookup by test ASN.
     let mut asn_to_providers: BTreeMap<Asn, Vec<ProviderId>> = BTreeMap::new();
@@ -105,28 +156,102 @@ pub fn attribute_mlab_tests(
         }
     }
 
-    let mut out = ProviderHexTests::default();
-    for test in mlab.usable_tests() {
-        let Some(providers) = asn_to_providers.get(&test.asn) else {
-            continue;
-        };
-        let candidates = candidate_hexes(&test.geo_center, test.accuracy_radius_km, res);
-        for provider in providers {
-            let Some(footprint) = claimed_hexes.get(provider) else {
-                continue;
-            };
-            let localized: Vec<&HexCell> = candidates
-                .iter()
-                .filter(|h| footprint.contains(h))
-                .collect();
-            if localized.is_empty() {
-                continue;
-            }
-            let share = 1.0 / localized.len() as f64;
-            for hex in localized {
-                *out.counts.entry((*provider, *hex)).or_insert(0.0) += share;
+    // Keep only tests whose ASN maps to at least one provider; everything
+    // downstream is indexed by position in this vector.
+    let tests: Vec<&crate::mlab::MlabTest> = mlab
+        .usable_tests()
+        .filter(|t| asn_to_providers.contains_key(&t.asn))
+        .collect();
+
+    let n_threads = force_threads.unwrap_or_else(|| {
+        if tests.len() >= PARALLEL_MIN_TESTS {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .min(8)
+        } else {
+            1
+        }
+    });
+
+    // Single-threaded: stream one test's candidate hexes at a time (O(1 test)
+    // peak memory). Per (provider, hex) the accumulation order is ascending
+    // test index — the same as the threaded path, so results are
+    // bit-identical.
+    if n_threads <= 1 {
+        let mut out = ProviderHexTests::default();
+        for test in &tests {
+            let candidates = candidate_hexes(&test.geo_center, test.accuracy_radius_km, res);
+            for provider in &asn_to_providers[&test.asn] {
+                if let Some(footprint) = claimed_hexes.get(provider) {
+                    accumulate_test(*provider, footprint, &candidates, &mut out.counts);
+                }
             }
         }
+        return out;
+    }
+
+    // Threaded path. Each (provider, hex) key is owned by exactly one worker
+    // (providers are assigned to workers round-robin), and tests stream
+    // through in blocks of TEST_BLOCK in ascending order, so every count
+    // accumulates in ascending test order — bit-identical to the streaming
+    // path — while candidate hexes are only materialised one block at a time.
+    let owner: HashMap<ProviderId, usize> = provider_asns
+        .keys()
+        .enumerate()
+        .map(|(i, p)| (*p, i % n_threads))
+        .collect();
+    let mut worker_counts: Vec<HashMap<(ProviderId, HexCell), f64>> =
+        (0..n_threads).map(|_| HashMap::new()).collect();
+
+    for block in tests.chunks(TEST_BLOCK) {
+        // Phase 1: candidate hexes for this block — pure geometry, parallel
+        // over sub-chunks, reassembled in test order.
+        let chunk_size = block.len().div_ceil(n_threads).max(1);
+        let candidates: Vec<Vec<HexCell>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = block
+                .chunks(chunk_size)
+                .map(|chunk| {
+                    scope.spawn(move || {
+                        chunk
+                            .iter()
+                            .map(|t| candidate_hexes(&t.geo_center, t.accuracy_radius_km, res))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("candidate-hex worker panicked"))
+                .collect()
+        });
+
+        // Phase 2: every worker scans the block but only accumulates the
+        // providers it owns.
+        std::thread::scope(|scope| {
+            for (worker_id, counts) in worker_counts.iter_mut().enumerate() {
+                let candidates = &candidates;
+                let asn_to_providers = &asn_to_providers;
+                let owner = &owner;
+                scope.spawn(move || {
+                    for (i, test) in block.iter().enumerate() {
+                        for provider in &asn_to_providers[&test.asn] {
+                            if owner[provider] != worker_id {
+                                continue;
+                            }
+                            if let Some(footprint) = claimed_hexes.get(provider) {
+                                accumulate_test(*provider, footprint, &candidates[i], counts);
+                            }
+                        }
+                    }
+                });
+            }
+        });
+    }
+
+    let mut out = ProviderHexTests::default();
+    for counts in worker_counts {
+        out.counts.extend(counts);
     }
     out
 }
@@ -216,7 +341,13 @@ mod tests {
         ]);
         let attributed = attribute_mlab_tests(&mlab, &pa, &ch, NBM_RESOLUTION);
         assert!(attributed.is_empty());
-        assert_eq!(attributed.count(ProviderId(1), HexCell::containing(&center(), NBM_RESOLUTION)), 0.0);
+        assert_eq!(
+            attributed.count(
+                ProviderId(1),
+                HexCell::containing(&center(), NBM_RESOLUTION)
+            ),
+            0.0
+        );
     }
 
     #[test]
@@ -230,6 +361,128 @@ mod tests {
         let mlab = MlabDataset::new(vec![test_at(64500, center(), 5.0)]);
         let attributed = attribute_mlab_tests(&mlab, &pa, &ch, NBM_RESOLUTION);
         assert!(attributed.is_empty());
+    }
+
+    /// The pre-parallelism algorithm, kept verbatim as the reference:
+    /// iterate tests outermost, providers innermost.
+    fn attribute_reference(
+        mlab: &MlabDataset,
+        provider_asns: &BTreeMap<ProviderId, BTreeSet<Asn>>,
+        claimed_hexes: &BTreeMap<ProviderId, BTreeSet<HexCell>>,
+        res: Resolution,
+    ) -> ProviderHexTests {
+        let mut asn_to_providers: BTreeMap<Asn, Vec<ProviderId>> = BTreeMap::new();
+        for (provider, asns) in provider_asns {
+            for asn in asns {
+                asn_to_providers.entry(*asn).or_default().push(*provider);
+            }
+        }
+        let mut out = ProviderHexTests::default();
+        for test in mlab.usable_tests() {
+            let Some(providers) = asn_to_providers.get(&test.asn) else {
+                continue;
+            };
+            let candidates = candidate_hexes(&test.geo_center, test.accuracy_radius_km, res);
+            for provider in providers {
+                let Some(footprint) = claimed_hexes.get(provider) else {
+                    continue;
+                };
+                let localized: Vec<&HexCell> = candidates
+                    .iter()
+                    .filter(|h| footprint.contains(h))
+                    .collect();
+                if localized.is_empty() {
+                    continue;
+                }
+                let share = 1.0 / localized.len() as f64;
+                for hex in localized {
+                    *out.counts.entry((*provider, *hex)).or_insert(0.0) += share;
+                }
+            }
+        }
+        out
+    }
+
+    /// Above `PARALLEL_MIN_TESTS` the threaded path engages; its output must
+    /// be bit-identical to the sequential reference algorithm.
+    #[test]
+    fn parallel_path_matches_sequential_reference() {
+        let mut pa: BTreeMap<ProviderId, BTreeSet<Asn>> = BTreeMap::new();
+        let mut ch: BTreeMap<ProviderId, BTreeSet<HexCell>> = BTreeMap::new();
+        let mut tests = Vec::new();
+        // Six providers on three shared ASNs, footprints at staggered offsets,
+        // ~200 tests per ASN with varying radii => > PARALLEL_MIN_TESTS tests.
+        for p in 0..6u32 {
+            let asn = 64500 + p % 3;
+            let c = LatLng::new(37.0 + p as f64 * 0.05, -80.4 - p as f64 * 0.03);
+            pa.insert(ProviderId(p), BTreeSet::from([Asn(asn)]));
+            ch.insert(
+                ProviderId(p),
+                candidate_hexes(&c, 4.0, NBM_RESOLUTION)
+                    .into_iter()
+                    .collect(),
+            );
+        }
+        for i in 0..(super::PARALLEL_MIN_TESTS + 100) {
+            let asn = 64500 + (i as u32) % 3;
+            let c = LatLng::new(37.0 + (i % 7) as f64 * 0.04, -80.4 - (i % 5) as f64 * 0.025);
+            tests.push(test_at(asn, c, 1.0 + (i % 9) as f64));
+        }
+        let mlab = MlabDataset::new(tests);
+        assert!(mlab.usable_tests().count() >= super::PARALLEL_MIN_TESTS);
+
+        let reference = attribute_reference(&mlab, &pa, &ch, NBM_RESOLUTION);
+        assert!(!reference.is_empty());
+        // The public auto path, plus forced thread counts so the scoped-thread
+        // code runs even on single-core hosts.
+        let auto = attribute_mlab_tests(&mlab, &pa, &ch, NBM_RESOLUTION);
+        let forced = [1, 2, 4, 7].map(|n| {
+            super::attribute_mlab_tests_with_threads(&mlab, &pa, &ch, NBM_RESOLUTION, Some(n))
+        });
+        for fast in forced.iter().chain([&auto]) {
+            assert_eq!(fast.len(), reference.len());
+            for (p, hex, count) in reference.iter() {
+                assert_eq!(
+                    fast.count(p, hex).to_bits(),
+                    count.to_bits(),
+                    "count mismatch for provider {p:?} hex {hex:?}"
+                );
+            }
+        }
+    }
+
+    /// Workloads spanning several `TEST_BLOCK`s must accumulate identically
+    /// to the streaming reference across block boundaries.
+    #[test]
+    fn threaded_blocks_accumulate_across_boundaries() {
+        let mut pa: BTreeMap<ProviderId, BTreeSet<Asn>> = BTreeMap::new();
+        let mut ch: BTreeMap<ProviderId, BTreeSet<HexCell>> = BTreeMap::new();
+        for p in 0..3u32 {
+            let c = LatLng::new(37.0 + p as f64 * 0.02, -80.4);
+            pa.insert(ProviderId(p), BTreeSet::from([Asn(64500 + p)]));
+            ch.insert(
+                ProviderId(p),
+                candidate_hexes(&c, 3.0, NBM_RESOLUTION)
+                    .into_iter()
+                    .collect(),
+            );
+        }
+        let n = 2 * super::TEST_BLOCK + 123;
+        let tests: Vec<MlabTest> = (0..n)
+            .map(|i| {
+                let c = LatLng::new(37.0 + (i % 5) as f64 * 0.01, -80.4 - (i % 3) as f64 * 0.01);
+                test_at(64500 + (i as u32) % 3, c, 1.0)
+            })
+            .collect();
+        let mlab = MlabDataset::new(tests);
+        let threaded =
+            super::attribute_mlab_tests_with_threads(&mlab, &pa, &ch, NBM_RESOLUTION, Some(3));
+        let reference = attribute_reference(&mlab, &pa, &ch, NBM_RESOLUTION);
+        assert!(!threaded.is_empty());
+        assert_eq!(threaded.len(), reference.len());
+        for (p, hex, count) in reference.iter() {
+            assert_eq!(threaded.count(p, hex).to_bits(), count.to_bits());
+        }
     }
 
     #[test]

@@ -135,7 +135,10 @@ mod tests {
 
     #[test]
     fn aggregation_conserves_counts() {
-        let ds = OoklaDataset::new(vec![record(37.0, -80.0, 10, 4), record(37.001, -80.001, 6, 2)]);
+        let ds = OoklaDataset::new(vec![
+            record(37.0, -80.0, 10, 4),
+            record(37.001, -80.001, 6, 2),
+        ]);
         let agg = ds.aggregate_to_hexes(NBM_RESOLUTION);
         let total_tests: f64 = agg.values().map(|a| a.tests).sum();
         let total_devices: f64 = agg.values().map(|a| a.devices).sum();

@@ -134,14 +134,20 @@ mod tests {
 
     #[test]
     fn invalid_configs_are_rejected() {
-        let mut c = SynthConfig::default();
-        c.n_bsls = 0;
+        let c = SynthConfig {
+            n_bsls: 0,
+            ..SynthConfig::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = SynthConfig::default();
-        c.overclaim_fraction = 1.5;
+        let c = SynthConfig {
+            overclaim_fraction: 1.5,
+            ..SynthConfig::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = SynthConfig::default();
-        c.n_major_providers = c.n_providers + 1;
+        let c = SynthConfig {
+            n_major_providers: SynthConfig::default().n_providers + 1,
+            ..SynthConfig::default()
+        };
         assert!(c.validate().is_err());
     }
 

@@ -116,7 +116,10 @@ mod tests {
         let (_, fabric) = small_world();
         let n = fabric.len() as f64;
         let target = config.n_bsls as f64;
-        assert!((n - target).abs() / target < 0.05, "generated {n} vs target {target}");
+        assert!(
+            (n - target).abs() / target < 0.05,
+            "generated {n} vs target {target}"
+        );
     }
 
     #[test]
@@ -140,7 +143,11 @@ mod tests {
                 .iter()
                 .map(|t| t.center.haversine_km(&bsl.position))
                 .fold(f64::INFINITY, f64::min);
-            assert!(nearest < 25.0, "BSL {} was {nearest} km from any town", bsl.id);
+            assert!(
+                nearest < 25.0,
+                "BSL {} was {nearest} km from any town",
+                bsl.id
+            );
         }
     }
 

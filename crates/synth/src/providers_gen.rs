@@ -222,7 +222,11 @@ pub fn generate_providers(
             4..=7 => ReportingStyle::Typical,
             _ => ReportingStyle::Aggressive,
         };
-        let census_block_prob = if style == ReportingStyle::Aggressive { 0.3 } else { 0.1 };
+        let census_block_prob = if style == ReportingStyle::Aggressive {
+            0.3
+        } else {
+            0.1
+        };
         let methodology = if rng.gen_bool(census_block_prob) {
             MethodologyKind::CensusBlocks
         } else if matches!(
@@ -251,12 +255,7 @@ pub fn generate_providers(
             provider: Provider {
                 id: ProviderId(next_id),
                 name: name.clone(),
-                brand: name
-                    .split(',')
-                    .next()
-                    .unwrap_or(&name)
-                    .trim()
-                    .to_string(),
+                brand: name.split(',').next().unwrap_or(&name).trim().to_string(),
                 frns: vec![Frn(1_000_000 + next_id as u64)],
                 technologies: deployments.iter().map(|d| d.technology).collect(),
                 major: false,
@@ -351,7 +350,11 @@ fn phantom_market(profile: &ProviderProfile, towns: &[Town]) -> Option<usize> {
         .copied()
         .filter(|&t| towns[t].state == anchor.state)
         .collect();
-    let pool = if same_state.is_empty() { candidates } else { same_state };
+    let pool = if same_state.is_empty() {
+        candidates
+    } else {
+        same_state
+    };
     pool.into_iter().min_by(|&a, &b| {
         anchor
             .center
@@ -436,14 +439,20 @@ mod tests {
     #[test]
     fn accurate_providers_never_overclaim_much() {
         let (config, towns, fabric, providers) = world();
-        for profile in providers.iter().filter(|p| p.style == ReportingStyle::Accurate) {
+        for profile in providers
+            .iter()
+            .filter(|p| p.style == ReportingStyle::Accurate)
+        {
             let claims = compute_claims(profile, &towns, &fabric, &config);
             if claims.is_empty() {
                 continue;
             }
-            let false_rate = claims.iter().filter(|c| !c.truly_served).count() as f64
-                / claims.len() as f64;
-            assert!(false_rate < 0.35, "accurate provider false rate {false_rate}");
+            let false_rate =
+                claims.iter().filter(|c| !c.truly_served).count() as f64 / claims.len() as f64;
+            assert!(
+                false_rate < 0.35,
+                "accurate provider false rate {false_rate}"
+            );
         }
     }
 
@@ -467,7 +476,12 @@ mod tests {
         for p in providers.iter().filter(|p| p.provider.major) {
             let states: std::collections::HashSet<&str> =
                 p.towns.iter().map(|&t| towns[t].state.as_str()).collect();
-            assert!(states.len() >= 3, "major {} spans {} states", p.provider.name, states.len());
+            assert!(
+                states.len() >= 3,
+                "major {} spans {} states",
+                p.provider.name,
+                states.len()
+            );
         }
     }
 }

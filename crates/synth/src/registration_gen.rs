@@ -8,8 +8,8 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use asnmap::{FrnRegistration, Poc, SiblingGroups, WhoisDb};
 use asnmap::records::{AsnEntry, Net, Org};
+use asnmap::{FrnRegistration, Poc, SiblingGroups, WhoisDb};
 use bdc::{Asn, ProviderId};
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -161,7 +161,11 @@ pub fn generate_registrations(
             whois.asns.push(AsnEntry {
                 asn: asn.value(),
                 org_id: Some(org_id),
-                poc_ids: if rng.gen_bool(0.5) { vec![poc_id] } else { vec![] },
+                poc_ids: if rng.gen_bool(0.5) {
+                    vec![poc_id]
+                } else {
+                    vec![]
+                },
             });
             asns.insert(asn);
         }
@@ -226,7 +230,12 @@ mod tests {
     use asnmap::ProviderAsnMatcher;
     use rand::SeedableRng;
 
-    fn build() -> (SynthConfig, Vec<ProviderProfile>, RegistrationData, BTreeMap<ProviderId, usize>) {
+    fn build() -> (
+        SynthConfig,
+        Vec<ProviderProfile>,
+        RegistrationData,
+        BTreeMap<ProviderId, usize>,
+    ) {
         let config = SynthConfig::tiny(41);
         let mut rng = StdRng::seed_from_u64(config.seed);
         let towns = generate_towns(&config, &mut rng);

@@ -155,7 +155,9 @@ pub fn hex_observation_truth(
     for (provider, provider_claims) in claims {
         for c in provider_claims {
             if let Some(bsl) = fabric.get(c.location) {
-                let entry = truth.entry((*provider, bsl.hex, c.technology)).or_insert(false);
+                let entry = truth
+                    .entry((*provider, bsl.hex, c.technology))
+                    .or_insert(false);
                 *entry |= c.truly_served;
             }
         }

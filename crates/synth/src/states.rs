@@ -36,63 +36,393 @@ impl StateInfo {
 pub const STATES: &[StateInfo] = &[
     // The ten challenge-heavy states (activity weights chosen so they carry
     // roughly 90% of total challenge volume; Nebraska leads, as in Figure 2).
-    StateInfo { code: "NE", name: "Nebraska", bbox: (40.0, -104.05, 43.0, -95.3), population_weight: 2.0, challenge_activity: 30.0 },
-    StateInfo { code: "VA", name: "Virginia", bbox: (36.5, -83.7, 39.5, -75.2), population_weight: 8.6, challenge_activity: 22.0 },
-    StateInfo { code: "NY", name: "New York", bbox: (40.5, -79.8, 45.0, -71.8), population_weight: 19.5, challenge_activity: 14.0 },
-    StateInfo { code: "MI", name: "Michigan", bbox: (41.7, -90.4, 48.3, -82.4), population_weight: 10.0, challenge_activity: 12.0 },
-    StateInfo { code: "GA", name: "Georgia", bbox: (30.4, -85.6, 35.0, -80.8), population_weight: 10.9, challenge_activity: 10.0 },
-    StateInfo { code: "OH", name: "Ohio", bbox: (38.4, -84.8, 42.0, -80.5), population_weight: 11.8, challenge_activity: 9.0 },
-    StateInfo { code: "MO", name: "Missouri", bbox: (36.0, -95.8, 40.6, -89.1), population_weight: 6.2, challenge_activity: 8.0 },
-    StateInfo { code: "IN", name: "Indiana", bbox: (37.8, -88.1, 41.8, -84.8), population_weight: 6.8, challenge_activity: 7.0 },
-    StateInfo { code: "OK", name: "Oklahoma", bbox: (33.6, -103.0, 37.0, -94.4), population_weight: 4.0, challenge_activity: 6.0 },
-    StateInfo { code: "SC", name: "South Carolina", bbox: (32.0, -83.4, 35.2, -78.5), population_weight: 5.3, challenge_activity: 5.0 },
+    StateInfo {
+        code: "NE",
+        name: "Nebraska",
+        bbox: (40.0, -104.05, 43.0, -95.3),
+        population_weight: 2.0,
+        challenge_activity: 30.0,
+    },
+    StateInfo {
+        code: "VA",
+        name: "Virginia",
+        bbox: (36.5, -83.7, 39.5, -75.2),
+        population_weight: 8.6,
+        challenge_activity: 22.0,
+    },
+    StateInfo {
+        code: "NY",
+        name: "New York",
+        bbox: (40.5, -79.8, 45.0, -71.8),
+        population_weight: 19.5,
+        challenge_activity: 14.0,
+    },
+    StateInfo {
+        code: "MI",
+        name: "Michigan",
+        bbox: (41.7, -90.4, 48.3, -82.4),
+        population_weight: 10.0,
+        challenge_activity: 12.0,
+    },
+    StateInfo {
+        code: "GA",
+        name: "Georgia",
+        bbox: (30.4, -85.6, 35.0, -80.8),
+        population_weight: 10.9,
+        challenge_activity: 10.0,
+    },
+    StateInfo {
+        code: "OH",
+        name: "Ohio",
+        bbox: (38.4, -84.8, 42.0, -80.5),
+        population_weight: 11.8,
+        challenge_activity: 9.0,
+    },
+    StateInfo {
+        code: "MO",
+        name: "Missouri",
+        bbox: (36.0, -95.8, 40.6, -89.1),
+        population_weight: 6.2,
+        challenge_activity: 8.0,
+    },
+    StateInfo {
+        code: "IN",
+        name: "Indiana",
+        bbox: (37.8, -88.1, 41.8, -84.8),
+        population_weight: 6.8,
+        challenge_activity: 7.0,
+    },
+    StateInfo {
+        code: "OK",
+        name: "Oklahoma",
+        bbox: (33.6, -103.0, 37.0, -94.4),
+        population_weight: 4.0,
+        challenge_activity: 6.0,
+    },
+    StateInfo {
+        code: "SC",
+        name: "South Carolina",
+        bbox: (32.0, -83.4, 35.2, -78.5),
+        population_weight: 5.3,
+        challenge_activity: 5.0,
+    },
     // Remaining states with light challenge activity.
-    StateInfo { code: "AL", name: "Alabama", bbox: (30.2, -88.5, 35.0, -84.9), population_weight: 5.1, challenge_activity: 0.4 },
-    StateInfo { code: "AK", name: "Alaska", bbox: (54.5, -168.0, 71.4, -130.0), population_weight: 0.7, challenge_activity: 0.2 },
-    StateInfo { code: "AZ", name: "Arizona", bbox: (31.3, -114.8, 37.0, -109.0), population_weight: 7.4, challenge_activity: 0.5 },
-    StateInfo { code: "AR", name: "Arkansas", bbox: (33.0, -94.6, 36.5, -89.6), population_weight: 3.0, challenge_activity: 0.3 },
-    StateInfo { code: "CA", name: "California", bbox: (32.5, -124.4, 42.0, -114.1), population_weight: 39.0, challenge_activity: 1.2 },
-    StateInfo { code: "CO", name: "Colorado", bbox: (37.0, -109.1, 41.0, -102.0), population_weight: 5.9, challenge_activity: 0.6 },
-    StateInfo { code: "CT", name: "Connecticut", bbox: (41.0, -73.7, 42.1, -71.8), population_weight: 3.6, challenge_activity: 0.3 },
-    StateInfo { code: "DE", name: "Delaware", bbox: (38.5, -75.8, 39.8, -75.0), population_weight: 1.0, challenge_activity: 0.2 },
-    StateInfo { code: "DC", name: "District of Columbia", bbox: (38.8, -77.12, 39.0, -76.9), population_weight: 0.7, challenge_activity: 0.1 },
-    StateInfo { code: "FL", name: "Florida", bbox: (24.5, -87.6, 31.0, -80.0), population_weight: 22.2, challenge_activity: 1.0 },
-    StateInfo { code: "HI", name: "Hawaii", bbox: (18.9, -160.3, 22.3, -154.8), population_weight: 1.4, challenge_activity: 0.1 },
-    StateInfo { code: "ID", name: "Idaho", bbox: (42.0, -117.2, 49.0, -111.0), population_weight: 1.9, challenge_activity: 0.4 },
-    StateInfo { code: "IL", name: "Illinois", bbox: (37.0, -91.5, 42.5, -87.0), population_weight: 12.6, challenge_activity: 0.8 },
-    StateInfo { code: "IA", name: "Iowa", bbox: (40.4, -96.6, 43.5, -90.1), population_weight: 3.2, challenge_activity: 0.5 },
-    StateInfo { code: "KS", name: "Kansas", bbox: (37.0, -102.1, 40.0, -94.6), population_weight: 2.9, challenge_activity: 0.4 },
-    StateInfo { code: "KY", name: "Kentucky", bbox: (36.5, -89.6, 39.1, -81.9), population_weight: 4.5, challenge_activity: 0.6 },
-    StateInfo { code: "LA", name: "Louisiana", bbox: (29.0, -94.0, 33.0, -89.0), population_weight: 4.6, challenge_activity: 0.5 },
-    StateInfo { code: "ME", name: "Maine", bbox: (43.1, -71.1, 47.5, -66.9), population_weight: 1.4, challenge_activity: 0.3 },
-    StateInfo { code: "MD", name: "Maryland", bbox: (37.9, -79.5, 39.7, -75.0), population_weight: 6.2, challenge_activity: 0.4 },
-    StateInfo { code: "MA", name: "Massachusetts", bbox: (41.2, -73.5, 42.9, -69.9), population_weight: 7.0, challenge_activity: 0.3 },
-    StateInfo { code: "MN", name: "Minnesota", bbox: (43.5, -97.2, 49.4, -89.5), population_weight: 5.7, challenge_activity: 0.6 },
-    StateInfo { code: "MS", name: "Mississippi", bbox: (30.2, -91.7, 35.0, -88.1), population_weight: 2.9, challenge_activity: 0.3 },
-    StateInfo { code: "MT", name: "Montana", bbox: (44.4, -116.1, 49.0, -104.0), population_weight: 1.1, challenge_activity: 0.2 },
-    StateInfo { code: "NV", name: "Nevada", bbox: (35.0, -120.0, 42.0, -114.0), population_weight: 3.2, challenge_activity: 0.2 },
-    StateInfo { code: "NH", name: "New Hampshire", bbox: (42.7, -72.6, 45.3, -70.6), population_weight: 1.4, challenge_activity: 0.2 },
-    StateInfo { code: "NJ", name: "New Jersey", bbox: (38.9, -75.6, 41.4, -73.9), population_weight: 9.3, challenge_activity: 0.3 },
-    StateInfo { code: "NM", name: "New Mexico", bbox: (31.3, -109.1, 37.0, -103.0), population_weight: 2.1, challenge_activity: 0.3 },
-    StateInfo { code: "NC", name: "North Carolina", bbox: (33.8, -84.3, 36.6, -75.5), population_weight: 10.7, challenge_activity: 0.9 },
-    StateInfo { code: "ND", name: "North Dakota", bbox: (45.9, -104.1, 49.0, -96.6), population_weight: 0.8, challenge_activity: 0.2 },
-    StateInfo { code: "PA", name: "Pennsylvania", bbox: (39.7, -80.5, 42.3, -74.7), population_weight: 13.0, challenge_activity: 0.8 },
-    StateInfo { code: "RI", name: "Rhode Island", bbox: (41.1, -71.9, 42.0, -71.1), population_weight: 1.1, challenge_activity: 0.1 },
-    StateInfo { code: "SD", name: "South Dakota", bbox: (42.5, -104.1, 45.9, -96.4), population_weight: 0.9, challenge_activity: 0.2 },
-    StateInfo { code: "TN", name: "Tennessee", bbox: (35.0, -90.3, 36.7, -81.6), population_weight: 7.0, challenge_activity: 0.7 },
-    StateInfo { code: "TX", name: "Texas", bbox: (25.8, -106.6, 36.5, -93.5), population_weight: 30.0, challenge_activity: 1.1 },
-    StateInfo { code: "UT", name: "Utah", bbox: (37.0, -114.1, 42.0, -109.0), population_weight: 3.4, challenge_activity: 0.3 },
-    StateInfo { code: "VT", name: "Vermont", bbox: (42.7, -73.4, 45.0, -71.5), population_weight: 0.6, challenge_activity: 0.3 },
-    StateInfo { code: "WA", name: "Washington", bbox: (45.5, -124.8, 49.0, -116.9), population_weight: 7.8, challenge_activity: 0.6 },
-    StateInfo { code: "WV", name: "West Virginia", bbox: (37.2, -82.6, 40.6, -77.7), population_weight: 1.8, challenge_activity: 0.5 },
-    StateInfo { code: "WI", name: "Wisconsin", bbox: (42.5, -92.9, 47.1, -86.8), population_weight: 5.9, challenge_activity: 0.6 },
-    StateInfo { code: "WY", name: "Wyoming", bbox: (41.0, -111.1, 45.0, -104.1), population_weight: 0.6, challenge_activity: 0.2 },
+    StateInfo {
+        code: "AL",
+        name: "Alabama",
+        bbox: (30.2, -88.5, 35.0, -84.9),
+        population_weight: 5.1,
+        challenge_activity: 0.4,
+    },
+    StateInfo {
+        code: "AK",
+        name: "Alaska",
+        bbox: (54.5, -168.0, 71.4, -130.0),
+        population_weight: 0.7,
+        challenge_activity: 0.2,
+    },
+    StateInfo {
+        code: "AZ",
+        name: "Arizona",
+        bbox: (31.3, -114.8, 37.0, -109.0),
+        population_weight: 7.4,
+        challenge_activity: 0.5,
+    },
+    StateInfo {
+        code: "AR",
+        name: "Arkansas",
+        bbox: (33.0, -94.6, 36.5, -89.6),
+        population_weight: 3.0,
+        challenge_activity: 0.3,
+    },
+    StateInfo {
+        code: "CA",
+        name: "California",
+        bbox: (32.5, -124.4, 42.0, -114.1),
+        population_weight: 39.0,
+        challenge_activity: 1.2,
+    },
+    StateInfo {
+        code: "CO",
+        name: "Colorado",
+        bbox: (37.0, -109.1, 41.0, -102.0),
+        population_weight: 5.9,
+        challenge_activity: 0.6,
+    },
+    StateInfo {
+        code: "CT",
+        name: "Connecticut",
+        bbox: (41.0, -73.7, 42.1, -71.8),
+        population_weight: 3.6,
+        challenge_activity: 0.3,
+    },
+    StateInfo {
+        code: "DE",
+        name: "Delaware",
+        bbox: (38.5, -75.8, 39.8, -75.0),
+        population_weight: 1.0,
+        challenge_activity: 0.2,
+    },
+    StateInfo {
+        code: "DC",
+        name: "District of Columbia",
+        bbox: (38.8, -77.12, 39.0, -76.9),
+        population_weight: 0.7,
+        challenge_activity: 0.1,
+    },
+    StateInfo {
+        code: "FL",
+        name: "Florida",
+        bbox: (24.5, -87.6, 31.0, -80.0),
+        population_weight: 22.2,
+        challenge_activity: 1.0,
+    },
+    StateInfo {
+        code: "HI",
+        name: "Hawaii",
+        bbox: (18.9, -160.3, 22.3, -154.8),
+        population_weight: 1.4,
+        challenge_activity: 0.1,
+    },
+    StateInfo {
+        code: "ID",
+        name: "Idaho",
+        bbox: (42.0, -117.2, 49.0, -111.0),
+        population_weight: 1.9,
+        challenge_activity: 0.4,
+    },
+    StateInfo {
+        code: "IL",
+        name: "Illinois",
+        bbox: (37.0, -91.5, 42.5, -87.0),
+        population_weight: 12.6,
+        challenge_activity: 0.8,
+    },
+    StateInfo {
+        code: "IA",
+        name: "Iowa",
+        bbox: (40.4, -96.6, 43.5, -90.1),
+        population_weight: 3.2,
+        challenge_activity: 0.5,
+    },
+    StateInfo {
+        code: "KS",
+        name: "Kansas",
+        bbox: (37.0, -102.1, 40.0, -94.6),
+        population_weight: 2.9,
+        challenge_activity: 0.4,
+    },
+    StateInfo {
+        code: "KY",
+        name: "Kentucky",
+        bbox: (36.5, -89.6, 39.1, -81.9),
+        population_weight: 4.5,
+        challenge_activity: 0.6,
+    },
+    StateInfo {
+        code: "LA",
+        name: "Louisiana",
+        bbox: (29.0, -94.0, 33.0, -89.0),
+        population_weight: 4.6,
+        challenge_activity: 0.5,
+    },
+    StateInfo {
+        code: "ME",
+        name: "Maine",
+        bbox: (43.1, -71.1, 47.5, -66.9),
+        population_weight: 1.4,
+        challenge_activity: 0.3,
+    },
+    StateInfo {
+        code: "MD",
+        name: "Maryland",
+        bbox: (37.9, -79.5, 39.7, -75.0),
+        population_weight: 6.2,
+        challenge_activity: 0.4,
+    },
+    StateInfo {
+        code: "MA",
+        name: "Massachusetts",
+        bbox: (41.2, -73.5, 42.9, -69.9),
+        population_weight: 7.0,
+        challenge_activity: 0.3,
+    },
+    StateInfo {
+        code: "MN",
+        name: "Minnesota",
+        bbox: (43.5, -97.2, 49.4, -89.5),
+        population_weight: 5.7,
+        challenge_activity: 0.6,
+    },
+    StateInfo {
+        code: "MS",
+        name: "Mississippi",
+        bbox: (30.2, -91.7, 35.0, -88.1),
+        population_weight: 2.9,
+        challenge_activity: 0.3,
+    },
+    StateInfo {
+        code: "MT",
+        name: "Montana",
+        bbox: (44.4, -116.1, 49.0, -104.0),
+        population_weight: 1.1,
+        challenge_activity: 0.2,
+    },
+    StateInfo {
+        code: "NV",
+        name: "Nevada",
+        bbox: (35.0, -120.0, 42.0, -114.0),
+        population_weight: 3.2,
+        challenge_activity: 0.2,
+    },
+    StateInfo {
+        code: "NH",
+        name: "New Hampshire",
+        bbox: (42.7, -72.6, 45.3, -70.6),
+        population_weight: 1.4,
+        challenge_activity: 0.2,
+    },
+    StateInfo {
+        code: "NJ",
+        name: "New Jersey",
+        bbox: (38.9, -75.6, 41.4, -73.9),
+        population_weight: 9.3,
+        challenge_activity: 0.3,
+    },
+    StateInfo {
+        code: "NM",
+        name: "New Mexico",
+        bbox: (31.3, -109.1, 37.0, -103.0),
+        population_weight: 2.1,
+        challenge_activity: 0.3,
+    },
+    StateInfo {
+        code: "NC",
+        name: "North Carolina",
+        bbox: (33.8, -84.3, 36.6, -75.5),
+        population_weight: 10.7,
+        challenge_activity: 0.9,
+    },
+    StateInfo {
+        code: "ND",
+        name: "North Dakota",
+        bbox: (45.9, -104.1, 49.0, -96.6),
+        population_weight: 0.8,
+        challenge_activity: 0.2,
+    },
+    StateInfo {
+        code: "PA",
+        name: "Pennsylvania",
+        bbox: (39.7, -80.5, 42.3, -74.7),
+        population_weight: 13.0,
+        challenge_activity: 0.8,
+    },
+    StateInfo {
+        code: "RI",
+        name: "Rhode Island",
+        bbox: (41.1, -71.9, 42.0, -71.1),
+        population_weight: 1.1,
+        challenge_activity: 0.1,
+    },
+    StateInfo {
+        code: "SD",
+        name: "South Dakota",
+        bbox: (42.5, -104.1, 45.9, -96.4),
+        population_weight: 0.9,
+        challenge_activity: 0.2,
+    },
+    StateInfo {
+        code: "TN",
+        name: "Tennessee",
+        bbox: (35.0, -90.3, 36.7, -81.6),
+        population_weight: 7.0,
+        challenge_activity: 0.7,
+    },
+    StateInfo {
+        code: "TX",
+        name: "Texas",
+        bbox: (25.8, -106.6, 36.5, -93.5),
+        population_weight: 30.0,
+        challenge_activity: 1.1,
+    },
+    StateInfo {
+        code: "UT",
+        name: "Utah",
+        bbox: (37.0, -114.1, 42.0, -109.0),
+        population_weight: 3.4,
+        challenge_activity: 0.3,
+    },
+    StateInfo {
+        code: "VT",
+        name: "Vermont",
+        bbox: (42.7, -73.4, 45.0, -71.5),
+        population_weight: 0.6,
+        challenge_activity: 0.3,
+    },
+    StateInfo {
+        code: "WA",
+        name: "Washington",
+        bbox: (45.5, -124.8, 49.0, -116.9),
+        population_weight: 7.8,
+        challenge_activity: 0.6,
+    },
+    StateInfo {
+        code: "WV",
+        name: "West Virginia",
+        bbox: (37.2, -82.6, 40.6, -77.7),
+        population_weight: 1.8,
+        challenge_activity: 0.5,
+    },
+    StateInfo {
+        code: "WI",
+        name: "Wisconsin",
+        bbox: (42.5, -92.9, 47.1, -86.8),
+        population_weight: 5.9,
+        challenge_activity: 0.6,
+    },
+    StateInfo {
+        code: "WY",
+        name: "Wyoming",
+        bbox: (41.0, -111.1, 45.0, -104.1),
+        population_weight: 0.6,
+        challenge_activity: 0.2,
+    },
     // Territories.
-    StateInfo { code: "PR", name: "Puerto Rico", bbox: (17.9, -67.3, 18.5, -65.2), population_weight: 3.2, challenge_activity: 0.2 },
-    StateInfo { code: "GU", name: "Guam", bbox: (13.2, 144.6, 13.7, 145.0), population_weight: 0.2, challenge_activity: 0.05 },
-    StateInfo { code: "VI", name: "US Virgin Islands", bbox: (17.6, -65.1, 18.4, -64.5), population_weight: 0.1, challenge_activity: 0.05 },
-    StateInfo { code: "AS", name: "American Samoa", bbox: (-14.4, -170.9, -14.2, -169.4), population_weight: 0.05, challenge_activity: 0.05 },
-    StateInfo { code: "MP", name: "Northern Mariana Islands", bbox: (14.1, 145.1, 15.3, 145.9), population_weight: 0.05, challenge_activity: 0.05 },
+    StateInfo {
+        code: "PR",
+        name: "Puerto Rico",
+        bbox: (17.9, -67.3, 18.5, -65.2),
+        population_weight: 3.2,
+        challenge_activity: 0.2,
+    },
+    StateInfo {
+        code: "GU",
+        name: "Guam",
+        bbox: (13.2, 144.6, 13.7, 145.0),
+        population_weight: 0.2,
+        challenge_activity: 0.05,
+    },
+    StateInfo {
+        code: "VI",
+        name: "US Virgin Islands",
+        bbox: (17.6, -65.1, 18.4, -64.5),
+        population_weight: 0.1,
+        challenge_activity: 0.05,
+    },
+    StateInfo {
+        code: "AS",
+        name: "American Samoa",
+        bbox: (-14.4, -170.9, -14.2, -169.4),
+        population_weight: 0.05,
+        challenge_activity: 0.05,
+    },
+    StateInfo {
+        code: "MP",
+        name: "Northern Mariana Islands",
+        bbox: (14.1, 145.1, 15.3, 145.9),
+        population_weight: 0.05,
+        challenge_activity: 0.05,
+    },
 ];
 
 /// Look a state up by its postal code.
@@ -103,7 +433,11 @@ pub fn state_by_code(code: &str) -> Option<&'static StateInfo> {
 /// The ten states that dominate the challenge process, most active first.
 pub fn challenge_heavy_states() -> Vec<&'static StateInfo> {
     let mut s: Vec<&'static StateInfo> = STATES.iter().collect();
-    s.sort_by(|a, b| b.challenge_activity.partial_cmp(&a.challenge_activity).unwrap());
+    s.sort_by(|a, b| {
+        b.challenge_activity
+            .partial_cmp(&a.challenge_activity)
+            .unwrap()
+    });
     s.into_iter().take(10).collect()
 }
 
@@ -135,7 +469,10 @@ mod tests {
 
     #[test]
     fn challenge_activity_is_heavily_skewed() {
-        let heavy: f64 = challenge_heavy_states().iter().map(|s| s.challenge_activity).sum();
+        let heavy: f64 = challenge_heavy_states()
+            .iter()
+            .map(|s| s.challenge_activity)
+            .sum();
         let total: f64 = STATES.iter().map(|s| s.challenge_activity).sum();
         assert!(heavy / total > 0.85, "top-10 share {}", heavy / total);
         assert_eq!(challenge_heavy_states()[0].code, "NE");

@@ -73,15 +73,49 @@ impl MethodologyKind {
 
 /// Name fragments for synthetic ISPs. No real ISP brand names are used.
 const NAME_PREFIXES: &[&str] = &[
-    "Blue Ridge", "Prairie", "Summit", "Lakeside", "Pioneer", "Granite", "Cedar Valley", "Bayou",
-    "High Plains", "Redwood", "Harbor", "Mesa", "Timberline", "Cascade", "Bluegrass", "Dune",
-    "Foothill", "Ridgeline", "Sandhill", "Palmetto", "Wolverine", "Cornhusker", "Sooner", "Ozark",
-    "Hoosier", "Piedmont", "Tidewater", "Copperhead", "Juniper", "Saguaro",
+    "Blue Ridge",
+    "Prairie",
+    "Summit",
+    "Lakeside",
+    "Pioneer",
+    "Granite",
+    "Cedar Valley",
+    "Bayou",
+    "High Plains",
+    "Redwood",
+    "Harbor",
+    "Mesa",
+    "Timberline",
+    "Cascade",
+    "Bluegrass",
+    "Dune",
+    "Foothill",
+    "Ridgeline",
+    "Sandhill",
+    "Palmetto",
+    "Wolverine",
+    "Cornhusker",
+    "Sooner",
+    "Ozark",
+    "Hoosier",
+    "Piedmont",
+    "Tidewater",
+    "Copperhead",
+    "Juniper",
+    "Saguaro",
 ];
 
 const NAME_SUFFIXES: &[&str] = &[
-    "Fiber", "Telecom", "Broadband", "Communications", "Cable", "Wireless", "Networks", "Connect",
-    "Internet", "Cooperative",
+    "Fiber",
+    "Telecom",
+    "Broadband",
+    "Communications",
+    "Cable",
+    "Wireless",
+    "Networks",
+    "Connect",
+    "Internet",
+    "Cooperative",
 ];
 
 const CORPORATE_SUFFIXES: &[&str] = &["Inc.", "LLC", "Co.", "Corp.", ""];
@@ -124,8 +158,14 @@ pub fn email_domain_for(name: &str) -> String {
 /// A plausible street address in the provider's home town.
 pub fn street_address_for(rng: &mut StdRng, seq: u32) -> String {
     let streets = [
-        "Main Street", "Oak Avenue", "Industrial Parkway", "Commerce Drive", "Depot Road",
-        "Telegraph Road", "Courthouse Square", "Mill Lane",
+        "Main Street",
+        "Oak Avenue",
+        "Industrial Parkway",
+        "Commerce Drive",
+        "Depot Road",
+        "Telegraph Road",
+        "Courthouse Square",
+        "Mill Lane",
     ];
     let street = streets[rng.gen_range(0..streets.len())];
     format!("{} {street}, Suite {}", 100 + seq * 7 % 899, 1 + seq % 40)

@@ -102,8 +102,7 @@ impl SynthUs {
             .iter()
             .map(|f| (f.provider, f.claimed_location_count()))
             .collect();
-        let registration_data =
-            generate_registrations(config, &profiles, &claims_count, &mut rng);
+        let registration_data = generate_registrations(config, &profiles, &claims_count, &mut rng);
 
         let (served_hexes, served_by_provider) = served_hex_sets(&fabric, &claims);
         let ookla = generate_ookla(config, &fabric, &served_hexes, &mut rng);
@@ -139,7 +138,10 @@ impl SynthUs {
         });
 
         let providers = ProviderRegistry::new(
-            profiles.iter().map(|p| p.provider.clone()).collect::<Vec<Provider>>(),
+            profiles
+                .iter()
+                .map(|p| p.provider.clone())
+                .collect::<Vec<Provider>>(),
         );
 
         Self {
@@ -170,7 +172,9 @@ impl SynthUs {
 
     /// The most recent minor release (used to compute map diffs).
     pub fn latest_release(&self) -> &NbmRelease {
-        self.releases.last().expect("at least the initial release exists")
+        self.releases
+            .last()
+            .expect("at least the initial release exists")
     }
 
     /// Ground truth for an observation, if the provider claimed it at all.
@@ -262,7 +266,10 @@ mod tests {
     fn jcc_scenario_is_consistent() {
         let w = tiny_world();
         let jcc = w.jcc.as_ref().unwrap();
-        assert!(!jcc.overclaimed_hexes.is_empty(), "JCC has no over-claimed hexes");
+        assert!(
+            !jcc.overclaimed_hexes.is_empty(),
+            "JCC has no over-claimed hexes"
+        );
         assert!(!jcc.served_hexes.is_empty(), "JCC has no served hexes");
         assert!(jcc.excluded_states.contains(&jcc.home_state));
         // The provider exists and is not a major.

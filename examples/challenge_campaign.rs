@@ -14,10 +14,7 @@ use red_is_sus::synth::SynthConfig;
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let state = args.get(1).cloned().unwrap_or_else(|| "NE".to_string());
-    let budget: usize = args
-        .get(2)
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(25);
+    let budget: usize = args.get(2).and_then(|a| a.parse().ok()).unwrap_or(25);
 
     let suite = ExperimentSuite::prepare(&SynthConfig::tiny(42));
     let model = &suite.state_holdout.model;
@@ -36,7 +33,10 @@ fn main() {
         "challenge campaign plan for {state}: top {budget} of {} claimed observations",
         ranked.len()
     );
-    println!("{:<12} {:<22} {:<18} P(fail)", "provider", "technology", "hex");
+    println!(
+        "{:<12} {:<22} {:<18} P(fail)",
+        "provider", "technology", "hex"
+    );
     let mut hits = 0usize;
     for (row, p) in ranked.iter().take(budget) {
         let obs = &suite.matrix.observations[*row];

@@ -1,0 +1,46 @@
+//! Print the staged pipeline engine's per-stage wall-clock report in both
+//! execution modes over a bench-scale world.
+//!
+//! ```sh
+//! cargo run --release --example pipeline_timings [seed]
+//! ```
+
+use red_is_sus::core::pipeline::{PipelineEngine, PipelineStage};
+use red_is_sus::synth::{SynthConfig, SynthUs};
+
+fn main() {
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5);
+    let world = SynthUs::generate(&SynthConfig::tiny(seed));
+    println!(
+        "world: {} BSLs, {} providers, {} MLab tests (seed {seed})\n",
+        world.fabric.len(),
+        world.providers.len(),
+        world.mlab.len(),
+    );
+
+    for engine in [PipelineEngine::sequential(), PipelineEngine::parallel()] {
+        let run = engine.run(&world);
+        println!(
+            "{:?} execution (executed schedule: {:?}):",
+            engine.mode(),
+            run.report.executed
+        );
+        for stage in PipelineStage::ALL {
+            let wall = run.report.wall_for(stage).unwrap();
+            println!(
+                "  {:<24} {:>10.3} ms",
+                stage.name(),
+                wall.as_secs_f64() * 1e3
+            );
+        }
+        println!(
+            "  {:<24} {:>10.3} ms (stage sum {:.3} ms)\n",
+            "total wall",
+            run.report.total_wall.as_secs_f64() * 1e3,
+            run.report.stage_sum().as_secs_f64() * 1e3,
+        );
+    }
+}

@@ -69,13 +69,15 @@ fn feature_matrix_aligns_with_observations_across_crates() {
     // Every observation refers to a provider and hex that exist in the world.
     for obs in matrix.observations.iter().step_by(71) {
         assert!(world.providers.get(obs.provider).is_some());
-        assert!(world
+        assert!(
+            world
             .initial_release()
             .claim_for(obs.provider, obs.hex, obs.technology)
             .is_some()
             // Challenged claims may have been filed for locations the provider
             // did not aggregate into a hex claim (dropped records); tolerate
             // the rare miss but the hex itself must be known to the fabric.
-            || world.fabric.bsl_count_in_hex(&obs.hex) > 0);
+            || world.fabric.bsl_count_in_hex(&obs.hex) > 0
+        );
     }
 }

@@ -1,0 +1,214 @@
+//! Vendored stand-in for the slice of `criterion` this workspace uses.
+//!
+//! The build environment cannot reach a crates registry, so this crate
+//! provides a small, honest wall-clock harness behind criterion's API shape:
+//! `Criterion::benchmark_group`, `group.sample_size(..)`,
+//! `group.bench_function(name, |b| b.iter(..))`, `group.finish()` and the
+//! `criterion_group!`/`criterion_main!` macros (benches must set
+//! `harness = false`, exactly as with the real crate).
+//!
+//! Each benchmark is warmed up, then measured over `sample_size` samples; the
+//! harness prints the per-iteration mean/min and, when the `BENCH_JSON`
+//! environment variable names a path, writes every result from the bench
+//! binary to a JSON report — the mechanism behind the repo's committed
+//! `BENCH_baseline.json`. Each bench binary overwrites the file, so point
+//! `BENCH_JSON` at one `--bench` target at a time.
+
+use std::fmt::Write as _;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// One measured benchmark: name and per-iteration statistics in nanoseconds.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    pub name: String,
+    pub mean_ns: f64,
+    pub min_ns: f64,
+    pub samples: usize,
+    pub iters_per_sample: u64,
+}
+
+static RESULTS: Mutex<Vec<BenchResult>> = Mutex::new(Vec::new());
+
+/// Top-level harness handle, created by [`criterion_group!`].
+#[derive(Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Open a named group; benchmark names are reported as `group/name`.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+            sample_size: 20,
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing a sample count.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark (criterion's minimum is 10).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Measure one benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name.into());
+
+        // Warm-up + calibration: run single iterations until ~50ms elapse to
+        // pick an iteration count giving samples of at least ~10ms each.
+        let calib_start = Instant::now();
+        let mut calib_iters: u64 = 0;
+        let mut bencher = Bencher::default();
+        while calib_start.elapsed() < Duration::from_millis(50) && calib_iters < 1_000 {
+            bencher.reset(1);
+            f(&mut bencher);
+            calib_iters += 1;
+        }
+        let per_iter = calib_start.elapsed().as_secs_f64() / calib_iters.max(1) as f64;
+        let iters_per_sample = ((0.010 / per_iter.max(1e-9)) as u64).clamp(1, 1_000_000);
+
+        let mut sample_means = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            bencher.reset(iters_per_sample);
+            f(&mut bencher);
+            sample_means.push(bencher.elapsed.as_secs_f64() * 1e9 / iters_per_sample as f64);
+        }
+        let mean_ns = sample_means.iter().sum::<f64>() / sample_means.len() as f64;
+        let min_ns = sample_means.iter().cloned().fold(f64::INFINITY, f64::min);
+
+        println!(
+            "{full:<50} mean {:>12}  min {:>12}  ({} samples x {} iters)",
+            fmt_ns(mean_ns),
+            fmt_ns(min_ns),
+            self.sample_size,
+            iters_per_sample,
+        );
+        RESULTS.lock().unwrap().push(BenchResult {
+            name: full,
+            mean_ns,
+            min_ns,
+            samples: self.sample_size,
+            iters_per_sample,
+        });
+        self
+    }
+
+    /// End the group (kept for API parity; reporting happens incrementally).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; [`Bencher::iter`] times the payload.
+#[derive(Default)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    fn reset(&mut self, iters: u64) {
+        self.iters = iters;
+        self.elapsed = Duration::ZERO;
+    }
+
+    /// Run the payload `iters` times and record the total wall-clock time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters.max(1) {
+            std::hint::black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Write all results collected so far as a JSON report to `BENCH_JSON` (no-op
+/// when the variable is unset). Called by [`criterion_main!`] after all groups
+/// run.
+pub fn write_json_report() {
+    let Ok(path) = std::env::var("BENCH_JSON") else {
+        return;
+    };
+    let results = RESULTS.lock().unwrap();
+    let mut out = String::from("{\n  \"benchmarks\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let comma = if i + 1 < results.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"name\": \"{}\", \"mean_ns\": {:.1}, \"min_ns\": {:.1}, \"samples\": {}, \"iters_per_sample\": {}}}{comma}",
+            r.name, r.mean_ns, r.min_ns, r.samples, r.iters_per_sample,
+        );
+    }
+    out.push_str("  ]\n}\n");
+    if let Err(e) = std::fs::write(&path, out) {
+        eprintln!("failed to write {path}: {e}");
+    } else {
+        println!("wrote benchmark report to {path}");
+    }
+}
+
+/// Mirror of criterion's macro: defines a runner function invoking each
+/// benchmark function with a fresh [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Mirror of criterion's macro: defines `main` running every group, then
+/// emitting the optional JSON report.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+            $crate::write_json_report();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records_a_result() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("unit");
+        group.sample_size(1);
+        group.bench_function("noop", |b| b.iter(|| 1 + 1));
+        group.finish();
+        let results = RESULTS.lock().unwrap();
+        let r = results.iter().find(|r| r.name == "unit/noop").unwrap();
+        assert!(r.mean_ns >= 0.0);
+        assert_eq!(r.samples, 1);
+    }
+}

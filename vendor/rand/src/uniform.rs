@@ -1,0 +1,191 @@
+//! Uniform sampling from ranges, mirroring `rand::distributions::uniform`.
+//!
+//! The impl structure matters for type inference: `SampleRange<T>` is
+//! implemented generically for `Range<T>`/`RangeInclusive<T>` (not
+//! per-concrete-type), so `rng.gen_range(0.3..1.8)` unifies the output type
+//! with the literal type immediately — exactly like upstream `rand` — and
+//! float/integer literal fallback still applies downstream.
+
+use std::ops::{Range, RangeInclusive};
+
+use crate::RngCore;
+
+/// Ranges that can be sampled uniformly to produce a `T`.
+pub trait SampleRange<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Types with a uniform sampler over `[low, high)` / `[low, high]`.
+pub trait SampleUniform: Sized + PartialOrd {
+    fn sample_uniform<R: RngCore + ?Sized>(
+        rng: &mut R,
+        low: Self,
+        high: Self,
+        inclusive: bool,
+    ) -> Self;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "cannot sample empty range");
+        T::sample_uniform(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (start, end) = self.into_inner();
+        assert!(start <= end, "cannot sample empty range");
+        T::sample_uniform(rng, start, end, true)
+    }
+}
+
+/// Unbiased integer in `[0, bound)` via Lemire's widening-multiply method
+/// with rejection.
+fn bounded_u64<R: RngCore + ?Sized>(rng: &mut R, bound: u64) -> u64 {
+    debug_assert!(bound > 0);
+    loop {
+        let x = rng.next_u64();
+        let m = (x as u128) * (bound as u128);
+        let low = m as u64;
+        if low >= bound.wrapping_neg() % bound {
+            return (m >> 64) as u64;
+        }
+        // Rejected sample from the biased tail; draw again.
+    }
+}
+
+macro_rules! impl_int_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_uniform<R: RngCore + ?Sized>(
+                rng: &mut R,
+                low: Self,
+                high: Self,
+                inclusive: bool,
+            ) -> Self {
+                let span = (high as i128 - low as i128) as u128 + if inclusive { 1 } else { 0 };
+                if span == 0 || span > u64::MAX as u128 {
+                    // Full-width inclusive range: every bit pattern is valid.
+                    return rng.next_u64() as $t;
+                }
+                low.wrapping_add(bounded_u64(rng, span as u64) as $t)
+            }
+        }
+    )*};
+}
+
+impl_int_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+// The numerator width must not exceed the mantissa (24 bits for f32, 53 for
+// f64): a wider numerator rounds up to the next power of two, making `unit`
+// exactly 1.0 and leaking the exclusive upper bound. Rounding in
+// `low + unit * (high - low)` can still land on `high`, so the half-open case
+// clamps to the largest representable value below `high`.
+macro_rules! impl_float_uniform {
+    ($($t:ty, $mant:expr);*) => {$(
+        impl SampleUniform for $t {
+            fn sample_uniform<R: RngCore + ?Sized>(
+                rng: &mut R,
+                low: Self,
+                high: Self,
+                inclusive: bool,
+            ) -> Self {
+                let numerator = (rng.next_u64() >> (64 - $mant)) as $t;
+                let denom = if inclusive {
+                    ((1u64 << $mant) - 1) as $t
+                } else {
+                    (1u64 << $mant) as $t
+                };
+                let v = low + (numerator / denom) * (high - low);
+                if inclusive {
+                    v.min(high)
+                } else if v >= high {
+                    high.next_down().max(low)
+                } else {
+                    v
+                }
+            }
+        }
+    )*};
+}
+
+impl_float_uniform!(f32, 24; f64, 53);
+
+#[cfg(test)]
+mod tests {
+    use crate::rngs::StdRng;
+    use crate::{Rng, SeedableRng};
+
+    #[test]
+    fn int_ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(3..17usize);
+            assert!((3..17).contains(&v));
+            let w = rng.gen_range(-5..=5i32);
+            assert!((-5..=5).contains(&w));
+        }
+    }
+
+    #[test]
+    fn int_range_hits_every_value() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            seen[rng.gen_range(0..10usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn float_ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(8);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(-2.0..3.0f64);
+            assert!((-2.0..3.0).contains(&v));
+        }
+    }
+
+    /// An RNG pinned at all-ones drives the float samplers to their maximum
+    /// numerator — the case where a too-wide numerator or final rounding
+    /// would leak the exclusive upper bound.
+    struct MaxRng;
+    impl crate::RngCore for MaxRng {
+        fn next_u64(&mut self) -> u64 {
+            u64::MAX
+        }
+    }
+
+    #[test]
+    fn float_ranges_never_return_exclusive_bound() {
+        use super::SampleRange;
+        let f: f32 = (0.0f32..1.0).sample_from(&mut MaxRng);
+        assert!(f < 1.0, "f32 leaked the exclusive bound: {f}");
+        let d: f64 = (0.0f64..0.1).sample_from(&mut MaxRng);
+        assert!(d < 0.1, "f64 leaked the exclusive bound: {d}");
+        // Inclusive ranges may return the bound but never exceed it.
+        let i: f64 = (0.0f64..=0.1).sample_from(&mut MaxRng);
+        assert!(i <= 0.1, "inclusive bound exceeded: {i}");
+    }
+
+    #[test]
+    fn unit_range_mean_is_centered() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let n = 100_000;
+        let sum: f64 = (0..n).map(|_| rng.gen_range(0.0..1.0f64)).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn literal_inference_matches_upstream() {
+        // `{float}` and `{integer}` literals must infer through gen_range the
+        // way they do with upstream rand.
+        let mut rng = StdRng::seed_from_u64(10);
+        let x: f64 = rng.gen_range(0.3..1.8);
+        assert!(x.round() >= 0.0);
+        let tier = [0.1, 0.25, 0.5, 1.0][rng.gen_range(0..4)];
+        assert!(tier > 0.0);
+    }
+}

@@ -1,0 +1,17 @@
+//! Vendored stand-in for `serde`.
+//!
+//! The build environment has no access to a crates registry, and nothing in
+//! the workspace serialises at runtime yet — the derives on the data model
+//! declare *intent* (these types are wire-ready) ahead of a future
+//! persistence/serving PR. This stub keeps the source-level API surface the
+//! workspace uses (`use serde::{Deserialize, Serialize}` + `#[derive(...)]` +
+//! `#[serde(skip)]`) compiling with zero behaviour. Replacing it with the real
+//! crate is a manifest-only change.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`'s name; never invoked.
+pub trait SerializeMarker {}
+
+/// Marker trait mirroring `serde::Deserialize`'s name; never invoked.
+pub trait DeserializeMarker<'de> {}

@@ -1,0 +1,25 @@
+//! Vendored stand-in for `serde_derive`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its data model so the
+//! types are ready for a real serialisation backend, but no code path
+//! serialises at runtime yet and the build environment has no access to
+//! crates.io. These derives therefore accept the full attribute syntax
+//! (including `#[serde(...)]` field attributes) and expand to nothing; the
+//! marker traits live in the sibling `serde` stub crate. Swapping both stubs
+//! for the real crates is a two-line change in the workspace manifest.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` (and `#[serde(...)]` attributes) and emits
+/// no code.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` (and `#[serde(...)]` attributes) and emits
+/// no code.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
