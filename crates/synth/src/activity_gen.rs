@@ -6,6 +6,11 @@
 //! successful challenges and silent corrections remove claims, and the
 //! challenge outcomes themselves with the paper's Table 2/3 mix and Figure 2's
 //! state skew.
+//!
+//! Sharding: challenges and corrections draw from one stream per *provider*
+//! (keyed by provider id), the later wave from one stream per fixed-size
+//! chunk of the first wave, and releases (which draw no randomness) fan one
+//! shard per release — so every output is bit-identical for any worker count.
 
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -18,7 +23,19 @@ use rand::Rng;
 
 use crate::config::SynthConfig;
 use crate::providers_gen::{ClaimTruth, ProviderProfile};
+use crate::shard::{map_shards, shard_rng, SynthStage};
 use crate::states::{state_by_code, STATES};
+
+/// Fixed chunk size of the later-challenge shards. Part of the deterministic
+/// contract: changing it changes which stream each challenge draws from (and
+/// therefore the generated world), so it must stay constant.
+const LATER_WAVE_CHUNK: usize = 4096;
+
+/// How many shards [`generate_later_challenges`] fans out for a first wave of
+/// `first_wave_len` challenges (used by the generation report).
+pub fn later_wave_shard_count(first_wave_len: usize) -> usize {
+    first_wave_len.div_ceil(LATER_WAVE_CHUNK).max(1)
+}
 
 /// The maximum `challenge_activity` weight over all states, used to normalise
 /// per-state challenge probabilities.
@@ -117,17 +134,24 @@ fn sample_outcome(rng: &mut StdRng, claim_is_false: bool) -> ChallengeOutcome {
 
 /// Generate the challenge wave against the initial NBM release. Challenge
 /// volume per state follows the `challenge_activity` skew, and challengers
-/// preferentially target claims that are actually false.
+/// preferentially target claims that are actually false. One shard (and one
+/// RNG stream) per provider, assembled in provider-id order.
 pub fn generate_challenges(
     config: &SynthConfig,
     fabric: &Fabric,
     claims: &BTreeMap<ProviderId, Vec<ClaimTruth>>,
-    rng: &mut StdRng,
+    workers: usize,
 ) -> Vec<Challenge> {
     let max_act = max_activity();
     let window_start = DayStamp::from_ymd(2023, 2, 1);
-    let mut out = Vec::new();
-    for (provider, provider_claims) in claims {
+    let shards: Vec<(&ProviderId, &Vec<ClaimTruth>)> = claims.iter().collect();
+    map_shards(workers, &shards, |_, &(provider, provider_claims)| {
+        let mut rng = shard_rng(
+            config.seed,
+            SynthStage::Challenges,
+            u64::from(provider.value()),
+        );
+        let mut out = Vec::new();
         for c in provider_claims {
             let Some(bsl) = fabric.get(c.location) else {
                 continue;
@@ -151,46 +175,68 @@ pub fn generate_challenges(
                 hex: bsl.hex,
                 technology: c.technology,
                 state: bsl.state.clone(),
-                reason: sample_reason(rng),
-                outcome: sample_outcome(rng, !c.truly_served),
+                reason: sample_reason(&mut rng),
+                outcome: sample_outcome(&mut rng, !c.truly_served),
                 filed,
                 resolved,
             });
         }
-    }
-    out
+        out
+    })
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 /// Generate the much smaller challenge wave against the *next* major release
-/// (Figure 1 shows roughly two orders of magnitude fewer challenges).
-pub fn generate_later_challenges(first_wave: &[Challenge], rng: &mut StdRng) -> Vec<Challenge> {
+/// (Figure 1 shows roughly two orders of magnitude fewer challenges). One
+/// stream per [`LATER_WAVE_CHUNK`]-sized chunk of the first wave.
+pub fn generate_later_challenges(
+    config: &SynthConfig,
+    first_wave: &[Challenge],
+    workers: usize,
+) -> Vec<Challenge> {
     let window_start = DayStamp::from_ymd(2023, 12, 1);
-    let mut out = Vec::new();
-    for c in first_wave {
-        if !rng.gen_bool(0.012) {
-            continue;
+    let chunks: Vec<&[Challenge]> = first_wave.chunks(LATER_WAVE_CHUNK).collect();
+    map_shards(workers, &chunks, |chunk_index, chunk| {
+        let mut rng = shard_rng(config.seed, SynthStage::LaterChallenges, chunk_index as u64);
+        let mut out = Vec::new();
+        for c in chunk.iter() {
+            if !rng.gen_bool(0.012) {
+                continue;
+            }
+            let filed = window_start.plus_days(rng.gen_range(0..80));
+            out.push(Challenge {
+                filed,
+                resolved: filed.plus_days(rng.gen_range(14..120)),
+                ..c.clone()
+            });
         }
-        let filed = window_start.plus_days(rng.gen_range(0..80));
-        out.push(Challenge {
-            filed,
-            resolved: filed.plus_days(rng.gen_range(14..120)),
-            ..c.clone()
-        });
-    }
-    out
+        out
+    })
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 /// Claims silently removed by providers without a public challenge (FCC data
 /// quality checks or methodology corrections, §4.1.3). Returns the removed
 /// claim keys together with the index of the minor release they disappear in.
+/// One shard (and one RNG stream) per provider.
 pub fn generate_corrections(
     config: &SynthConfig,
     claims: &BTreeMap<ProviderId, Vec<ClaimTruth>>,
     challenged: &BTreeSet<(ProviderId, LocationId, Technology)>,
-    rng: &mut StdRng,
+    workers: usize,
 ) -> Vec<(ProviderId, LocationId, Technology, usize)> {
-    let mut out = Vec::new();
-    for (provider, provider_claims) in claims {
+    let shards: Vec<(&ProviderId, &Vec<ClaimTruth>)> = claims.iter().collect();
+    map_shards(workers, &shards, |_, &(provider, provider_claims)| {
+        let mut rng = shard_rng(
+            config.seed,
+            SynthStage::Corrections,
+            u64::from(provider.value()),
+        );
+        let mut out = Vec::new();
         for c in provider_claims {
             if c.truly_served {
                 continue;
@@ -204,34 +250,42 @@ pub fn generate_corrections(
                 out.push((*provider, c.location, c.technology, release_idx));
             }
         }
-    }
-    out
+        out
+    })
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 /// Build the initial release plus `n_minor_releases` minor releases, removing
 /// successfully-challenged claims (once resolved) and silent corrections over
-/// time.
+/// time. Draws no randomness; each release is an independent shard.
 pub fn build_releases(
     config: &SynthConfig,
     filings: &[Filing],
     fabric: &Fabric,
     challenges: &[Challenge],
     corrections: &[(ProviderId, LocationId, Technology, usize)],
+    workers: usize,
 ) -> Vec<NbmRelease> {
     let initial_records: Vec<AvailabilityRecord> = filings
         .iter()
         .flat_map(|f| f.records.iter().cloned())
         .collect();
-    let mut releases = vec![NbmRelease::from_records(
-        ReleaseVersion::initial(),
-        DayStamp::initial_nbm_release(),
-        initial_records.clone(),
-        fabric,
-    )];
-
-    let mut version = ReleaseVersion::initial();
-    for k in 1..=config.n_minor_releases {
-        version = version.next_minor();
+    let release_indices: Vec<usize> = (0..=config.n_minor_releases).collect();
+    map_shards(workers, &release_indices, |_, &k| {
+        let mut version = ReleaseVersion::initial();
+        for _ in 0..k {
+            version = version.next_minor();
+        }
+        if k == 0 {
+            return NbmRelease::from_records(
+                version,
+                DayStamp::initial_nbm_release(),
+                initial_records.clone(),
+                fabric,
+            );
+        }
         // Minor releases are spaced through the challenge window (Feb–Nov 2023).
         let published = DayStamp::from_ymd(2023, 2, 1).plus_days((k as u32) * 45);
         let mut removed: BTreeSet<(ProviderId, LocationId, Technology)> = BTreeSet::new();
@@ -250,20 +304,16 @@ pub fn build_releases(
             .filter(|r| !removed.contains(&r.claim_key()))
             .cloned()
             .collect();
-        releases.push(NbmRelease::from_records(
-            version, published, records, fabric,
-        ));
-    }
-    releases
+        NbmRelease::from_records(version, published, records, fabric)
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::fabric_gen::{generate_fabric, generate_towns};
-    use crate::providers_gen::{compute_claims, generate_providers};
+    use crate::providers_gen::{compute_all_claims, generate_providers};
     use bdc::challenge::{state_distribution, success_rate};
-    use rand::SeedableRng;
 
     struct World {
         config: SynthConfig,
@@ -274,14 +324,10 @@ mod tests {
 
     fn world() -> World {
         let config = SynthConfig::tiny(21);
-        let mut rng = StdRng::seed_from_u64(config.seed);
-        let towns = generate_towns(&config, &mut rng);
-        let fabric = generate_fabric(&towns, &mut rng);
-        let profiles = generate_providers(&config, &towns, &mut rng);
-        let claims: BTreeMap<ProviderId, Vec<ClaimTruth>> = profiles
-            .iter()
-            .map(|p| (p.provider.id, compute_claims(p, &towns, &fabric, &config)))
-            .collect();
+        let towns = generate_towns(&config, 1);
+        let fabric = generate_fabric(&config, &towns, 1);
+        let profiles = generate_providers(&config, &towns, 1);
+        let claims = compute_all_claims(&profiles, &towns, &fabric, &config, 1);
         World {
             config,
             fabric,
@@ -307,8 +353,7 @@ mod tests {
     #[test]
     fn challenge_success_rate_near_paper_value() {
         let w = world();
-        let mut rng = StdRng::seed_from_u64(99);
-        let challenges = generate_challenges(&w.config, &w.fabric, &w.claims, &mut rng);
+        let challenges = generate_challenges(&w.config, &w.fabric, &w.claims, 1);
         // The exact count depends on the RNG stream (85 with the vendored
         // xoshiro StdRng at this seed); the invariant is "a healthy sample",
         // the success *rate* below is the calibrated quantity.
@@ -324,8 +369,7 @@ mod tests {
     #[test]
     fn challenges_concentrate_in_active_states() {
         let w = world();
-        let mut rng = StdRng::seed_from_u64(100);
-        let challenges = generate_challenges(&w.config, &w.fabric, &w.claims, &mut rng);
+        let challenges = generate_challenges(&w.config, &w.fabric, &w.claims, 1);
         let by_state = state_distribution(&challenges);
         let total: usize = by_state.values().sum();
         let mut counts: Vec<usize> = by_state.values().copied().collect();
@@ -341,9 +385,8 @@ mod tests {
     #[test]
     fn later_wave_is_tiny() {
         let w = world();
-        let mut rng = StdRng::seed_from_u64(101);
-        let wave1 = generate_challenges(&w.config, &w.fabric, &w.claims, &mut rng);
-        let wave2 = generate_later_challenges(&wave1, &mut rng);
+        let wave1 = generate_challenges(&w.config, &w.fabric, &w.claims, 1);
+        let wave2 = generate_later_challenges(&w.config, &wave1, 1);
         assert!(wave2.len() < wave1.len() / 20);
         for c in &wave2 {
             assert!(c.filed >= DayStamp::from_ymd(2023, 12, 1));
@@ -353,13 +396,12 @@ mod tests {
     #[test]
     fn corrections_only_remove_unchallenged_false_claims() {
         let w = world();
-        let mut rng = StdRng::seed_from_u64(102);
-        let challenges = generate_challenges(&w.config, &w.fabric, &w.claims, &mut rng);
+        let challenges = generate_challenges(&w.config, &w.fabric, &w.claims, 1);
         let challenged: BTreeSet<_> = challenges
             .iter()
             .map(|c| (c.provider, c.location, c.technology))
             .collect();
-        let corrections = generate_corrections(&w.config, &w.claims, &challenged, &mut rng);
+        let corrections = generate_corrections(&w.config, &w.claims, &challenged, 1);
         assert!(!corrections.is_empty());
         let truth: BTreeMap<(ProviderId, LocationId, Technology), bool> = w
             .claims
@@ -379,15 +421,14 @@ mod tests {
     #[test]
     fn releases_shrink_over_time() {
         let w = world();
-        let mut rng = StdRng::seed_from_u64(103);
         let filings = build_filings(&w.profiles, &w.claims);
-        let challenges = generate_challenges(&w.config, &w.fabric, &w.claims, &mut rng);
+        let challenges = generate_challenges(&w.config, &w.fabric, &w.claims, 1);
         let challenged: BTreeSet<_> = challenges
             .iter()
             .map(|c| (c.provider, c.location, c.technology))
             .collect();
-        let corrections = generate_corrections(&w.config, &w.claims, &challenged, &mut rng);
-        let releases = build_releases(&w.config, &filings, &w.fabric, &challenges, &corrections);
+        let corrections = generate_corrections(&w.config, &w.claims, &challenged, 1);
+        let releases = build_releases(&w.config, &filings, &w.fabric, &challenges, &corrections, 1);
         assert_eq!(releases.len(), w.config.n_minor_releases + 1);
         let first = releases.first().unwrap().records().len();
         let last = releases.last().unwrap().records().len();
@@ -400,6 +441,35 @@ mod tests {
         // Publication dates increase.
         for w2 in releases.windows(2) {
             assert!(w2[0].published < w2[1].published);
+        }
+    }
+
+    #[test]
+    fn challenge_wave_is_worker_count_invariant() {
+        let w = world();
+        let base = generate_challenges(&w.config, &w.fabric, &w.claims, 1);
+        let later_base = generate_later_challenges(&w.config, &base, 1);
+        let corrections_base = {
+            let challenged: BTreeSet<_> = base
+                .iter()
+                .map(|c| (c.provider, c.location, c.technology))
+                .collect();
+            generate_corrections(&w.config, &w.claims, &challenged, 1)
+        };
+        for workers in [2, 4] {
+            let got = generate_challenges(&w.config, &w.fabric, &w.claims, workers);
+            assert_eq!(got, base, "challenges differ at {workers} workers");
+            let later = generate_later_challenges(&w.config, &base, workers);
+            assert_eq!(later, later_base, "later wave differs at {workers} workers");
+            let challenged: BTreeSet<_> = base
+                .iter()
+                .map(|c| (c.provider, c.location, c.technology))
+                .collect();
+            let corrections = generate_corrections(&w.config, &w.claims, &challenged, workers);
+            assert_eq!(
+                corrections, corrections_base,
+                "corrections differ at {workers} workers"
+            );
         }
     }
 }

@@ -96,6 +96,10 @@ impl SynthConfig {
     }
 
     /// Basic sanity checks; called by the generator before doing any work.
+    ///
+    /// The error message is returned verbatim by [`crate::SynthUs::generate_with`]
+    /// and used verbatim as the panic payload of [`crate::SynthUs::generate`]
+    /// (prefixed with `"invalid SynthConfig: "`).
     pub fn validate(&self) -> Result<(), String> {
         if self.n_bsls == 0 {
             return Err("n_bsls must be positive".into());
@@ -106,6 +110,9 @@ impl SynthConfig {
         if self.n_major_providers > self.n_providers {
             return Err("n_major_providers cannot exceed n_providers".into());
         }
+        if self.bsls_per_town == 0 {
+            return Err("bsls_per_town must be positive".into());
+        }
         for (name, v) in [
             ("overclaim_fraction", self.overclaim_fraction),
             ("challenge_rate_false", self.challenge_rate_false),
@@ -115,6 +122,17 @@ impl SynthConfig {
         ] {
             if !(0.0..=1.0).contains(&v) {
                 return Err(format!("{name} must be in [0, 1], got {v}"));
+            }
+        }
+        for (name, v) in [
+            (
+                "ookla_devices_per_served_bsl",
+                self.ookla_devices_per_served_bsl,
+            ),
+            ("mlab_tests_per_served_hex", self.mlab_tests_per_served_hex),
+        ] {
+            if !v.is_finite() || v < 0.0 {
+                return Err(format!("{name} must be finite and non-negative, got {v}"));
             }
         }
         Ok(())
@@ -146,6 +164,21 @@ mod tests {
         assert!(c.validate().is_err());
         let c = SynthConfig {
             n_major_providers: SynthConfig::default().n_providers + 1,
+            ..SynthConfig::default()
+        };
+        assert!(c.validate().is_err());
+        let c = SynthConfig {
+            bsls_per_town: 0,
+            ..SynthConfig::default()
+        };
+        assert!(c.validate().is_err());
+        let c = SynthConfig {
+            ookla_devices_per_served_bsl: f64::NAN,
+            ..SynthConfig::default()
+        };
+        assert!(c.validate().is_err());
+        let c = SynthConfig {
+            mlab_tests_per_served_hex: -1.0,
             ..SynthConfig::default()
         };
         assert!(c.validate().is_err());

@@ -23,13 +23,22 @@
 //!   providers) ([`registration_gen`]).
 //!
 //! Everything is derived deterministically from a single seed in
-//! [`SynthConfig`]; [`SynthUs::generate`] returns the full world.
+//! [`SynthConfig`]; [`SynthUs::generate`] returns the full world, and
+//! [`SynthUs::generate_with`] additionally selects the execution schedule
+//! ([`GenMode`]) and returns a [`SynthReport`] of per-stage timings.
+//!
+//! Generation is *sharded*: every random quantity is drawn from an
+//! independent stream keyed by `(seed, stage, shard)` ([`shard`]), so shards
+//! can be fanned across threads in any order and the world stays
+//! bit-identical for any worker count — a contract made testable by
+//! [`SynthUs::canonical_fingerprint`].
 
 pub mod activity_gen;
 pub mod config;
 pub mod fabric_gen;
 pub mod providers_gen;
 pub mod registration_gen;
+pub mod shard;
 pub mod speedtest_gen;
 pub mod states;
 pub mod text;
@@ -37,5 +46,6 @@ pub mod world;
 
 pub use config::SynthConfig;
 pub use providers_gen::{ProviderProfile, ReportingStyle};
+pub use shard::{GenMode, SynthReport, SynthStage, SynthStageTiming};
 pub use states::{StateInfo, STATES};
 pub use world::{JccScenario, SynthUs};

@@ -1,5 +1,12 @@
 //! Generating providers, their footprints, reporting behaviour and the
 //! ground-truth / claimed service sets.
+//!
+//! Provider generation is sharded per provider: provider `i` draws only from
+//! the `(seed, Providers, i)` stream, so the population is bit-identical for
+//! any worker count. Claim computation consumes no randomness at all and is
+//! likewise fanned per provider.
+
+use std::collections::BTreeMap;
 
 use bdc::{Frn, LocationId, Provider, ProviderId, Technology};
 use rand::rngs::StdRng;
@@ -7,6 +14,7 @@ use rand::Rng;
 
 use crate::config::SynthConfig;
 use crate::fabric_gen::Town;
+use crate::shard::{map_shards, shard_rng, SynthStage};
 use crate::text::{provider_name, MethodologyKind, MAJOR_PROVIDER_NAMES};
 
 /// How faithfully a provider's filing reflects its real network.
@@ -97,183 +105,215 @@ fn radius_for(rng: &mut StdRng, tech: Technology) -> f64 {
 }
 
 /// Generate the provider population: `n_major_providers` national ISPs and a
-/// long tail of regional and local providers.
+/// long tail of regional and local providers, one shard per provider.
 pub fn generate_providers(
     config: &SynthConfig,
     towns: &[Town],
-    rng: &mut StdRng,
+    workers: usize,
 ) -> Vec<ProviderProfile> {
-    let mut profiles = Vec::with_capacity(config.n_providers);
-    let mut next_id = 1u32;
+    let seqs: Vec<usize> = (0..config.n_providers).collect();
+    map_shards(workers, &seqs, |_, &seq| {
+        let mut rng = shard_rng(config.seed, SynthStage::Providers, seq as u64);
+        if seq < config.n_major_providers {
+            generate_major(config, towns, seq, &mut rng)
+        } else {
+            generate_regional(config, towns, seq, &mut rng)
+        }
+    })
+}
 
-    // Majors: large multi-state footprints, cable and/or fiber.
-    for m in 0..config.n_major_providers {
-        let name = MAJOR_PROVIDER_NAMES[m % MAJOR_PROVIDER_NAMES.len()].to_string();
-        let share = rng.gen_range(0.25..0.45);
-        let mut footprint: Vec<usize> = (0..towns.len()).filter(|_| rng.gen_bool(share)).collect();
-        if footprint.is_empty() {
-            footprint.push(rng.gen_range(0..towns.len()));
-        }
-        let mut deployments = vec![];
-        for tech in [Technology::Cable, Technology::Fiber] {
-            if rng.gen_bool(0.8) {
-                let (down, up, low_latency) = speeds_for(rng, tech);
-                deployments.push(TechDeployment {
-                    technology: tech,
-                    true_radius_km: radius_for(rng, tech),
-                    max_down_mbps: down,
-                    max_up_mbps: up,
-                    low_latency,
-                });
-            }
-        }
-        if deployments.is_empty() {
-            let (down, up, low_latency) = speeds_for(rng, Technology::Cable);
+/// One major national ISP: a large multi-state footprint, cable and/or fiber.
+fn generate_major(
+    _config: &SynthConfig,
+    towns: &[Town],
+    seq: usize,
+    rng: &mut StdRng,
+) -> ProviderProfile {
+    let next_id = seq as u32 + 1;
+    let name = MAJOR_PROVIDER_NAMES[seq % MAJOR_PROVIDER_NAMES.len()].to_string();
+    let share = rng.gen_range(0.25..0.45);
+    let mut footprint: Vec<usize> = (0..towns.len()).filter(|_| rng.gen_bool(share)).collect();
+    if footprint.is_empty() {
+        footprint.push(rng.gen_range(0..towns.len()));
+    }
+    let mut deployments = vec![];
+    for tech in [Technology::Cable, Technology::Fiber] {
+        if rng.gen_bool(0.8) {
+            let (down, up, low_latency) = speeds_for(rng, tech);
             deployments.push(TechDeployment {
-                technology: Technology::Cable,
-                true_radius_km: radius_for(rng, Technology::Cable),
+                technology: tech,
+                true_radius_km: radius_for(rng, tech),
                 max_down_mbps: down,
                 max_up_mbps: up,
                 low_latency,
             });
         }
-        let style = if rng.gen_bool(0.6) {
-            ReportingStyle::Typical
-        } else {
-            ReportingStyle::Accurate
-        };
-        let home_state = towns[footprint[0]].state.clone();
-        profiles.push(ProviderProfile {
-            provider: Provider {
-                id: ProviderId(next_id),
-                name: name.clone(),
-                brand: name.split(' ').next().unwrap_or(&name).to_string(),
-                frns: vec![Frn(1_000_000 + next_id as u64)],
-                technologies: deployments.iter().map(|d| d.technology).collect(),
-                major: true,
-                home_state,
-            },
-            towns: footprint,
-            deployments,
-            style,
-            methodology: MethodologyKind::FiberEngineering,
-            jcc_like: false,
-        });
-        next_id += 1;
     }
-
-    // Regional and local providers.
-    let n_rest = config.n_providers - config.n_major_providers;
-    for i in 0..n_rest {
-        let name = provider_name(rng);
-        // Footprint: a handful of towns, preferentially in one state.
-        let anchor = rng.gen_range(0..towns.len());
-        let anchor_state = towns[anchor].state.clone();
-        let n_towns = 1 + rng.gen_range(0..4usize);
-        let mut footprint = vec![anchor];
-        let same_state: Vec<usize> = (0..towns.len())
-            .filter(|&t| towns[t].state == anchor_state && t != anchor)
-            .collect();
-        for _ in 1..n_towns {
-            if !same_state.is_empty() && rng.gen_bool(0.8) {
-                footprint.push(same_state[rng.gen_range(0..same_state.len())]);
-            } else {
-                footprint.push(rng.gen_range(0..towns.len()));
-            }
-        }
-        footprint.sort_unstable();
-        footprint.dedup();
-
-        let tech = match rng.gen_range(0..10) {
-            0..=2 => Technology::Fiber,
-            3..=4 => Technology::Cable,
-            5..=6 => Technology::Copper,
-            7..=8 => Technology::UnlicensedFixedWireless,
-            _ => Technology::LicensedFixedWireless,
-        };
-        let (down, up, low_latency) = speeds_for(rng, tech);
-        let mut deployments = vec![TechDeployment {
-            technology: tech,
-            true_radius_km: radius_for(rng, tech),
+    if deployments.is_empty() {
+        let (down, up, low_latency) = speeds_for(rng, Technology::Cable);
+        deployments.push(TechDeployment {
+            technology: Technology::Cable,
+            true_radius_km: radius_for(rng, Technology::Cable),
             max_down_mbps: down,
             max_up_mbps: up,
             low_latency,
-        }];
-        // Some providers file a legacy copper offering alongside.
-        if tech == Technology::Fiber && rng.gen_bool(0.3) {
-            let (d2, u2, _) = speeds_for(rng, Technology::Copper);
-            deployments.push(TechDeployment {
-                technology: Technology::Copper,
-                true_radius_km: radius_for(rng, Technology::Copper),
-                max_down_mbps: d2,
-                max_up_mbps: u2,
-                low_latency: true,
-            });
-        }
-
-        // Reporting style and stated methodology are only loosely correlated:
-        // aggressive filers are more likely to describe census-block
-        // reporting, but plenty of careful filers use the same consultant
-        // boilerplate, so the methodology text alone cannot identify the
-        // over-claimers (mirroring reality — the paper finds the embedding is
-        // a secondary signal, not a provider fingerprint).
-        let style = match rng.gen_range(0..10) {
-            0..=3 => ReportingStyle::Accurate,
-            4..=7 => ReportingStyle::Typical,
-            _ => ReportingStyle::Aggressive,
-        };
-        let census_block_prob = if style == ReportingStyle::Aggressive {
-            0.3
-        } else {
-            0.1
-        };
-        let methodology = if rng.gen_bool(census_block_prob) {
-            MethodologyKind::CensusBlocks
-        } else if matches!(
-            tech,
-            Technology::UnlicensedFixedWireless | Technology::LicensedFixedWireless
-        ) {
-            MethodologyKind::PropagationModel
-        } else {
-            match rng.gen_range(0..10) {
-                0..=3 => MethodologyKind::SubscriberAddresses,
-                4..=7 => MethodologyKind::ConsultantTemplate,
-                _ => MethodologyKind::FiberEngineering,
-            }
-        };
-
-        // The very last regional provider becomes the JCC-style intentional
-        // over-claimer when the scenario is enabled.
-        let jcc_like = config.include_jcc && i == n_rest - 1;
-        let style = if jcc_like {
-            ReportingStyle::IntentionalOverclaim
-        } else {
-            style
-        };
-
-        profiles.push(ProviderProfile {
-            provider: Provider {
-                id: ProviderId(next_id),
-                name: name.clone(),
-                brand: name.split(',').next().unwrap_or(&name).trim().to_string(),
-                frns: vec![Frn(1_000_000 + next_id as u64)],
-                technologies: deployments.iter().map(|d| d.technology).collect(),
-                major: false,
-                home_state: anchor_state,
-            },
-            towns: footprint,
-            deployments,
-            style,
-            methodology: if jcc_like {
-                MethodologyKind::CensusBlocks
-            } else {
-                methodology
-            },
-            jcc_like,
         });
-        next_id += 1;
     }
-    profiles
+    let style = if rng.gen_bool(0.6) {
+        ReportingStyle::Typical
+    } else {
+        ReportingStyle::Accurate
+    };
+    let home_state = towns[footprint[0]].state.clone();
+    ProviderProfile {
+        provider: Provider {
+            id: ProviderId(next_id),
+            name: name.clone(),
+            brand: name.split(' ').next().unwrap_or(&name).to_string(),
+            frns: vec![Frn(1_000_000 + next_id as u64)],
+            technologies: deployments.iter().map(|d| d.technology).collect(),
+            major: true,
+            home_state,
+        },
+        towns: footprint,
+        deployments,
+        style,
+        methodology: MethodologyKind::FiberEngineering,
+        jcc_like: false,
+    }
+}
+
+/// One regional/local provider with a handful of towns, preferentially in
+/// one state.
+fn generate_regional(
+    config: &SynthConfig,
+    towns: &[Town],
+    seq: usize,
+    rng: &mut StdRng,
+) -> ProviderProfile {
+    let next_id = seq as u32 + 1;
+    let name = provider_name(rng);
+    // Footprint: a handful of towns, preferentially in one state.
+    let anchor = rng.gen_range(0..towns.len());
+    let anchor_state = towns[anchor].state.clone();
+    let n_towns = 1 + rng.gen_range(0..4usize);
+    let mut footprint = vec![anchor];
+    let same_state: Vec<usize> = (0..towns.len())
+        .filter(|&t| towns[t].state == anchor_state && t != anchor)
+        .collect();
+    for _ in 1..n_towns {
+        if !same_state.is_empty() && rng.gen_bool(0.8) {
+            footprint.push(same_state[rng.gen_range(0..same_state.len())]);
+        } else {
+            footprint.push(rng.gen_range(0..towns.len()));
+        }
+    }
+    footprint.sort_unstable();
+    footprint.dedup();
+
+    let tech = match rng.gen_range(0..10) {
+        0..=2 => Technology::Fiber,
+        3..=4 => Technology::Cable,
+        5..=6 => Technology::Copper,
+        7..=8 => Technology::UnlicensedFixedWireless,
+        _ => Technology::LicensedFixedWireless,
+    };
+    let (down, up, low_latency) = speeds_for(rng, tech);
+    let mut deployments = vec![TechDeployment {
+        technology: tech,
+        true_radius_km: radius_for(rng, tech),
+        max_down_mbps: down,
+        max_up_mbps: up,
+        low_latency,
+    }];
+    // Some providers file a legacy copper offering alongside.
+    if tech == Technology::Fiber && rng.gen_bool(0.3) {
+        let (d2, u2, _) = speeds_for(rng, Technology::Copper);
+        deployments.push(TechDeployment {
+            technology: Technology::Copper,
+            true_radius_km: radius_for(rng, Technology::Copper),
+            max_down_mbps: d2,
+            max_up_mbps: u2,
+            low_latency: true,
+        });
+    }
+
+    // Reporting style and stated methodology are only loosely correlated:
+    // aggressive filers are more likely to describe census-block
+    // reporting, but plenty of careful filers use the same consultant
+    // boilerplate, so the methodology text alone cannot identify the
+    // over-claimers (mirroring reality — the paper finds the embedding is
+    // a secondary signal, not a provider fingerprint).
+    let style = match rng.gen_range(0..10) {
+        0..=3 => ReportingStyle::Accurate,
+        4..=7 => ReportingStyle::Typical,
+        _ => ReportingStyle::Aggressive,
+    };
+    let census_block_prob = if style == ReportingStyle::Aggressive {
+        0.3
+    } else {
+        0.1
+    };
+    let methodology = if rng.gen_bool(census_block_prob) {
+        MethodologyKind::CensusBlocks
+    } else if matches!(
+        tech,
+        Technology::UnlicensedFixedWireless | Technology::LicensedFixedWireless
+    ) {
+        MethodologyKind::PropagationModel
+    } else {
+        match rng.gen_range(0..10) {
+            0..=3 => MethodologyKind::SubscriberAddresses,
+            4..=7 => MethodologyKind::ConsultantTemplate,
+            _ => MethodologyKind::FiberEngineering,
+        }
+    };
+
+    // The very last regional provider becomes the JCC-style intentional
+    // over-claimer when the scenario is enabled.
+    let jcc_like = config.include_jcc && seq == config.n_providers - 1;
+    let style = if jcc_like {
+        ReportingStyle::IntentionalOverclaim
+    } else {
+        style
+    };
+
+    ProviderProfile {
+        provider: Provider {
+            id: ProviderId(next_id),
+            name: name.clone(),
+            brand: name.split(',').next().unwrap_or(&name).trim().to_string(),
+            frns: vec![Frn(1_000_000 + next_id as u64)],
+            technologies: deployments.iter().map(|d| d.technology).collect(),
+            major: false,
+            home_state: anchor_state,
+        },
+        towns: footprint,
+        deployments,
+        style,
+        methodology: if jcc_like {
+            MethodologyKind::CensusBlocks
+        } else {
+            methodology
+        },
+        jcc_like,
+    }
+}
+
+/// Compute every provider's claims concurrently (claim computation draws no
+/// randomness, so this is a pure fan-out over providers).
+pub fn compute_all_claims(
+    profiles: &[ProviderProfile],
+    towns: &[Town],
+    fabric: &bdc::Fabric,
+    config: &SynthConfig,
+    workers: usize,
+) -> BTreeMap<ProviderId, Vec<ClaimTruth>> {
+    map_shards(workers, profiles, |_, p| {
+        (p.provider.id, compute_claims(p, towns, fabric, config))
+    })
+    .into_iter()
+    .collect()
 }
 
 /// Compute the provider's location-level claims together with their ground
@@ -368,14 +408,12 @@ fn phantom_market(profile: &ProviderProfile, towns: &[Town]) -> Option<usize> {
 mod tests {
     use super::*;
     use crate::fabric_gen::{generate_fabric, generate_towns};
-    use rand::SeedableRng;
 
     fn world() -> (SynthConfig, Vec<Town>, bdc::Fabric, Vec<ProviderProfile>) {
         let config = SynthConfig::tiny(13);
-        let mut rng = StdRng::seed_from_u64(config.seed);
-        let towns = generate_towns(&config, &mut rng);
-        let fabric = generate_fabric(&towns, &mut rng);
-        let providers = generate_providers(&config, &towns, &mut rng);
+        let towns = generate_towns(&config, 1);
+        let fabric = generate_fabric(&config, &towns, 1);
+        let providers = generate_providers(&config, &towns, 1);
         (config, towns, fabric, providers)
     }
 
@@ -400,10 +438,39 @@ mod tests {
     fn no_jcc_provider_when_disabled() {
         let mut config = SynthConfig::tiny(13);
         config.include_jcc = false;
-        let mut rng = StdRng::seed_from_u64(config.seed);
-        let towns = generate_towns(&config, &mut rng);
-        let providers = generate_providers(&config, &towns, &mut rng);
+        let towns = generate_towns(&config, 1);
+        let providers = generate_providers(&config, &towns, 1);
         assert!(providers.iter().all(|p| !p.jcc_like));
+    }
+
+    #[test]
+    fn provider_population_is_worker_count_invariant() {
+        let (config, towns, _, base) = world();
+        for workers in [2, 5] {
+            let got = generate_providers(&config, &towns, workers);
+            assert_eq!(got.len(), base.len());
+            for (a, b) in base.iter().zip(&got) {
+                assert_eq!(a.provider.id, b.provider.id);
+                assert_eq!(a.provider.name, b.provider.name);
+                assert_eq!(a.towns, b.towns);
+                assert_eq!(a.style, b.style);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_claims_match_per_provider_claims() {
+        let (config, towns, fabric, providers) = world();
+        let all = compute_all_claims(&providers, &towns, &fabric, &config, 3);
+        assert_eq!(all.len(), providers.len());
+        let sample = &providers[providers.len() / 2];
+        let direct = compute_claims(sample, &towns, &fabric, &config);
+        let fanned = &all[&sample.provider.id];
+        assert_eq!(direct.len(), fanned.len());
+        for (a, b) in direct.iter().zip(fanned) {
+            assert_eq!((a.location, a.technology), (b.location, b.technology));
+            assert_eq!(a.truly_served, b.truly_served);
+        }
     }
 
     #[test]

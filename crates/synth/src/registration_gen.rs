@@ -5,18 +5,52 @@
 //! small (Figure 4), introduces field-level mess so the four matching methods
 //! agree imperfectly (Figure 3), gives major providers many ASNs, and creates
 //! a few ASNs shared between corporate siblings (§6.1).
+//!
+//! Sharding: every random quantity is drawn in a parallel per-provider pass
+//! (one stream per provider sequence number); the serial parts — the
+//! unmatched-quota walk and the id/ASN allocation with the holding-company
+//! coupling between consecutive providers — consume no randomness of their
+//! own beyond a dedicated selection stream, so the output is bit-identical
+//! for any worker count.
 
 use std::collections::{BTreeMap, BTreeSet};
 
 use asnmap::records::{AsnEntry, Net, Org};
 use asnmap::{FrnRegistration, Poc, SiblingGroups, WhoisDb};
 use bdc::{Asn, ProviderId};
-use rand::rngs::StdRng;
 use rand::Rng;
 
 use crate::config::SynthConfig;
 use crate::providers_gen::ProviderProfile;
+use crate::shard::{map_shards, shard_rng, SynthStage};
 use crate::text::{email_domain_for, street_address_for};
+
+/// Shard key of the dedicated unmatched-quota selection stream (distinct from
+/// every per-provider sequence number).
+const SELECTION_SHARD: u64 = u64::MAX;
+
+/// Everything one provider's shard pre-draws; the sequential assembly pass
+/// combines these without consuming any randomness itself.
+struct ProviderDraws {
+    /// Registered physical address.
+    address: String,
+    /// WHOIS org name is "<name> Holdings" instead of the uppercased name.
+    org_holdings: bool,
+    /// POC email degrades to admin@ instead of the registered noc@.
+    poc_admin_email: bool,
+    /// POC company name degrades to "<name> Operations".
+    poc_ops_company: bool,
+    /// POC address differs from the registered address.
+    poc_other_address: Option<String>,
+    /// Whether each of the provider's ASNs lists the POC directly.
+    asn_poc_attach: Vec<bool>,
+    /// Join a pending holding company (shared ASN) when one exists.
+    join_shared: bool,
+    /// Start a new holding company when none is pending.
+    start_shared: bool,
+    /// Address of the holding company, if one is started.
+    holdco_address: String,
+}
 
 /// Everything the registration generator produces.
 #[derive(Debug, Clone)]
@@ -41,11 +75,14 @@ pub fn generate_registrations(
     config: &SynthConfig,
     profiles: &[ProviderProfile],
     claims_count: &BTreeMap<ProviderId, usize>,
-    rng: &mut StdRng,
+    workers: usize,
 ) -> RegistrationData {
     // Decide the unmatched set: walk providers from smallest to largest claim
     // count and mark them unmatched until the quota is filled, skipping some so
-    // a few small providers still have ASNs.
+    // a few small providers still have ASNs. The walk is inherently serial
+    // (it stops when the quota fills) but cheap; it draws from a dedicated
+    // selection stream.
+    let mut selection_rng = shard_rng(config.seed, SynthStage::Registrations, SELECTION_SHARD);
     let mut by_size: Vec<&ProviderProfile> = profiles.iter().collect();
     by_size.sort_by_key(|p| claims_count.get(&p.provider.id).copied().unwrap_or(0));
     let quota = ((profiles.len() as f64) * (1.0 - config.asn_match_rate)).round() as usize;
@@ -59,7 +96,7 @@ pub fn generate_registrations(
         if p.provider.major || p.jcc_like {
             continue;
         }
-        if rng.gen_bool(0.75) {
+        if selection_rng.gen_bool(0.75) {
             unmatched.insert(p.provider.id);
         }
     }
@@ -73,6 +110,44 @@ pub fn generate_registrations(
         }
     }
 
+    // Parallel pass: pre-draw every random quantity from one stream per
+    // provider. Draws happen unconditionally (even for unmatched providers)
+    // so each provider's stream never depends on another provider's state.
+    let draws: Vec<ProviderDraws> = map_shards(workers, profiles, |seq, profile| {
+        let mut rng = shard_rng(config.seed, SynthStage::Registrations, seq as u64);
+        let address = street_address_for(&mut rng, seq as u32 + 1);
+        // Number of ASNs: majors get several, small providers one or two.
+        let n_asns = if profile.provider.major {
+            rng.gen_range(3..8)
+        } else {
+            rng.gen_range(1..3)
+        };
+        let org_holdings = rng.gen_bool(0.2);
+        let poc_admin_email = rng.gen_bool(0.3);
+        let poc_ops_company = rng.gen_bool(0.15);
+        let poc_other_address = rng
+            .gen_bool(0.2)
+            .then(|| street_address_for(&mut rng, seq as u32 + 500));
+        // One attach flag per ASN; the vector length carries n_asns forward.
+        let asn_poc_attach = (0..n_asns).map(|_| rng.gen_bool(0.5)).collect();
+        let join_shared = rng.gen_bool(0.5);
+        let start_shared = rng.gen_bool(0.06);
+        let holdco_address = street_address_for(&mut rng, 9000 + seq as u32);
+        ProviderDraws {
+            address,
+            org_holdings,
+            poc_admin_email,
+            poc_ops_company,
+            poc_other_address,
+            asn_poc_attach,
+            join_shared,
+            start_shared,
+            holdco_address,
+        }
+    });
+
+    // Serial assembly: allocate ids/ASNs and resolve the holding-company
+    // coupling between consecutive providers. Consumes no randomness.
     let mut registrations = Vec::new();
     let mut whois = WhoisDb::default();
     let mut true_provider_asns: BTreeMap<ProviderId, BTreeSet<Asn>> = BTreeMap::new();
@@ -86,54 +161,46 @@ pub fn generate_registrations(
     // (and one ASN) — the "shared ASN" phenomenon.
     let mut pending_shared: Option<(String, Asn)> = None;
 
-    for (seq, profile) in profiles.iter().enumerate() {
+    for (seq, (profile, d)) in profiles.iter().zip(&draws).enumerate() {
         let provider = &profile.provider;
         let domain = email_domain_for(&provider.name);
-        let address = street_address_for(rng, seq as u32 + 1);
         let contact_email = format!("noc@{domain}");
         registrations.push(FrnRegistration {
             frn: provider.frns.first().map(|f| f.value()).unwrap_or(0),
             provider_id: provider.id.value(),
             contact_email: contact_email.clone(),
             company_name: provider.name.clone(),
-            physical_address: address.clone(),
+            physical_address: d.address.clone(),
         });
 
         if unmatched.contains(&provider.id) {
             continue;
         }
 
-        // Number of ASNs: majors get several, small providers one or two.
-        let n_asns = if provider.major {
-            rng.gen_range(3..8)
-        } else {
-            rng.gen_range(1..3)
-        };
         let org_id = next_org;
         next_org += 1;
         // The WHOIS org name is a lightly mangled version of the legal name.
-        let org_name = if rng.gen_bool(0.2) {
+        let org_name = if d.org_holdings {
             format!("{} Holdings", provider.name)
         } else {
             provider.name.to_uppercase()
         };
 
         // POC fields degrade independently so the four methods disagree a bit.
-        let poc_email = if rng.gen_bool(0.3) {
+        let poc_email = if d.poc_admin_email {
             format!("admin@{domain}")
         } else {
             contact_email.clone()
         };
-        let poc_company = if rng.gen_bool(0.15) {
+        let poc_company = if d.poc_ops_company {
             format!("{} Operations", provider.name)
         } else {
             provider.name.clone()
         };
-        let poc_address = if rng.gen_bool(0.2) {
-            street_address_for(rng, seq as u32 + 500)
-        } else {
-            address.clone()
-        };
+        let poc_address = d
+            .poc_other_address
+            .clone()
+            .unwrap_or_else(|| d.address.clone());
         let poc_id = next_poc;
         next_poc += 1;
         whois.pocs.push(Poc {
@@ -155,17 +222,13 @@ pub fn generate_registrations(
         next_net += 1;
 
         let mut asns = BTreeSet::new();
-        for _ in 0..n_asns {
+        for attach in &d.asn_poc_attach {
             let asn = Asn(next_asn);
             next_asn += 1;
             whois.asns.push(AsnEntry {
                 asn: asn.value(),
                 org_id: Some(org_id),
-                poc_ids: if rng.gen_bool(0.5) {
-                    vec![poc_id]
-                } else {
-                    vec![]
-                },
+                poc_ids: if *attach { vec![poc_id] } else { vec![] },
             });
             asns.insert(asn);
         }
@@ -174,7 +237,7 @@ pub fn generate_registrations(
         // one under a common holding-company domain and a common ASN.
         if !provider.major {
             match pending_shared.take() {
-                Some((shared_domain, shared_asn)) if rng.gen_bool(0.5) => {
+                Some((shared_domain, shared_asn)) if d.join_shared => {
                     // Give this provider the shared contact domain as well,
                     // so the email-domain method maps the shared ASN to both.
                     registrations.last_mut().expect("just pushed").contact_email =
@@ -182,7 +245,7 @@ pub fn generate_registrations(
                     asns.insert(shared_asn);
                 }
                 Some(pending) => pending_shared = Some(pending),
-                None if rng.gen_bool(0.06) => {
+                None if d.start_shared => {
                     let shared_domain = format!("holdco{}.net", seq);
                     let shared_asn = Asn(next_asn);
                     next_asn += 1;
@@ -192,7 +255,7 @@ pub fn generate_registrations(
                         id: shared_poc,
                         email: format!("noc@{shared_domain}"),
                         company_name: format!("HoldCo {seq}"),
-                        address: street_address_for(rng, 9000 + seq as u32),
+                        address: d.holdco_address.clone(),
                     });
                     whois.asns.push(AsnEntry {
                         asn: shared_asn.value(),
@@ -228,7 +291,6 @@ mod tests {
     use crate::fabric_gen::{generate_fabric, generate_towns};
     use crate::providers_gen::{compute_claims, generate_providers};
     use asnmap::ProviderAsnMatcher;
-    use rand::SeedableRng;
 
     fn build() -> (
         SynthConfig,
@@ -237,10 +299,9 @@ mod tests {
         BTreeMap<ProviderId, usize>,
     ) {
         let config = SynthConfig::tiny(41);
-        let mut rng = StdRng::seed_from_u64(config.seed);
-        let towns = generate_towns(&config, &mut rng);
-        let fabric = generate_fabric(&towns, &mut rng);
-        let profiles = generate_providers(&config, &towns, &mut rng);
+        let towns = generate_towns(&config, 1);
+        let fabric = generate_fabric(&config, &towns, 1);
+        let profiles = generate_providers(&config, &towns, 1);
         let claims_count: BTreeMap<ProviderId, usize> = profiles
             .iter()
             .map(|p| {
@@ -251,8 +312,22 @@ mod tests {
                 (p.provider.id, locs.len())
             })
             .collect();
-        let data = generate_registrations(&config, &profiles, &claims_count, &mut rng);
+        let data = generate_registrations(&config, &profiles, &claims_count, 1);
         (config, profiles, data, claims_count)
+    }
+
+    #[test]
+    fn registrations_are_worker_count_invariant() {
+        let (config, profiles, base, claims_count) = build();
+        for workers in [2, 6] {
+            let got = generate_registrations(&config, &profiles, &claims_count, workers);
+            assert_eq!(got.registrations, base.registrations);
+            assert_eq!(got.true_provider_asns, base.true_provider_asns);
+            assert_eq!(got.whois.asns, base.whois.asns);
+            assert_eq!(got.whois.pocs, base.whois.pocs);
+            assert_eq!(got.whois.orgs, base.whois.orgs);
+            assert_eq!(got.whois.nets, base.whois.nets);
+        }
     }
 
     #[test]

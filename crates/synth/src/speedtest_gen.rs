@@ -12,31 +12,32 @@ use std::collections::{BTreeMap, BTreeSet};
 use bdc::{Asn, DayStamp, Fabric, ProviderId, Technology};
 use geoprim::LatLng;
 use hexgrid::{HexCell, QuadTile, OOKLA_ZOOM};
-use rand::rngs::StdRng;
 use rand::Rng;
 use speedtest::{MlabDataset, MlabTest, OoklaDataset, OoklaTileRecord};
 
 use crate::config::SynthConfig;
+use crate::shard::{map_shards, shard_rng, SynthStage};
 
 /// Generate the Ookla open-data tiles. Each occupied hex contributes one tile
 /// centred on the hex; the tile's device count reflects whether the hex is
-/// genuinely served by any provider.
+/// genuinely served by any provider. One shard (and one RNG stream) per
+/// occupied hex, in sorted hex order.
 pub fn generate_ookla(
     config: &SynthConfig,
     fabric: &Fabric,
     truly_served_hexes: &BTreeSet<HexCell>,
-    rng: &mut StdRng,
+    workers: usize,
 ) -> OoklaDataset {
-    let mut records = Vec::new();
-    // Sort the occupied hexes so RNG consumption (and therefore the whole
-    // generated world) is independent of hash-map iteration order.
+    // Sort the occupied hexes so shard indices (and therefore the streams and
+    // the whole generated world) are independent of hash-map iteration order.
     let mut hexes: Vec<&HexCell> = fabric.hexes().collect();
     hexes.sort();
-    for hex in hexes {
+    let records = map_shards(workers, &hexes, |hex_index, &hex| {
         let bsls = fabric.bsl_count_in_hex(hex) as f64;
         if bsls == 0.0 {
-            continue;
+            return None;
         }
+        let mut rng = shard_rng(config.seed, SynthStage::Ookla, hex_index as u64);
         let served = truly_served_hexes.contains(hex);
         let devices = if served {
             bsls * config.ookla_devices_per_served_bsl * rng.gen_range(0.8..1.5)
@@ -45,7 +46,7 @@ pub fn generate_ookla(
         };
         let devices = devices.round().max(if served { 1.0 } else { 0.0 });
         if devices == 0.0 {
-            continue;
+            return None;
         }
         let tests = (devices * rng.gen_range(2.0..4.0)).round();
         let (down_kbps, up_kbps, latency) = if served {
@@ -61,37 +62,43 @@ pub fn generate_ookla(
                 rng.gen_range(30.0..120.0),
             )
         };
-        records.push(OoklaTileRecord {
+        Some(OoklaTileRecord {
             tile: QuadTile::containing(&hex.center(), OOKLA_ZOOM),
             tests: tests as u32,
             devices: devices as u32,
             avg_download_kbps: down_kbps,
             avg_upload_kbps: up_kbps,
             avg_latency_ms: latency,
-        });
-    }
+        })
+    })
+    .into_iter()
+    .flatten()
+    .collect();
     OoklaDataset::new(records)
 }
 
 /// Generate MLab NDT7 tests for every provider that has at least one ASN, in
-/// the hexes that provider genuinely serves.
+/// the hexes that provider genuinely serves. One shard (and one RNG stream)
+/// per provider, keyed by provider id.
 pub fn generate_mlab(
     config: &SynthConfig,
     provider_asns: &BTreeMap<ProviderId, BTreeSet<Asn>>,
     served_hexes_by_provider: &BTreeMap<ProviderId, BTreeSet<HexCell>>,
-    rng: &mut StdRng,
+    workers: usize,
 ) -> MlabDataset {
     let window_start = DayStamp::from_ymd(2021, 10, 1);
     let window_days = 365u32;
-    let mut tests = Vec::new();
-    for (provider, asns) in provider_asns {
+    let shards: Vec<(&ProviderId, &BTreeSet<Asn>)> = provider_asns.iter().collect();
+    let tests = map_shards(workers, &shards, |_, &(provider, asns)| {
+        let mut out = Vec::new();
         if asns.is_empty() {
-            continue;
+            return out;
         }
         let asns: Vec<Asn> = asns.iter().copied().collect();
         let Some(hexes) = served_hexes_by_provider.get(provider) else {
-            continue;
+            return out;
         };
+        let mut rng = shard_rng(config.seed, SynthStage::Mlab, u64::from(provider.value()));
         for hex in hexes {
             let expected = config.mlab_tests_per_served_hex * rng.gen_range(0.3..1.8);
             let n = expected.round() as usize;
@@ -107,7 +114,7 @@ pub fn generate_mlab(
                 } else {
                     rng.gen_range(20.5..80.0)
                 };
-                tests.push(MlabTest {
+                out.push(MlabTest {
                     asn: asns[rng.gen_range(0..asns.len())],
                     download_mbps: rng.gen_range(5.0..800.0),
                     upload_mbps: rng.gen_range(1.0..300.0),
@@ -118,7 +125,11 @@ pub fn generate_mlab(
                 });
             }
         }
-    }
+        out
+    })
+    .into_iter()
+    .flatten()
+    .collect();
     MlabDataset::new(tests)
 }
 
@@ -169,8 +180,7 @@ pub fn hex_observation_truth(
 mod tests {
     use super::*;
     use crate::fabric_gen::{generate_fabric, generate_towns};
-    use crate::providers_gen::{compute_claims, generate_providers};
-    use rand::SeedableRng;
+    use crate::providers_gen::{compute_all_claims, generate_providers};
 
     fn world() -> (
         SynthConfig,
@@ -178,14 +188,10 @@ mod tests {
         BTreeMap<ProviderId, Vec<crate::providers_gen::ClaimTruth>>,
     ) {
         let config = SynthConfig::tiny(31);
-        let mut rng = StdRng::seed_from_u64(config.seed);
-        let towns = generate_towns(&config, &mut rng);
-        let fabric = generate_fabric(&towns, &mut rng);
-        let profiles = generate_providers(&config, &towns, &mut rng);
-        let claims = profiles
-            .iter()
-            .map(|p| (p.provider.id, compute_claims(p, &towns, &fabric, &config)))
-            .collect();
+        let towns = generate_towns(&config, 1);
+        let fabric = generate_fabric(&config, &towns, 1);
+        let profiles = generate_providers(&config, &towns, 1);
+        let claims = compute_all_claims(&profiles, &towns, &fabric, &config, 1);
         (config, fabric, claims)
     }
 
@@ -193,8 +199,7 @@ mod tests {
     fn ookla_density_tracks_ground_truth() {
         let (config, fabric, claims) = world();
         let (served, _) = served_hex_sets(&fabric, &claims);
-        let mut rng = StdRng::seed_from_u64(7);
-        let ookla = generate_ookla(&config, &fabric, &served, &mut rng);
+        let ookla = generate_ookla(&config, &fabric, &served, 1);
         assert!(!ookla.is_empty());
         // Average devices per BSL should be clearly higher in served hexes.
         let agg = ookla.aggregate_to_hexes(hexgrid::NBM_RESOLUTION);
@@ -231,8 +236,7 @@ mod tests {
         for (i, p) in per_provider.keys().take(2).enumerate() {
             provider_asns.insert(*p, BTreeSet::from([Asn(64500 + i as u32)]));
         }
-        let mut rng = StdRng::seed_from_u64(8);
-        let mlab = generate_mlab(&config, &provider_asns, &per_provider, &mut rng);
+        let mlab = generate_mlab(&config, &provider_asns, &per_provider, 1);
         assert!(!mlab.is_empty());
         // Every test's ASN belongs to one of the two providers.
         for t in mlab.tests() {
@@ -249,9 +253,35 @@ mod tests {
         let (config, fabric, claims) = world();
         let (_, per_provider) = served_hex_sets(&fabric, &claims);
         let provider_asns: BTreeMap<ProviderId, BTreeSet<Asn>> = BTreeMap::new();
-        let mut rng = StdRng::seed_from_u64(9);
-        let mlab = generate_mlab(&config, &provider_asns, &per_provider, &mut rng);
+        let mlab = generate_mlab(&config, &provider_asns, &per_provider, 1);
         assert!(mlab.is_empty());
+    }
+
+    #[test]
+    fn speed_tests_are_worker_count_invariant() {
+        let (config, fabric, claims) = world();
+        let (served, per_provider) = served_hex_sets(&fabric, &claims);
+        let mut provider_asns: BTreeMap<ProviderId, BTreeSet<Asn>> = BTreeMap::new();
+        for (i, p) in per_provider.keys().take(4).enumerate() {
+            provider_asns.insert(*p, BTreeSet::from([Asn(64500 + i as u32)]));
+        }
+        let ookla_base = generate_ookla(&config, &fabric, &served, 1);
+        let mlab_base = generate_mlab(&config, &provider_asns, &per_provider, 1);
+        for workers in [2, 5] {
+            let ookla = generate_ookla(&config, &fabric, &served, workers);
+            assert_eq!(
+                ookla.records(),
+                ookla_base.records(),
+                "ookla differs at {workers} workers"
+            );
+            let mlab = generate_mlab(&config, &provider_asns, &per_provider, workers);
+            assert_eq!(mlab.len(), mlab_base.len());
+            for (a, b) in mlab.tests().iter().zip(mlab_base.tests()) {
+                assert_eq!(a.asn, b.asn);
+                assert_eq!(a.download_mbps.to_bits(), b.download_mbps.to_bits());
+                assert_eq!(a.geo_center.lat.to_bits(), b.geo_center.lat.to_bits());
+            }
+        }
     }
 
     #[test]

@@ -1,24 +1,33 @@
-//! The assembled synthetic world.
+//! The assembled synthetic world and its sharded generation engine.
+//!
+//! [`SynthUs::generate_with`] runs the generation stages in canonical order,
+//! fanning each stage's shards (states, towns, providers, hexes, releases)
+//! across scoped worker threads according to a [`GenMode`]. Every random
+//! quantity is drawn from a per-`(seed, stage, shard)` stream, so the world
+//! is a pure function of the [`SynthConfig`] alone: sequential, parallel and
+//! forced-thread-count schedules produce bit-identical worlds, a contract
+//! made testable by [`SynthUs::canonical_fingerprint`].
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::hash::{Hash, Hasher};
+use std::time::Instant;
 
 use asnmap::{FrnRegistration, SiblingGroups, WhoisDb};
 use bdc::{
     Asn, Challenge, Fabric, Filing, NbmRelease, Provider, ProviderId, ProviderRegistry, Technology,
 };
 use hexgrid::HexCell;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use speedtest::{MlabDataset, OoklaDataset};
 
 use crate::activity_gen::{
     build_filings, build_releases, generate_challenges, generate_corrections,
-    generate_later_challenges,
+    generate_later_challenges, later_wave_shard_count,
 };
 use crate::config::SynthConfig;
 use crate::fabric_gen::{generate_fabric, generate_towns, Town};
-use crate::providers_gen::{compute_claims, generate_providers, ClaimTruth, ProviderProfile};
+use crate::providers_gen::{compute_all_claims, generate_providers, ClaimTruth, ProviderProfile};
 use crate::registration_gen::generate_registrations;
+use crate::shard::{GenMode, SynthReport, SynthStage, SynthStageTiming};
 use crate::speedtest_gen::{generate_mlab, generate_ookla, hex_observation_truth, served_hex_sets};
 use crate::states::{state_by_code, STATES};
 
@@ -70,99 +79,209 @@ pub struct SynthUs {
     pub jcc: Option<JccScenario>,
 }
 
+/// Time one stage's body, recording its shard count alongside the wall-clock.
+fn timed<T>(stage: SynthStage, shards: usize, f: impl FnOnce() -> T) -> (T, SynthStageTiming) {
+    let start = Instant::now();
+    let out = f();
+    (
+        out,
+        SynthStageTiming {
+            stage,
+            wall: start.elapsed(),
+            shards: shards.max(1),
+        },
+    )
+}
+
 impl SynthUs {
-    /// Generate the full world from a configuration.
+    /// Generate the full world from a configuration with the default
+    /// (parallel) schedule, discarding the execution report.
     ///
     /// # Panics
-    /// Panics when the configuration fails validation.
+    /// Panics when the configuration fails validation; the panic payload is
+    /// `"invalid SynthConfig: "` followed by the exact message
+    /// [`SynthConfig::validate`] returned (e.g. `"invalid SynthConfig:
+    /// n_bsls must be positive"`). Use [`SynthUs::generate_with`] for a
+    /// non-panicking `Result`.
     pub fn generate(config: &SynthConfig) -> Self {
-        config.validate().expect("invalid SynthConfig");
-        let mut rng = StdRng::seed_from_u64(config.seed);
+        match Self::generate_with(config, GenMode::default()) {
+            Ok((world, _)) => world,
+            Err(msg) => panic!("invalid SynthConfig: {msg}"),
+        }
+    }
 
-        let towns = generate_towns(config, &mut rng);
-        let fabric = generate_fabric(&towns, &mut rng);
-        let profiles = generate_providers(config, &towns, &mut rng);
+    /// Generate the full world under an explicit schedule, returning the
+    /// world together with its [`SynthReport`] (per-stage wall-clock and
+    /// shard counts). Returns `Err` with the validation message when the
+    /// configuration is invalid.
+    ///
+    /// The generated world depends only on `config`: every [`GenMode`]
+    /// produces a bit-identical world (see
+    /// [`SynthUs::canonical_fingerprint`]); the mode decides only how many
+    /// worker threads the shards are fanned across.
+    pub fn generate_with(
+        config: &SynthConfig,
+        mode: GenMode,
+    ) -> Result<(Self, SynthReport), String> {
+        config.validate()?;
+        let start = Instant::now();
+        let workers = mode.worker_count();
+        let executed = if workers <= 1 {
+            GenMode::Sequential
+        } else {
+            GenMode::Threads(workers)
+        };
+        let mut timings: Vec<SynthStageTiming> = Vec::with_capacity(SynthStage::ALL.len());
 
-        let claims: BTreeMap<ProviderId, Vec<ClaimTruth>> = profiles
-            .iter()
-            .map(|p| (p.provider.id, compute_claims(p, &towns, &fabric, config)))
-            .collect();
+        let (towns, t) = timed(SynthStage::Towns, STATES.len(), || {
+            generate_towns(config, workers)
+        });
+        timings.push(t);
 
-        let filings = build_filings(&profiles, &claims);
-        let challenges = generate_challenges(config, &fabric, &claims, &mut rng);
-        let later_challenges = generate_later_challenges(&challenges, &mut rng);
+        let (fabric, t) = timed(SynthStage::Fabric, towns.len(), || {
+            generate_fabric(config, &towns, workers)
+        });
+        timings.push(t);
+
+        let (profiles, t) = timed(SynthStage::Providers, config.n_providers, || {
+            generate_providers(config, &towns, workers)
+        });
+        timings.push(t);
+
+        let (claims, t): (BTreeMap<ProviderId, Vec<ClaimTruth>>, _) =
+            timed(SynthStage::Claims, profiles.len(), || {
+                compute_all_claims(&profiles, &towns, &fabric, config, workers)
+            });
+        timings.push(t);
+
+        let (filings, t) = timed(SynthStage::Filings, 1, || build_filings(&profiles, &claims));
+        timings.push(t);
+
+        let (challenges, t) = timed(SynthStage::Challenges, claims.len(), || {
+            generate_challenges(config, &fabric, &claims, workers)
+        });
+        timings.push(t);
+
+        let (later_challenges, t) = timed(
+            SynthStage::LaterChallenges,
+            later_wave_shard_count(challenges.len()),
+            || generate_later_challenges(config, &challenges, workers),
+        );
+        timings.push(t);
+
         let challenged_keys: BTreeSet<_> = challenges
             .iter()
             .map(|c| (c.provider, c.location, c.technology))
             .collect();
-        let corrections = generate_corrections(config, &claims, &challenged_keys, &mut rng);
-        let releases = build_releases(config, &filings, &fabric, &challenges, &corrections);
+        let (corrections, t) = timed(SynthStage::Corrections, claims.len(), || {
+            generate_corrections(config, &claims, &challenged_keys, workers)
+        });
+        timings.push(t);
+
+        let (releases, t) = timed(SynthStage::Releases, config.n_minor_releases + 1, || {
+            build_releases(
+                config,
+                &filings,
+                &fabric,
+                &challenges,
+                &corrections,
+                workers,
+            )
+        });
+        timings.push(t);
 
         let claims_count: BTreeMap<ProviderId, usize> = filings
             .iter()
             .map(|f| (f.provider, f.claimed_location_count()))
             .collect();
-        let registration_data = generate_registrations(config, &profiles, &claims_count, &mut rng);
+        let (registration_data, t) = timed(SynthStage::Registrations, profiles.len(), || {
+            generate_registrations(config, &profiles, &claims_count, workers)
+        });
+        timings.push(t);
 
         let (served_hexes, served_by_provider) = served_hex_sets(&fabric, &claims);
-        let ookla = generate_ookla(config, &fabric, &served_hexes, &mut rng);
-        let mlab = generate_mlab(
-            config,
-            &registration_data.true_provider_asns,
-            &served_by_provider,
-            &mut rng,
-        );
-        let ground_truth = hex_observation_truth(&fabric, &claims);
+        let occupied_hexes = fabric.hexes().count();
+        let (ookla, t) = timed(SynthStage::Ookla, occupied_hexes, || {
+            generate_ookla(config, &fabric, &served_hexes, workers)
+        });
+        timings.push(t);
 
-        let jcc = profiles.iter().find(|p| p.jcc_like).map(|p| {
-            let provider = p.provider.id;
-            let mut overclaimed = BTreeSet::new();
-            let mut served = BTreeSet::new();
-            for ((pid, hex, _tech), truly) in &ground_truth {
-                if *pid == provider {
-                    if *truly {
-                        served.insert(*hex);
-                    } else {
-                        overclaimed.insert(*hex);
+        let (mlab, t) = timed(
+            SynthStage::Mlab,
+            registration_data.true_provider_asns.len(),
+            || {
+                generate_mlab(
+                    config,
+                    &registration_data.true_provider_asns,
+                    &served_by_provider,
+                    workers,
+                )
+            },
+        );
+        timings.push(t);
+
+        let (world, t) = timed(SynthStage::GroundTruth, 1, || {
+            let ground_truth = hex_observation_truth(&fabric, &claims);
+            let jcc = profiles.iter().find(|p| p.jcc_like).map(|p| {
+                let provider = p.provider.id;
+                let mut overclaimed = BTreeSet::new();
+                let mut served = BTreeSet::new();
+                for ((pid, hex, _tech), truly) in &ground_truth {
+                    if *pid == provider {
+                        if *truly {
+                            served.insert(*hex);
+                        } else {
+                            overclaimed.insert(*hex);
+                        }
                     }
                 }
-            }
-            let home_state = p.provider.home_state.clone();
-            JccScenario {
-                provider,
-                excluded_states: neighboring_states(&home_state),
-                home_state,
-                overclaimed_hexes: overclaimed,
-                served_hexes: served,
+                let home_state = p.provider.home_state.clone();
+                JccScenario {
+                    provider,
+                    excluded_states: neighboring_states(&home_state),
+                    home_state,
+                    overclaimed_hexes: overclaimed,
+                    served_hexes: served,
+                }
+            });
+
+            let providers = ProviderRegistry::new(
+                profiles
+                    .iter()
+                    .map(|p| p.provider.clone())
+                    .collect::<Vec<Provider>>(),
+            );
+
+            Self {
+                config: *config,
+                towns,
+                fabric,
+                providers,
+                profiles,
+                filings,
+                releases,
+                challenges,
+                later_challenges,
+                ookla,
+                mlab,
+                registrations: registration_data.registrations,
+                whois: registration_data.whois,
+                true_provider_asns: registration_data.true_provider_asns,
+                reference_groups: registration_data.reference_groups,
+                ground_truth,
+                jcc,
             }
         });
+        timings.push(t);
 
-        let providers = ProviderRegistry::new(
-            profiles
-                .iter()
-                .map(|p| p.provider.clone())
-                .collect::<Vec<Provider>>(),
-        );
-
-        Self {
-            config: *config,
-            towns,
-            fabric,
-            providers,
-            profiles,
-            filings,
-            releases,
-            challenges,
-            later_challenges,
-            ookla,
-            mlab,
-            registrations: registration_data.registrations,
-            whois: registration_data.whois,
-            true_provider_asns: registration_data.true_provider_asns,
-            reference_groups: registration_data.reference_groups,
-            ground_truth,
-            jcc,
-        }
+        let report = SynthReport {
+            mode,
+            executed,
+            workers,
+            timings,
+            total_wall: start.elapsed(),
+        };
+        Ok((world, report))
     }
 
     /// The initial NBM release the paper studies.
@@ -185,6 +304,170 @@ impl SynthUs {
         tech: Technology,
     ) -> Option<bool> {
         self.ground_truth.get(&(provider, hex, tech)).copied()
+    }
+
+    /// An order-independent digest of every generated field, for asserting
+    /// that two worlds are identical (e.g. sharded-parallel vs sequential vs
+    /// forced-thread-count generation).
+    ///
+    /// Same discipline as `AnalysisContext::canonical_fingerprint` in
+    /// `redsus_core`: collections are folded in their deterministic order and
+    /// floats are hashed by their exact bit patterns, so two worlds
+    /// fingerprint equal iff every value in every field is bit-identical.
+    /// The fold runs through [`crate::shard::StableHasher`] (not `std`'s
+    /// release-unstable `DefaultHasher`), so fingerprints can be pinned as
+    /// golden constants across toolchains.
+    pub fn canonical_fingerprint(&self) -> u64 {
+        let mut h = crate::shard::StableHasher::new();
+        let f = |v: f64, h: &mut crate::shard::StableHasher| v.to_bits().hash(h);
+
+        // Config: the world must be a pure function of it.
+        self.config.seed.hash(&mut h);
+        (self.config.n_bsls, self.config.n_providers).hash(&mut h);
+
+        // Towns and fabric.
+        self.towns.len().hash(&mut h);
+        for t in &self.towns {
+            (t.state_index, t.state.as_str(), t.n_bsls).hash(&mut h);
+            f(t.center.lat, &mut h);
+            f(t.center.lng, &mut h);
+        }
+        self.fabric.len().hash(&mut h);
+        for b in self.fabric.bsls() {
+            (
+                b.id,
+                b.unit_count,
+                b.community_anchor,
+                b.state.as_str(),
+                b.hex,
+            )
+                .hash(&mut h);
+            f(b.position.lat, &mut h);
+            f(b.position.lng, &mut h);
+        }
+
+        // Providers and their deployments.
+        self.profiles.len().hash(&mut h);
+        for p in &self.profiles {
+            let pr = &p.provider;
+            (pr.id, pr.name.as_str(), pr.brand.as_str(), &pr.frns).hash(&mut h);
+            (&pr.technologies, pr.major, pr.home_state.as_str()).hash(&mut h);
+            (&p.towns, p.style, p.methodology, p.jcc_like).hash(&mut h);
+            for d in &p.deployments {
+                (d.technology, d.low_latency).hash(&mut h);
+                f(d.true_radius_km, &mut h);
+                f(d.max_down_mbps, &mut h);
+                f(d.max_up_mbps, &mut h);
+            }
+        }
+
+        // Filings and releases.
+        self.filings.len().hash(&mut h);
+        for filing in &self.filings {
+            (filing.provider, filing.as_of, filing.methodology.as_str()).hash(&mut h);
+            filing.records.len().hash(&mut h);
+            for r in &filing.records {
+                (
+                    r.provider,
+                    r.location,
+                    r.technology,
+                    r.low_latency,
+                    r.service_type,
+                )
+                    .hash(&mut h);
+                f(r.max_down_mbps, &mut h);
+                f(r.max_up_mbps, &mut h);
+            }
+        }
+        self.releases.len().hash(&mut h);
+        for rel in &self.releases {
+            (rel.version, rel.published, rel.records().len()).hash(&mut h);
+            for r in rel.records() {
+                (r.provider, r.location, r.technology).hash(&mut h);
+            }
+            rel.hex_claims().len().hash(&mut h);
+        }
+
+        // Challenge waves.
+        for wave in [&self.challenges, &self.later_challenges] {
+            wave.len().hash(&mut h);
+            for c in wave.iter() {
+                (
+                    c.provider,
+                    c.location,
+                    c.hex,
+                    c.technology,
+                    c.state.as_str(),
+                )
+                    .hash(&mut h);
+                (c.reason, c.outcome, c.filed, c.resolved).hash(&mut h);
+            }
+        }
+
+        // Speed tests.
+        self.ookla.len().hash(&mut h);
+        for r in self.ookla.records() {
+            (r.tile, r.tests, r.devices).hash(&mut h);
+            f(r.avg_download_kbps, &mut h);
+            f(r.avg_upload_kbps, &mut h);
+            f(r.avg_latency_ms, &mut h);
+        }
+        self.mlab.len().hash(&mut h);
+        for t in self.mlab.tests() {
+            (t.asn, t.day).hash(&mut h);
+            f(t.download_mbps, &mut h);
+            f(t.upload_mbps, &mut h);
+            f(t.latency_ms, &mut h);
+            f(t.geo_center.lat, &mut h);
+            f(t.geo_center.lng, &mut h);
+            f(t.accuracy_radius_km, &mut h);
+        }
+
+        // Registrations, WHOIS and the ASN ground truth.
+        self.registrations.len().hash(&mut h);
+        for r in &self.registrations {
+            (r.frn, r.provider_id, r.contact_email.as_str()).hash(&mut h);
+            (r.company_name.as_str(), r.physical_address.as_str()).hash(&mut h);
+        }
+        self.whois.asns.len().hash(&mut h);
+        for a in &self.whois.asns {
+            (a.asn, a.org_id, &a.poc_ids).hash(&mut h);
+        }
+        self.whois.orgs.len().hash(&mut h);
+        for o in &self.whois.orgs {
+            (o.id, o.name.as_str(), &o.poc_ids).hash(&mut h);
+        }
+        self.whois.nets.len().hash(&mut h);
+        for n in &self.whois.nets {
+            (n.id, n.org_id, &n.poc_ids).hash(&mut h);
+        }
+        self.whois.pocs.len().hash(&mut h);
+        for p in &self.whois.pocs {
+            (
+                p.id,
+                p.email.as_str(),
+                p.company_name.as_str(),
+                p.address.as_str(),
+            )
+                .hash(&mut h);
+        }
+        self.true_provider_asns.hash(&mut h);
+        for (name, asns) in self.reference_groups.groups() {
+            (name.as_str(), asns).hash(&mut h);
+        }
+
+        // Observation-level ground truth and the JCC scenario.
+        self.ground_truth.hash(&mut h);
+        match &self.jcc {
+            None => 0u8.hash(&mut h),
+            Some(jcc) => {
+                1u8.hash(&mut h);
+                (jcc.provider, jcc.home_state.as_str(), &jcc.excluded_states).hash(&mut h);
+                (&jcc.overclaimed_hexes, &jcc.served_hexes).hash(&mut h);
+            }
+        }
+
+        h.finish()
     }
 }
 
@@ -214,8 +497,10 @@ mod tests {
     use bdc::challenge::success_rate;
     use bdc::MapDiff;
 
+    // Seed re-pinned when generation moved to sharded per-stage RNG streams
+    // (the world is different, byte for byte, from the single-stream era).
     fn tiny_world() -> SynthUs {
-        SynthUs::generate(&SynthConfig::tiny(55))
+        SynthUs::generate(&SynthConfig::tiny(21))
     }
 
     #[test]
@@ -288,6 +573,67 @@ mod tests {
             a.initial_release().claim_count(),
             b.initial_release().claim_count()
         );
+        assert_eq!(a.canonical_fingerprint(), b.canonical_fingerprint());
+    }
+
+    #[test]
+    fn invalid_config_panics_with_verbatim_validation_message() {
+        let mut config = SynthConfig::tiny(1);
+        config.n_bsls = 0;
+        let expected = config.validate().unwrap_err();
+        let payload = std::panic::catch_unwind(|| SynthUs::generate(&config))
+            .expect_err("generate must panic on an invalid config");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+            .expect("panic payload is a string");
+        assert_eq!(msg, format!("invalid SynthConfig: {expected}"));
+    }
+
+    #[test]
+    fn generate_with_reports_every_stage() {
+        let (w, report) =
+            SynthUs::generate_with(&SynthConfig::tiny(55), GenMode::Sequential).unwrap();
+        assert_eq!(report.mode, GenMode::Sequential);
+        assert_eq!(report.executed, GenMode::Sequential);
+        assert_eq!(report.workers, 1);
+        assert_eq!(report.timings.len(), SynthStage::ALL.len());
+        for (timing, expected) in report.timings.iter().zip(SynthStage::ALL) {
+            assert_eq!(timing.stage, expected, "timings not in canonical order");
+            assert!(timing.shards >= 1);
+        }
+        assert_eq!(
+            report.shards_for(SynthStage::Providers),
+            Some(w.config.n_providers)
+        );
+        assert_eq!(
+            report.shards_for(SynthStage::Releases),
+            Some(w.config.n_minor_releases + 1)
+        );
+        assert!(report.total_wall >= report.wall_for(SynthStage::Fabric).unwrap());
+        assert!(report.stage_sum() <= report.total_wall * 2);
+    }
+
+    #[test]
+    fn forced_thread_counts_report_threads_and_match_sequential() {
+        let (seq, _) = SynthUs::generate_with(&SynthConfig::tiny(55), GenMode::Sequential).unwrap();
+        let (forced, report) =
+            SynthUs::generate_with(&SynthConfig::tiny(55), GenMode::Threads(3)).unwrap();
+        assert_eq!(report.executed, GenMode::Threads(3));
+        assert_eq!(report.workers, 3);
+        assert_eq!(
+            seq.canonical_fingerprint(),
+            forced.canonical_fingerprint(),
+            "forced-thread generation must be bit-identical to sequential"
+        );
+    }
+
+    #[test]
+    fn fingerprints_differ_across_seeds() {
+        let a = SynthUs::generate(&SynthConfig::tiny(77));
+        let b = SynthUs::generate(&SynthConfig::tiny(78));
+        assert_ne!(a.canonical_fingerprint(), b.canonical_fingerprint());
     }
 
     #[test]

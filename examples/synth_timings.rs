@@ -1,0 +1,64 @@
+//! Print the sharded world generator's per-stage wall-clock and shard-count
+//! report under the sequential, parallel and forced-thread schedules.
+//!
+//! ```sh
+//! cargo run --release --example synth_timings [tiny|experiment|large] [seed]
+//! ```
+
+use red_is_sus::synth::{GenMode, SynthConfig, SynthStage, SynthUs};
+
+fn main() {
+    let preset = std::env::args().nth(1).unwrap_or_else(|| "tiny".into());
+    let seed = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(5);
+    let config = match preset.as_str() {
+        "experiment" => SynthConfig::experiment(seed),
+        "large" => SynthConfig::large(seed),
+        _ => SynthConfig::tiny(seed),
+    };
+    println!(
+        "preset {preset} (seed {seed}): {} BSLs, {} providers\n",
+        config.n_bsls, config.n_providers
+    );
+
+    let mut fingerprint = None;
+    for mode in [GenMode::Sequential, GenMode::Parallel, GenMode::Threads(2)] {
+        let (world, report) = SynthUs::generate_with(&config, mode).expect("valid preset");
+        println!(
+            "{mode:?} generation (executed: {:?}, {} worker{}):",
+            report.executed,
+            report.workers,
+            if report.workers == 1 { "" } else { "s" },
+        );
+        for stage in SynthStage::ALL {
+            println!(
+                "  {:<18} {:>10.3} ms  ({} shard{})",
+                stage.name(),
+                report.wall_for(stage).unwrap().as_secs_f64() * 1e3,
+                report.shards_for(stage).unwrap(),
+                if report.shards_for(stage) == Some(1) {
+                    ""
+                } else {
+                    "s"
+                },
+            );
+        }
+        println!(
+            "  {:<18} {:>10.3} ms (stage sum {:.3} ms)",
+            "total wall",
+            report.total_wall.as_secs_f64() * 1e3,
+            report.stage_sum().as_secs_f64() * 1e3,
+        );
+        let fp = world.canonical_fingerprint();
+        println!("  fingerprint        {fp:#018x}\n");
+        match fingerprint {
+            None => fingerprint = Some(fp),
+            Some(expected) => {
+                assert_eq!(fp, expected, "schedules must generate bit-identical worlds")
+            }
+        }
+    }
+    println!("all schedules bit-identical ✓");
+}

@@ -4,8 +4,8 @@
 use red_is_sus::core::experiments::{figure5a, figure5c, figure9, table2, ExperimentSuite};
 use red_is_sus::core::features::{build_features, FeatureConfig};
 use red_is_sus::core::labels::{source_composition, LabelingOptions};
-use red_is_sus::core::pipeline::AnalysisContext;
-use red_is_sus::synth::{SynthConfig, SynthUs};
+use red_is_sus::core::pipeline::{AnalysisContext, PipelineEngine};
+use red_is_sus::synth::{GenMode, SynthConfig, SynthUs};
 
 fn small_config() -> SynthConfig {
     SynthConfig {
@@ -13,6 +13,39 @@ fn small_config() -> SynthConfig {
         n_providers: 24,
         n_major_providers: 4,
         ..SynthConfig::tiny(123)
+    }
+}
+
+/// Golden fingerprints of the `small_config` world and its prepared context.
+/// They pin the exact bytes the sharded generator and the pipeline produce:
+/// any change to a generator stream, a stage, or the hashing itself shows up
+/// here as a loud failure instead of silent drift. Re-pin deliberately (run
+/// the values printed by the failure) when the generator contract is
+/// intentionally changed.
+const GOLDEN_WORLD_FINGERPRINT: u64 = 0xfa08_9881_a6dc_464a;
+const GOLDEN_CONTEXT_FINGERPRINT: u64 = 0x3201_caca_8542_716a;
+
+#[test]
+fn sharded_world_and_pipeline_match_golden_fingerprints() {
+    let (world, report) =
+        SynthUs::generate_with(&small_config(), GenMode::Parallel).expect("valid config");
+    assert!(report.workers >= 1);
+    assert_eq!(
+        world.canonical_fingerprint(),
+        GOLDEN_WORLD_FINGERPRINT,
+        "generator drift: world fingerprint is {:#018x}",
+        world.canonical_fingerprint()
+    );
+    // The full preparation pipeline over the sharded world, both schedules.
+    for engine in [PipelineEngine::sequential(), PipelineEngine::parallel()] {
+        let ctx = engine.run(&world).context;
+        assert_eq!(
+            ctx.canonical_fingerprint(),
+            GOLDEN_CONTEXT_FINGERPRINT,
+            "pipeline drift ({:?}): context fingerprint is {:#018x}",
+            engine.mode(),
+            ctx.canonical_fingerprint()
+        );
     }
 }
 
