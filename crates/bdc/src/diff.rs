@@ -15,10 +15,11 @@ use serde::{Deserialize, Serialize};
 
 use crate::ids::{LocationId, ProviderId};
 use crate::nbm::NbmRelease;
+use crate::stream::ClaimEntry;
 use crate::tech::Technology;
 
 /// How a location-level claim changed between two releases.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum ClaimChangeKind {
     /// The claim is present in the newer release but not the older one.
     Added,
@@ -30,12 +31,19 @@ pub enum ClaimChangeKind {
 }
 
 /// A single location-level change between two releases.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct ClaimChange {
     pub provider: ProviderId,
     pub location: LocationId,
     pub technology: Technology,
     pub kind: ClaimChangeKind,
+}
+
+impl ClaimChange {
+    /// The claim key the change is about.
+    pub fn claim_key(&self) -> (ProviderId, LocationId, Technology) {
+        (self.provider, self.location, self.technology)
+    }
 }
 
 /// The difference between two NBM releases.
@@ -48,23 +56,44 @@ pub struct MapDiff {
     changes: Vec<ClaimChange>,
 }
 
+/// Index a release's records by claim key, resolving duplicate keys with the
+/// canonical [`ClaimEntry::wins_over`] rule (lexicographically greatest
+/// `(down, up)` pair) instead of letting the last record win by input order.
+fn canonical_speeds(
+    release: &NbmRelease,
+) -> BTreeMap<(ProviderId, LocationId, Technology), ClaimEntry> {
+    let mut out: BTreeMap<(ProviderId, LocationId, Technology), ClaimEntry> = BTreeMap::new();
+    for r in release.records() {
+        let entry = ClaimEntry::from_record(r);
+        out.entry(r.claim_key())
+            .and_modify(|best| {
+                if entry.wins_over(best) {
+                    *best = entry;
+                }
+            })
+            .or_insert(entry);
+    }
+    out
+}
+
 impl MapDiff {
     /// Compute the difference between two releases.
+    ///
+    /// Duplicate claim keys within one release are canonicalised
+    /// deterministically (the record with the lexicographically greatest
+    /// `(down, up)` pair wins), and speeds are compared by exact bit pattern
+    /// — so a NaN speed equals an identical NaN instead of flagging the
+    /// claim `Modified` on every diff. The same two rules govern the
+    /// streaming engine ([`crate::stream`]), keeping both paths
+    /// bit-identical.
     pub fn between(old: &NbmRelease, new: &NbmRelease) -> Self {
         // Index the newer release's records by claim key so modifications can
         // be detected (a speed change with the claim still present).
-        let mut new_speeds: BTreeMap<(ProviderId, LocationId, Technology), (f64, f64)> =
-            BTreeMap::new();
-        for r in new.records() {
-            new_speeds.insert(r.claim_key(), (r.max_down_mbps, r.max_up_mbps));
-        }
-        let mut old_keys = BTreeMap::new();
-        for r in old.records() {
-            old_keys.insert(r.claim_key(), (r.max_down_mbps, r.max_up_mbps));
-        }
+        let new_speeds = canonical_speeds(new);
+        let old_keys = canonical_speeds(old);
 
         let mut changes = Vec::new();
-        for (key, (down, up)) in &old_keys {
+        for (key, old_entry) in &old_keys {
             match new_speeds.get(key) {
                 None => changes.push(ClaimChange {
                     provider: key.0,
@@ -72,12 +101,13 @@ impl MapDiff {
                     technology: key.2,
                     kind: ClaimChangeKind::Removed,
                 }),
-                Some((nd, nu)) if nd != down || nu != up => changes.push(ClaimChange {
-                    provider: key.0,
-                    location: key.1,
-                    technology: key.2,
-                    kind: ClaimChangeKind::Modified,
-                }),
+                Some(new_entry) if new_entry.speed_bits() != old_entry.speed_bits() => changes
+                    .push(ClaimChange {
+                        provider: key.0,
+                        location: key.1,
+                        technology: key.2,
+                        kind: ClaimChangeKind::Modified,
+                    }),
                 Some(_) => {}
             }
         }
@@ -96,6 +126,16 @@ impl MapDiff {
             to: new.version,
             changes,
         }
+    }
+
+    /// Assemble a diff from already-computed changes (the streaming engine's
+    /// exit point into this type).
+    pub fn from_changes(
+        from: crate::nbm::ReleaseVersion,
+        to: crate::nbm::ReleaseVersion,
+        changes: Vec<ClaimChange>,
+    ) -> Self {
+        Self { from, to, changes }
     }
 
     /// All changes.
@@ -223,6 +263,32 @@ mod tests {
         let diff = MapDiff::between(&old, &new);
         assert_eq!(diff.from.minor, 0);
         assert_eq!(diff.to.minor, 3);
+    }
+
+    #[test]
+    fn duplicate_claim_keys_canonicalise_instead_of_last_writer_wins() {
+        // The same claim filed twice with the records in opposite orders on
+        // the two sides used to diff as Modified (last writer won the index).
+        let old = release(vec![rec(0, 10.0), rec(0, 100.0)], 0);
+        let new = release(vec![rec(0, 100.0), rec(0, 10.0)], 1);
+        let diff = MapDiff::between(&old, &new);
+        assert!(diff.is_empty(), "{:?}", diff.changes());
+    }
+
+    #[test]
+    fn nan_speeds_do_not_flag_modified_forever() {
+        let old = release(vec![rec(0, f64::NAN)], 0);
+        let new = release(vec![rec(0, f64::NAN)], 1);
+        let diff = MapDiff::between(&old, &new);
+        assert!(
+            diff.is_empty(),
+            "identical NaN speeds must compare equal by bit pattern"
+        );
+        // A NaN appearing (or clearing) is still a modification.
+        let cleared = release(vec![rec(0, 100.0)], 2);
+        let diff = MapDiff::between(&new, &cleared);
+        let (_, _, modified) = diff.counts();
+        assert_eq!(modified, 1);
     }
 
     #[test]

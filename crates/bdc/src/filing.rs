@@ -47,6 +47,54 @@ pub struct AvailabilityRecord {
 }
 
 impl AvailabilityRecord {
+    /// Construct a record, rejecting non-finite speeds.
+    ///
+    /// A NaN or infinite speed is never a legitimate filing value, and NaN in
+    /// particular poisons downstream comparisons (a claim whose speed is NaN
+    /// would historically diff as `Modified` against itself forever). All
+    /// record producers should funnel through here; the public fields remain
+    /// for pattern matching and for test fixtures that exercise the
+    /// degenerate values deliberately.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        provider: ProviderId,
+        location: LocationId,
+        technology: Technology,
+        max_down_mbps: f64,
+        max_up_mbps: f64,
+        low_latency: bool,
+        service_type: ServiceType,
+    ) -> Result<Self, String> {
+        let record = Self {
+            provider,
+            location,
+            technology,
+            max_down_mbps,
+            max_up_mbps,
+            low_latency,
+            service_type,
+        };
+        record.validate()?;
+        Ok(record)
+    }
+
+    /// Check the record's speeds are finite (see [`AvailabilityRecord::new`]).
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.max_down_mbps.is_finite() {
+            return Err(format!(
+                "max_down_mbps must be finite, got {}",
+                self.max_down_mbps
+            ));
+        }
+        if !self.max_up_mbps.is_finite() {
+            return Err(format!(
+                "max_up_mbps must be finite, got {}",
+                self.max_up_mbps
+            ));
+        }
+        Ok(())
+    }
+
     /// Download speed as it appears in the public NBM: values below 10 Mbps
     /// are reported as 0 (Table 1, note on download speed).
     pub fn nbm_reported_down_mbps(&self) -> f64 {
@@ -184,6 +232,31 @@ mod tests {
         assert_eq!(f.claimed_location_count(), 2);
         assert_eq!(f.technologies(), vec![Technology::Cable, Technology::Fiber]);
         assert_eq!(f.records_for(Technology::Cable).count(), 2);
+    }
+
+    #[test]
+    fn construction_rejects_non_finite_speeds() {
+        let build = |down: f64, up: f64| {
+            AvailabilityRecord::new(
+                ProviderId(1),
+                LocationId(10),
+                Technology::Cable,
+                down,
+                up,
+                true,
+                ServiceType::Both,
+            )
+        };
+        assert!(build(100.0, 10.0).is_ok());
+        assert!(build(0.0, 0.0).is_ok());
+        assert!(build(f64::NAN, 10.0).is_err());
+        assert!(build(100.0, f64::NAN).is_err());
+        assert!(build(f64::INFINITY, 10.0).is_err());
+        assert!(build(100.0, f64::NEG_INFINITY).is_err());
+        // The literal escape hatch still exists for tests, but validate()
+        // names the offending field.
+        let err = rec(f64::NAN, 1.0).validate().unwrap_err();
+        assert!(err.contains("max_down_mbps"), "{err}");
     }
 
     #[test]

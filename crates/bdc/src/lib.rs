@@ -24,6 +24,7 @@ pub mod filing;
 pub mod ids;
 pub mod nbm;
 pub mod provider;
+pub mod stream;
 pub mod tech;
 pub mod time;
 
@@ -32,7 +33,12 @@ pub use diff::{ClaimChange, ClaimChangeKind, MapDiff};
 pub use fabric::{Bsl, Fabric};
 pub use filing::{AvailabilityRecord, Filing, ServiceType};
 pub use ids::{Asn, Frn, LocationId, ProviderId};
-pub use nbm::{HexClaim, NbmRelease, ReleaseVersion};
+pub use nbm::{ClaimKey, HexClaim, NbmRelease, ReleaseVersion};
 pub use provider::{Provider, ProviderRegistry};
+pub use stream::{
+    diff_releases, map_shards, ClaimEntry, DiffChain, DiffMode, DiffOutcome, DiffPairReport,
+    ReleaseStream, ShardableRelease, SortedClaimStream, StreamStats, StreamingDiff,
+    DEFAULT_DIFF_CHUNK,
+};
 pub use tech::Technology;
 pub use time::DayStamp;

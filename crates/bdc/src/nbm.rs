@@ -14,6 +14,7 @@ use serde::{Deserialize, Serialize};
 use crate::fabric::Fabric;
 use crate::filing::{AvailabilityRecord, Filing};
 use crate::ids::{LocationId, ProviderId};
+use crate::stream::{ClaimEntry, ShardableRelease, SortedClaimStream};
 use crate::tech::Technology;
 use crate::time::DayStamp;
 
@@ -138,12 +139,15 @@ impl NbmRelease {
         records: Vec<AvailabilityRecord>,
         fabric: &Fabric,
     ) -> Self {
-        // Group records by (provider, hex, technology) keeping the max-speed
-        // record and counting distinct locations.
-        #[derive(Default)]
+        // Group records by (provider, hex, technology) keeping the best-speed
+        // record and counting distinct locations. "Best" compares the
+        // (down, up) pair lexicographically under `f64::total_cmp`, seeded
+        // from the first record of the group: a record tying on download but
+        // advertising faster upload wins, and a legitimate 0.0-down record
+        // still establishes the group's speeds (a `0.0` default would
+        // silently swallow both).
         struct Agg {
-            max_down: f64,
-            max_up: f64,
+            best: Option<(f64, f64)>,
             low_latency: bool,
             locations: BTreeSet<LocationId>,
         }
@@ -156,27 +160,55 @@ impl NbmRelease {
             };
             let agg = groups
                 .entry((rec.provider, bsl.hex, rec.technology))
-                .or_default();
-            if rec.max_down_mbps > agg.max_down {
-                agg.max_down = rec.max_down_mbps;
-                agg.max_up = rec.max_up_mbps;
+                .or_insert(Agg {
+                    best: None,
+                    low_latency: false,
+                    locations: BTreeSet::new(),
+                });
+            let candidate = (rec.max_down_mbps, rec.max_up_mbps);
+            let wins = match agg.best {
+                None => true,
+                Some(best) => crate::stream::speed_pair_wins(candidate, best),
+            };
+            if wins {
+                agg.best = Some(candidate);
             }
             agg.low_latency |= rec.low_latency;
             agg.locations.insert(rec.location);
         }
         let hex_claims: Vec<HexClaim> = groups
             .into_iter()
-            .map(|((provider, hex, technology), agg)| HexClaim {
-                provider,
-                hex,
-                technology,
-                max_down_mbps: agg.max_down,
-                max_up_mbps: agg.max_up,
-                low_latency: agg.low_latency,
-                locations_claimed: agg.locations.len(),
-                total_bsls_in_hex: fabric.bsl_count_in_hex(&hex),
+            .map(|((provider, hex, technology), agg)| {
+                let (max_down_mbps, max_up_mbps) = agg.best.unwrap_or((0.0, 0.0));
+                HexClaim {
+                    provider,
+                    hex,
+                    technology,
+                    max_down_mbps,
+                    max_up_mbps,
+                    low_latency: agg.low_latency,
+                    locations_claimed: agg.locations.len(),
+                    total_bsls_in_hex: fabric.bsl_count_in_hex(&hex),
+                }
             })
             .collect();
+        Self::from_parts(version, published, records, hex_claims)
+    }
+
+    /// Assemble a release from already-aggregated parts, (re)building the
+    /// claim index — the single constructor every path funnels through, so a
+    /// release can never exist with a stale or empty index.
+    ///
+    /// This is also the deserialisation entry point: `claim_index` is
+    /// `#[serde(skip)]`, so any wire decoder must route through here (or
+    /// [`NbmRelease::rebuild_index`]) rather than populating the struct
+    /// field-by-field.
+    pub fn from_parts(
+        version: ReleaseVersion,
+        published: DayStamp,
+        records: Vec<AvailabilityRecord>,
+        hex_claims: Vec<HexClaim>,
+    ) -> Self {
         let claim_index = hex_claims
             .iter()
             .enumerate()
@@ -189,6 +221,20 @@ impl NbmRelease {
             hex_claims,
             claim_index,
         }
+    }
+
+    /// Decompose the release into its serialisable parts (the inverse of
+    /// [`NbmRelease::from_parts`]; the claim index is derived state and is
+    /// not part of the wire representation).
+    pub fn into_parts(
+        self,
+    ) -> (
+        ReleaseVersion,
+        DayStamp,
+        Vec<AvailabilityRecord>,
+        Vec<HexClaim>,
+    ) {
+        (self.version, self.published, self.records, self.hex_claims)
     }
 
     /// The location-level records underlying the release.
@@ -243,6 +289,8 @@ impl NbmRelease {
     }
 
     /// Rebuild the claim index after deserialisation (serde skips it).
+    /// Prefer constructing through [`NbmRelease::from_parts`], which cannot
+    /// forget to call this.
     pub fn rebuild_index(&mut self) {
         self.claim_index = self
             .hex_claims
@@ -250,6 +298,46 @@ impl NbmRelease {
             .enumerate()
             .map(|(i, c)| (c.observation_key(), i))
             .collect();
+    }
+}
+
+/// Streams the release's records by projecting and sorting them per call:
+/// `full_stream` is one `O(n log n)` pass, but `provider_stream` filters the
+/// whole record list for every provider, so a fully sharded diff over raw
+/// `NbmRelease`s costs `O(providers × records)`. Convenient for one-off and
+/// test diffs; for repeated or sharded timeline walks prefer a source with
+/// precomputed provider ranges (e.g. the synth crate's `ReleaseEmitter`,
+/// which the pipeline's `release_diff` stage uses).
+impl ShardableRelease for NbmRelease {
+    type Stream = SortedClaimStream;
+
+    fn version(&self) -> ReleaseVersion {
+        self.version
+    }
+
+    fn providers(&self) -> Vec<ProviderId> {
+        let set: BTreeSet<ProviderId> = self.records.iter().map(|r| r.provider).collect();
+        set.into_iter().collect()
+    }
+
+    fn full_stream(&self, chunk_size: usize) -> SortedClaimStream {
+        SortedClaimStream::new(
+            self.version,
+            self.records.iter().map(ClaimEntry::from_record).collect(),
+            chunk_size,
+        )
+    }
+
+    fn provider_stream(&self, provider: ProviderId, chunk_size: usize) -> SortedClaimStream {
+        SortedClaimStream::new(
+            self.version,
+            self.records
+                .iter()
+                .filter(|r| r.provider == provider)
+                .map(ClaimEntry::from_record)
+                .collect(),
+            chunk_size,
+        )
     }
 }
 
@@ -367,6 +455,82 @@ mod tests {
         assert_eq!(v.next_major().major, 2);
         assert!(!v.next_minor().is_major_release());
         assert_eq!(format!("{v}"), "v1.0");
+    }
+
+    #[test]
+    fn aggregation_breaks_download_ties_by_upload() {
+        // Regression: a record with equal max_down but higher max_up used to
+        // be ignored (`>` comparison on download alone).
+        let f = fabric();
+        let recs = vec![record(0, 940.0, 35.0), record(1, 940.0, 880.0)];
+        let rel = NbmRelease::from_records(
+            ReleaseVersion::initial(),
+            DayStamp::initial_nbm_release(),
+            recs,
+            &f,
+        );
+        let max_claim = rel
+            .hex_claims()
+            .iter()
+            .max_by(|a, b| a.max_up_mbps.total_cmp(&b.max_up_mbps))
+            .unwrap();
+        assert_eq!(max_claim.max_down_mbps, 940.0);
+        assert_eq!(max_claim.max_up_mbps, 880.0);
+    }
+
+    #[test]
+    fn aggregation_admits_zero_download_records() {
+        // Regression: a lone 0.0-down record never initialised the
+        // aggregation state (`Agg::default` started at 0.0, and `0.0 > 0.0`
+        // is false), so its upload was silently reported as 0.0.
+        let f = fabric();
+        let recs = vec![record(0, 0.0, 7.5)];
+        let rel = NbmRelease::from_records(
+            ReleaseVersion::initial(),
+            DayStamp::initial_nbm_release(),
+            recs,
+            &f,
+        );
+        assert_eq!(rel.claim_count(), 1);
+        let claim = &rel.hex_claims()[0];
+        assert_eq!(claim.max_down_mbps, 0.0);
+        assert_eq!(claim.max_up_mbps, 7.5);
+    }
+
+    #[test]
+    fn parts_round_trip_rebuilds_claim_index() {
+        // Stands in for a serde round trip while the vendored serde is a
+        // no-op stub: the wire representation is exactly the four parts
+        // (`claim_index` is derived state), and `from_parts` is the
+        // constructor any real decoder must route through — so a decoded
+        // release can never answer `claim_for` with a stale `None`.
+        let f = fabric();
+        let recs = vec![record(0, 100.0, 10.0), record(5, 250.0, 25.0)];
+        let rel = NbmRelease::from_records(
+            ReleaseVersion::initial(),
+            DayStamp::initial_nbm_release(),
+            recs,
+            &f,
+        );
+        let keys: Vec<_> = rel
+            .hex_claims()
+            .iter()
+            .map(|c| c.observation_key())
+            .collect();
+        assert!(!keys.is_empty());
+        let (version, published, records, hex_claims) = rel.clone().into_parts();
+        let decoded = NbmRelease::from_parts(version, published, records, hex_claims);
+        assert_eq!(decoded.version, rel.version);
+        assert_eq!(decoded.published, rel.published);
+        assert_eq!(decoded.records(), rel.records());
+        assert_eq!(decoded.hex_claims(), rel.hex_claims());
+        for (provider, hex, tech) in keys {
+            assert_eq!(
+                decoded.claim_for(provider, hex, tech),
+                rel.claim_for(provider, hex, tech),
+                "claim index not rebuilt for {provider:?}/{tech:?}"
+            );
+        }
     }
 
     #[test]

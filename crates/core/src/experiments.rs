@@ -81,6 +81,22 @@ fn pct(n: usize, total: usize) -> f64 {
     }
 }
 
+/// Nearest-rank percentile of an ascending-sorted slice: the element whose
+/// rank is `(len - 1) · f`, *rounded* to the nearest index. The previous
+/// per-site copies truncated the rank (`as usize` floors), biasing reported
+/// CDF quantiles low whenever the rank is fractional — e.g. the p75 of 10
+/// values has rank 6.75 and used to read index 6 instead of 7.
+///
+/// Returns `None` on an empty slice.
+pub fn percentile<T: Copy>(sorted: &[T], f: f64) -> Option<T> {
+    if sorted.is_empty() {
+        return None;
+    }
+    let rank = (sorted.len() - 1) as f64 * f.clamp(0.0, 1.0);
+    let idx = (rank.round() as usize).min(sorted.len() - 1);
+    Some(sorted[idx])
+}
+
 // ---------------------------------------------------------------------------
 // Tables
 // ---------------------------------------------------------------------------
@@ -510,13 +526,7 @@ pub fn figure4(world: &SynthUs, ctx: &AnalysisContext) -> Figure4 {
         .map(|(_, c)| *c)
         .collect();
     unmatched.sort_unstable();
-    let q = |v: &[usize], f: f64| -> usize {
-        if v.is_empty() {
-            0
-        } else {
-            v[((v.len() - 1) as f64 * f) as usize]
-        }
-    };
+    let q = |v: &[usize], f: f64| -> usize { percentile(v, f).unwrap_or(0) };
     Figure4 {
         median_all: q(&all, 0.5),
         p90_all: q(&all, 0.9),
@@ -725,13 +735,7 @@ pub struct Figure9 {
 /// Compute Figure 9.
 pub fn figure9(world: &SynthUs) -> Figure9 {
     let dist = world.fabric.bsls_per_hex_distribution();
-    let q = |f: f64| -> usize {
-        if dist.is_empty() {
-            0
-        } else {
-            dist[((dist.len() - 1) as f64 * f) as usize]
-        }
-    };
+    let q = |f: f64| -> usize { percentile(&dist, f).unwrap_or(0) };
     Figure9 {
         median: q(0.5),
         p25: q(0.25),
@@ -890,6 +894,22 @@ mod tests {
         assert!(!render_breakdowns("Table 8", &table8(&s)).is_empty());
         assert!(!table1_schema().is_empty());
         assert!(!table4_schema(&FeatureConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn percentile_rounds_the_rank_instead_of_flooring() {
+        let v: Vec<usize> = (0..10).collect(); // ranks 0..=9
+                                               // p75 rank is 6.75 → index 7 (the old truncation read index 6).
+        assert_eq!(percentile(&v, 0.75), Some(7));
+        assert_eq!(percentile(&v, 0.5), Some(5)); // rank 4.5 rounds up
+        assert_eq!(percentile(&v, 0.0), Some(0));
+        assert_eq!(percentile(&v, 1.0), Some(9));
+        // Out-of-range fractions clamp instead of indexing out of bounds.
+        assert_eq!(percentile(&v, 1.5), Some(9));
+        assert_eq!(percentile(&v, -0.5), Some(0));
+        assert_eq!(percentile::<usize>(&[], 0.5), None);
+        let single = [42usize];
+        assert_eq!(percentile(&single, 0.9), Some(42));
     }
 
     #[test]

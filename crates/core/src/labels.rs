@@ -18,7 +18,7 @@
 
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
-use bdc::{Challenge, Fabric, MapDiff, NbmRelease, ProviderId, Technology};
+use bdc::{Challenge, ClaimChange, Fabric, NbmRelease, ProviderId, Technology};
 use hexgrid::HexCell;
 use serde::{Deserialize, Serialize};
 use speedtest::{CoverageScore, ProviderHexTests};
@@ -121,7 +121,12 @@ impl LabelingOptions {
 pub struct LabelInputs<'a> {
     pub fabric: &'a Fabric,
     pub initial_release: &'a NbmRelease,
-    pub latest_release: &'a NbmRelease,
+    /// Cumulative non-archived removals recovered by streaming successive
+    /// releases through `bdc::DiffChain` (claim-key order; every change's
+    /// kind is `Removed`). Produced by the pipeline's `release_diff` stage —
+    /// label construction no longer materialises and diffs whole releases
+    /// itself.
+    pub removal_evidence: &'a [ClaimChange],
     pub challenges: &'a [Challenge],
     /// Per-hex Ookla service-coverage scores, sorted descending.
     pub coverage: &'a [CoverageScore],
@@ -156,10 +161,10 @@ pub fn build_labels(inputs: &LabelInputs<'_>, options: &LabelingOptions) -> Vec<
         });
     }
 
-    // 2. Non-archived changes: removals between the initial and latest release.
+    // 2. Non-archived changes: removals between the initial and latest
+    //    release, streamed into cumulative evidence by the pipeline.
     if options.include_changes {
-        let diff = MapDiff::between(inputs.initial_release, inputs.latest_release);
-        for change in diff.removed() {
+        for change in inputs.removal_evidence {
             let Some(bsl) = inputs.fabric.get(change.location) else {
                 continue;
             };

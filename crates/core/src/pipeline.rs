@@ -2,16 +2,17 @@
 //! labels and features can be built, expressed as named, independently
 //! runnable stages with recorded wall-clock timings.
 //!
-//! The data-preparation half of the paper (§4.1–4.2) decomposes into five
+//! The data-preparation half of the paper (§4.1–4.3) decomposes into six
 //! stages with a small dependency graph:
 //!
 //! ```text
 //! AsnMatching ──────────────► MlabAttribution ─┐
 //! OoklaReprojection ────────► CoverageScoring ─┼─► AnalysisContext
-//! MethodologyCollection ───────────────────────┘
+//! MethodologyCollection ──┬────────────────────┘
+//! ReleaseDiff ────────────┘
 //! ```
 //!
-//! The three chains share no intermediate data, so [`PipelineEngine`] runs
+//! The chains share no intermediate data, so [`PipelineEngine`] runs
 //! them concurrently by default (scoped threads; no external runtime). Every
 //! stage is a pure function of its inputs, which makes parallel execution
 //! produce *identical* results to sequential execution — a property asserted
@@ -23,7 +24,8 @@ use std::hash::{Hash, Hasher};
 use std::time::{Duration, Instant};
 
 use asnmap::{MatchReport, ProviderAsnMatcher};
-use bdc::{Asn, ProviderId};
+use bdc::stream::DEFAULT_DIFF_CHUNK;
+use bdc::{Asn, DiffChain, DiffMode, ProviderId};
 use hexgrid::{HexCell, NBM_RESOLUTION};
 use speedtest::{
     attribute_mlab_tests, coverage_scores, CoverageScore, OoklaHexAggregate, ProviderHexTests,
@@ -46,16 +48,20 @@ pub enum PipelineStage {
     MlabAttribution,
     /// Each provider's filing methodology text, collected for embedding.
     MethodologyCollection,
+    /// Successive NBM releases stream-diffed into cumulative removal
+    /// evidence (§4.1.3's non-archived changes).
+    ReleaseDiff,
 }
 
 impl PipelineStage {
     /// All stages in canonical order.
-    pub const ALL: [PipelineStage; 5] = [
+    pub const ALL: [PipelineStage; 6] = [
         PipelineStage::AsnMatching,
         PipelineStage::OoklaReprojection,
         PipelineStage::CoverageScoring,
         PipelineStage::MlabAttribution,
         PipelineStage::MethodologyCollection,
+        PipelineStage::ReleaseDiff,
     ];
 
     /// Stable snake_case name, used in reports and benchmarks.
@@ -66,6 +72,7 @@ impl PipelineStage {
             PipelineStage::CoverageScoring => "coverage_scoring",
             PipelineStage::MlabAttribution => "mlab_attribution",
             PipelineStage::MethodologyCollection => "methodology_collection",
+            PipelineStage::ReleaseDiff => "release_diff",
         }
     }
 }
@@ -285,6 +292,36 @@ pub fn stage_methodology_collection(world: &SynthUs) -> BTreeMap<ProviderId, Str
         .collect()
 }
 
+/// [`PipelineStage::ReleaseDiff`]: walk every consecutive release pair
+/// through the streaming diff engine, folding the changes into cumulative
+/// removal evidence. The stage streams the timeline from the world's
+/// [`ReleaseEmitter`](synth::ReleaseEmitter) — one sorted copy of the
+/// initial claims plus the removal schedule, with precomputed per-provider
+/// ranges — rather than the materialised `world.releases`, so its working
+/// memory is the emitter base plus one chunk per in-flight stream; it never
+/// re-sorts or copies whole releases per pair. The per-pair wall-clock and
+/// chunk statistics are kept on the returned chain
+/// ([`DiffChain::pair_reports`]).
+///
+/// `mode` shards the per-provider merge across scoped workers; every mode
+/// produces bit-identical evidence (the `GenMode` contract), so parallel and
+/// sequential pipeline schedules keep fingerprinting identically. The
+/// emitted evidence is itself pinned equal to diffing the materialised
+/// releases (`tests/streaming_diff.rs`).
+pub fn stage_release_diff(world: &SynthUs, mode: DiffMode) -> DiffChain {
+    let emitter = world.release_emitter();
+    let mut chain = DiffChain::new(world.initial_release().version);
+    for k in 0..emitter.n_releases().saturating_sub(1) {
+        chain.extend_with(
+            &emitter.release(k),
+            &emitter.release(k + 1),
+            DEFAULT_DIFF_CHUNK,
+            mode,
+        );
+    }
+    chain
+}
+
 fn run_sequential(world: &SynthUs) -> (AnalysisContext, Vec<StageTiming>) {
     let ((match_report, provider_asns), t_asn) =
         timed(PipelineStage::AsnMatching, || stage_asn_matching(world));
@@ -300,6 +337,9 @@ fn run_sequential(world: &SynthUs) -> (AnalysisContext, Vec<StageTiming>) {
     let (methodologies, t_meth) = timed(PipelineStage::MethodologyCollection, || {
         stage_methodology_collection(world)
     });
+    let (diff_chain, t_diff) = timed(PipelineStage::ReleaseDiff, || {
+        stage_release_diff(world, DiffMode::Sequential)
+    });
     (
         AnalysisContext {
             match_report,
@@ -308,18 +348,21 @@ fn run_sequential(world: &SynthUs) -> (AnalysisContext, Vec<StageTiming>) {
             coverage,
             mlab_evidence,
             methodologies,
+            diff_chain,
         },
-        vec![t_asn, t_ookla, t_cov, t_mlab, t_meth],
+        vec![t_asn, t_ookla, t_cov, t_mlab, t_meth, t_diff],
     )
 }
 
 fn run_parallel(world: &SynthUs) -> (AnalysisContext, Vec<StageTiming>) {
-    // Three independent chains:
+    // Four independent chains:
     //   A: AsnMatching → MlabAttribution   (heaviest)
     //   B: OoklaReprojection → CoverageScoring
-    //   C: MethodologyCollection           (trivial)
+    //   C: ReleaseDiff                     (streamed; shards internally)
+    //   D: MethodologyCollection           (trivial)
     // Chains only read the (shared) world; each stage body is identical to
-    // the sequential path, so the assembled context is identical too.
+    // the sequential path — the streaming diff is bit-identical for any
+    // worker count — so the assembled context is identical too.
     std::thread::scope(|scope| {
         let chain_a = scope.spawn(|| {
             let ((match_report, provider_asns), t_asn) =
@@ -338,6 +381,11 @@ fn run_parallel(world: &SynthUs) -> (AnalysisContext, Vec<StageTiming>) {
             });
             (ookla_by_hex, coverage, [t_ookla, t_cov])
         });
+        let chain_c = scope.spawn(|| {
+            timed(PipelineStage::ReleaseDiff, || {
+                stage_release_diff(world, DiffMode::Parallel)
+            })
+        });
         // The trivial chain runs inline on the calling thread.
         let (methodologies, t_meth) = timed(PipelineStage::MethodologyCollection, || {
             stage_methodology_collection(world)
@@ -348,11 +396,13 @@ fn run_parallel(world: &SynthUs) -> (AnalysisContext, Vec<StageTiming>) {
         let (ookla_by_hex, coverage, tb) = chain_b
             .join()
             .expect("Ookla/coverage pipeline chain panicked");
+        let (diff_chain, t_diff) = chain_c.join().expect("release-diff chain panicked");
 
-        let mut timings = Vec::with_capacity(5);
+        let mut timings = Vec::with_capacity(PipelineStage::ALL.len());
         timings.extend(ta);
         timings.extend(tb);
         timings.push(t_meth);
+        timings.push(t_diff);
         (
             AnalysisContext {
                 match_report,
@@ -361,6 +411,7 @@ fn run_parallel(world: &SynthUs) -> (AnalysisContext, Vec<StageTiming>) {
                 coverage,
                 mlab_evidence,
                 methodologies,
+                diff_chain,
             },
             timings,
         )
@@ -385,10 +436,14 @@ pub struct AnalysisContext {
     pub mlab_evidence: ProviderHexTests,
     /// Each provider's filing methodology text.
     pub methodologies: BTreeMap<ProviderId, String>,
+    /// The release timeline folded through the streaming diff engine:
+    /// cumulative removal evidence (`DiffChain::removal_evidence`, the
+    /// §4.1.3 labelling signal) plus per-pair execution reports.
+    pub diff_chain: DiffChain,
 }
 
 impl AnalysisContext {
-    /// Run the data-preparation half of the pipeline (§4.1–4.2) over a world
+    /// Run the data-preparation half of the pipeline (§4.1–4.3) over a world
     /// with the default (parallel) engine.
     pub fn prepare(world: &SynthUs) -> Self {
         PipelineEngine::default().run(world).context
@@ -396,10 +451,11 @@ impl AnalysisContext {
 
     /// Build labelled observations for a world with the given options.
     pub fn build_labels(&self, world: &SynthUs, options: &LabelingOptions) -> Vec<Observation> {
+        let removal_evidence = self.diff_chain.removal_evidence();
         let inputs = LabelInputs {
             fabric: &world.fabric,
             initial_release: world.initial_release(),
-            latest_release: world.latest_release(),
+            removal_evidence: &removal_evidence,
             challenges: &world.challenges,
             coverage: &self.coverage,
             mlab_evidence: &self.mlab_evidence,
@@ -479,6 +535,9 @@ impl AnalysisContext {
         }
 
         self.methodologies.hash(&mut h);
+
+        self.diff_chain.fold_evidence_into(&mut h);
+
         h.finish()
     }
 }
@@ -635,7 +694,36 @@ mod tests {
         let (_, provider_asns) = stage_asn_matching(&world);
         let evidence = stage_mlab_attribution(&world, &provider_asns);
         assert!(!evidence.is_empty());
-        // Chain C alone.
+        // Chain C alone: the streaming release diff, under every schedule —
+        // the worker count must never change the evidence.
+        let seq = stage_release_diff(&world, DiffMode::Sequential);
+        assert!(seq.removal_count() > 0, "no removal evidence in tiny world");
+        assert_eq!(seq.pair_reports().len(), world.releases.len() - 1);
+        for mode in [DiffMode::Parallel, DiffMode::Threads(3)] {
+            let other = stage_release_diff(&world, mode);
+            assert_eq!(
+                other.removal_evidence(),
+                seq.removal_evidence(),
+                "release diff evidence differs under {mode:?}"
+            );
+        }
+        // Chain D alone.
         assert!(!stage_methodology_collection(&world).is_empty());
+    }
+
+    #[test]
+    fn release_diff_stage_matches_batch_engine() {
+        let world = SynthUs::generate(&SynthConfig::tiny(9));
+        let chain = stage_release_diff(&world, DiffMode::Sequential);
+        let batch = bdc::MapDiff::between(world.initial_release(), world.latest_release());
+        let batch_removed: Vec<bdc::ClaimChange> = batch.removed().copied().collect();
+        assert_eq!(
+            chain.removal_evidence(),
+            batch_removed,
+            "streamed chain evidence must equal the batch initial-vs-latest removals"
+        );
+        // The chain walked every pair at bounded memory.
+        let initial_records = world.initial_release().records().len();
+        assert!(chain.peak_resident_entries() < initial_records);
     }
 }

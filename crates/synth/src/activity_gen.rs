@@ -61,15 +61,17 @@ pub fn build_filings(
             );
             if let Some(provider_claims) = claims.get(&profile.provider.id) {
                 for c in provider_claims {
-                    filing.records.push(AvailabilityRecord {
-                        provider: profile.provider.id,
-                        location: c.location,
-                        technology: c.technology,
-                        max_down_mbps: c.max_down_mbps,
-                        max_up_mbps: c.max_up_mbps,
-                        low_latency: c.low_latency,
-                        service_type: ServiceType::Both,
-                    });
+                    let record = AvailabilityRecord::new(
+                        profile.provider.id,
+                        c.location,
+                        c.technology,
+                        c.max_down_mbps,
+                        c.max_up_mbps,
+                        c.low_latency,
+                        ServiceType::Both,
+                    )
+                    .expect("generated claims always have finite speeds");
+                    filing.records.push(record);
                 }
             }
             filing
@@ -257,6 +259,14 @@ pub fn generate_corrections(
     .collect()
 }
 
+/// Publication date of minor release `k` (`k >= 1`): minor releases are
+/// spaced through the challenge window (Feb–Nov 2023). Shared between
+/// [`build_releases`] and the streaming [`crate::release_stream::ReleaseEmitter`]
+/// so the two views of the release timeline can never drift apart.
+pub fn minor_release_published(k: usize) -> DayStamp {
+    DayStamp::from_ymd(2023, 2, 1).plus_days((k as u32) * 45)
+}
+
 /// Build the initial release plus `n_minor_releases` minor releases, removing
 /// successfully-challenged claims (once resolved) and silent corrections over
 /// time. Draws no randomness; each release is an independent shard.
@@ -286,8 +296,7 @@ pub fn build_releases(
                 fabric,
             );
         }
-        // Minor releases are spaced through the challenge window (Feb–Nov 2023).
-        let published = DayStamp::from_ymd(2023, 2, 1).plus_days((k as u32) * 45);
+        let published = minor_release_published(k);
         let mut removed: BTreeSet<(ProviderId, LocationId, Technology)> = BTreeSet::new();
         for c in challenges {
             if c.is_successful() && c.resolved <= published {

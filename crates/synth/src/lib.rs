@@ -38,6 +38,7 @@ pub mod config;
 pub mod fabric_gen;
 pub mod providers_gen;
 pub mod registration_gen;
+pub mod release_stream;
 pub mod shard;
 pub mod speedtest_gen;
 pub mod states;
@@ -46,6 +47,7 @@ pub mod world;
 
 pub use config::SynthConfig;
 pub use providers_gen::{ProviderProfile, ReportingStyle};
+pub use release_stream::{EmittedRelease, EmitterStream, ReleaseEmitter};
 pub use shard::{GenMode, SynthReport, SynthStage, SynthStageTiming};
 pub use states::{StateInfo, STATES};
 pub use world::{JccScenario, SynthUs};

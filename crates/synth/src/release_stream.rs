@@ -1,0 +1,410 @@
+//! Release-by-release claim streaming for the synthetic world.
+//!
+//! `build_releases` materialises every NBM release as a full [`NbmRelease`]
+//! — necessary for the hex-aggregated public view, but ruinous for the diff
+//! engine at national scale (~115M BSLs × dozens of releases would mean
+//! holding dozens of full record vectors at once). [`ReleaseEmitter`] is the
+//! streaming alternative: it keeps **one** compact copy of the initial
+//! claims (sorted by claim key) plus the removal *schedule* (which claim
+//! disappears in which minor release), and emits any release's claims as
+//! claim-key-ordered chunks on demand — without ever materialising the
+//! release.
+//!
+//! The emitter implements `bdc`'s [`ShardableRelease`], so
+//! [`bdc::diff_releases`] and [`bdc::DiffChain`] can walk the whole release
+//! timeline holding at most one chunk per stream. Equivalence with the
+//! materialised releases is pinned by `tests/streaming_diff.rs`.
+//!
+//! [`NbmRelease`]: bdc::NbmRelease
+
+use std::collections::BTreeMap;
+
+use bdc::stream::{ClaimEntry, ReleaseStream, ShardableRelease};
+use bdc::{Challenge, ClaimKey, Filing, ProviderId, ReleaseVersion};
+
+use crate::activity_gen::minor_release_published;
+
+/// The removal schedule and sorted claim base of a release timeline: enough
+/// to stream every release, a fraction of the memory of materialising them.
+#[derive(Debug, Clone)]
+pub struct ReleaseEmitter {
+    /// Initial-release claims in ascending claim-key order.
+    base: Vec<ClaimEntry>,
+    /// `base[start..end]` per provider, ascending by provider id.
+    provider_ranges: Vec<(ProviderId, usize, usize)>,
+    /// Earliest release index at which a claim is absent (only claims that
+    /// are ever removed appear; everything else survives the timeline).
+    removed_from: BTreeMap<ClaimKey, usize>,
+    /// Total number of releases (the initial one plus the minor releases).
+    n_releases: usize,
+}
+
+impl ReleaseEmitter {
+    /// Build the emitter from the regulatory record: the initial filings,
+    /// the challenge outcomes and the silent-correction schedule. Mirrors
+    /// `build_releases` exactly (same publication dates, same removal
+    /// rules), which the equivalence tests pin.
+    pub fn new(
+        n_minor_releases: usize,
+        filings: &[Filing],
+        challenges: &[Challenge],
+        corrections: &[(ProviderId, bdc::LocationId, bdc::Technology, usize)],
+    ) -> Self {
+        let mut base: Vec<ClaimEntry> = filings
+            .iter()
+            .flat_map(|f| f.records.iter().map(ClaimEntry::from_record))
+            .collect();
+        base.sort_by_key(|e| e.key);
+
+        let mut provider_ranges: Vec<(ProviderId, usize, usize)> = Vec::new();
+        for (i, entry) in base.iter().enumerate() {
+            match provider_ranges.last_mut() {
+                Some((provider, _, end)) if *provider == entry.key.0 => *end = i + 1,
+                _ => provider_ranges.push((entry.key.0, i, i + 1)),
+            }
+        }
+
+        let published: Vec<bdc::DayStamp> = (1..=n_minor_releases)
+            .map(minor_release_published)
+            .collect();
+        let mut removed_from: BTreeMap<ClaimKey, usize> = BTreeMap::new();
+        let mut note = |key: ClaimKey, k: usize| {
+            removed_from
+                .entry(key)
+                .and_modify(|existing| *existing = (*existing).min(k))
+                .or_insert(k);
+        };
+        for c in challenges {
+            if !c.is_successful() {
+                continue;
+            }
+            // The claim disappears in the first minor release published on
+            // or after the challenge resolution.
+            if let Some(k) = published.iter().position(|p| c.resolved <= *p) {
+                note((c.provider, c.location, c.technology), k + 1);
+            }
+        }
+        for (p, l, t, idx) in corrections {
+            // Mirror `build_releases` (`idx <= k` for every minor k): an
+            // index of 0 means "removed from the first minor release on",
+            // and an index past the last minor release never takes effect.
+            if *idx <= n_minor_releases {
+                note((*p, *l, *t), (*idx).max(1));
+            }
+        }
+
+        Self {
+            base,
+            provider_ranges,
+            removed_from,
+            n_releases: n_minor_releases + 1,
+        }
+    }
+
+    /// Number of releases the emitter can stream (initial + minors).
+    pub fn n_releases(&self) -> usize {
+        self.n_releases
+    }
+
+    /// Number of claims in the initial release.
+    pub fn base_len(&self) -> usize {
+        self.base.len()
+    }
+
+    /// Number of claims scheduled for removal at some point in the timeline.
+    pub fn scheduled_removals(&self) -> usize {
+        self.removed_from.len()
+    }
+
+    /// A lightweight view of release `index` (0 = initial) implementing
+    /// [`ShardableRelease`].
+    ///
+    /// # Panics
+    /// Panics when `index >= n_releases()`.
+    pub fn release(&self, index: usize) -> EmittedRelease<'_> {
+        assert!(
+            index < self.n_releases,
+            "release index {index} out of range (timeline has {} releases)",
+            self.n_releases
+        );
+        EmittedRelease {
+            emitter: self,
+            index,
+        }
+    }
+
+    /// True when the claim identified by `key` is present in release `index`.
+    fn alive_at(&self, key: &ClaimKey, index: usize) -> bool {
+        self.removed_from.get(key).is_none_or(|&k| index < k)
+    }
+
+    fn version(&self, index: usize) -> ReleaseVersion {
+        ReleaseVersion {
+            major: 1,
+            minor: index as u32,
+        }
+    }
+}
+
+/// One release of the timeline, viewed through the emitter. Copyable and
+/// borrow-cheap: all state lives on the [`ReleaseEmitter`].
+#[derive(Debug, Clone, Copy)]
+pub struct EmittedRelease<'a> {
+    emitter: &'a ReleaseEmitter,
+    index: usize,
+}
+
+impl EmittedRelease<'_> {
+    /// The release index in the timeline (0 = initial release).
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Count the claims present in this release (walks the schedule; does
+    /// not materialise anything).
+    pub fn live_claims(&self) -> usize {
+        self.emitter
+            .base
+            .iter()
+            .filter(|e| self.emitter.alive_at(&e.key, self.index))
+            .count()
+    }
+}
+
+impl<'a> ShardableRelease for EmittedRelease<'a> {
+    type Stream = EmitterStream<'a>;
+
+    fn version(&self) -> ReleaseVersion {
+        self.emitter.version(self.index)
+    }
+
+    fn providers(&self) -> Vec<ProviderId> {
+        self.emitter
+            .provider_ranges
+            .iter()
+            .map(|(p, _, _)| *p)
+            .collect()
+    }
+
+    fn full_stream(&self, chunk_size: usize) -> EmitterStream<'a> {
+        EmitterStream {
+            emitter: self.emitter,
+            release: self.index,
+            pos: 0,
+            end: self.emitter.base.len(),
+            chunk_size: chunk_size.max(1),
+        }
+    }
+
+    fn provider_stream(&self, provider: ProviderId, chunk_size: usize) -> EmitterStream<'a> {
+        let (pos, end) = self
+            .emitter
+            .provider_ranges
+            .binary_search_by_key(&provider, |(p, _, _)| *p)
+            .map(|i| {
+                let (_, start, end) = self.emitter.provider_ranges[i];
+                (start, end)
+            })
+            .unwrap_or((0, 0));
+        EmitterStream {
+            emitter: self.emitter,
+            release: self.index,
+            pos,
+            end,
+            chunk_size: chunk_size.max(1),
+        }
+    }
+}
+
+/// A claim-key-ordered chunk stream over one emitted release: walks the
+/// shared base, skipping claims already removed by this release. Holds no
+/// entry storage of its own — the chunk it returns is the only allocation.
+#[derive(Debug)]
+pub struct EmitterStream<'a> {
+    emitter: &'a ReleaseEmitter,
+    release: usize,
+    pos: usize,
+    end: usize,
+    chunk_size: usize,
+}
+
+impl ReleaseStream for EmitterStream<'_> {
+    fn version(&self) -> ReleaseVersion {
+        self.emitter.version(self.release)
+    }
+
+    fn next_chunk(&mut self) -> Option<Vec<ClaimEntry>> {
+        let mut chunk = Vec::with_capacity(self.chunk_size.min(self.end - self.pos));
+        while self.pos < self.end && chunk.len() < self.chunk_size {
+            let entry = self.emitter.base[self.pos];
+            self.pos += 1;
+            if self.emitter.alive_at(&entry.key, self.release) {
+                chunk.push(entry);
+            }
+        }
+        if chunk.is_empty() {
+            None
+        } else {
+            Some(chunk)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activity_gen::{
+        build_filings, build_releases, generate_challenges, generate_corrections,
+    };
+    use crate::config::SynthConfig;
+    use crate::fabric_gen::{generate_fabric, generate_towns};
+    use crate::providers_gen::{compute_all_claims, generate_providers};
+    use bdc::stream::{diff_releases, DiffMode};
+    use bdc::{MapDiff, NbmRelease};
+    use std::collections::BTreeSet;
+
+    struct Timeline {
+        emitter: ReleaseEmitter,
+        releases: Vec<NbmRelease>,
+    }
+
+    fn timeline(seed: u64) -> Timeline {
+        let config = SynthConfig::tiny(seed);
+        let towns = generate_towns(&config, 1);
+        let fabric = generate_fabric(&config, &towns, 1);
+        let profiles = generate_providers(&config, &towns, 1);
+        let claims = compute_all_claims(&profiles, &towns, &fabric, &config, 1);
+        let filings = build_filings(&profiles, &claims);
+        let challenges = generate_challenges(&config, &fabric, &claims, 1);
+        let challenged: BTreeSet<_> = challenges
+            .iter()
+            .map(|c| (c.provider, c.location, c.technology))
+            .collect();
+        let corrections = generate_corrections(&config, &claims, &challenged, 1);
+        let releases = build_releases(&config, &filings, &fabric, &challenges, &corrections, 1);
+        let emitter =
+            ReleaseEmitter::new(config.n_minor_releases, &filings, &challenges, &corrections);
+        Timeline { emitter, releases }
+    }
+
+    /// The claim multiset of a release, from its records.
+    fn claim_set(release: &NbmRelease) -> Vec<bdc::ClaimKey> {
+        let mut keys: Vec<_> = release.records().iter().map(|r| r.claim_key()).collect();
+        keys.sort_unstable();
+        keys
+    }
+
+    /// The claim multiset of an emitted release, drained through the stream.
+    fn emitted_set(emitter: &ReleaseEmitter, index: usize, chunk: usize) -> Vec<bdc::ClaimKey> {
+        let release = emitter.release(index);
+        let mut stream = release.full_stream(chunk);
+        let mut keys = Vec::new();
+        while let Some(chunk) = stream.next_chunk() {
+            keys.extend(chunk.iter().map(|e| e.key));
+        }
+        keys
+    }
+
+    #[test]
+    fn emitted_releases_match_materialised_releases() {
+        let t = timeline(21);
+        assert_eq!(t.emitter.n_releases(), t.releases.len());
+        assert!(t.emitter.scheduled_removals() > 0, "no removals scheduled");
+        for (k, release) in t.releases.iter().enumerate() {
+            let expected = claim_set(release);
+            for chunk in [7, 4096] {
+                assert_eq!(
+                    emitted_set(&t.emitter, k, chunk),
+                    expected,
+                    "release {k} differs at chunk size {chunk}"
+                );
+            }
+            assert_eq!(t.emitter.release(k).live_claims(), expected.len());
+            assert_eq!(
+                ShardableRelease::version(&t.emitter.release(k)),
+                release.version
+            );
+        }
+    }
+
+    #[test]
+    fn emitter_diffs_match_batch_diffs_between_any_releases() {
+        let t = timeline(33);
+        let last = t.releases.len() - 1;
+        for (a, b) in [(0, 1), (0, last), (1, last.min(2))] {
+            let batch = MapDiff::between(&t.releases[a], &t.releases[b]);
+            let mut batch_changes = batch.changes().to_vec();
+            batch_changes.sort_unstable();
+            for mode in [DiffMode::Sequential, DiffMode::Threads(3)] {
+                let streamed =
+                    diff_releases(&t.emitter.release(a), &t.emitter.release(b), 64, mode);
+                let mut streamed_changes = streamed.changes.clone();
+                streamed_changes.sort_unstable();
+                assert_eq!(
+                    streamed_changes, batch_changes,
+                    "diff {a}->{b} differs under {mode:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn provider_streams_partition_the_release() {
+        let t = timeline(21);
+        let release = t.emitter.release(1);
+        let mut via_providers = Vec::new();
+        for provider in release.providers() {
+            let mut stream = release.provider_stream(provider, 32);
+            while let Some(chunk) = stream.next_chunk() {
+                via_providers.extend(chunk.iter().map(|e| e.key));
+            }
+        }
+        assert_eq!(via_providers, emitted_set(&t.emitter, 1, 32));
+        // An unknown provider streams nothing.
+        let mut empty = release.provider_stream(ProviderId(u32::MAX), 32);
+        assert!(empty.next_chunk().is_none());
+    }
+
+    #[test]
+    fn correction_index_zero_removes_from_every_minor_release() {
+        // Regression: `build_releases` removes an idx-0 correction from every
+        // minor release (`idx <= k`); the emitter used to drop it entirely.
+        use bdc::{
+            AvailabilityRecord, DayStamp, Filing, LocationId, ProviderId, ServiceType, Technology,
+        };
+        let one_claim_filing = || {
+            let mut f = Filing::new(ProviderId(1), DayStamp::initial_filing_deadline(), "m");
+            f.records.push(
+                AvailabilityRecord::new(
+                    ProviderId(1),
+                    LocationId(7),
+                    Technology::Cable,
+                    100.0,
+                    10.0,
+                    true,
+                    ServiceType::Both,
+                )
+                .unwrap(),
+            );
+            f
+        };
+        let correction_at =
+            |idx: usize| vec![(ProviderId(1), LocationId(7), Technology::Cable, idx)];
+        let emitter = ReleaseEmitter::new(2, &[one_claim_filing()], &[], &correction_at(0));
+        assert_eq!(emitter.scheduled_removals(), 1);
+        assert_eq!(emitter.release(0).live_claims(), 1);
+        assert_eq!(emitter.release(1).live_claims(), 0);
+        assert_eq!(emitter.release(2).live_claims(), 0);
+        // An index past the last minor release never takes effect.
+        let emitter = ReleaseEmitter::new(2, &[one_claim_filing()], &[], &correction_at(3));
+        assert_eq!(emitter.scheduled_removals(), 0);
+        assert_eq!(emitter.release(2).live_claims(), 1);
+    }
+
+    #[test]
+    fn release_index_out_of_range_panics() {
+        let t = timeline(21);
+        let n = t.emitter.n_releases();
+        assert!(std::panic::catch_unwind(|| t.emitter.release(n)).is_err());
+    }
+}

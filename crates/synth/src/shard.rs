@@ -216,33 +216,14 @@ pub fn shard_rng(master: u64, stage: SynthStage, shard: u64) -> StdRng {
     StdRng::seed_from_u64(stream_seed(master, stage, shard))
 }
 
-/// How the generator schedules shard fan-out.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum GenMode {
-    /// Run every shard on the calling thread in shard order.
-    Sequential,
-    /// One worker per available core (the default). Degrades to the
-    /// sequential schedule on single-core hosts, where extra workers are
-    /// pure overhead.
-    #[default]
-    Parallel,
-    /// Exactly `n` workers, even on single-core hosts — the knob the
-    /// determinism tests use to force the threaded code path everywhere.
-    Threads(usize),
-}
-
-impl GenMode {
-    /// The number of shard workers this mode resolves to on this host.
-    pub fn worker_count(self) -> usize {
-        match self {
-            GenMode::Sequential => 1,
-            GenMode::Threads(n) => n.max(1),
-            GenMode::Parallel => std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1),
-        }
-    }
-}
+/// How the generator schedules shard fan-out: `Sequential`, `Parallel` (one
+/// worker per core, degrading to sequential on single-core hosts) or
+/// `Threads(n)` (forced worker counts, the knob the determinism tests use).
+///
+/// The enum is the workspace's shared scheduling mode, defined once in
+/// `bdc::stream` (where the streaming diff engine uses it as `DiffMode`) —
+/// one `worker_count` resolution for generator shards and diff shards alike.
+pub use bdc::stream::DiffMode as GenMode;
 
 /// Map `f` over `items`, fanning contiguous chunks across `workers` scoped
 /// threads, and return the results in item order.
@@ -250,38 +231,12 @@ impl GenMode {
 /// `f` receives `(shard_index, &item)` where `shard_index` is the item's
 /// position in `items` — the same values in every schedule, so as long as
 /// `f` is pure the output is bit-identical for any worker count.
-pub fn map_shards<I, T, F>(workers: usize, items: &[I], f: F) -> Vec<T>
-where
-    I: Sync,
-    T: Send,
-    F: Fn(usize, &I) -> T + Sync,
-{
-    let workers = workers.max(1).min(items.len().max(1));
-    if workers <= 1 {
-        return items.iter().enumerate().map(|(i, it)| f(i, it)).collect();
-    }
-    let chunk = items.len().div_ceil(workers);
-    std::thread::scope(|scope| {
-        let f = &f;
-        let handles: Vec<_> = items
-            .chunks(chunk)
-            .enumerate()
-            .map(|(ci, chunk_items)| {
-                scope.spawn(move || {
-                    chunk_items
-                        .iter()
-                        .enumerate()
-                        .map(|(j, it)| f(ci * chunk + j, it))
-                        .collect::<Vec<T>>()
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("synth shard worker panicked"))
-            .collect()
-    })
-}
+///
+/// The implementation is the workspace's shared fan-out primitive in
+/// `bdc::stream` (the streaming diff engine shards its per-provider merge
+/// through the same function), re-exported here as the generator's
+/// historical home.
+pub use bdc::stream::map_shards;
 
 /// Wall-clock timing and shard count of one executed generation stage.
 #[derive(Debug, Clone, Copy)]

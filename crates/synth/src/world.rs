@@ -14,7 +14,8 @@ use std::time::Instant;
 
 use asnmap::{FrnRegistration, SiblingGroups, WhoisDb};
 use bdc::{
-    Asn, Challenge, Fabric, Filing, NbmRelease, Provider, ProviderId, ProviderRegistry, Technology,
+    Asn, Challenge, Fabric, Filing, LocationId, NbmRelease, Provider, ProviderId, ProviderRegistry,
+    Technology,
 };
 use hexgrid::HexCell;
 use speedtest::{MlabDataset, OoklaDataset};
@@ -66,6 +67,11 @@ pub struct SynthUs {
     /// The much smaller challenge wave against the subsequent release
     /// (Figure 1's comparison point).
     pub later_challenges: Vec<Challenge>,
+    /// Claims silently removed without a public challenge, with the index of
+    /// the minor release they disappear in — the removal schedule behind the
+    /// minor releases, kept so the release timeline can be re-streamed
+    /// ([`SynthUs::release_emitter`]) without re-deriving it from diffs.
+    pub corrections: Vec<(ProviderId, LocationId, Technology, usize)>,
     pub ookla: OoklaDataset,
     pub mlab: MlabDataset,
     pub registrations: Vec<FrnRegistration>,
@@ -262,6 +268,7 @@ impl SynthUs {
                 releases,
                 challenges,
                 later_challenges,
+                corrections,
                 ookla,
                 mlab,
                 registrations: registration_data.registrations,
@@ -294,6 +301,19 @@ impl SynthUs {
         self.releases
             .last()
             .expect("at least the initial release exists")
+    }
+
+    /// A streaming view of the release timeline: one compact sorted copy of
+    /// the initial claims plus the removal schedule, able to emit any
+    /// release's claims chunk-by-chunk without materialising it (see
+    /// [`crate::release_stream`]).
+    pub fn release_emitter(&self) -> crate::release_stream::ReleaseEmitter {
+        crate::release_stream::ReleaseEmitter::new(
+            self.config.n_minor_releases,
+            &self.filings,
+            &self.challenges,
+            &self.corrections,
+        )
     }
 
     /// Ground truth for an observation, if the provider claimed it at all.
@@ -403,6 +423,9 @@ impl SynthUs {
                 (c.reason, c.outcome, c.filed, c.resolved).hash(&mut h);
             }
         }
+
+        // The silent-correction schedule behind the minor releases.
+        self.corrections.hash(&mut h);
 
         // Speed tests.
         self.ookla.len().hash(&mut h);

@@ -22,8 +22,17 @@ fn small_config() -> SynthConfig {
 /// here as a loud failure instead of silent drift. Re-pin deliberately (run
 /// the values printed by the failure) when the generator contract is
 /// intentionally changed.
-const GOLDEN_WORLD_FINGERPRINT: u64 = 0xfa08_9881_a6dc_464a;
-const GOLDEN_CONTEXT_FINGERPRINT: u64 = 0x3201_caca_8542_716a;
+// Re-pinned in the streaming-diff PR: the world fingerprint now folds the
+// silent-correction schedule (`SynthUs::corrections`, kept for release
+// streaming), and the context fingerprint folds the new `release_diff`
+// stage's cumulative removal evidence.
+const GOLDEN_WORLD_FINGERPRINT: u64 = 0xe699_602e_89f9_e7c0;
+const GOLDEN_CONTEXT_FINGERPRINT: u64 = 0xaa75_f059_2dfc_1760;
+/// Golden fingerprint of the streamed release-diff chain over the
+/// `small_config` world: pins the exact cumulative removal evidence the
+/// `release_diff` stage feeds the labelling pipeline, independent of chunk
+/// size and worker count.
+const GOLDEN_DIFF_CHAIN_FINGERPRINT: u64 = 0xe5a1_adbc_b4c5_c873;
 
 #[test]
 fn sharded_world_and_pipeline_match_golden_fingerprints() {
@@ -45,6 +54,34 @@ fn sharded_world_and_pipeline_match_golden_fingerprints() {
             "pipeline drift ({:?}): context fingerprint is {:#018x}",
             engine.mode(),
             ctx.canonical_fingerprint()
+        );
+    }
+}
+
+#[test]
+fn streamed_diff_chain_matches_golden_fingerprint() {
+    use red_is_sus::bdc::DiffMode;
+    use red_is_sus::core::pipeline::stage_release_diff;
+    use red_is_sus::synth::shard::StableHasher;
+    use std::hash::Hasher;
+
+    let world = SynthUs::generate(&small_config());
+    let fingerprint = |mode: DiffMode| {
+        let chain = stage_release_diff(&world, mode);
+        let mut h = StableHasher::new();
+        chain.fold_evidence_into(&mut h);
+        h.finish()
+    };
+    for mode in [
+        DiffMode::Sequential,
+        DiffMode::Parallel,
+        DiffMode::Threads(3),
+    ] {
+        assert_eq!(
+            fingerprint(mode),
+            GOLDEN_DIFF_CHAIN_FINGERPRINT,
+            "diff-chain drift ({mode:?}): fingerprint is {:#018x}",
+            fingerprint(mode)
         );
     }
 }

@@ -30,6 +30,31 @@ pub struct BenchResult {
 
 static RESULTS: Mutex<Vec<BenchResult>> = Mutex::new(Vec::new());
 
+/// One auxiliary, non-timing metric reported by a bench binary (peak
+/// resident elements, bytes, counts …). Not part of upstream criterion's
+/// API; the repo's benches use it to commit memory-model evidence (e.g.
+/// `BENCH_diff.json`'s peak-entry counts) alongside wall-clock numbers.
+#[derive(Debug, Clone)]
+pub struct MetricResult {
+    pub name: String,
+    pub value: f64,
+    pub unit: String,
+}
+
+static METRICS: Mutex<Vec<MetricResult>> = Mutex::new(Vec::new());
+
+/// Record an auxiliary metric; it is printed immediately and written to the
+/// `BENCH_JSON` report's `metrics` section by [`criterion_main!`].
+pub fn report_metric(name: impl Into<String>, value: f64, unit: impl Into<String>) {
+    let metric = MetricResult {
+        name: name.into(),
+        value,
+        unit: unit.into(),
+    };
+    println!("{:<50} {:>12.1} {}", metric.name, metric.value, metric.unit);
+    METRICS.lock().unwrap().push(metric);
+}
+
 /// Top-level harness handle, created by [`criterion_group!`].
 #[derive(Default)]
 pub struct Criterion {
@@ -154,6 +179,7 @@ pub fn write_json_report() {
         return;
     };
     let results = RESULTS.lock().unwrap();
+    let metrics = METRICS.lock().unwrap();
     let mut out = String::from("{\n  \"benchmarks\": [\n");
     for (i, r) in results.iter().enumerate() {
         let comma = if i + 1 < results.len() { "," } else { "" };
@@ -163,7 +189,20 @@ pub fn write_json_report() {
             r.name, r.mean_ns, r.min_ns, r.samples, r.iters_per_sample,
         );
     }
-    out.push_str("  ]\n}\n");
+    if metrics.is_empty() {
+        out.push_str("  ]\n}\n");
+    } else {
+        out.push_str("  ],\n  \"metrics\": [\n");
+        for (i, m) in metrics.iter().enumerate() {
+            let comma = if i + 1 < metrics.len() { "," } else { "" };
+            let _ = writeln!(
+                out,
+                "    {{\"name\": \"{}\", \"value\": {:.1}, \"unit\": \"{}\"}}{comma}",
+                m.name, m.value, m.unit,
+            );
+        }
+        out.push_str("  ]\n}\n");
+    }
     if let Err(e) = std::fs::write(&path, out) {
         eprintln!("failed to write {path}: {e}");
     } else {
@@ -210,5 +249,17 @@ mod tests {
         let r = results.iter().find(|r| r.name == "unit/noop").unwrap();
         assert!(r.mean_ns >= 0.0);
         assert_eq!(r.samples, 1);
+    }
+
+    #[test]
+    fn report_metric_records_a_metric() {
+        report_metric("unit/peak_entries", 123.0, "entries");
+        let metrics = METRICS.lock().unwrap();
+        let m = metrics
+            .iter()
+            .find(|m| m.name == "unit/peak_entries")
+            .unwrap();
+        assert_eq!(m.value, 123.0);
+        assert_eq!(m.unit, "entries");
     }
 }
