@@ -6,6 +6,7 @@
 //! and EXPERIMENTS.md for paper-vs-measured notes).
 
 use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
 
 use bdc::challenge::{outcome_distribution, reason_distribution, state_distribution};
 use bdc::{ChallengeOutcome, ChallengeReason, DayStamp, Technology};
@@ -71,6 +72,59 @@ impl ExperimentSuite {
             state_holdout,
         }
     }
+
+    /// The three hold-out models by stable name, in export order.
+    pub fn holdout_models(&self) -> [(&'static str, &crate::model::HoldoutOutcome); 3] {
+        [
+            ("observation_holdout", &self.observation_holdout),
+            ("adjudicated_holdout", &self.adjudicated_holdout),
+            ("state_holdout", &self.state_holdout),
+        ]
+    }
+
+    /// Serialize every trained hold-out model into `dir` as versioned
+    /// `redsus_serve` artifacts plus a `MANIFEST.tsv` index — the train →
+    /// serialize half of the serving loop (load → serve being
+    /// `redsus-score` / `ScoreServer`). Returns one entry per artifact.
+    pub fn export_artifact_bundle(
+        &self,
+        dir: &Path,
+    ) -> Result<Vec<ExportedArtifact>, redsus_serve::ArtifactError> {
+        std::fs::create_dir_all(dir)?;
+        let mut manifest = String::from("name\tfile\tfingerprint\ttrees\tfeatures\n");
+        let mut exported = Vec::with_capacity(3);
+        for (name, outcome) in self.holdout_models() {
+            let file = format!("{name}.rsm");
+            let path = dir.join(&file);
+            let fingerprint = redsus_serve::write_artifact(&path, &outcome.model)?;
+            manifest.push_str(&format!(
+                "{name}\t{file}\t{fingerprint:#018x}\t{}\t{}\n",
+                outcome.model.n_trees(),
+                outcome.model.feature_names().len()
+            ));
+            exported.push(ExportedArtifact {
+                name: name.to_string(),
+                path,
+                fingerprint,
+                n_trees: outcome.model.n_trees(),
+            });
+        }
+        std::fs::write(dir.join("MANIFEST.tsv"), manifest)?;
+        Ok(exported)
+    }
+}
+
+/// One model artifact written by [`ExperimentSuite::export_artifact_bundle`].
+#[derive(Debug, Clone)]
+pub struct ExportedArtifact {
+    /// Stable hold-out name (doubles as the file stem).
+    pub name: String,
+    /// Where the artifact was written.
+    pub path: PathBuf,
+    /// The artifact content fingerprint.
+    pub fingerprint: u64,
+    /// Trees in the exported ensemble.
+    pub n_trees: usize,
 }
 
 fn pct(n: usize, total: usize) -> f64 {

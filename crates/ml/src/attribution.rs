@@ -13,8 +13,8 @@
 use serde::{Deserialize, Serialize};
 
 use crate::dataset::Dataset;
+use crate::flat::FlatForest;
 use crate::gbdt::GbdtModel;
-use crate::tree::Node;
 
 /// The attribution of one prediction to its features.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -42,23 +42,33 @@ impl Explanation {
 }
 
 /// Attribute a single row's prediction to the model's features.
+///
+/// Convenience wrapper that lowers the model once; callers attributing many
+/// rows should lower once themselves and use [`explain_with_forest`] (as
+/// [`summarize_attributions`] does).
 pub fn explain_row(model: &GbdtModel, row: &[f32]) -> Explanation {
-    let n_features = model.feature_names().len();
+    explain_with_forest(&FlatForest::from_model(model), row)
+}
+
+/// Attribute a single row's prediction by walking the shared [`FlatForest`]
+/// decision-path structure — the same flattened traversal the serving
+/// scorers use, so attribution can never drift from prediction.
+pub fn explain_with_forest(forest: &FlatForest, row: &[f32]) -> Explanation {
+    let n_features = forest.n_features();
     let mut contributions = vec![0.0f64; n_features];
-    let mut base_value = model.base_margin();
-    for tree in model.trees() {
-        let path = tree.decision_path(row);
-        let nodes = tree.nodes();
-        base_value += nodes[path[0]].value();
+    let mut base_value = forest.base_margin();
+    for tree in 0..forest.n_trees() {
+        let path = forest.decision_path(tree, row);
+        base_value += forest.node(path[0]).value;
         for w in path.windows(2) {
-            let parent = &nodes[w[0]];
-            let child = &nodes[w[1]];
-            if let Node::Split { feature, .. } = parent {
-                contributions[*feature] += child.value() - parent.value();
+            let parent = forest.node(w[0]);
+            let child = forest.node(w[1]);
+            if let Some(feature) = parent.split_feature() {
+                contributions[feature] += child.value - parent.value;
             }
         }
     }
-    let margin = model.predict_margin(row);
+    let margin = forest.predict_margin(row);
     Explanation {
         base_value,
         contributions,
@@ -92,6 +102,7 @@ pub fn summarize_attributions(
     data: &Dataset,
     max_rows: usize,
 ) -> Vec<FeatureImportance> {
+    let forest = FlatForest::from_model(model);
     let n_rows = data.n_rows().min(max_rows);
     let n_features = model.feature_names().len();
     let mut abs_sum = vec![0.0f64; n_features];
@@ -105,7 +116,7 @@ pub fn summarize_attributions(
 
     for r in 0..n_rows {
         let row = data.row(r);
-        let exp = explain_row(model, row);
+        let exp = explain_with_forest(&forest, row);
         for f in 0..n_features {
             let c = exp.contributions[f];
             abs_sum[f] += c.abs();
@@ -240,6 +251,51 @@ mod tests {
         let (model, d) = model_and_data();
         let exp = explain_row(&model, d.row(5));
         assert!((exp.probability - model.predict_proba(d.row(5))).abs() < 1e-12);
+    }
+
+    /// The shared FlatForest walk must reproduce, bit for bit, what the old
+    /// recursive descent computed: same decision paths, same per-feature
+    /// credits, same base value. The recursive reference is kept inline here
+    /// as ground truth.
+    #[test]
+    fn flat_walk_matches_recursive_reference() {
+        use crate::tree::Node;
+        let (model, d) = model_and_data();
+        let forest = FlatForest::from_model(&model);
+        for r in (0..d.n_rows()).step_by(29) {
+            let row = d.row(r);
+            let n_features = model.feature_names().len();
+            let mut contributions = vec![0.0f64; n_features];
+            let mut base_value = model.base_margin();
+            for (t, tree) in model.trees().iter().enumerate() {
+                let path = tree.decision_path(row);
+                // Identical decision paths, node for node.
+                let off = forest.tree_root(t);
+                let flat_path: Vec<usize> = forest
+                    .decision_path(t, row)
+                    .into_iter()
+                    .map(|i| (i - off) as usize)
+                    .collect();
+                assert_eq!(flat_path, path, "tree {t} path drift at row {r}");
+                let nodes = tree.nodes();
+                base_value += nodes[path[0]].value();
+                for w in path.windows(2) {
+                    if let Node::Split { feature, .. } = &nodes[w[0]] {
+                        contributions[*feature] += nodes[w[1]].value() - nodes[w[0]].value();
+                    }
+                }
+            }
+            let exp = explain_with_forest(&forest, row);
+            assert_eq!(exp.base_value.to_bits(), base_value.to_bits());
+            assert_eq!(exp.margin.to_bits(), model.predict_margin(row).to_bits());
+            for (f, (flat, reference)) in exp.contributions.iter().zip(&contributions).enumerate() {
+                assert_eq!(
+                    flat.to_bits(),
+                    reference.to_bits(),
+                    "contribution drift for feature {f} at row {r}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -4,12 +4,20 @@
 //! (the trees learn a default direction for them, like XGBoost's sparsity-aware
 //! splits). Labels are 0.0 / 1.0.
 
+use std::collections::HashMap;
+
 use serde::{Deserialize, Serialize};
 
 /// A dense feature matrix with binary labels.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Dataset {
     feature_names: Vec<String>,
+    /// Name → column index, precomputed at construction: serving resolves
+    /// feature names per request, so the lookup must not scan all names.
+    /// Derived from `feature_names`, so it is skipped on the wire and
+    /// rebuilt by the constructor (the `NbmRelease::claim_index` pattern).
+    #[serde(skip)]
+    name_index: HashMap<String, usize>,
     n_features: usize,
     data: Vec<f32>,
     labels: Vec<f32>,
@@ -23,8 +31,10 @@ impl Dataset {
     pub fn new(feature_names: Vec<String>) -> Self {
         assert!(!feature_names.is_empty(), "a dataset needs features");
         let n_features = feature_names.len();
+        let name_index = crate::flat::build_name_index(&feature_names);
         Self {
             feature_names,
+            name_index,
             n_features,
             data: Vec::new(),
             labels: Vec::new(),
@@ -63,9 +73,10 @@ impl Dataset {
         &self.feature_names
     }
 
-    /// Index of a feature by name.
+    /// Index of a feature by name — O(1) via the precomputed map (duplicate
+    /// names resolve to the first occurrence, matching the old linear scan).
     pub fn feature_index(&self, name: &str) -> Option<usize> {
-        self.feature_names.iter().position(|n| n == name)
+        self.name_index.get(name).copied()
     }
 
     /// A row as a slice.
@@ -195,6 +206,15 @@ mod tests {
     fn bad_label_panics() {
         let mut d = Dataset::new(vec!["a".into()]);
         d.push_row(&[1.0], 0.5);
+    }
+
+    #[test]
+    fn feature_index_is_first_wins_for_duplicates() {
+        // The precomputed map must preserve the old linear scan's semantics:
+        // the first column with a given name wins.
+        let d = Dataset::new(vec!["a".into(), "b".into(), "a".into()]);
+        assert_eq!(d.feature_index("a"), Some(0));
+        assert_eq!(d.feature_index("b"), Some(1));
     }
 
     #[test]

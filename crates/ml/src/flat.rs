@@ -1,0 +1,405 @@
+//! Flattened forest inference: the recursive [`RegressionTree`] boxes lowered
+//! into one contiguous node array for cache-friendly traversal at serving
+//! time.
+//!
+//! [`GbdtModel::predict_margin`] walks a `Vec<Node>` per tree through an enum
+//! match; fine for training-time evaluation, but the serving hot path wants a
+//! branch-predictable loop over a flat struct-of-fields node. [`FlatForest`]
+//! stores every tree's nodes back-to-back (absolute child indices, leaves
+//! tagged with a sentinel feature), so a whole model is two allocations and a
+//! prediction never chases a discriminant.
+//!
+//! The load-bearing contract: **flat traversal is bit-identical to the
+//! recursive path.** Same node semantics (`NaN` follows `default_left`,
+//! otherwise `v <= threshold` goes left), same left-to-right tree order, same
+//! `f64` summation order — so `FlatForest::predict_margin` equals
+//! `GbdtModel::predict_margin` to the last bit, a property pinned by the
+//! tests below and reused by the attribution module (which walks the same
+//! flat paths) and by the `redsus_serve` batch/online scorers.
+
+use std::collections::HashMap;
+
+use crate::gbdt::{sigmoid, GbdtModel};
+use crate::tree::Node;
+
+/// Sentinel value of [`FlatNode::feature`] marking a leaf.
+pub const LEAF_FEATURE: u32 = u32::MAX;
+
+/// One lowered tree node. Splits carry the routing fields; leaves carry only
+/// `value` and tag `feature` with [`LEAF_FEATURE`].
+#[derive(Debug, Clone, Copy)]
+pub struct FlatNode {
+    /// Split feature index, or [`LEAF_FEATURE`] for a leaf.
+    pub feature: u32,
+    /// Raw-value threshold: `v <= threshold` goes left.
+    pub threshold: f32,
+    /// Where missing values (NaN) are routed.
+    pub default_left: bool,
+    /// Absolute index of the left child in the forest's node array.
+    pub left: u32,
+    /// Absolute index of the right child in the forest's node array.
+    pub right: u32,
+    /// The node's weight: the leaf weight, or the weight the split would
+    /// have as a leaf (`-G/(H+λ)`, scaled by the learning rate) — what the
+    /// Saabas attribution walk reads off the decision path.
+    pub value: f64,
+}
+
+impl FlatNode {
+    /// True when the node is a leaf.
+    #[inline]
+    pub fn is_leaf(&self) -> bool {
+        self.feature == LEAF_FEATURE
+    }
+
+    /// The split feature as a usize, or `None` for a leaf.
+    #[inline]
+    pub fn split_feature(&self) -> Option<usize> {
+        if self.is_leaf() {
+            None
+        } else {
+            Some(self.feature as usize)
+        }
+    }
+}
+
+/// A [`GbdtModel`] lowered into contiguous node arrays.
+///
+/// Construction preserves everything prediction and attribution need (base
+/// margin, node values, feature names); hyper-parameters and covers stay on
+/// the source model / artifact.
+#[derive(Debug, Clone)]
+pub struct FlatForest {
+    base_margin: f64,
+    /// Every tree's nodes, back to back, children as absolute indices.
+    nodes: Vec<FlatNode>,
+    /// Start of each tree in `nodes`, plus one trailing end sentinel.
+    tree_offsets: Vec<u32>,
+    feature_names: Vec<String>,
+    /// Feature name → column index, precomputed for per-request resolution.
+    name_index: HashMap<String, usize>,
+}
+
+impl FlatForest {
+    /// Lower a trained model into the flat representation.
+    pub fn from_model(model: &GbdtModel) -> Self {
+        let total: usize = model.trees().iter().map(|t| t.nodes().len()).sum();
+        assert!(
+            total < LEAF_FEATURE as usize,
+            "forest too large for u32 node indices"
+        );
+        let mut nodes = Vec::with_capacity(total);
+        let mut tree_offsets = Vec::with_capacity(model.n_trees() + 1);
+        for tree in model.trees() {
+            let off = nodes.len() as u32;
+            tree_offsets.push(off);
+            for node in tree.nodes() {
+                nodes.push(match node {
+                    Node::Leaf { value, .. } => FlatNode {
+                        feature: LEAF_FEATURE,
+                        threshold: 0.0,
+                        default_left: false,
+                        left: 0,
+                        right: 0,
+                        value: *value,
+                    },
+                    Node::Split {
+                        feature,
+                        threshold,
+                        default_left,
+                        left,
+                        right,
+                        value,
+                        ..
+                    } => FlatNode {
+                        feature: *feature as u32,
+                        threshold: *threshold,
+                        default_left: *default_left,
+                        left: off + *left as u32,
+                        right: off + *right as u32,
+                        value: *value,
+                    },
+                });
+            }
+        }
+        tree_offsets.push(nodes.len() as u32);
+        let feature_names = model.feature_names().to_vec();
+        let name_index = build_name_index(&feature_names);
+        Self {
+            base_margin: model.base_margin(),
+            nodes,
+            tree_offsets,
+            feature_names,
+            name_index,
+        }
+    }
+
+    /// Number of trees.
+    pub fn n_trees(&self) -> usize {
+        self.tree_offsets.len() - 1
+    }
+
+    /// Number of features a scoring row must have.
+    pub fn n_features(&self) -> usize {
+        self.feature_names.len()
+    }
+
+    /// Total node count across all trees.
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The constant margin the ensemble starts from.
+    pub fn base_margin(&self) -> f64 {
+        self.base_margin
+    }
+
+    /// Names of the features, in model column order.
+    pub fn feature_names(&self) -> &[String] {
+        &self.feature_names
+    }
+
+    /// Column index of a feature by name (O(1)).
+    pub fn feature_index(&self, name: &str) -> Option<usize> {
+        self.name_index.get(name).copied()
+    }
+
+    /// A node by absolute index.
+    pub fn node(&self, i: u32) -> &FlatNode {
+        &self.nodes[i as usize]
+    }
+
+    /// Absolute index of a tree's root node.
+    pub fn tree_root(&self, tree: usize) -> u32 {
+        self.tree_offsets[tree]
+    }
+
+    /// The leaf weight one tree contributes for a row.
+    #[inline]
+    pub fn tree_leaf_value(&self, tree: usize, row: &[f32]) -> f64 {
+        let mut i = self.tree_offsets[tree] as usize;
+        loop {
+            let n = &self.nodes[i];
+            if n.feature == LEAF_FEATURE {
+                return n.value;
+            }
+            let v = row[n.feature as usize];
+            let go_left = if v.is_nan() {
+                n.default_left
+            } else {
+                v <= n.threshold
+            };
+            i = if go_left { n.left } else { n.right } as usize;
+        }
+    }
+
+    /// Raw additive margin (log-odds) for a feature row — bit-identical to
+    /// [`GbdtModel::predict_margin`]: the trees are folded left to right
+    /// from `0.0` and the base margin is added last, exactly as the
+    /// recursive path's `iter().sum::<f64>()` does.
+    ///
+    /// # Panics
+    /// Panics when `row` is narrower than the model's feature count.
+    pub fn predict_margin(&self, row: &[f32]) -> f64 {
+        let mut sum = 0.0f64;
+        for tree in 0..self.n_trees() {
+            sum += self.tree_leaf_value(tree, row);
+        }
+        self.base_margin + sum
+    }
+
+    /// Probability of the positive (suspicious / likely-unserved) class.
+    pub fn predict_proba(&self, row: &[f32]) -> f64 {
+        sigmoid(self.predict_margin(row))
+    }
+
+    /// The absolute node indices one tree visits for a row, root to leaf —
+    /// the path structure the attribution module walks. Identical (up to the
+    /// tree's base offset) to [`RegressionTree::decision_path`].
+    ///
+    /// [`RegressionTree::decision_path`]: crate::tree::RegressionTree::decision_path
+    pub fn decision_path(&self, tree: usize, row: &[f32]) -> Vec<u32> {
+        let mut path = Vec::new();
+        let mut i = self.tree_offsets[tree];
+        loop {
+            path.push(i);
+            let n = &self.nodes[i as usize];
+            if n.feature == LEAF_FEATURE {
+                return path;
+            }
+            let v = row[n.feature as usize];
+            let go_left = if v.is_nan() {
+                n.default_left
+            } else {
+                v <= n.threshold
+            };
+            i = if go_left { n.left } else { n.right };
+        }
+    }
+}
+
+/// Name → index map preserving first-wins semantics for duplicate names
+/// (matching `Iterator::position` on the name list). Shared by
+/// [`FlatForest`], `Dataset` and the serving layer's per-request column
+/// resolution, so name lookup is O(1) on every path.
+pub fn build_name_index(names: &[String]) -> HashMap<String, usize> {
+    let mut map = HashMap::with_capacity(names.len());
+    for (i, name) in names.iter().enumerate() {
+        map.entry(name.clone()).or_insert(i);
+    }
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Dataset;
+    use crate::gbdt::GbdtParams;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_dataset(rng: &mut StdRng, n_rows: usize, n_features: usize) -> Dataset {
+        let names: Vec<String> = (0..n_features).map(|f| format!("f{f}")).collect();
+        let mut d = Dataset::new(names);
+        for _ in 0..n_rows {
+            let row: Vec<f32> = (0..n_features)
+                .map(|_| {
+                    if rng.gen_range(0.0..1.0) < 0.05 {
+                        f32::NAN
+                    } else {
+                        rng.gen_range(-2.0..2.0)
+                    }
+                })
+                .collect();
+            let signal = if row[0].is_nan() { 0.0 } else { row[0] };
+            let label = if signal + rng.gen_range(-0.3..0.3) > 0.0 {
+                1.0
+            } else {
+                0.0
+            };
+            d.push_row(&row, label);
+        }
+        d
+    }
+
+    /// Seeded-loop property test: for random models and random rows
+    /// (including NaNs), the flat traversal reproduces the recursive margin
+    /// bit for bit, tree by tree.
+    #[test]
+    fn flat_predictions_bit_identical_to_recursive() {
+        for seed in 0..6u64 {
+            let mut rng = StdRng::seed_from_u64(0xf1a7 + seed);
+            let n_features = rng.gen_range(2..7usize);
+            let data = random_dataset(&mut rng, 160, n_features);
+            let model = GbdtModel::fit(
+                &data,
+                GbdtParams {
+                    n_estimators: 12,
+                    max_depth: rng.gen_range(1..5usize),
+                    learning_rate: 0.3,
+                    subsample: 0.8,
+                    colsample_bytree: 0.8,
+                    seed,
+                    ..GbdtParams::default()
+                },
+            );
+            let forest = FlatForest::from_model(&model);
+            assert_eq!(forest.n_trees(), model.n_trees());
+            assert_eq!(forest.n_features(), model.feature_names().len());
+            for r in 0..data.n_rows() {
+                let row = data.row(r);
+                assert_eq!(
+                    forest.predict_margin(row).to_bits(),
+                    model.predict_margin(row).to_bits(),
+                    "margin drift at seed {seed} row {r}"
+                );
+                for (t, tree) in model.trees().iter().enumerate() {
+                    assert_eq!(
+                        forest.tree_leaf_value(t, row).to_bits(),
+                        tree.predict_row(row).to_bits(),
+                        "tree {t} drift at seed {seed} row {r}"
+                    );
+                }
+            }
+            // All-missing rows exercise every default direction.
+            let missing = vec![f32::NAN; n_features];
+            assert_eq!(
+                forest.predict_margin(&missing).to_bits(),
+                model.predict_margin(&missing).to_bits()
+            );
+        }
+    }
+
+    /// The flat decision path is the recursive decision path shifted by the
+    /// tree's base offset — node for node.
+    #[test]
+    fn flat_paths_match_recursive_paths() {
+        let mut rng = StdRng::seed_from_u64(0xbeef);
+        let data = random_dataset(&mut rng, 200, 4);
+        let model = GbdtModel::fit(
+            &data,
+            GbdtParams {
+                n_estimators: 10,
+                max_depth: 4,
+                learning_rate: 0.2,
+                ..GbdtParams::default()
+            },
+        );
+        let forest = FlatForest::from_model(&model);
+        for r in (0..data.n_rows()).step_by(17) {
+            let row = data.row(r);
+            for (t, tree) in model.trees().iter().enumerate() {
+                let off = forest.tree_root(t);
+                let flat: Vec<usize> = forest
+                    .decision_path(t, row)
+                    .into_iter()
+                    .map(|i| (i - off) as usize)
+                    .collect();
+                assert_eq!(flat, tree.decision_path(row), "path drift in tree {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn flat_layout_is_contiguous_and_self_contained() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let data = random_dataset(&mut rng, 120, 3);
+        let model = GbdtModel::fit(
+            &data,
+            GbdtParams {
+                n_estimators: 5,
+                max_depth: 3,
+                ..GbdtParams::default()
+            },
+        );
+        let forest = FlatForest::from_model(&model);
+        let expected: usize = model.trees().iter().map(|t| t.nodes().len()).sum();
+        assert_eq!(forest.n_nodes(), expected);
+        // Children stay inside their own tree's node range and strictly
+        // after their parent (the builder emits children after parents), so
+        // traversal always terminates.
+        for t in 0..forest.n_trees() {
+            let start = forest.tree_root(t);
+            let end = forest.tree_offsets[t + 1];
+            for i in start..end {
+                let n = forest.node(i);
+                if !n.is_leaf() {
+                    assert!(n.left > i && n.left < end);
+                    assert!(n.right > i && n.right < end);
+                    assert!((n.feature as usize) < forest.n_features());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn feature_index_resolves_names() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let data = random_dataset(&mut rng, 80, 3);
+        let model = GbdtModel::fit(&data, GbdtParams::default());
+        let forest = FlatForest::from_model(&model);
+        assert_eq!(forest.feature_index("f0"), Some(0));
+        assert_eq!(forest.feature_index("f2"), Some(2));
+        assert_eq!(forest.feature_index("missing"), None);
+    }
+}

@@ -173,6 +173,31 @@ impl GbdtModel {
         }
     }
 
+    /// Reassemble a model from its parts — the deserialisation counterpart
+    /// of the accessors below, used by the `redsus_serve` artifact reader.
+    ///
+    /// # Panics
+    /// Panics when `feature_names` is empty (a model must know its row
+    /// width). Tree topology is the caller's responsibility (see
+    /// [`RegressionTree::from_nodes`]).
+    pub fn from_parts(
+        params: GbdtParams,
+        base_margin: f64,
+        trees: Vec<RegressionTree>,
+        feature_names: Vec<String>,
+    ) -> Self {
+        assert!(
+            !feature_names.is_empty(),
+            "a model needs at least one feature"
+        );
+        Self {
+            params,
+            base_margin,
+            trees,
+            feature_names,
+        }
+    }
+
     /// Raw additive margin (log-odds) for a feature row.
     pub fn predict_margin(&self, row: &[f32]) -> f64 {
         self.base_margin + self.trees.iter().map(|t| t.predict_row(row)).sum::<f64>()

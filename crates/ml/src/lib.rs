@@ -23,20 +23,28 @@
 //!   path attribution, the fast TreeSHAP approximation; contributions sum
 //!   exactly to the prediction margin) powering the paper's Figure 10/11
 //!   analyses,
+//! * [`flat`] — the recursive trees lowered into contiguous node arrays
+//!   ([`FlatForest`]) for cache-friendly serving-time inference, proven
+//!   bit-identical to [`GbdtModel::predict_margin`] and shared by the
+//!   attribution walk and the `redsus_serve` scorers,
 //! * [`baseline`] — the random-guessing baseline the paper compares against.
 
 pub mod attribution;
 pub mod baseline;
 pub mod dataset;
+pub mod flat;
 pub mod gbdt;
 pub mod hyperopt;
 pub mod metrics;
 pub mod split;
 pub mod tree;
 
-pub use attribution::{explain_row, summarize_attributions, Explanation, FeatureImportance};
+pub use attribution::{
+    explain_row, explain_with_forest, summarize_attributions, Explanation, FeatureImportance,
+};
 pub use baseline::RandomBaseline;
 pub use dataset::Dataset;
+pub use flat::{FlatForest, FlatNode};
 pub use gbdt::{GbdtModel, GbdtParams};
 pub use metrics::{
     accuracy, confusion_matrix, f1_score, log_loss, precision_recall_f1, roc_auc, roc_curve,

@@ -268,6 +268,25 @@ impl RegressionTree {
         node_id
     }
 
+    /// Reassemble a tree from its node array (node 0 is the root) — the
+    /// deserialisation counterpart of [`RegressionTree::nodes`], used by the
+    /// model-artifact reader.
+    ///
+    /// Callers are expected to have validated the topology (the
+    /// `redsus_serve` artifact reader rejects malformed node arrays with
+    /// typed errors before constructing); this constructor only
+    /// debug-asserts the invariants traversal relies on.
+    pub fn from_nodes(nodes: Vec<Node>) -> Self {
+        debug_assert!(!nodes.is_empty(), "a tree needs at least one node");
+        debug_assert!(nodes.iter().enumerate().all(|(i, n)| match n {
+            Node::Leaf { .. } => true,
+            Node::Split { left, right, .. } => {
+                *left > i && *left < nodes.len() && *right > i && *right < nodes.len()
+            }
+        }));
+        Self { nodes }
+    }
+
     /// The tree's nodes (node 0 is the root).
     pub fn nodes(&self) -> &[Node] {
         &self.nodes

@@ -1,0 +1,711 @@
+//! The model artifact format: a versioned, self-describing canonical binary
+//! encoding of a trained [`GbdtModel`].
+//!
+//! The workspace's vendored serde is a compile-only stub, so serialisation is
+//! hand-rolled here: one canonical little-endian byte layout, written and
+//! read by this module alone. The envelope is
+//!
+//! ```text
+//! ┌──────────┬─────────┬──────────────────────────────┬───────────────┐
+//! │ magic 8B │ ver u16 │ payload (params, schema,     │ FNV-1a u64    │
+//! │ RSUSGBDT │   = 1   │ base margin, trees)          │ over the rest │
+//! └──────────┴─────────┴──────────────────────────────┴───────────────┘
+//! ```
+//!
+//! The trailing fingerprint is FNV-1a over every preceding byte (magic and
+//! version included), so any flipped bit anywhere surfaces as a
+//! [`ArtifactError::FingerprintMismatch`] before the payload is even parsed;
+//! the same value doubles as the artifact's content identity (reported by
+//! `/healthz`, the CLI and the export manifest). Malformed inputs —
+//! truncated, corrupted, wrong magic, unsupported version, inconsistent tree
+//! topology — are rejected with typed [`ArtifactError`]s; decoding never
+//! panics.
+//!
+//! Payload layout (all integers little-endian):
+//!
+//! ```text
+//! params: n_estimators u64, learning_rate f64, max_depth u64, lambda f64,
+//!         gamma f64, min_child_weight f64, subsample f64,
+//!         colsample_bytree f64, max_bins u64, seed u64,
+//!         early_stopping flag u8 + rounds u64
+//! base_margin f64
+//! n_features u32, then per feature: name_len u32 + UTF-8 bytes
+//! n_trees u32, then per tree: n_nodes u32, then per node:
+//!   tag u8 = 0 (leaf):  value f64, cover f64
+//!   tag u8 = 1 (split): feature u32, threshold f32, default_left u8,
+//!                       left u32, right u32, value f64, cover f64
+//! ```
+
+use std::fmt;
+use std::path::Path;
+
+use ml::tree::Node;
+use ml::{GbdtModel, GbdtParams, RegressionTree};
+
+/// The artifact magic bytes.
+pub const ARTIFACT_MAGIC: [u8; 8] = *b"RSUSGBDT";
+
+/// The format version this build writes and understands.
+pub const ARTIFACT_VERSION: u16 = 1;
+
+/// Envelope overhead: magic + version + trailing fingerprint.
+const MIN_LEN: usize = 8 + 2 + 8;
+
+/// Sanity caps rejecting absurd counts before any allocation is attempted.
+const MAX_FEATURES: u32 = 1 << 20;
+const MAX_NAME_LEN: u32 = 1 << 16;
+const MAX_TREES: u32 = 1 << 20;
+const MAX_NODES: u32 = 1 << 26;
+
+/// Smallest encoded node: a leaf's tag + value + cover.
+const MIN_NODE_BYTES: usize = 1 + 8 + 8;
+
+/// Why an artifact could not be decoded (or written).
+#[derive(Debug)]
+pub enum ArtifactError {
+    /// Reading or writing the file failed.
+    Io(std::io::Error),
+    /// The input ends before the envelope or a payload field is complete.
+    Truncated {
+        /// Bytes the reader needed next.
+        expected: usize,
+        /// Bytes actually remaining.
+        found: usize,
+    },
+    /// The first eight bytes are not [`ARTIFACT_MAGIC`].
+    BadMagic,
+    /// The format version is newer than this build understands.
+    UnsupportedVersion { found: u16 },
+    /// The trailing FNV-1a fingerprint does not match the content.
+    FingerprintMismatch { stored: u64, computed: u64 },
+    /// The envelope is intact but the payload violates the format
+    /// (impossible counts, bad node topology, invalid UTF-8, …).
+    Corrupt(String),
+}
+
+impl fmt::Display for ArtifactError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArtifactError::Io(e) => write!(f, "artifact I/O error: {e}"),
+            ArtifactError::Truncated { expected, found } => {
+                write!(
+                    f,
+                    "artifact truncated: needed {expected} bytes, {found} remain"
+                )
+            }
+            ArtifactError::BadMagic => write!(f, "not a redsus model artifact (bad magic)"),
+            ArtifactError::UnsupportedVersion { found } => {
+                write!(
+                    f,
+                    "unsupported artifact version {found} (this build reads <= {ARTIFACT_VERSION})"
+                )
+            }
+            ArtifactError::FingerprintMismatch { stored, computed } => write!(
+                f,
+                "artifact fingerprint mismatch: stored {stored:#018x}, computed {computed:#018x}"
+            ),
+            ArtifactError::Corrupt(msg) => write!(f, "artifact corrupt: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ArtifactError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ArtifactError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ArtifactError {
+    fn from(e: std::io::Error) -> Self {
+        ArtifactError::Io(e)
+    }
+}
+
+/// FNV-1a over a byte slice — the artifact's content fingerprint. Same
+/// constants as `synth::shard::StableHasher`, reimplemented here so the
+/// serving layer needs no dependency on the synthetic-world crate.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+
+struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    fn new() -> Self {
+        Self { buf: Vec::new() }
+    }
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn f32(&mut self, v: f32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn str(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+}
+
+/// Encode a model into the canonical artifact bytes (envelope included).
+pub fn encode_model(model: &GbdtModel) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.buf.extend_from_slice(&ARTIFACT_MAGIC);
+    w.u16(ARTIFACT_VERSION);
+
+    let p = model.params();
+    w.u64(p.n_estimators as u64);
+    w.f64(p.learning_rate);
+    w.u64(p.max_depth as u64);
+    w.f64(p.lambda);
+    w.f64(p.gamma);
+    w.f64(p.min_child_weight);
+    w.f64(p.subsample);
+    w.f64(p.colsample_bytree);
+    w.u64(p.max_bins as u64);
+    w.u64(p.seed);
+    match p.early_stopping_rounds {
+        Some(r) => {
+            w.u8(1);
+            w.u64(r as u64);
+        }
+        None => {
+            w.u8(0);
+            w.u64(0);
+        }
+    }
+
+    w.f64(model.base_margin());
+    w.u32(model.feature_names().len() as u32);
+    for name in model.feature_names() {
+        w.str(name);
+    }
+
+    w.u32(model.n_trees() as u32);
+    for tree in model.trees() {
+        w.u32(tree.nodes().len() as u32);
+        for node in tree.nodes() {
+            match node {
+                Node::Leaf { value, cover } => {
+                    w.u8(0);
+                    w.f64(*value);
+                    w.f64(*cover);
+                }
+                Node::Split {
+                    feature,
+                    threshold,
+                    default_left,
+                    left,
+                    right,
+                    value,
+                    cover,
+                } => {
+                    w.u8(1);
+                    w.u32(*feature as u32);
+                    w.f32(*threshold);
+                    w.u8(u8::from(*default_left));
+                    w.u32(*left as u32);
+                    w.u32(*right as u32);
+                    w.f64(*value);
+                    w.f64(*cover);
+                }
+            }
+        }
+    }
+
+    let fp = fnv1a(&w.buf);
+    w.u64(fp);
+    w.buf
+}
+
+/// The content fingerprint an encoded model would carry, without keeping the
+/// bytes around.
+pub fn model_fingerprint(model: &GbdtModel) -> u64 {
+    let bytes = encode_model(model);
+    // The trailer *is* the fingerprint of everything before it.
+    u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().unwrap())
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Bytes not yet consumed.
+    fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    /// Guard a count-prefixed allocation: `count` items of at least
+    /// `min_item_bytes` each must still fit in the unread payload, otherwise
+    /// the count is a lie and allocating for it up front would let a
+    /// tiny crafted artifact demand gigabytes before the first field read
+    /// could report truncation.
+    fn check_count(&self, count: u32, min_item_bytes: usize) -> Result<(), ArtifactError> {
+        let needed = count as usize * min_item_bytes;
+        if needed > self.remaining() {
+            return Err(ArtifactError::Truncated {
+                expected: needed,
+                found: self.remaining(),
+            });
+        }
+        Ok(())
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ArtifactError> {
+        let remaining = self.bytes.len() - self.pos;
+        if n > remaining {
+            return Err(ArtifactError::Truncated {
+                expected: n,
+                found: remaining,
+            });
+        }
+        let out = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+    fn u8(&mut self) -> Result<u8, ArtifactError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u32(&mut self) -> Result<u32, ArtifactError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> Result<u64, ArtifactError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn f32(&mut self) -> Result<f32, ArtifactError> {
+        Ok(f32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn f64(&mut self) -> Result<f64, ArtifactError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn str(&mut self, max_len: u32) -> Result<String, ArtifactError> {
+        let len = self.u32()?;
+        if len > max_len {
+            return Err(ArtifactError::Corrupt(format!(
+                "string length {len} exceeds cap {max_len}"
+            )));
+        }
+        let bytes = self.take(len as usize)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| ArtifactError::Corrupt("invalid UTF-8 in string".into()))
+    }
+    fn flag(&mut self, what: &str) -> Result<bool, ArtifactError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            v => Err(ArtifactError::Corrupt(format!("{what} flag byte is {v}"))),
+        }
+    }
+}
+
+/// A successfully decoded artifact: the reconstructed model plus the
+/// envelope metadata.
+#[derive(Debug, Clone)]
+pub struct DecodedArtifact {
+    /// The model, bit-identical to the one that was encoded.
+    pub model: GbdtModel,
+    /// The verified content fingerprint (the envelope trailer).
+    pub fingerprint: u64,
+    /// The format version the artifact was written with.
+    pub version: u16,
+}
+
+/// Decode artifact bytes, verifying the envelope before parsing the payload.
+pub fn decode_model(bytes: &[u8]) -> Result<DecodedArtifact, ArtifactError> {
+    if bytes.len() < MIN_LEN {
+        return Err(ArtifactError::Truncated {
+            expected: MIN_LEN,
+            found: bytes.len(),
+        });
+    }
+    if bytes[..8] != ARTIFACT_MAGIC {
+        return Err(ArtifactError::BadMagic);
+    }
+    let version = u16::from_le_bytes(bytes[8..10].try_into().unwrap());
+    if version == 0 || version > ARTIFACT_VERSION {
+        return Err(ArtifactError::UnsupportedVersion { found: version });
+    }
+    let content = &bytes[..bytes.len() - 8];
+    let stored = u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().unwrap());
+    let computed = fnv1a(content);
+    if stored != computed {
+        return Err(ArtifactError::FingerprintMismatch { stored, computed });
+    }
+
+    let mut r = Reader {
+        bytes: content,
+        pos: 10,
+    };
+
+    let n_estimators = r.u64()? as usize;
+    let learning_rate = r.f64()?;
+    let max_depth = r.u64()? as usize;
+    let lambda = r.f64()?;
+    let gamma = r.f64()?;
+    let min_child_weight = r.f64()?;
+    let subsample = r.f64()?;
+    let colsample_bytree = r.f64()?;
+    let max_bins = r.u64()? as usize;
+    let seed = r.u64()?;
+    let has_early = r.flag("early-stopping")?;
+    let early_rounds = r.u64()? as usize;
+    let params = GbdtParams {
+        n_estimators,
+        learning_rate,
+        max_depth,
+        lambda,
+        gamma,
+        min_child_weight,
+        subsample,
+        colsample_bytree,
+        max_bins,
+        seed,
+        early_stopping_rounds: has_early.then_some(early_rounds),
+    };
+
+    let base_margin = r.f64()?;
+
+    let n_features = r.u32()?;
+    if n_features == 0 || n_features > MAX_FEATURES {
+        return Err(ArtifactError::Corrupt(format!(
+            "feature count {n_features} outside 1..={MAX_FEATURES}"
+        )));
+    }
+    r.check_count(n_features, 4)?; // each name carries at least a u32 length
+    let mut feature_names = Vec::with_capacity(n_features as usize);
+    for _ in 0..n_features {
+        feature_names.push(r.str(MAX_NAME_LEN)?);
+    }
+
+    let n_trees = r.u32()?;
+    if n_trees > MAX_TREES {
+        return Err(ArtifactError::Corrupt(format!(
+            "tree count {n_trees} exceeds cap {MAX_TREES}"
+        )));
+    }
+    r.check_count(n_trees, 4 + MIN_NODE_BYTES)?; // node count + one leaf
+    let mut trees = Vec::with_capacity(n_trees as usize);
+    for t in 0..n_trees {
+        let n_nodes = r.u32()?;
+        if n_nodes == 0 || n_nodes > MAX_NODES {
+            return Err(ArtifactError::Corrupt(format!(
+                "tree {t} node count {n_nodes} outside 1..={MAX_NODES}"
+            )));
+        }
+        r.check_count(n_nodes, MIN_NODE_BYTES)?;
+        let mut nodes = Vec::with_capacity(n_nodes as usize);
+        for i in 0..n_nodes {
+            let node = match r.u8()? {
+                0 => {
+                    let value = r.f64()?;
+                    let cover = r.f64()?;
+                    Node::Leaf { value, cover }
+                }
+                1 => {
+                    let feature = r.u32()?;
+                    let threshold = r.f32()?;
+                    let default_left = r.flag("default-direction")?;
+                    let left = r.u32()?;
+                    let right = r.u32()?;
+                    let value = r.f64()?;
+                    let cover = r.f64()?;
+                    if feature >= n_features {
+                        return Err(ArtifactError::Corrupt(format!(
+                            "tree {t} node {i} splits on feature {feature} of {n_features}"
+                        )));
+                    }
+                    // Children must point strictly forward within the tree:
+                    // in range, and after the parent — which both rules out
+                    // cycles (traversal indices strictly increase) and
+                    // matches how the training-time builder lays nodes out.
+                    if left <= i || left >= n_nodes || right <= i || right >= n_nodes {
+                        return Err(ArtifactError::Corrupt(format!(
+                            "tree {t} node {i} children ({left}, {right}) not strictly forward in {n_nodes} nodes"
+                        )));
+                    }
+                    Node::Split {
+                        feature: feature as usize,
+                        threshold,
+                        default_left,
+                        left: left as usize,
+                        right: right as usize,
+                        value,
+                        cover,
+                    }
+                }
+                tag => {
+                    return Err(ArtifactError::Corrupt(format!(
+                        "tree {t} node {i} has unknown tag {tag}"
+                    )))
+                }
+            };
+            nodes.push(node);
+        }
+        trees.push(RegressionTree::from_nodes(nodes));
+    }
+
+    if r.pos != content.len() {
+        return Err(ArtifactError::Corrupt(format!(
+            "{} trailing payload bytes after the last tree",
+            content.len() - r.pos
+        )));
+    }
+
+    Ok(DecodedArtifact {
+        model: GbdtModel::from_parts(params, base_margin, trees, feature_names),
+        fingerprint: stored,
+        version,
+    })
+}
+
+/// Write a model artifact to a file, returning its content fingerprint.
+pub fn write_artifact(path: impl AsRef<Path>, model: &GbdtModel) -> Result<u64, ArtifactError> {
+    let bytes = encode_model(model);
+    let fp = u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().unwrap());
+    std::fs::write(path, &bytes)?;
+    Ok(fp)
+}
+
+/// Read and decode a model artifact from a file.
+pub fn read_artifact(path: impl AsRef<Path>) -> Result<DecodedArtifact, ArtifactError> {
+    let bytes = std::fs::read(path)?;
+    decode_model(&bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_model() -> GbdtModel {
+        let mut d = ml::Dataset::new(vec!["x".into(), "y".into()]);
+        for i in 0..60 {
+            let x = i as f32 / 60.0;
+            d.push_row(&[x, (i % 5) as f32], if x > 0.5 { 1.0 } else { 0.0 });
+        }
+        GbdtModel::fit(
+            &d,
+            GbdtParams {
+                n_estimators: 4,
+                max_depth: 3,
+                ..GbdtParams::default()
+            },
+        )
+    }
+
+    #[test]
+    fn round_trip_is_lossless() {
+        let model = tiny_model();
+        let bytes = encode_model(&model);
+        let decoded = decode_model(&bytes).expect("decode");
+        assert_eq!(decoded.version, ARTIFACT_VERSION);
+        assert_eq!(decoded.fingerprint, model_fingerprint(&model));
+        assert_eq!(decoded.model.feature_names(), model.feature_names());
+        assert_eq!(decoded.model.n_trees(), model.n_trees());
+        assert_eq!(
+            decoded.model.base_margin().to_bits(),
+            model.base_margin().to_bits()
+        );
+        // Re-encoding the decoded model reproduces the exact bytes.
+        assert_eq!(encode_model(&decoded.model), bytes);
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut bytes = encode_model(&tiny_model());
+        bytes[0] ^= 0xff;
+        assert!(matches!(decode_model(&bytes), Err(ArtifactError::BadMagic)));
+    }
+
+    #[test]
+    fn short_input_is_truncated_not_a_panic() {
+        for len in 0..MIN_LEN {
+            let bytes = vec![0u8; len];
+            assert!(matches!(
+                decode_model(&bytes),
+                Err(ArtifactError::Truncated { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn version_from_the_future_is_rejected() {
+        let mut bytes = encode_model(&tiny_model());
+        bytes[8..10].copy_from_slice(&(ARTIFACT_VERSION + 1).to_le_bytes());
+        // Re-seal so the version check (not the fingerprint) is what fires.
+        let fp = fnv1a(&bytes[..bytes.len() - 8]);
+        let n = bytes.len();
+        bytes[n - 8..].copy_from_slice(&fp.to_le_bytes());
+        assert!(matches!(
+            decode_model(&bytes),
+            Err(ArtifactError::UnsupportedVersion {
+                found
+            }) if found == ARTIFACT_VERSION + 1
+        ));
+    }
+
+    #[test]
+    fn flipped_payload_byte_fails_the_fingerprint() {
+        let mut bytes = encode_model(&tiny_model());
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        assert!(matches!(
+            decode_model(&bytes),
+            Err(ArtifactError::FingerprintMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn forged_topology_is_corrupt_not_a_panic() {
+        let model = tiny_model();
+        // Re-encode with a split whose child points backwards, re-sealed so
+        // only the topology check can reject it.
+        let mut w = ByteWriter::new();
+        w.buf.extend_from_slice(&ARTIFACT_MAGIC);
+        w.u16(ARTIFACT_VERSION);
+        let p = model.params();
+        w.u64(p.n_estimators as u64);
+        w.f64(p.learning_rate);
+        w.u64(p.max_depth as u64);
+        w.f64(p.lambda);
+        w.f64(p.gamma);
+        w.f64(p.min_child_weight);
+        w.f64(p.subsample);
+        w.f64(p.colsample_bytree);
+        w.u64(p.max_bins as u64);
+        w.u64(p.seed);
+        w.u8(0);
+        w.u64(0);
+        w.f64(model.base_margin());
+        w.u32(1);
+        w.str("x");
+        w.u32(1); // one tree
+        w.u32(2); // two nodes
+        w.u8(1); // split whose children point at itself / backwards
+        w.u32(0); // feature
+        w.f32(0.5);
+        w.u8(0);
+        w.u32(0); // left <= index: invalid
+        w.u32(1);
+        w.f64(0.0);
+        w.f64(1.0);
+        w.u8(0); // leaf
+        w.f64(0.1);
+        w.f64(1.0);
+        let fp = fnv1a(&w.buf);
+        w.u64(fp);
+        assert!(matches!(
+            decode_model(&w.buf),
+            Err(ArtifactError::Corrupt(_))
+        ));
+    }
+
+    /// A tiny artifact whose counts claim gigabytes of payload must be
+    /// rejected by the count-vs-remaining-bytes guard before any allocation
+    /// is sized from the lie (a resealed fingerprint gets it past the
+    /// envelope, so the guard is the only thing standing).
+    #[test]
+    fn lying_counts_are_rejected_before_allocation() {
+        let model = tiny_model();
+        let write_prefix = |f: &dyn Fn(&mut ByteWriter)| -> Vec<u8> {
+            let mut w = ByteWriter::new();
+            w.buf.extend_from_slice(&ARTIFACT_MAGIC);
+            w.u16(ARTIFACT_VERSION);
+            let p = model.params();
+            w.u64(p.n_estimators as u64);
+            w.f64(p.learning_rate);
+            w.u64(p.max_depth as u64);
+            w.f64(p.lambda);
+            w.f64(p.gamma);
+            w.f64(p.min_child_weight);
+            w.f64(p.subsample);
+            w.f64(p.colsample_bytree);
+            w.u64(p.max_bins as u64);
+            w.u64(p.seed);
+            w.u8(0);
+            w.u64(0);
+            w.f64(model.base_margin());
+            f(&mut w);
+            let fp = fnv1a(&w.buf);
+            w.u64(fp);
+            w.buf
+        };
+        // One tree claiming the maximum node count with an empty body.
+        let huge_nodes = write_prefix(&|w: &mut ByteWriter| {
+            w.u32(1);
+            w.str("x");
+            w.u32(1);
+            w.u32(MAX_NODES);
+        });
+        assert!(huge_nodes.len() < 256, "the attack must be tiny");
+        assert!(matches!(
+            decode_model(&huge_nodes),
+            Err(ArtifactError::Truncated { .. })
+        ));
+        // A feature count with no names behind it.
+        let huge_features = write_prefix(&|w: &mut ByteWriter| {
+            w.u32(MAX_FEATURES);
+        });
+        assert!(matches!(
+            decode_model(&huge_features),
+            Err(ArtifactError::Truncated { .. })
+        ));
+        // A tree count with no trees behind it.
+        let huge_trees = write_prefix(&|w: &mut ByteWriter| {
+            w.u32(1);
+            w.str("x");
+            w.u32(MAX_TREES);
+        });
+        assert!(matches!(
+            decode_model(&huge_trees),
+            Err(ArtifactError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let model = tiny_model();
+        let path =
+            std::env::temp_dir().join(format!("redsus_artifact_test_{}.rsm", std::process::id()));
+        let fp = write_artifact(&path, &model).expect("write");
+        let decoded = read_artifact(&path).expect("read");
+        std::fs::remove_file(&path).ok();
+        assert_eq!(decoded.fingerprint, fp);
+        assert_eq!(decoded.model.n_trees(), model.n_trees());
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = read_artifact("/nonexistent/redsus.rsm").unwrap_err();
+        assert!(matches!(err, ArtifactError::Io(_)));
+        assert!(!err.to_string().is_empty());
+    }
+}

@@ -1,0 +1,220 @@
+//! Batch scoring: fan a block of feature rows across scoped workers under
+//! the workspace's bit-identical-parallelism contract.
+//!
+//! Rows are cut into fixed [`SCORE_SHARD_ROWS`]-row shards *independently of
+//! the worker count*, and each shard is a pure function of its rows, so
+//! [`map_shards`] reassembling the per-shard score vectors in shard order
+//! yields the same bits under `Sequential`, `Parallel` or `Threads(n)` —
+//! exactly the `GenMode`/`DiffMode` contract the generator and the streaming
+//! diff engine already honour. [`ScoreMode`] *is* that shared enum.
+
+use bdc::stream::map_shards;
+use ml::{Dataset, FlatForest};
+
+/// The scheduling mode of a batch scoring call — the workspace's shared
+/// scheduling enum (`bdc::stream::DiffMode`, re-exported by the generator as
+/// `GenMode`): worker count is a scheduling decision, never a semantic one.
+pub use bdc::stream::DiffMode as ScoreMode;
+
+/// Rows per scoring shard. Fixed (not derived from the worker count) so the
+/// shard boundaries — and therefore the output bits — are schedule-invariant.
+pub const SCORE_SHARD_ROWS: usize = 1024;
+
+/// What a scoring call returns per row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScoreOutput {
+    /// Probability of the positive (suspicious / likely-unserved) class.
+    #[default]
+    Probability,
+    /// The raw additive margin (log-odds).
+    Margin,
+}
+
+impl ScoreOutput {
+    /// Stable name, used by the HTTP endpoint and the CLI.
+    pub fn name(self) -> &'static str {
+        match self {
+            ScoreOutput::Probability => "probability",
+            ScoreOutput::Margin => "margin",
+        }
+    }
+}
+
+/// Score a row-major block of feature rows (width = the forest's feature
+/// count).
+///
+/// # Panics
+/// Panics when `data.len()` is not a multiple of the forest's feature count
+/// — callers (the CLI and HTTP endpoint) validate row width against the
+/// model schema before scoring and report malformed inputs as typed errors.
+pub fn score_rows(
+    forest: &FlatForest,
+    data: &[f32],
+    output: ScoreOutput,
+    mode: ScoreMode,
+) -> Vec<f64> {
+    let width = forest.n_features();
+    assert_eq!(
+        data.len() % width,
+        0,
+        "row-major block length {} is not a multiple of the feature width {width}",
+        data.len()
+    );
+    let n_rows = data.len() / width;
+    score_shards(n_rows, mode, |r| {
+        score_one(forest, &data[r * width..(r + 1) * width], output)
+    })
+}
+
+/// Score every row of a dataset (labels ignored) — the in-process
+/// counterpart the end-to-end equivalence tests compare the served path
+/// against.
+///
+/// # Panics
+/// Panics when the dataset width differs from the forest's feature count.
+pub fn score_dataset(
+    forest: &FlatForest,
+    data: &Dataset,
+    output: ScoreOutput,
+    mode: ScoreMode,
+) -> Vec<f64> {
+    assert_eq!(
+        data.n_features(),
+        forest.n_features(),
+        "dataset width does not match the model schema"
+    );
+    score_shards(data.n_rows(), mode, |r| {
+        score_one(forest, data.row(r), output)
+    })
+}
+
+#[inline]
+fn score_one(forest: &FlatForest, row: &[f32], output: ScoreOutput) -> f64 {
+    match output {
+        ScoreOutput::Probability => forest.predict_proba(row),
+        ScoreOutput::Margin => forest.predict_margin(row),
+    }
+}
+
+/// Shard `0..n_rows` into fixed-size ranges and fan them across the mode's
+/// workers; concatenation order is shard order regardless of schedule.
+fn score_shards<F>(n_rows: usize, mode: ScoreMode, score: F) -> Vec<f64>
+where
+    F: Fn(usize) -> f64 + Sync,
+{
+    let shards: Vec<std::ops::Range<usize>> = (0..n_rows)
+        .step_by(SCORE_SHARD_ROWS.max(1))
+        .map(|start| start..(start + SCORE_SHARD_ROWS).min(n_rows))
+        .collect();
+    map_shards(mode.worker_count(), &shards, |_, range| {
+        range.clone().map(&score).collect::<Vec<f64>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ml::{GbdtModel, GbdtParams};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn model_and_rows(seed: u64, n_rows: usize) -> (GbdtModel, Vec<f32>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut d = Dataset::new(vec!["a".into(), "b".into(), "c".into()]);
+        for _ in 0..200 {
+            let a: f32 = rng.gen_range(0.0..1.0);
+            let b: f32 = rng.gen_range(0.0..1.0);
+            let c: f32 = rng.gen_range(0.0..1.0);
+            d.push_row(&[a, b, c], if a + 0.2 * b > 0.6 { 1.0 } else { 0.0 });
+        }
+        let model = GbdtModel::fit(
+            &d,
+            GbdtParams {
+                n_estimators: 8,
+                max_depth: 3,
+                ..GbdtParams::default()
+            },
+        );
+        let rows: Vec<f32> = (0..n_rows * 3)
+            .map(|_| {
+                if rng.gen_range(0.0..1.0) < 0.03 {
+                    f32::NAN
+                } else {
+                    rng.gen_range(-0.5..1.5)
+                }
+            })
+            .collect();
+        (model, rows)
+    }
+
+    /// The acceptance contract: batch scoring is bit-identical across every
+    /// schedule, including shard counts that don't divide evenly.
+    #[test]
+    fn schedules_are_bit_identical() {
+        // 2500 rows → three shards (1024/1024/452).
+        let (model, rows) = model_and_rows(1, 2500);
+        let forest = FlatForest::from_model(&model);
+        for output in [ScoreOutput::Probability, ScoreOutput::Margin] {
+            let seq = score_rows(&forest, &rows, output, ScoreMode::Sequential);
+            assert_eq!(seq.len(), 2500);
+            for mode in [
+                ScoreMode::Parallel,
+                ScoreMode::Threads(2),
+                ScoreMode::Threads(3),
+                ScoreMode::Threads(7),
+            ] {
+                let other = score_rows(&forest, &rows, output, mode);
+                assert_eq!(seq.len(), other.len());
+                for (i, (a, b)) in seq.iter().zip(&other).enumerate() {
+                    assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "row {i} drifted under {mode:?} ({output:?})"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Shard fan-out must agree with the model's own per-row predictions.
+    #[test]
+    fn matches_per_row_model_predictions() {
+        let (model, rows) = model_and_rows(2, 100);
+        let forest = FlatForest::from_model(&model);
+        let probs = score_rows(
+            &forest,
+            &rows,
+            ScoreOutput::Probability,
+            ScoreMode::Parallel,
+        );
+        let margins = score_rows(&forest, &rows, ScoreOutput::Margin, ScoreMode::Parallel);
+        for i in 0..100 {
+            let row = &rows[i * 3..(i + 1) * 3];
+            assert_eq!(probs[i].to_bits(), model.predict_proba(row).to_bits());
+            assert_eq!(margins[i].to_bits(), model.predict_margin(row).to_bits());
+        }
+    }
+
+    #[test]
+    fn empty_block_scores_to_nothing() {
+        let (model, _) = model_and_rows(3, 0);
+        let forest = FlatForest::from_model(&model);
+        assert!(score_rows(&forest, &[], ScoreOutput::Probability, ScoreMode::Parallel).is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn ragged_block_panics() {
+        let (model, _) = model_and_rows(4, 0);
+        let forest = FlatForest::from_model(&model);
+        let _ = score_rows(
+            &forest,
+            &[1.0, 2.0],
+            ScoreOutput::Probability,
+            ScoreMode::Sequential,
+        );
+    }
+}

@@ -1,0 +1,171 @@
+//! `redsus-score`: the serving CLI.
+//!
+//! ```text
+//! redsus-score inspect <model.rsm>
+//! redsus-score score   <model.rsm> <features.csv> [--margin] [--workers N]
+//! redsus-score serve   <model.rsm> [--addr HOST:PORT] [--workers N]
+//! ```
+//!
+//! `score` loads an artifact, aligns the CSV's columns onto the model schema
+//! by name, shards the rows across workers (bit-identical for any worker
+//! count), and prints one score per row to stdout. `serve` exposes the same
+//! scorer over the HTTP endpoint. `inspect` prints the artifact's embedded
+//! schema without scoring anything.
+
+use std::process::ExitCode;
+
+use redsus_serve::{FeatureFrame, ScoreMode, ScoreOutput, ScoreServer, ServeConfig, ServedModel};
+
+const USAGE: &str = "usage:
+  redsus-score inspect <model.rsm>
+  redsus-score score   <model.rsm> <features.csv> [--margin] [--workers N]
+  redsus-score serve   <model.rsm> [--addr HOST:PORT] [--workers N]";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("redsus-score: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let command = args.first().ok_or(USAGE)?;
+    match command.as_str() {
+        "inspect" => inspect(args.get(1).ok_or(USAGE)?),
+        "score" => score(&args[1..]),
+        "serve" => serve(&args[1..]),
+        _ => Err(USAGE.to_string()),
+    }
+}
+
+fn load(path: &str) -> Result<ServedModel, String> {
+    ServedModel::load(path).map_err(|e| format!("loading {path}: {e}"))
+}
+
+fn inspect(path: &str) -> Result<(), String> {
+    let served = load(path)?;
+    let forest = served.forest();
+    println!("artifact     {path}");
+    println!("fingerprint  {}", served.fingerprint_hex());
+    println!("trees        {}", forest.n_trees());
+    println!("nodes        {}", forest.n_nodes());
+    println!("base margin  {}", forest.base_margin());
+    println!("features     {}", forest.n_features());
+    for name in forest.feature_names() {
+        println!("  {name}");
+    }
+    Ok(())
+}
+
+/// Parse `[--flag]`-style options shared by `score` and `serve`.
+struct Options {
+    margin: bool,
+    workers: Option<usize>,
+    addr: String,
+    positional: Vec<String>,
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut options = Options {
+        margin: false,
+        workers: None,
+        addr: "127.0.0.1:8080".to_string(),
+        positional: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--margin" => options.margin = true,
+            "--workers" => {
+                let v = it.next().ok_or("--workers needs a value")?;
+                options.workers = Some(v.parse().map_err(|_| format!("bad worker count {v:?}"))?);
+            }
+            "--addr" => options.addr = it.next().ok_or("--addr needs a value")?.clone(),
+            other if other.starts_with("--") => return Err(format!("unknown option {other}")),
+            other => options.positional.push(other.to_string()),
+        }
+    }
+    Ok(options)
+}
+
+fn score(args: &[String]) -> Result<(), String> {
+    let options = parse_options(args)?;
+    let [model_path, matrix_path] = options.positional.as_slice() else {
+        return Err(USAGE.to_string());
+    };
+    let served = load(model_path)?;
+    let text =
+        std::fs::read_to_string(matrix_path).map_err(|e| format!("reading {matrix_path}: {e}"))?;
+    let frame = FeatureFrame::parse_csv(&text).map_err(|e| format!("{matrix_path}: {e}"))?;
+    let aligned = frame.align(served.forest());
+    if !aligned.missing_features.is_empty() {
+        eprintln!(
+            "note: {} model feature(s) absent from the input (scored as missing): {}",
+            aligned.missing_features.len(),
+            aligned.missing_features.join(", ")
+        );
+    }
+    if !aligned.ignored_columns.is_empty() {
+        eprintln!(
+            "note: ignoring {} column(s) unknown to the model: {}",
+            aligned.ignored_columns.len(),
+            aligned.ignored_columns.join(", ")
+        );
+    }
+    let output = if options.margin {
+        ScoreOutput::Margin
+    } else {
+        ScoreOutput::Probability
+    };
+    let mode = match options.workers {
+        Some(n) => ScoreMode::Threads(n),
+        None => ScoreMode::Parallel,
+    };
+    let scores = redsus_serve::score_rows(served.forest(), &aligned.data, output, mode);
+    let mut out = String::with_capacity(scores.len() * 20);
+    for s in &scores {
+        use std::fmt::Write as _;
+        let _ = writeln!(out, "{s}");
+    }
+    print!("{out}");
+    eprintln!(
+        "scored {} row(s) with model {}",
+        scores.len(),
+        served.fingerprint_hex()
+    );
+    Ok(())
+}
+
+fn serve(args: &[String]) -> Result<(), String> {
+    let options = parse_options(args)?;
+    let [model_path] = options.positional.as_slice() else {
+        return Err(USAGE.to_string());
+    };
+    if options.margin {
+        return Err(
+            "--margin is a score option; clients select it per request with POST /score?output=margin"
+                .to_string(),
+        );
+    }
+    let served = load(model_path)?;
+    let fingerprint = served.fingerprint_hex();
+    let config = ServeConfig {
+        workers: options.workers.unwrap_or(2),
+        ..ServeConfig::default()
+    };
+    let server = ScoreServer::bind(&options.addr, served, config)
+        .map_err(|e| format!("binding {}: {e}", options.addr))?;
+    println!(
+        "serving model {fingerprint} at {} ({} workers); Ctrl-C to stop",
+        server.url(),
+        config.workers
+    );
+    // Block forever; the process-level Ctrl-C tears the threads down.
+    loop {
+        std::thread::park();
+    }
+}

@@ -1,0 +1,288 @@
+//! The feature-matrix exchange format the batch CLI and the HTTP endpoint
+//! accept: a plain-text CSV with a header of feature names.
+//!
+//! Scoring requests name their columns, and the scorer aligns them onto the
+//! model's schema *by name* (the artifact embeds the feature names), so a
+//! client never needs to know the model's internal column order:
+//!
+//! ```text
+//! max_adv_download_mbps,mlab_test_count,ookla_devices_per_location
+//! 100.0,3,0.25
+//! 940.5,,0.75        # empty cells (or nan/na/null) are missing values
+//! ```
+//!
+//! Model features absent from the header are filled with NaN (the trees
+//! route missing values along their learned default directions); header
+//! columns unknown to the model are ignored. Both sets are reported back so
+//! callers can tell sloppy requests from intentional sparsity.
+
+use std::fmt;
+
+use ml::FlatForest;
+
+/// A parsed feature frame: named columns, row-major `f32` cells (NaN for
+/// missing).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureFrame {
+    names: Vec<String>,
+    data: Vec<f32>,
+}
+
+/// Why a feature frame could not be parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// No header line (the input held no non-comment content).
+    Empty,
+    /// A data row's cell count differs from the header's.
+    WidthMismatch {
+        line: usize,
+        expected: usize,
+        found: usize,
+    },
+    /// A cell is neither a number nor a missing-value token.
+    BadNumber {
+        line: usize,
+        column: usize,
+        value: String,
+    },
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Empty => write!(f, "feature frame is empty (no header line)"),
+            FrameError::WidthMismatch {
+                line,
+                expected,
+                found,
+            } => write!(
+                f,
+                "line {line}: expected {expected} cells per the header, found {found}"
+            ),
+            FrameError::BadNumber {
+                line,
+                column,
+                value,
+            } => write!(f, "line {line}, column {column}: {value:?} is not a number"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// True for the tokens that read as a missing value (allocation-free: this
+/// runs once per cell on the scoring hot path).
+fn is_missing_token(cell: &str) -> bool {
+    cell.is_empty()
+        || cell.eq_ignore_ascii_case("nan")
+        || cell.eq_ignore_ascii_case("na")
+        || cell.eq_ignore_ascii_case("null")
+}
+
+impl FeatureFrame {
+    /// Parse CSV text: first non-empty, non-`#` line is the header, every
+    /// further line is one row. Cells are trimmed; empty / `nan` / `na` /
+    /// `null` cells are missing values.
+    pub fn parse_csv(text: &str) -> Result<Self, FrameError> {
+        let mut names: Option<Vec<String>> = None;
+        let mut data = Vec::new();
+        for (i, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            match &names {
+                None => {
+                    names = Some(line.split(',').map(|c| c.trim().to_string()).collect());
+                }
+                Some(header) => {
+                    let cells: Vec<&str> = line.split(',').collect();
+                    if cells.len() != header.len() {
+                        return Err(FrameError::WidthMismatch {
+                            line: i + 1,
+                            expected: header.len(),
+                            found: cells.len(),
+                        });
+                    }
+                    for (c, cell) in cells.iter().enumerate() {
+                        let cell = cell.trim();
+                        if is_missing_token(cell) {
+                            data.push(f32::NAN);
+                        } else {
+                            data.push(cell.parse::<f32>().map_err(|_| FrameError::BadNumber {
+                                line: i + 1,
+                                column: c + 1,
+                                value: cell.to_string(),
+                            })?);
+                        }
+                    }
+                }
+            }
+        }
+        let names = names.ok_or(FrameError::Empty)?;
+        Ok(Self { names, data })
+    }
+
+    /// Column names, in input order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Number of data rows.
+    pub fn n_rows(&self) -> usize {
+        if self.names.is_empty() {
+            0
+        } else {
+            self.data.len() / self.names.len()
+        }
+    }
+
+    /// One row as a slice (input column order).
+    pub fn row(&self, i: usize) -> &[f32] {
+        let w = self.names.len();
+        &self.data[i * w..(i + 1) * w]
+    }
+
+    /// Re-project the frame's columns onto a model's feature schema by name.
+    pub fn align(&self, forest: &FlatForest) -> AlignedBlock {
+        let width = forest.n_features();
+        // For each model column: the frame column it comes from, if any.
+        // One hash map over the frame header keeps the per-request
+        // resolution linear instead of O(model features × frame columns).
+        let frame_index = ml::flat::build_name_index(&self.names);
+        let source: Vec<Option<usize>> = forest
+            .feature_names()
+            .iter()
+            .map(|name| frame_index.get(name).copied())
+            .collect();
+        let missing_features: Vec<String> = forest
+            .feature_names()
+            .iter()
+            .zip(&source)
+            .filter(|(_, s)| s.is_none())
+            .map(|(name, _)| name.clone())
+            .collect();
+        let ignored_columns: Vec<String> = self
+            .names
+            .iter()
+            .filter(|name| forest.feature_index(name).is_none())
+            .cloned()
+            .collect();
+        let n_rows = self.n_rows();
+        let mut data = Vec::with_capacity(n_rows * width);
+        for r in 0..n_rows {
+            let row = self.row(r);
+            for s in &source {
+                data.push(match s {
+                    Some(c) => row[*c],
+                    None => f32::NAN,
+                });
+            }
+        }
+        AlignedBlock {
+            data,
+            n_rows,
+            missing_features,
+            ignored_columns,
+        }
+    }
+}
+
+/// A frame re-projected onto a model's feature order, ready for
+/// [`score_rows`](crate::batch::score_rows).
+#[derive(Debug, Clone)]
+pub struct AlignedBlock {
+    /// Row-major cells in model feature order.
+    pub data: Vec<f32>,
+    pub n_rows: usize,
+    /// Model features the frame did not provide (scored as missing).
+    pub missing_features: Vec<String>,
+    /// Frame columns the model does not know (dropped).
+    pub ignored_columns: Vec<String>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ml::{Dataset, FlatForest, GbdtModel, GbdtParams};
+
+    fn forest() -> FlatForest {
+        let mut d = Dataset::new(vec!["a".into(), "b".into(), "c".into()]);
+        for i in 0..50 {
+            let x = i as f32 / 50.0;
+            d.push_row(&[x, 1.0 - x, 0.5], if x > 0.5 { 1.0 } else { 0.0 });
+        }
+        FlatForest::from_model(&GbdtModel::fit(
+            &d,
+            GbdtParams {
+                n_estimators: 3,
+                ..GbdtParams::default()
+            },
+        ))
+    }
+
+    #[test]
+    fn parses_header_rows_and_missing_tokens() {
+        let frame = FeatureFrame::parse_csv(
+            "# comment\n\na, b ,c\n1.0,2.0,3.0\n4.5,,NaN\nnull, NA ,0.25\n",
+        )
+        .expect("parse");
+        assert_eq!(frame.names(), &["a", "b", "c"]);
+        assert_eq!(frame.n_rows(), 3);
+        assert_eq!(frame.row(0), &[1.0, 2.0, 3.0]);
+        assert!(frame.row(1)[1].is_nan() && frame.row(1)[2].is_nan());
+        assert!(frame.row(2)[0].is_nan() && frame.row(2)[1].is_nan());
+        assert_eq!(frame.row(2)[2], 0.25);
+    }
+
+    #[test]
+    fn typed_errors_for_malformed_input() {
+        assert_eq!(
+            FeatureFrame::parse_csv("\n# nothing\n"),
+            Err(FrameError::Empty)
+        );
+        assert_eq!(
+            FeatureFrame::parse_csv("a,b\n1.0\n"),
+            Err(FrameError::WidthMismatch {
+                line: 2,
+                expected: 2,
+                found: 1
+            })
+        );
+        assert_eq!(
+            FeatureFrame::parse_csv("a,b\n1.0,zebra\n"),
+            Err(FrameError::BadNumber {
+                line: 2,
+                column: 2,
+                value: "zebra".into()
+            })
+        );
+    }
+
+    #[test]
+    fn align_reorders_by_name_and_reports_gaps() {
+        let forest = forest();
+        // Columns permuted, one model feature absent, one unknown column.
+        let frame = FeatureFrame::parse_csv("c,unknown,a\n0.9,7.0,0.1\n0.2,8.0,0.4\n").unwrap();
+        let aligned = frame.align(&forest);
+        assert_eq!(aligned.n_rows, 2);
+        assert_eq!(aligned.missing_features, vec!["b".to_string()]);
+        assert_eq!(aligned.ignored_columns, vec!["unknown".to_string()]);
+        // Model order is (a, b, c).
+        assert_eq!(aligned.data[0], 0.1);
+        assert!(aligned.data[1].is_nan());
+        assert_eq!(aligned.data[2], 0.9);
+        assert_eq!(aligned.data[3], 0.4);
+        assert!(aligned.data[4].is_nan());
+        assert_eq!(aligned.data[5], 0.2);
+    }
+
+    #[test]
+    fn header_only_frame_has_zero_rows() {
+        let frame = FeatureFrame::parse_csv("a,b,c\n").unwrap();
+        assert_eq!(frame.n_rows(), 0);
+        let aligned = frame.align(&forest());
+        assert_eq!(aligned.n_rows, 0);
+        assert!(aligned.data.is_empty());
+    }
+}

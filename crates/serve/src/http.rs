@@ -1,0 +1,556 @@
+//! The HTTP/1.1 scoring endpoint: a hand-rolled server over
+//! `std::net::TcpListener` — no framework, no async runtime, fully hermetic
+//! on loopback.
+//!
+//! Architecture: one accept thread feeds connections through a bounded
+//! channel into a fixed pool of worker threads; each worker parses one
+//! request (request line, headers, `Content-Length` body), routes it, scores
+//! with the shared [`FlatForest`](ml::FlatForest), and writes a JSON
+//! response with `Connection: close`. Shutdown is graceful: a flag plus a
+//! self-connection unblock the accept loop, the channel closes, workers
+//! drain and join.
+//!
+//! Endpoints:
+//!
+//! * `GET /healthz` — liveness, model fingerprint, request counters.
+//! * `GET /model` — the embedded schema: feature names, tree/node counts.
+//! * `POST /score[?output=margin]` — body is the [`frame`](crate::frame)
+//!   CSV (header of feature names + rows); responds with the scores in row
+//!   order. Columns are aligned by name, missing model features are scored
+//!   as NaN, and both gaps are echoed back.
+//!
+//! Every malformed input maps to a typed 4xx JSON error; the worker never
+//! panics on wire bytes.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::batch::{score_rows, ScoreMode, ScoreOutput};
+use crate::frame::FeatureFrame;
+use crate::ServedModel;
+
+/// Server tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Worker threads handling requests (the pool is the concurrency bound).
+    pub workers: usize,
+    /// Largest accepted request body; larger requests get 413.
+    pub max_body_bytes: usize,
+    /// Per-connection socket read timeout.
+    pub read_timeout: Duration,
+    /// Schedule of the per-request batch scorer. Defaults to `Sequential`:
+    /// under concurrent load the worker pool is the parallelism, and the
+    /// contract guarantees the schedule never changes the bits anyway.
+    pub score_mode: ScoreMode,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            workers: 2,
+            max_body_bytes: 8 << 20,
+            read_timeout: Duration::from_secs(5),
+            score_mode: ScoreMode::Sequential,
+        }
+    }
+}
+
+/// Counters the server publishes on `/healthz` and returns from
+/// [`ScoreServer::shutdown`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServerStats {
+    /// Requests answered (any status).
+    pub requests: u64,
+    /// Rows scored by `/score` responses.
+    pub scored_rows: u64,
+}
+
+struct Shared {
+    served: ServedModel,
+    config: ServeConfig,
+    requests: AtomicU64,
+    scored_rows: AtomicU64,
+}
+
+/// A running scoring server bound to a local address.
+pub struct ScoreServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_handle: JoinHandle<()>,
+    worker_handles: Vec<JoinHandle<()>>,
+    shared: Arc<Shared>,
+}
+
+impl ScoreServer {
+    /// Start on an ephemeral loopback port (the hermetic-test entry point).
+    pub fn start(served: ServedModel, config: ServeConfig) -> std::io::Result<Self> {
+        Self::bind("127.0.0.1:0", served, config)
+    }
+
+    /// Start on an explicit address.
+    pub fn bind(addr: &str, served: ServedModel, config: ServeConfig) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let shared = Arc::new(Shared {
+            served,
+            config,
+            requests: AtomicU64::new(0),
+            scored_rows: AtomicU64::new(0),
+        });
+        let workers = config.workers.max(1);
+        let (tx, rx) = mpsc::sync_channel::<TcpStream>(workers * 2);
+        let rx = Arc::new(Mutex::new(rx));
+        let worker_handles = (0..workers)
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("redsus-serve-{i}"))
+                    .spawn(move || loop {
+                        // Hold the lock only for the recv, not the handling.
+                        let next = rx.lock().expect("worker queue poisoned").recv();
+                        match next {
+                            Ok(stream) => handle_connection(stream, &shared),
+                            Err(_) => break, // channel closed: shutting down
+                        }
+                    })
+            })
+            .collect::<std::io::Result<Vec<_>>>()?;
+        let accept_handle = {
+            let shutdown = Arc::clone(&shutdown);
+            std::thread::Builder::new()
+                .name("redsus-serve-accept".into())
+                .spawn(move || {
+                    for stream in listener.incoming() {
+                        if shutdown.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        if let Ok(stream) = stream {
+                            if tx.send(stream).is_err() {
+                                break;
+                            }
+                        }
+                    }
+                    // Dropping `tx` (and the listener) releases the workers
+                    // and the port.
+                })?
+        };
+        Ok(Self {
+            addr,
+            shutdown,
+            accept_handle,
+            worker_handles,
+            shared,
+        })
+    }
+
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// `http://…` base URL of the server.
+    pub fn url(&self) -> String {
+        format!("http://{}", self.addr)
+    }
+
+    /// A point-in-time snapshot of the request counters.
+    pub fn stats(&self) -> ServerStats {
+        ServerStats {
+            requests: self.shared.requests.load(Ordering::SeqCst),
+            scored_rows: self.shared.scored_rows.load(Ordering::SeqCst),
+        }
+    }
+
+    /// Gracefully stop: unblock the accept loop, drain the workers, join
+    /// every thread, release the port. Returns the final counters.
+    pub fn shutdown(self) -> ServerStats {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Wake the blocking accept with a self-connection; the flag makes
+        // the loop break instead of queueing it.
+        let _ = TcpStream::connect(self.addr);
+        let _ = self.accept_handle.join();
+        for handle in self.worker_handles {
+            let _ = handle.join();
+        }
+        ServerStats {
+            requests: self.shared.requests.load(Ordering::SeqCst),
+            scored_rows: self.shared.scored_rows.load(Ordering::SeqCst),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Request parsing
+
+struct Request {
+    method: String,
+    path: String,
+    query: Option<String>,
+    body: Vec<u8>,
+}
+
+/// A routable failure: HTTP status plus a human-readable message, and how
+/// many request bytes the client may still be sending (so the connection
+/// can be drained before the close instead of resetting under the error
+/// response).
+struct HttpError {
+    status: u16,
+    message: String,
+    unread_bytes: usize,
+}
+
+impl HttpError {
+    fn new(status: u16, message: impl Into<String>) -> Self {
+        Self {
+            status,
+            message: message.into(),
+            unread_bytes: 0,
+        }
+    }
+
+    fn with_unread(mut self, bytes: usize) -> Self {
+        self.unread_bytes = bytes;
+        self
+    }
+}
+
+/// Hard bound on post-error draining, whatever Content-Length claims: a
+/// client declaring terabytes gets its error response attempted after this
+/// much discard, reset or not.
+const MAX_DRAIN_BYTES: usize = 64 << 20;
+
+/// Drain allowance for rejections where no body length is known (chunked
+/// uploads, unparseable Content-Length, oversized headers): enough to absorb
+/// what a well-meaning client has in flight without letting a hostile one
+/// stream forever.
+const DRAIN_SLACK_BYTES: usize = 1 << 20;
+
+const MAX_HEADER_BYTES: usize = 16 << 10;
+
+fn read_request(stream: &mut TcpStream, config: &ServeConfig) -> Result<Request, HttpError> {
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+    // Read until the blank line ending the headers.
+    let header_end = loop {
+        if let Some(pos) = find_header_end(&buf) {
+            break pos;
+        }
+        if buf.len() > MAX_HEADER_BYTES {
+            return Err(
+                HttpError::new(431, "request headers too large").with_unread(DRAIN_SLACK_BYTES)
+            );
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return Err(HttpError::new(400, "connection closed mid-headers")),
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) => return Err(HttpError::new(408, format!("read failed: {e}"))),
+        }
+    };
+    let head = std::str::from_utf8(&buf[..header_end])
+        .map_err(|_| HttpError::new(400, "request head is not UTF-8"))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| HttpError::new(400, "empty request line"))?
+        .to_string();
+    let target = parts
+        .next()
+        .ok_or_else(|| HttpError::new(400, "request line has no target"))?;
+    let version = parts
+        .next()
+        .ok_or_else(|| HttpError::new(400, "request line has no version"))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::new(505, format!("unsupported {version}")));
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), Some(q.to_string())),
+        None => (target.to_string(), None),
+    };
+
+    let mut content_length = 0usize;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            let name = name.trim();
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse::<usize>().map_err(|_| {
+                    HttpError::new(400, "invalid Content-Length").with_unread(DRAIN_SLACK_BYTES)
+                })?;
+            } else if name.eq_ignore_ascii_case("transfer-encoding") {
+                // Bodies are framed by Content-Length only; silently reading
+                // a chunked body as empty would score nothing and blame the
+                // client's CSV. The client may be mid-stream, so grant it
+                // the drain slack or the 501 risks being reset away.
+                return Err(HttpError::new(
+                    501,
+                    "transfer encodings are not supported; send Content-Length",
+                )
+                .with_unread(DRAIN_SLACK_BYTES));
+            }
+        }
+    }
+    if content_length > config.max_body_bytes {
+        return Err(HttpError::new(
+            413,
+            format!(
+                "body of {content_length} bytes exceeds the {} byte limit",
+                config.max_body_bytes
+            ),
+        )
+        .with_unread(content_length.saturating_sub(buf.len() - (header_end + 4))));
+    }
+
+    let mut body = buf[header_end + 4..].to_vec();
+    while body.len() < content_length {
+        match stream.read(&mut chunk) {
+            Ok(0) => return Err(HttpError::new(400, "connection closed mid-body")),
+            Ok(n) => body.extend_from_slice(&chunk[..n]),
+            Err(e) => return Err(HttpError::new(408, format!("read failed: {e}"))),
+        }
+    }
+    body.truncate(content_length);
+    Ok(Request {
+        method,
+        path,
+        query,
+        body,
+    })
+}
+
+fn find_header_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+// ---------------------------------------------------------------------------
+// Routing and responses
+
+fn handle_connection(mut stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_read_timeout(Some(shared.config.read_timeout));
+    let _ = stream.set_nodelay(true);
+    let (status, body, unread) = match read_request(&mut stream, &shared.config) {
+        Ok(request) => match route(&request, shared) {
+            Ok(body) => (200, body, 0),
+            Err(e) => (e.status, error_body(&e.message), 0),
+        },
+        Err(e) => (e.status, error_body(&e.message), e.unread_bytes),
+    };
+    shared.requests.fetch_add(1, Ordering::SeqCst);
+    let _ = write_response(&mut stream, status, &body);
+    if unread > 0 {
+        // The request was rejected before its body was consumed (413).
+        // Closing now, with unread bytes still arriving, would RST the
+        // connection and the client would never see the error response.
+        // Discard what the client declared it is still sending — bounded
+        // by an absolute cap and the socket read timeout — so the close is
+        // clean.
+        let mut chunk = [0u8; 4096];
+        let mut remaining = unread.min(MAX_DRAIN_BYTES);
+        while remaining > 0 {
+            match stream.read(&mut chunk) {
+                Ok(0) | Err(_) => break,
+                Ok(n) => remaining = remaining.saturating_sub(n),
+            }
+        }
+    }
+}
+
+fn route(request: &Request, shared: &Shared) -> Result<String, HttpError> {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => Ok(healthz_body(shared)),
+        ("GET", "/model") => Ok(model_body(shared)),
+        ("POST", "/score") => score_route(request, shared),
+        ("GET", "/score") => Err(HttpError::new(405, "POST a feature frame to /score")),
+        _ => Err(HttpError::new(
+            404,
+            format!("no route for {} {}", request.method, request.path),
+        )),
+    }
+}
+
+fn score_route(request: &Request, shared: &Shared) -> Result<String, HttpError> {
+    let output = match output_param(request.query.as_deref()) {
+        Ok(output) => output,
+        Err(bad) => {
+            return Err(HttpError::new(
+                400,
+                format!("output must be \"probability\" or \"margin\", not {bad:?}"),
+            ))
+        }
+    };
+    let text =
+        std::str::from_utf8(&request.body).map_err(|_| HttpError::new(400, "body is not UTF-8"))?;
+    let frame = FeatureFrame::parse_csv(text).map_err(|e| HttpError::new(400, e.to_string()))?;
+    let aligned = frame.align(shared.served.forest());
+    let scores = score_rows(
+        shared.served.forest(),
+        &aligned.data,
+        output,
+        shared.config.score_mode,
+    );
+    shared
+        .scored_rows
+        .fetch_add(scores.len() as u64, Ordering::SeqCst);
+
+    let mut body = String::with_capacity(64 + scores.len() * 20);
+    body.push_str("{\"fingerprint\":\"");
+    body.push_str(&shared.served.fingerprint_hex());
+    body.push_str("\",\"output\":\"");
+    body.push_str(output.name());
+    body.push_str("\",\"n_rows\":");
+    body.push_str(&scores.len().to_string());
+    body.push_str(",\"scores\":[");
+    for (i, s) in scores.iter().enumerate() {
+        use std::fmt::Write as _;
+        if i > 0 {
+            body.push(',');
+        }
+        // `{}` on f64 prints the shortest decimal that parses back to the
+        // same bits — the property the end-to-end equivalence test relies
+        // on. Formatted straight into the buffer: this loop is the hot
+        // part of every response.
+        let _ = write!(body, "{s}");
+    }
+    body.push_str("],\"missing_features\":");
+    push_json_str_array(&mut body, &aligned.missing_features);
+    body.push_str(",\"ignored_columns\":");
+    push_json_str_array(&mut body, &aligned.ignored_columns);
+    body.push('}');
+    Ok(body)
+}
+
+fn output_param(query: Option<&str>) -> Result<ScoreOutput, String> {
+    let Some(query) = query else {
+        return Ok(ScoreOutput::Probability);
+    };
+    for pair in query.split('&') {
+        if let Some(value) = pair.strip_prefix("output=") {
+            return match value {
+                "probability" => Ok(ScoreOutput::Probability),
+                "margin" => Ok(ScoreOutput::Margin),
+                other => Err(other.to_string()),
+            };
+        }
+    }
+    Ok(ScoreOutput::Probability)
+}
+
+fn healthz_body(shared: &Shared) -> String {
+    format!(
+        "{{\"status\":\"ok\",\"fingerprint\":\"{}\",\"trees\":{},\"features\":{},\"requests\":{},\"scored_rows\":{}}}",
+        shared.served.fingerprint_hex(),
+        shared.served.forest().n_trees(),
+        shared.served.forest().n_features(),
+        shared.requests.load(Ordering::SeqCst),
+        shared.scored_rows.load(Ordering::SeqCst),
+    )
+}
+
+fn model_body(shared: &Shared) -> String {
+    let forest = shared.served.forest();
+    let mut body = format!(
+        "{{\"fingerprint\":\"{}\",\"artifact_version\":{},\"trees\":{},\"nodes\":{},\"base_margin\":{},\"features\":",
+        shared.served.fingerprint_hex(),
+        crate::ARTIFACT_VERSION,
+        forest.n_trees(),
+        forest.n_nodes(),
+        forest.base_margin(),
+    );
+    push_json_str_array(&mut body, forest.feature_names());
+    body.push('}');
+    body
+}
+
+fn error_body(message: &str) -> String {
+    format!("{{\"error\":\"{}\"}}", json_escape(message))
+}
+
+fn push_json_str_array(out: &mut String, items: &[String]) {
+    out.push('[');
+    for (i, item) in items.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        out.push_str(&json_escape(item));
+        out.push('"');
+    }
+    out.push(']');
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn status_reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        431 => "Request Header Fields Too Large",
+        501 => "Not Implemented",
+        505 => "HTTP Version Not Supported",
+        _ => "Error",
+    }
+}
+
+fn write_response(stream: &mut TcpStream, status: u16, body: &str) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        status_reason(status),
+        body.len(),
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_end_detection() {
+        assert_eq!(find_header_end(b"GET / HTTP/1.1\r\n\r\nrest"), Some(14));
+        assert_eq!(find_header_end(b"partial\r\n"), None);
+    }
+
+    #[test]
+    fn json_escaping_covers_control_characters() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn output_param_parsing() {
+        assert_eq!(output_param(None), Ok(ScoreOutput::Probability));
+        assert_eq!(output_param(Some("output=margin")), Ok(ScoreOutput::Margin));
+        assert_eq!(
+            output_param(Some("a=b&output=probability")),
+            Ok(ScoreOutput::Probability)
+        );
+        assert_eq!(output_param(Some("a=b")), Ok(ScoreOutput::Probability));
+        assert_eq!(output_param(Some("output=shap")), Err("shap".to_string()));
+    }
+}

@@ -1,0 +1,103 @@
+//! `redsus_serve`: the model-serving subsystem — from a trained
+//! [`GbdtModel`] to query time without a retrain.
+//!
+//! The paper's end product is a per-(provider, hex, technology) claim-quality
+//! score, but the training pipeline only holds scores inside a live
+//! `AnalysisContext`. This crate closes the loop train → serialize → load →
+//! serve:
+//!
+//! * [`artifact`] — a versioned, self-describing canonical binary format for
+//!   trained models (hand-rolled writer/reader, embedded feature-name
+//!   schema, FNV-1a content fingerprint; malformed inputs rejected with
+//!   typed errors, never panics),
+//! * [`batch`] — the flattened batch scorer: fixed-size row shards fanned
+//!   across `std::thread::scope` workers under [`ScoreMode`], the
+//!   workspace's bit-identical-parallelism contract,
+//! * [`frame`] — the CSV feature-matrix exchange format, aligned onto the
+//!   model schema by feature name,
+//! * [`http`] — a hermetic HTTP/1.1 scoring endpoint over
+//!   `std::net::TcpListener` (hand-rolled request parser, JSON response
+//!   writer, bounded worker pool, graceful shutdown),
+//! * the `redsus-score` binary — `score` a feature-matrix file, `serve` an
+//!   artifact over HTTP, or `inspect` an artifact's schema.
+//!
+//! Inference runs on [`ml::FlatForest`], the recursive trees lowered into
+//! contiguous node arrays, which `ml` proves bit-identical to
+//! [`GbdtModel::predict_margin`] — so a score served over the wire equals
+//! the score the experiments computed in-process, to the last bit.
+
+pub mod artifact;
+pub mod batch;
+pub mod frame;
+pub mod http;
+
+pub use artifact::{
+    decode_model, encode_model, model_fingerprint, read_artifact, write_artifact, ArtifactError,
+    DecodedArtifact, ARTIFACT_MAGIC, ARTIFACT_VERSION,
+};
+pub use batch::{score_dataset, score_rows, ScoreMode, ScoreOutput, SCORE_SHARD_ROWS};
+pub use frame::{AlignedBlock, FeatureFrame, FrameError};
+pub use http::{ScoreServer, ServeConfig, ServerStats};
+
+use std::path::Path;
+
+use ml::{FlatForest, GbdtModel};
+
+/// A model prepared for serving: the source model, its flattened inference
+/// engine, and the artifact content fingerprint that identifies it.
+#[derive(Debug, Clone)]
+pub struct ServedModel {
+    model: GbdtModel,
+    forest: FlatForest,
+    fingerprint: u64,
+}
+
+impl ServedModel {
+    /// Prepare a freshly trained model for serving (fingerprint computed by
+    /// encoding it through the artifact format).
+    pub fn from_model(model: GbdtModel) -> Self {
+        let fingerprint = model_fingerprint(&model);
+        let forest = FlatForest::from_model(&model);
+        Self {
+            model,
+            forest,
+            fingerprint,
+        }
+    }
+
+    /// Decode artifact bytes and prepare the model for serving.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, ArtifactError> {
+        let decoded = decode_model(bytes)?;
+        let forest = FlatForest::from_model(&decoded.model);
+        Ok(Self {
+            model: decoded.model,
+            forest,
+            fingerprint: decoded.fingerprint,
+        })
+    }
+
+    /// Load an artifact file and prepare the model for serving.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, ArtifactError> {
+        Self::from_bytes(&std::fs::read(path).map_err(ArtifactError::Io)?)
+    }
+
+    /// The source model.
+    pub fn model(&self) -> &GbdtModel {
+        &self.model
+    }
+
+    /// The flattened inference engine.
+    pub fn forest(&self) -> &FlatForest {
+        &self.forest
+    }
+
+    /// The artifact content fingerprint.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// The fingerprint as the `0x…` string the endpoint and CLI report.
+    pub fn fingerprint_hex(&self) -> String {
+        format!("{:#018x}", self.fingerprint)
+    }
+}

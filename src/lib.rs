@@ -23,6 +23,7 @@ pub use geoprim;
 pub use hexgrid;
 pub use ml;
 pub use redsus_core as core;
+pub use redsus_serve as serve;
 pub use speedtest;
 pub use synth;
 

@@ -4,7 +4,12 @@
 use red_is_sus::core::experiments::{figure5a, figure5c, figure9, table2, ExperimentSuite};
 use red_is_sus::core::features::{build_features, FeatureConfig};
 use red_is_sus::core::labels::{source_composition, LabelingOptions};
+use red_is_sus::core::model::{default_params, run_holdout, HoldoutStrategy};
 use red_is_sus::core::pipeline::{AnalysisContext, PipelineEngine};
+use red_is_sus::ml::FlatForest;
+use red_is_sus::serve::{
+    encode_model, score_dataset, ScoreMode, ScoreOutput, ScoreServer, ServeConfig, ServedModel,
+};
 use red_is_sus::synth::{GenMode, SynthConfig, SynthUs};
 
 fn small_config() -> SynthConfig {
@@ -33,6 +38,11 @@ const GOLDEN_CONTEXT_FINGERPRINT: u64 = 0xaa75_f059_2dfc_1760;
 /// `release_diff` stage feeds the labelling pipeline, independent of chunk
 /// size and worker count.
 const GOLDEN_DIFF_CHAIN_FINGERPRINT: u64 = 0xe5a1_adbc_b4c5_c873;
+/// Golden fingerprint of the claim-quality scores a `small_config` model
+/// produces on its hold-out rows — the exact bits that must come back from
+/// every serving path: in-process `predict_dataset`, the flattened batch
+/// scorer under every schedule, and the loopback HTTP endpoint.
+const GOLDEN_SERVED_SCORES_FINGERPRINT: u64 = 0xf7fc_79e1_6796_57a9;
 
 #[test]
 fn sharded_world_and_pipeline_match_golden_fingerprints() {
@@ -107,6 +117,136 @@ fn pipeline_end_to_end_beats_baseline() {
     // Fabric density matches the paper's order of magnitude.
     let f9 = figure9(&suite.world);
     assert!((1..=10).contains(&f9.median));
+
+    // The suite can close the serving loop: export an artifact bundle, load
+    // it back, and get the same model (fingerprint-pinned, spot-checked on
+    // real rows).
+    let dir = std::env::temp_dir().join(format!("redsus_bundle_{}", std::process::id()));
+    let exported = suite.export_artifact_bundle(&dir).expect("export bundle");
+    assert_eq!(exported.len(), 3);
+    let manifest = std::fs::read_to_string(dir.join("MANIFEST.tsv")).expect("manifest");
+    for ((name, outcome), artifact) in suite.holdout_models().iter().zip(&exported) {
+        assert_eq!(artifact.name, *name);
+        assert!(manifest.contains(name));
+        let served = ServedModel::load(&artifact.path).expect("load artifact");
+        assert_eq!(served.fingerprint(), artifact.fingerprint);
+        assert_eq!(served.model().n_trees(), outcome.model.n_trees());
+        for &r in outcome.test_rows.iter().take(25) {
+            let row = suite.matrix.dataset.row(r);
+            assert_eq!(
+                served.forest().predict_proba(row).to_bits(),
+                outcome.model.predict_proba(row).to_bits(),
+                "{name} drifted through the artifact"
+            );
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Train → serialize → load → serve, end to end: the scores served over the
+/// loopback HTTP endpoint are bit-identical to in-process
+/// `predict_dataset`, to the flattened batch scorer under every schedule,
+/// and to the pinned golden fingerprint.
+#[test]
+fn served_scores_match_in_process_predictions() {
+    use std::hash::{Hash, Hasher};
+    use std::io::{Read, Write};
+
+    let world = SynthUs::generate(&small_config());
+    let ctx = AnalysisContext::prepare(&world);
+    let labels = ctx.build_labels(&world, &LabelingOptions::default());
+    let matrix = build_features(&world, &ctx, &labels, &FeatureConfig::default());
+    let outcome = run_holdout(
+        &matrix,
+        &HoldoutStrategy::RandomObservations { fraction: 0.1 },
+        default_params(123),
+    );
+    let model = &outcome.model;
+    let rows: Vec<usize> = outcome.test_rows.iter().copied().take(200).collect();
+    let test = matrix.dataset.subset(&rows);
+    let expected = model.predict_dataset(&test);
+
+    // Pin the exact score bits as a golden constant.
+    let mut h = red_is_sus::synth::shard::StableHasher::new();
+    for p in &expected {
+        p.to_bits().hash(&mut h);
+    }
+    assert_eq!(
+        h.finish(),
+        GOLDEN_SERVED_SCORES_FINGERPRINT,
+        "scoring drift: served-score fingerprint is {:#018x}",
+        h.finish()
+    );
+
+    // The flattened batch scorer reproduces the recursive predictions under
+    // every schedule.
+    let forest = FlatForest::from_model(model);
+    for mode in [
+        ScoreMode::Sequential,
+        ScoreMode::Parallel,
+        ScoreMode::Threads(3),
+    ] {
+        let scores = score_dataset(&forest, &test, ScoreOutput::Probability, mode);
+        assert_eq!(scores.len(), expected.len());
+        for (i, (a, b)) in scores.iter().zip(&expected).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "row {i} drifted under {mode:?}");
+        }
+    }
+
+    // Round-trip the model through the artifact format and serve it over
+    // loopback HTTP; the wire must not cost a single bit.
+    let served = ServedModel::from_bytes(&encode_model(model)).expect("artifact round trip");
+    let fingerprint = served.fingerprint();
+    let server = ScoreServer::start(served, ServeConfig::default()).expect("bind loopback");
+    let mut body = test.feature_names().join(",");
+    body.push('\n');
+    for r in 0..test.n_rows() {
+        let cells: Vec<String> = test
+            .row(r)
+            .iter()
+            .map(|v| {
+                if v.is_nan() {
+                    String::new()
+                } else {
+                    format!("{v}")
+                }
+            })
+            .collect();
+        body.push_str(&cells.join(","));
+        body.push('\n');
+    }
+    let request = format!(
+        "POST /score HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    let mut stream = std::net::TcpStream::connect(server.addr()).expect("connect loopback");
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(30)))
+        .unwrap();
+    stream.write_all(request.as_bytes()).expect("send request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    assert!(response.starts_with("HTTP/1.1 200"), "{response}");
+    assert!(
+        response.contains(&format!("\"fingerprint\":\"{fingerprint:#018x}\"")),
+        "fingerprint missing from response"
+    );
+    let start = response.find("\"scores\":[").expect("scores array") + "\"scores\":[".len();
+    let end = start + response[start..].find(']').expect("array end");
+    let served_scores: Vec<f64> = response[start..end]
+        .split(',')
+        .map(|s| s.parse::<f64>().expect("score parses"))
+        .collect();
+    assert_eq!(served_scores.len(), expected.len());
+    for (i, (a, b)) in served_scores.iter().zip(&expected).enumerate() {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "row {i} drifted over the HTTP endpoint"
+        );
+    }
+    let stats = server.shutdown();
+    assert_eq!(stats.scored_rows, expected.len() as u64);
 }
 
 #[test]
