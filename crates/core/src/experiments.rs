@@ -29,6 +29,9 @@ pub struct ExperimentSuite {
     pub world: SynthUs,
     /// Per-stage/per-shard report of the sharded world generation.
     pub synth_report: synth::SynthReport,
+    /// Per-stage report of the full eight-stage pipeline run (preparation
+    /// plus label construction and feature engineering).
+    pub pipeline_report: crate::pipeline::PipelineReport,
     pub ctx: AnalysisContext,
     pub matrix: FeatureMatrix,
     pub observation_holdout: crate::model::HoldoutOutcome,
@@ -37,13 +40,20 @@ pub struct ExperimentSuite {
 }
 
 impl ExperimentSuite {
-    /// Generate the world and run the shared pipeline stages.
+    /// Generate the world and run the shared pipeline stages through the
+    /// staged engine (all eight stages, default parallel schedule).
     pub fn prepare(config: &SynthConfig) -> Self {
         let (world, synth_report) = SynthUs::generate_with(config, synth::GenMode::default())
             .unwrap_or_else(|msg| panic!("invalid SynthConfig: {msg}"));
-        let ctx = AnalysisContext::prepare(&world);
-        let labels = ctx.build_labels(&world, &LabelingOptions::default());
-        let matrix = build_features(&world, &ctx, &labels, &FeatureConfig::default());
+        let crate::pipeline::DatasetRun {
+            context: ctx,
+            matrix,
+            report: pipeline_report,
+        } = crate::pipeline::PipelineEngine::default().run_to_dataset(
+            &world,
+            &LabelingOptions::default(),
+            &FeatureConfig::default(),
+        );
         let observation_holdout = run_holdout(
             &matrix,
             &HoldoutStrategy::RandomObservations { fraction: 0.1 },
@@ -65,6 +75,7 @@ impl ExperimentSuite {
         Self {
             world,
             synth_report,
+            pipeline_report,
             ctx,
             matrix,
             observation_holdout,

@@ -8,13 +8,31 @@
 //! to the provider in the hex. Speed-test *results* are deliberately excluded
 //! — only their presence is used.
 
+use std::collections::BTreeMap;
+use std::hash::{Hash, Hasher};
+
+use bdc::stream::map_shards;
+use bdc::ProviderId;
 use embed::TextEmbedder;
 use ml::Dataset;
 use serde::{Deserialize, Serialize};
+use speedtest::CoverageScore;
 use synth::{SynthUs, STATES};
 
 use crate::labels::Observation;
 use crate::pipeline::AnalysisContext;
+
+/// How feature engineering schedules its shard fan-out — the workspace's one
+/// scheduling enum (`GenMode`/`DiffMode`/`ScoreMode`/`LabelMode`), under the
+/// same contract: the worker count never changes the produced matrix by a
+/// single bit.
+pub use bdc::stream::DiffMode as FeatureMode;
+
+/// Fixed number of observations per feature-row shard. A function of the
+/// input alone (never of the worker count), so every schedule cuts the same
+/// chunks and reassembling them in chunk order reproduces the sequential
+/// row order exactly.
+const OBSERVATION_CHUNK: usize = 1024;
 
 /// Which feature groups to include and how large the methodology embedding is
 /// — the axes of the feature ablations.
@@ -54,9 +72,21 @@ impl FeatureConfig {
             ..Self::default()
         }
     }
+
+    /// Whether methodology embedding columns are actually emitted.
+    ///
+    /// A zero-dimensional embedding registers no columns, so
+    /// `include_methodology` with `embedding_dim: 0` behaves exactly like
+    /// methodology disabled. (It used to register zero columns but still
+    /// extend every row with one embedder output, tripping the dataset's
+    /// row-width assert.)
+    pub fn methodology_enabled(&self) -> bool {
+        self.include_methodology && self.embedding_dim > 0
+    }
 }
 
 /// A vectorised dataset together with the observations each row came from.
+#[derive(Debug)]
 pub struct FeatureMatrix {
     /// The dense feature matrix and labels.
     pub dataset: Dataset,
@@ -81,14 +111,8 @@ impl FeatureMatrix {
     }
 }
 
-/// Build the feature matrix for a set of labelled observations.
-pub fn build_features(
-    world: &SynthUs,
-    ctx: &AnalysisContext,
-    observations: &[Observation],
-    config: &FeatureConfig,
-) -> FeatureMatrix {
-    // Feature names, in a fixed order.
+/// The feature names a configuration emits, in their fixed column order.
+pub fn feature_names(config: &FeatureConfig) -> Vec<String> {
     let mut names: Vec<String> = vec![
         "max_adv_download_mbps".into(),
         "max_adv_upload_mbps".into(),
@@ -108,24 +132,25 @@ pub fn build_features(
         names.push("ookla_devices_per_location".into());
         names.push("mlab_test_count".into());
     }
-    if config.include_methodology {
+    if config.methodology_enabled() {
         for i in 0..config.embedding_dim {
             names.push(format!("methodology_emb_{i}"));
         }
     }
+    names
+}
 
-    // Pre-compute methodology embeddings per provider.
-    let embedder = TextEmbedder::new(config.embedding_dim.max(1), 0x5EED_5BEE);
-    let mut embeddings: std::collections::BTreeMap<bdc::ProviderId, Vec<f32>> =
-        std::collections::BTreeMap::new();
-    if config.include_methodology {
-        for (provider, text) in &ctx.methodologies {
-            embeddings.insert(*provider, embedder.embed(text));
-        }
-    }
-
+/// Vectorise one shard of observations into a dataset shard.
+fn feature_shard(
+    world: &SynthUs,
+    ctx: &AnalysisContext,
+    observations: &[Observation],
+    config: &FeatureConfig,
+    names: &[String],
+    embeddings: &BTreeMap<ProviderId, Vec<f32>>,
+) -> Dataset {
     let release = world.initial_release();
-    let mut dataset = Dataset::new(names);
+    let mut dataset = Dataset::new(names.to_vec());
     for obs in observations {
         let claim = release.claim_for(obs.provider, obs.hex, obs.technology);
         let mut row: Vec<f32> = Vec::with_capacity(dataset.n_features());
@@ -151,14 +176,16 @@ pub fn build_features(
             }
         }
         if config.include_speedtest {
+            // The same devices-per-BSL definition the coverage scores (and
+            // therefore the likely-served labelling threshold) use — see
+            // `CoverageScore::density`.
             let devices_per_loc = ctx.ookla_by_hex.get(&obs.hex).map(|agg| {
-                let bsls = world.fabric.bsl_count_in_hex(&obs.hex).max(1) as f64;
-                (agg.devices / bsls) as f32
+                CoverageScore::density(agg.devices, world.fabric.bsl_count_in_hex(&obs.hex)) as f32
             });
             row.push(devices_per_loc.unwrap_or(f32::NAN));
             row.push(ctx.mlab_evidence.count(obs.provider, obs.hex) as f32);
         }
-        if config.include_methodology {
+        if config.methodology_enabled() {
             match embeddings.get(&obs.provider) {
                 Some(e) => row.extend(e.iter().copied()),
                 None => row.extend(std::iter::repeat_n(f32::NAN, config.embedding_dim)),
@@ -166,11 +193,76 @@ pub fn build_features(
         }
         dataset.push_row(&row, obs.label.as_target());
     }
+    dataset
+}
 
+/// Build the feature matrix for a set of labelled observations with the
+/// default (parallel) schedule.
+pub fn build_features(
+    world: &SynthUs,
+    ctx: &AnalysisContext,
+    observations: &[Observation],
+    config: &FeatureConfig,
+) -> FeatureMatrix {
+    build_features_with(world, ctx, observations, config, FeatureMode::Parallel)
+}
+
+/// Build the feature matrix under an explicit schedule.
+///
+/// Per-provider methodology embeddings are precomputed in parallel, then the
+/// observations are cut into fixed [`OBSERVATION_CHUNK`]-sized shards, each
+/// vectorised into a dataset shard on a scoped worker, and reassembled in
+/// chunk order via [`Dataset::from_shards`] — bit-identical to a sequential
+/// row loop for every [`FeatureMode`].
+pub fn build_features_with(
+    world: &SynthUs,
+    ctx: &AnalysisContext,
+    observations: &[Observation],
+    config: &FeatureConfig,
+    mode: FeatureMode,
+) -> FeatureMatrix {
+    let workers = mode.worker_count();
+    let names = feature_names(config);
+
+    // Pre-compute methodology embeddings per provider, fanned across the
+    // same workers (embedding is a pure function of the text).
+    let embeddings: BTreeMap<ProviderId, Vec<f32>> = if config.methodology_enabled() {
+        let embedder = TextEmbedder::new(config.embedding_dim, 0x5EED_5BEE);
+        let entries: Vec<(&ProviderId, &String)> = ctx.methodologies.iter().collect();
+        map_shards(workers, &entries, |_, (provider, text)| {
+            (**provider, embedder.embed(text))
+        })
+        .into_iter()
+        .collect()
+    } else {
+        BTreeMap::new()
+    };
+
+    let chunks: Vec<&[Observation]> = observations.chunks(OBSERVATION_CHUNK).collect();
+    let shards = map_shards(workers, &chunks, |_, chunk| {
+        feature_shard(world, ctx, chunk, config, &names, &embeddings)
+    });
     FeatureMatrix {
-        dataset,
+        dataset: Dataset::from_shards(names, shards),
         observations: observations.to_vec(),
     }
+}
+
+/// An order-sensitive stable digest of a dataset: feature names, every cell's
+/// bit pattern and every label fold through `synth::shard::StableHasher`.
+/// Pins the worker-invariance contract of [`build_features_with`] and the
+/// golden dataset fingerprint in `tests/end_to_end.rs`.
+pub fn dataset_fingerprint(dataset: &Dataset) -> u64 {
+    let mut h = synth::shard::StableHasher::new();
+    dataset.feature_names().hash(&mut h);
+    dataset.n_rows().hash(&mut h);
+    for r in 0..dataset.n_rows() {
+        for v in dataset.row(r) {
+            v.to_bits().hash(&mut h);
+        }
+        dataset.label(r).to_bits().hash(&mut h);
+    }
+    h.finish()
 }
 
 #[cfg(test)]
@@ -242,6 +334,133 @@ mod tests {
             },
         );
         assert_eq!(slim.dataset.n_features(), 4 + 2 + 2);
+    }
+
+    #[test]
+    fn zero_embedding_dim_behaves_as_methodology_disabled() {
+        // Regression: `include_methodology: true` with `embedding_dim: 0`
+        // used to register zero embedding columns but still extend every row
+        // with an `embedding_dim.max(1)`-wide embedder output, tripping
+        // `Dataset::push_row`'s row-width assert. Dim 0 now means "no
+        // methodology features", across every ablation corner.
+        let world = SynthUs::generate(&SynthConfig::tiny(5));
+        let ctx = AnalysisContext::prepare(&world);
+        let labels = ctx.build_labels(&world, &LabelingOptions::default());
+        for include_speedtest in [false, true] {
+            for include_location in [false, true] {
+                for include_state in [false, true] {
+                    for include_methodology in [false, true] {
+                        for embedding_dim in [0usize, 1, 32] {
+                            let config = FeatureConfig {
+                                embedding_dim,
+                                include_methodology,
+                                include_speedtest,
+                                include_location,
+                                include_state,
+                            };
+                            let m = build_features(&world, &ctx, &labels, &config);
+                            let expected = 4
+                                + if include_location { 2 } else { 0 }
+                                + if include_state { STATES.len() } else { 0 }
+                                + if include_speedtest { 2 } else { 0 }
+                                + if config.methodology_enabled() {
+                                    embedding_dim
+                                } else {
+                                    0
+                                };
+                            assert_eq!(
+                                m.dataset.n_features(),
+                                expected,
+                                "width mismatch for {config:?}"
+                            );
+                            assert_eq!(m.dataset.n_rows(), labels.len());
+                        }
+                    }
+                }
+            }
+        }
+        // The degenerate corner matches disabled methodology bit for bit.
+        let dim0 = build_features(
+            &world,
+            &ctx,
+            &labels,
+            &FeatureConfig {
+                embedding_dim: 0,
+                ..FeatureConfig::default()
+            },
+        );
+        let disabled = build_features(
+            &world,
+            &ctx,
+            &labels,
+            &FeatureConfig {
+                include_methodology: false,
+                ..FeatureConfig::default()
+            },
+        );
+        assert_eq!(
+            dataset_fingerprint(&dim0.dataset),
+            dataset_fingerprint(&disabled.dataset)
+        );
+    }
+
+    #[test]
+    fn worker_count_never_changes_the_matrix() {
+        let world = SynthUs::generate(&SynthConfig::tiny(5));
+        let ctx = AnalysisContext::prepare(&world);
+        let labels = ctx.build_labels(&world, &LabelingOptions::default());
+        for config in [
+            FeatureConfig::default(),
+            FeatureConfig {
+                include_methodology: false,
+                include_state: false,
+                ..FeatureConfig::default()
+            },
+        ] {
+            let base = build_features_with(&world, &ctx, &labels, &config, FeatureMode::Sequential);
+            for mode in [
+                FeatureMode::Parallel,
+                FeatureMode::Threads(3),
+                FeatureMode::Threads(16),
+            ] {
+                let other = build_features_with(&world, &ctx, &labels, &config, mode);
+                assert_eq!(
+                    dataset_fingerprint(&other.dataset),
+                    dataset_fingerprint(&base.dataset),
+                    "feature engineering differs under {mode:?}"
+                );
+                assert_eq!(other.observations, base.observations);
+            }
+        }
+    }
+
+    #[test]
+    fn ookla_density_feature_agrees_with_coverage_scores() {
+        // The model feature and the likely-served labelling threshold must
+        // see the same ratio on the same hex, bit for bit.
+        let world = SynthUs::generate(&SynthConfig::tiny(5));
+        let ctx = AnalysisContext::prepare(&world);
+        let labels = ctx.build_labels(&world, &LabelingOptions::default());
+        let m = build_features(&world, &ctx, &labels, &FeatureConfig::default());
+        let col = m
+            .dataset
+            .feature_index("ookla_devices_per_location")
+            .unwrap();
+        let score_of_hex: std::collections::HashMap<_, f64> =
+            ctx.coverage.iter().map(|s| (s.hex, s.score)).collect();
+        let mut checked = 0usize;
+        for (r, obs) in m.observations.iter().enumerate() {
+            let feature = m.dataset.get(r, col);
+            if let Some(score) = score_of_hex.get(&obs.hex) {
+                assert_eq!(
+                    feature.to_bits(),
+                    (*score as f32).to_bits(),
+                    "row {r} feature diverges from the coverage score"
+                );
+                checked += 1;
+            }
+        }
+        assert!(checked > 0, "no observation had a coverage-scored hex");
     }
 
     #[test]

@@ -25,10 +25,10 @@ pub mod labels;
 pub mod model;
 pub mod pipeline;
 
-pub use features::{FeatureConfig, FeatureMatrix};
-pub use labels::{Label, LabelSource, LabelingOptions, Observation};
+pub use features::{FeatureConfig, FeatureMatrix, FeatureMode};
+pub use labels::{Label, LabelMode, LabelSource, LabelingOptions, Observation};
 pub use model::{EvaluationResult, HoldoutStrategy};
 pub use pipeline::{
-    AnalysisContext, ExecutionMode, PipelineEngine, PipelineReport, PipelineRun, PipelineStage,
-    StageTiming,
+    AnalysisContext, DatasetRun, ExecutionMode, PipelineEngine, PipelineReport, PipelineRun,
+    PipelineStage, StageTiming,
 };

@@ -3,13 +3,16 @@
 //! runnable stages with recorded wall-clock timings.
 //!
 //! The data-preparation half of the paper (§4.1–4.3) decomposes into six
-//! stages with a small dependency graph:
+//! stages with a small dependency graph, and the dataset half (§4.3 labels,
+//! §5.1 features) adds two more that consume the prepared context:
 //!
 //! ```text
 //! AsnMatching ──────────────► MlabAttribution ─┐
 //! OoklaReprojection ────────► CoverageScoring ─┼─► AnalysisContext
 //! MethodologyCollection ──┬────────────────────┘
 //! ReleaseDiff ────────────┘
+//!
+//! AnalysisContext ─► LabelConstruction ─► FeatureEngineering
 //! ```
 //!
 //! The chains share no intermediate data, so [`PipelineEngine`] runs
@@ -32,7 +35,8 @@ use speedtest::{
 };
 use synth::{GenMode, SynthConfig, SynthReport, SynthUs};
 
-use crate::labels::{build_labels, LabelInputs, LabelingOptions, Observation};
+use crate::features::{build_features_with, FeatureConfig, FeatureMatrix};
+use crate::labels::{build_labels_with, LabelInputs, LabelMode, LabelingOptions, Observation};
 
 /// The named stages of the preparation pipeline, in canonical (sequential)
 /// execution order.
@@ -51,11 +55,34 @@ pub enum PipelineStage {
     /// Successive NBM releases stream-diffed into cumulative removal
     /// evidence (§4.1.3's non-archived changes).
     ReleaseDiff,
+    /// Labelled observations built from challenges, map changes and
+    /// likely-served candidates (§4.3), sharded per provider / per coverage
+    /// chunk.
+    LabelConstruction,
+    /// Observations vectorised into the Table 4 feature matrix (§5.1),
+    /// sharded per fixed observation chunk.
+    FeatureEngineering,
 }
 
 impl PipelineStage {
-    /// All stages in canonical order.
-    pub const ALL: [PipelineStage; 6] = [
+    /// All stages in canonical order: the six preparation stages followed by
+    /// the two dataset stages.
+    pub const ALL: [PipelineStage; 8] = [
+        PipelineStage::AsnMatching,
+        PipelineStage::OoklaReprojection,
+        PipelineStage::CoverageScoring,
+        PipelineStage::MlabAttribution,
+        PipelineStage::MethodologyCollection,
+        PipelineStage::ReleaseDiff,
+        PipelineStage::LabelConstruction,
+        PipelineStage::FeatureEngineering,
+    ];
+
+    /// The preparation stages [`PipelineEngine::run`] executes — everything
+    /// that has to exist before labels and features can be built. The two
+    /// dataset stages additionally need labelling/feature options, so they
+    /// run in [`PipelineEngine::run_to_dataset`].
+    pub const PREPARATION: [PipelineStage; 6] = [
         PipelineStage::AsnMatching,
         PipelineStage::OoklaReprojection,
         PipelineStage::CoverageScoring,
@@ -73,6 +100,8 @@ impl PipelineStage {
             PipelineStage::MlabAttribution => "mlab_attribution",
             PipelineStage::MethodologyCollection => "methodology_collection",
             PipelineStage::ReleaseDiff => "release_diff",
+            PipelineStage::LabelConstruction => "label_construction",
+            PipelineStage::FeatureEngineering => "feature_engineering",
         }
     }
 }
@@ -131,6 +160,17 @@ pub struct PipelineRun {
     pub report: PipelineReport,
 }
 
+/// A full dataset-construction run: the prepared context, the labelled
+/// feature matrix (row-aligned observations included), and one report
+/// covering all eight stages — the six preparation stages plus
+/// `label_construction` and `feature_engineering`.
+#[derive(Debug)]
+pub struct DatasetRun {
+    pub context: AnalysisContext,
+    pub matrix: FeatureMatrix,
+    pub report: PipelineReport,
+}
+
 /// A world generated and prepared in one call: the world, the generator's
 /// execution report, and the pipeline run over it — end-to-end observability
 /// of both halves (generation shards and preparation stages).
@@ -171,7 +211,7 @@ impl PipelineEngine {
     }
 
     /// Generate a world with the engine's execution mode (sharded synth
-    /// generation) and run all five preparation stages over it, returning
+    /// generation) and run the preparation stages over it, returning
     /// the world together with both execution reports. Returns `Err` with
     /// the validation message when the configuration is invalid.
     pub fn generate_and_run(&self, config: &SynthConfig) -> Result<GeneratedRun, String> {
@@ -188,8 +228,9 @@ impl PipelineEngine {
         })
     }
 
-    /// Run all five stages over a world and return the prepared context with
-    /// its timing report.
+    /// Run the six preparation stages over a world and return the prepared
+    /// context with its timing report. [`PipelineEngine::run_to_dataset`]
+    /// additionally runs the two dataset stages.
     ///
     /// `Parallel` mode degrades to the sequential schedule on single-core
     /// hosts, where spawning chain threads is pure overhead; both schedules
@@ -213,6 +254,57 @@ impl PipelineEngine {
             report: PipelineReport {
                 mode: self.mode,
                 executed,
+                timings,
+                total_wall: start.elapsed(),
+            },
+        }
+    }
+
+    /// The shard-fan-out mode the dataset stages run under: the engine's
+    /// execution mode mapped onto the workspace's shared scheduling enum.
+    fn stage_mode(&self) -> LabelMode {
+        match self.mode {
+            ExecutionMode::Sequential => LabelMode::Sequential,
+            ExecutionMode::Parallel => LabelMode::Parallel,
+        }
+    }
+
+    /// Run all eight stages over a world: the six preparation stages (via
+    /// [`PipelineEngine::run`]), then `label_construction` and
+    /// `feature_engineering` with the given options, all folded into a
+    /// single [`PipelineReport`].
+    ///
+    /// The two dataset stages depend on the prepared context, so they run
+    /// after it; their parallelism is internal (per-provider /
+    /// per-coverage-chunk / per-observation-chunk shards under the shared
+    /// worker-invariance contract), which keeps every schedule bit-identical.
+    pub fn run_to_dataset(
+        &self,
+        world: &SynthUs,
+        options: &LabelingOptions,
+        features: &FeatureConfig,
+    ) -> DatasetRun {
+        let start = Instant::now();
+        let PipelineRun {
+            context,
+            report: prep,
+        } = self.run(world);
+        let mode = self.stage_mode();
+        let (observations, t_labels) = timed(PipelineStage::LabelConstruction, || {
+            stage_label_construction(world, &context, options, mode)
+        });
+        let (matrix, t_features) = timed(PipelineStage::FeatureEngineering, || {
+            stage_feature_engineering(world, &context, &observations, features, mode)
+        });
+        let mut timings = prep.timings;
+        timings.push(t_labels);
+        timings.push(t_features);
+        DatasetRun {
+            context,
+            matrix,
+            report: PipelineReport {
+                mode: self.mode,
+                executed: prep.executed,
                 timings,
                 total_wall: start.elapsed(),
             },
@@ -320,6 +412,34 @@ pub fn stage_release_diff(world: &SynthUs, mode: DiffMode) -> DiffChain {
         );
     }
     chain
+}
+
+/// [`PipelineStage::LabelConstruction`]: build the labelled observation set
+/// (§4.3) from the prepared context. Challenge and map-change labels shard
+/// per provider, likely-served candidates per fixed coverage chunk, and the
+/// balancing fold runs serially — every `mode` is bit-identical (the
+/// `GenMode` contract), pinned by `tests/labelfeat_determinism.rs`.
+pub fn stage_label_construction(
+    world: &SynthUs,
+    ctx: &AnalysisContext,
+    options: &LabelingOptions,
+    mode: LabelMode,
+) -> Vec<Observation> {
+    ctx.build_labels_with(world, options, mode)
+}
+
+/// [`PipelineStage::FeatureEngineering`]: vectorise labelled observations
+/// into the Table 4 feature matrix (§5.1). Per-provider embeddings
+/// precompute in parallel and rows shard per fixed observation chunk; every
+/// `mode` is bit-identical.
+pub fn stage_feature_engineering(
+    world: &SynthUs,
+    ctx: &AnalysisContext,
+    observations: &[Observation],
+    config: &FeatureConfig,
+    mode: LabelMode,
+) -> FeatureMatrix {
+    build_features_with(world, ctx, observations, config, mode)
 }
 
 fn run_sequential(world: &SynthUs) -> (AnalysisContext, Vec<StageTiming>) {
@@ -449,8 +569,21 @@ impl AnalysisContext {
         PipelineEngine::default().run(world).context
     }
 
-    /// Build labelled observations for a world with the given options.
+    /// Build labelled observations for a world with the given options, under
+    /// the default (parallel) schedule.
     pub fn build_labels(&self, world: &SynthUs, options: &LabelingOptions) -> Vec<Observation> {
+        self.build_labels_with(world, options, LabelMode::Parallel)
+    }
+
+    /// Build labelled observations under an explicit shard schedule — the
+    /// `label_construction` stage body. Every mode produces bit-identical
+    /// observations.
+    pub fn build_labels_with(
+        &self,
+        world: &SynthUs,
+        options: &LabelingOptions,
+        mode: LabelMode,
+    ) -> Vec<Observation> {
         let removal_evidence = self.diff_chain.removal_evidence();
         let inputs = LabelInputs {
             fabric: &world.fabric,
@@ -460,7 +593,7 @@ impl AnalysisContext {
             coverage: &self.coverage,
             mlab_evidence: &self.mlab_evidence,
         };
-        build_labels(&inputs, options)
+        build_labels_with(&inputs, options, mode)
     }
 
     /// Number of providers for which both an ASN match and MLab evidence
@@ -613,11 +746,11 @@ mod tests {
                     "executed schedule must track core availability"
                 ),
             }
-            assert_eq!(run.report.timings.len(), PipelineStage::ALL.len());
-            for (timing, expected) in run.report.timings.iter().zip(PipelineStage::ALL) {
+            assert_eq!(run.report.timings.len(), PipelineStage::PREPARATION.len());
+            for (timing, expected) in run.report.timings.iter().zip(PipelineStage::PREPARATION) {
                 assert_eq!(timing.stage, expected, "timings not in canonical order");
             }
-            for stage in PipelineStage::ALL {
+            for stage in PipelineStage::PREPARATION {
                 assert!(
                     run.report.wall_for(stage).is_some(),
                     "{} missing",
@@ -664,7 +797,10 @@ mod tests {
             synth::SynthStage::ALL.len()
         );
         assert_eq!(full.synth_report.executed, synth::GenMode::Sequential);
-        assert_eq!(full.run.report.timings.len(), PipelineStage::ALL.len());
+        assert_eq!(
+            full.run.report.timings.len(),
+            PipelineStage::PREPARATION.len()
+        );
         // The world the engine generated matches a direct generation with
         // the same config, and the prepared context matches a direct run.
         let direct = SynthUs::generate(&SynthConfig::tiny(9));

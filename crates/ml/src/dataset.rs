@@ -118,13 +118,67 @@ impl Dataset {
         }
     }
 
-    /// A new dataset containing only the given row indices (in order).
-    pub fn subset(&self, rows: &[usize]) -> Dataset {
-        let mut out = Dataset::new(self.feature_names.clone());
-        for &r in rows {
-            out.push_row(self.row(r), self.labels[r]);
+    /// Append every row of another dataset.
+    ///
+    /// This is the shard-assembly primitive: feature engineering builds row
+    /// shards on scoped workers and folds them back in shard order, so the
+    /// assembled dataset is byte-identical to a sequential build.
+    ///
+    /// # Panics
+    /// Panics when the shard's feature schema (names, and therefore width)
+    /// does not match.
+    pub fn extend_from(&mut self, other: &Dataset) {
+        assert_eq!(
+            other.feature_names, self.feature_names,
+            "shard schema mismatch"
+        );
+        self.data.extend_from_slice(&other.data);
+        self.labels.extend_from_slice(&other.labels);
+    }
+
+    /// Assemble a dataset from shards produced in parallel, concatenated in
+    /// shard order. Every shard must carry exactly `feature_names` as its
+    /// schema (checked by [`Dataset::extend_from`]); an empty shard list
+    /// yields an empty dataset with that schema.
+    pub fn from_shards(
+        feature_names: Vec<String>,
+        shards: impl IntoIterator<Item = Dataset>,
+    ) -> Dataset {
+        let mut out = Dataset::new(feature_names);
+        for shard in shards {
+            out.extend_from(&shard);
         }
         out
+    }
+
+    /// A new dataset containing only the given row indices (in order).
+    ///
+    /// Consecutive index runs are copied as one contiguous chunk instead of
+    /// going through the per-row `push_row` assertions — holdout splits are
+    /// mostly sorted ranges, so the copy is a handful of `memcpy`s.
+    pub fn subset(&self, rows: &[usize]) -> Dataset {
+        let nf = self.n_features;
+        let mut data = Vec::with_capacity(rows.len() * nf);
+        let mut labels = Vec::with_capacity(rows.len());
+        let mut i = 0;
+        while i < rows.len() {
+            let start = rows[i];
+            let mut end = i + 1;
+            while end < rows.len() && rows[end] == rows[end - 1] + 1 {
+                end += 1;
+            }
+            let stop = rows[end - 1] + 1;
+            data.extend_from_slice(&self.data[start * nf..stop * nf]);
+            labels.extend_from_slice(&self.labels[start..stop]);
+            i = end;
+        }
+        Dataset {
+            feature_names: self.feature_names.clone(),
+            name_index: self.name_index.clone(),
+            n_features: nf,
+            data,
+            labels,
+        }
     }
 
     /// Mean of a feature over rows where it is present (ignores NaN).
@@ -185,6 +239,82 @@ mod tests {
         assert_eq!(s.n_rows(), 2);
         assert_eq!(s.row(0)[0], 5.0);
         assert_eq!(s.label(1), 0.0);
+    }
+
+    #[test]
+    fn subset_chunk_copy_matches_per_row_copy() {
+        // Mixed consecutive runs, repeats and reversals must all reproduce
+        // exactly what the old per-row push_row loop produced.
+        let d = toy();
+        for rows in [
+            vec![0usize, 1, 2],
+            vec![1, 2],
+            vec![2, 1, 0],
+            vec![0, 0, 2, 2],
+            vec![1],
+            vec![],
+        ] {
+            let s = d.subset(&rows);
+            assert_eq!(s.n_rows(), rows.len(), "rows {rows:?}");
+            assert_eq!(s.feature_names(), d.feature_names());
+            for (i, &r) in rows.iter().enumerate() {
+                assert_eq!(
+                    s.row(i).iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    d.row(r).iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                );
+                assert_eq!(s.label(i), d.label(r));
+            }
+            // The copy keeps the name index intact.
+            assert_eq!(s.feature_index("b"), Some(1));
+        }
+    }
+
+    #[test]
+    fn extend_from_appends_shards_in_order() {
+        let names = vec!["a".to_string(), "b".to_string()];
+        let mut base = Dataset::new(names.clone());
+        base.push_row(&[1.0, 2.0], 0.0);
+        let mut shard = Dataset::new(names.clone());
+        shard.push_row(&[3.0, f32::NAN], 1.0);
+        shard.push_row(&[5.0, 6.0], 1.0);
+        base.extend_from(&shard);
+        let direct = toy();
+        assert_eq!(base.n_rows(), direct.n_rows());
+        for r in 0..direct.n_rows() {
+            assert_eq!(
+                base.row(r).iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                direct
+                    .row(r)
+                    .iter()
+                    .map(|v| v.to_bits())
+                    .collect::<Vec<_>>(),
+            );
+            assert_eq!(base.label(r), direct.label(r));
+        }
+    }
+
+    #[test]
+    fn from_shards_assembles_and_checks_schema() {
+        let names = vec!["a".to_string(), "b".to_string()];
+        let mut s1 = Dataset::new(names.clone());
+        s1.push_row(&[1.0, 2.0], 0.0);
+        let mut s2 = Dataset::new(names.clone());
+        s2.push_row(&[3.0, 4.0], 1.0);
+        let d = Dataset::from_shards(names.clone(), [s1, s2]);
+        assert_eq!(d.n_rows(), 2);
+        assert_eq!(d.get(1, 1), 4.0);
+        // No shards: empty dataset with the schema intact.
+        let empty = Dataset::from_shards(names, std::iter::empty());
+        assert!(empty.is_empty());
+        assert_eq!(empty.n_features(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "shard schema mismatch")]
+    fn extend_from_rejects_mismatched_schema() {
+        let mut base = Dataset::new(vec!["a".into(), "b".into()]);
+        let shard = Dataset::new(vec!["a".into(), "c".into()]);
+        base.extend_from(&shard);
     }
 
     #[test]

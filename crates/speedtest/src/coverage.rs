@@ -33,6 +33,21 @@ impl CoverageScore {
     pub fn is_likely_served(&self) -> bool {
         self.score > 1.0
     }
+
+    /// The one devices-per-BSL ratio definition the workspace uses wherever
+    /// Ookla density is computed: `devices / bsls`, defined as 0 when the hex
+    /// has no BSLs. Both the coverage scores that gate likely-served labels
+    /// and the model's `ookla_devices_per_location` feature route through
+    /// this, so the labelling threshold and the feature value can never
+    /// disagree on the same hex (feature engineering used to divide by
+    /// `bsls.max(1)`, which inflated zero-BSL hexes to `devices / 1`).
+    pub fn density(devices: f64, bsls: usize) -> f64 {
+        if bsls == 0 {
+            0.0
+        } else {
+            devices / bsls as f64
+        }
+    }
 }
 
 /// Compute coverage scores for every hex that has both Ookla evidence and at
@@ -48,7 +63,7 @@ pub fn coverage_scores(
             if bsls == 0 {
                 return None;
             }
-            let score = agg.devices / bsls as f64;
+            let score = CoverageScore::density(agg.devices, bsls);
             Some(CoverageScore {
                 hex: *hex,
                 devices: agg.devices,
@@ -123,6 +138,18 @@ mod tests {
         let (fabric, hex) = fabric_with_bsls(10);
         let scores = coverage_scores(&ookla(hex, 3.0), &fabric);
         assert!(!scores[0].is_likely_served());
+    }
+
+    #[test]
+    fn density_is_zero_for_empty_hexes_and_matches_scores_elsewhere() {
+        assert_eq!(CoverageScore::density(7.5, 0), 0.0);
+        let (fabric, hex) = fabric_with_bsls(4);
+        let scores = coverage_scores(&ookla(hex, 8.0), &fabric);
+        assert_eq!(
+            scores[0].score.to_bits(),
+            CoverageScore::density(8.0, 4).to_bits(),
+            "the shared helper must reproduce the coverage score bit-for-bit"
+        );
     }
 
     #[test]

@@ -1,10 +1,13 @@
 //! Print the staged pipeline engine's per-stage wall-clock report in both
-//! execution modes over a bench-scale world.
+//! execution modes over a bench-scale world — all eight stages, from
+//! provider→ASN matching through label construction and feature engineering.
 //!
 //! ```sh
 //! cargo run --release --example pipeline_timings [seed]
 //! ```
 
+use red_is_sus::core::features::FeatureConfig;
+use red_is_sus::core::labels::LabelingOptions;
 use red_is_sus::core::pipeline::{PipelineEngine, PipelineStage};
 use red_is_sus::synth::{SynthConfig, SynthUs};
 
@@ -22,7 +25,11 @@ fn main() {
     );
 
     for engine in [PipelineEngine::sequential(), PipelineEngine::parallel()] {
-        let run = engine.run(&world);
+        let run = engine.run_to_dataset(
+            &world,
+            &LabelingOptions::default(),
+            &FeatureConfig::default(),
+        );
         println!(
             "{:?} execution (executed schedule: {:?}):",
             engine.mode(),
@@ -37,10 +44,15 @@ fn main() {
             );
         }
         println!(
-            "  {:<24} {:>10.3} ms (stage sum {:.3} ms)\n",
+            "  {:<24} {:>10.3} ms (stage sum {:.3} ms)",
             "total wall",
             run.report.total_wall.as_secs_f64() * 1e3,
             run.report.stage_sum().as_secs_f64() * 1e3,
+        );
+        println!(
+            "  dataset: {} observations x {} features\n",
+            run.matrix.dataset.n_rows(),
+            run.matrix.dataset.n_features(),
         );
     }
 }

@@ -43,6 +43,13 @@ const GOLDEN_DIFF_CHAIN_FINGERPRINT: u64 = 0xe5a1_adbc_b4c5_c873;
 /// every serving path: in-process `predict_dataset`, the flattened batch
 /// scorer under every schedule, and the loopback HTTP endpoint.
 const GOLDEN_SERVED_SCORES_FINGERPRINT: u64 = 0xf7fc_79e1_6796_57a9;
+/// Golden fingerprints of the `small_config` labelled observations and the
+/// vectorised dataset bytes under the default labelling/feature options:
+/// they pin the exact output of the two dataset stages
+/// (`label_construction`, `feature_engineering`) under every schedule, the
+/// way `GOLDEN_WORLD_FINGERPRINT` pins the generator.
+const GOLDEN_LABELS_FINGERPRINT: u64 = 0x50f0_1514_03de_cdfe;
+const GOLDEN_DATASET_FINGERPRINT: u64 = 0x594d_5bf1_4861_7ef5;
 
 #[test]
 fn sharded_world_and_pipeline_match_golden_fingerprints() {
@@ -64,6 +71,37 @@ fn sharded_world_and_pipeline_match_golden_fingerprints() {
             "pipeline drift ({:?}): context fingerprint is {:#018x}",
             engine.mode(),
             ctx.canonical_fingerprint()
+        );
+    }
+}
+
+#[test]
+fn dataset_stages_match_golden_fingerprints() {
+    use red_is_sus::core::features::dataset_fingerprint;
+    use red_is_sus::core::labels::observations_fingerprint;
+    use red_is_sus::core::pipeline::PipelineStage;
+
+    let world = SynthUs::generate(&small_config());
+    for engine in [PipelineEngine::sequential(), PipelineEngine::parallel()] {
+        let run = engine.run_to_dataset(
+            &world,
+            &LabelingOptions::default(),
+            &FeatureConfig::default(),
+        );
+        assert_eq!(run.report.timings.len(), PipelineStage::ALL.len());
+        assert_eq!(
+            observations_fingerprint(&run.matrix.observations),
+            GOLDEN_LABELS_FINGERPRINT,
+            "label drift ({:?}): observations fingerprint is {:#018x}",
+            engine.mode(),
+            observations_fingerprint(&run.matrix.observations)
+        );
+        assert_eq!(
+            dataset_fingerprint(&run.matrix.dataset),
+            GOLDEN_DATASET_FINGERPRINT,
+            "feature drift ({:?}): dataset fingerprint is {:#018x}",
+            engine.mode(),
+            dataset_fingerprint(&run.matrix.dataset)
         );
     }
 }
