@@ -269,14 +269,23 @@ mod tests {
             let mut base_value = model.base_margin();
             for (t, tree) in model.trees().iter().enumerate() {
                 let path = tree.decision_path(row);
-                // Identical decision paths, node for node.
-                let off = forest.tree_root(t);
-                let flat_path: Vec<usize> = forest
-                    .decision_path(t, row)
-                    .into_iter()
-                    .map(|i| (i - off) as usize)
-                    .collect();
-                assert_eq!(flat_path, path, "tree {t} path drift at row {r}");
+                // Identical decision paths, node for node. Flat nodes live
+                // in breadth-first order, so compare node content (value
+                // bits) along the walk rather than raw indices.
+                let flat_path = forest.decision_path(t, row);
+                assert_eq!(
+                    flat_path.len(),
+                    path.len(),
+                    "tree {t} path drift at row {r}"
+                );
+                let nodes_ref = tree.nodes();
+                for (step, (&fi, &ri)) in flat_path.iter().zip(&path).enumerate() {
+                    assert_eq!(
+                        forest.node(fi).value.to_bits(),
+                        nodes_ref[ri].value().to_bits(),
+                        "tree {t} path node drift at row {r} step {step}"
+                    );
+                }
                 let nodes = tree.nodes();
                 base_value += nodes[path[0]].value();
                 for w in path.windows(2) {

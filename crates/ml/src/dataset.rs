@@ -79,6 +79,13 @@ impl Dataset {
         self.name_index.get(name).copied()
     }
 
+    /// The whole feature matrix as one contiguous row-major slice
+    /// (`n_rows × n_features`) — what the block-batched scoring kernels
+    /// consume without per-row copies.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
     /// A row as a slice.
     pub fn row(&self, i: usize) -> &[f32] {
         &self.data[i * self.n_features..(i + 1) * self.n_features]

@@ -16,14 +16,34 @@
 //! `GbdtModel::predict_margin` to the last bit, a property pinned by the
 //! tests below and reused by the attribution module (which walks the same
 //! flat paths) and by the `redsus_serve` batch/online scorers.
+//!
+//! Two layout/traversal decisions target the serving hot path specifically:
+//!
+//! * **Breadth-first node order.** `from_model` permutes each tree's nodes
+//!   level by level (children stay absolute u32 indices), so the top of every
+//!   tree — the levels every row visits — packs into the fewest cache lines.
+//!   A pure index permutation: per-row predictions, leaf values and path
+//!   *contents* are untouched, which the bit-identity tests pin.
+//! * **Block-batched traversal.** [`FlatForest::predict_margin_rows_into`]
+//!   descends [`DEFAULT_BLOCK_ROWS`] rows through each tree level-
+//!   synchronously, giving the CPU a block's worth of independent
+//!   node-fetch chains instead of one serial pointer chase per row. Each
+//!   row's margin is still folded tree-by-tree in model order from `0.0`
+//!   with the base margin added last, so batched output is bit-identical to
+//!   the scalar walk.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
 use crate::gbdt::{sigmoid, GbdtModel};
 use crate::tree::Node;
 
 /// Sentinel value of [`FlatNode::feature`] marking a leaf.
 pub const LEAF_FEATURE: u32 = u32::MAX;
+
+/// Rows per traversal block of the batched kernel: big enough to keep many
+/// independent descent chains in flight, small enough that the per-row
+/// cursor state stays in registers/L1.
+pub const DEFAULT_BLOCK_ROWS: usize = 64;
 
 /// One lowered tree node. Splits carry the routing fields; leaves carry only
 /// `value` and tag `feature` with [`LEAF_FEATURE`].
@@ -71,10 +91,19 @@ impl FlatNode {
 #[derive(Debug, Clone)]
 pub struct FlatForest {
     base_margin: f64,
-    /// Every tree's nodes, back to back, children as absolute indices.
+    /// Every tree's nodes, back to back in breadth-first order per tree,
+    /// children as absolute indices.
     nodes: Vec<FlatNode>,
     /// Start of each tree in `nodes`, plus one trailing end sentinel.
     tree_offsets: Vec<u32>,
+    /// Absolute root index of each tree, precomputed at flatten time so
+    /// traversal, attribution and decision-path walks never re-derive it
+    /// from the offsets table inside their per-tree loops.
+    tree_roots: Vec<u32>,
+    /// Maximum root-to-leaf edge count of each tree — the exact number of
+    /// level-synchronous sweeps the batched kernels need, so they never pay
+    /// a trailing all-leaf discovery sweep.
+    tree_depths: Vec<u32>,
     feature_names: Vec<String>,
     /// Feature name → column index, precomputed for per-request resolution.
     name_index: HashMap<String, usize>,
@@ -90,11 +119,41 @@ impl FlatForest {
         );
         let mut nodes = Vec::with_capacity(total);
         let mut tree_offsets = Vec::with_capacity(model.n_trees() + 1);
+        let mut tree_roots = Vec::with_capacity(model.n_trees());
+        let mut tree_depths = Vec::with_capacity(model.n_trees());
         for tree in model.trees() {
             let off = nodes.len() as u32;
             tree_offsets.push(off);
-            for node in tree.nodes() {
-                nodes.push(match node {
+            tree_roots.push(off);
+            let src = tree.nodes();
+            // Breadth-first emission order over the source nodes. Any node a
+            // traversal can't reach (possible only in hand-built node arrays,
+            // never in fitted trees) is appended after the reachable ones in
+            // source order, so the node count — and every accessor built on
+            // it — is preserved.
+            let order = breadth_first_order(src);
+            let mut new_index = vec![0u32; src.len()];
+            for (k, &i) in order.iter().enumerate() {
+                new_index[i] = off + k as u32;
+            }
+            // Longest root-to-leaf edge count: children always carry a
+            // higher source index than their parent (the `from_nodes`
+            // invariant), so an ascending pass with a max-rule settles
+            // every node's deepest distance from the root — the sweep
+            // count the batched kernels run.
+            let mut depths = vec![0u32; src.len()];
+            let mut max_depth = 0u32;
+            for i in 0..src.len() {
+                if let Node::Split { left, right, .. } = &src[i] {
+                    let d = depths[i] + 1;
+                    depths[*left] = depths[*left].max(d);
+                    depths[*right] = depths[*right].max(d);
+                    max_depth = max_depth.max(d);
+                }
+            }
+            tree_depths.push(max_depth);
+            for &i in &order {
+                nodes.push(match &src[i] {
                     Node::Leaf { value, .. } => FlatNode {
                         feature: LEAF_FEATURE,
                         threshold: 0.0,
@@ -115,8 +174,8 @@ impl FlatForest {
                         feature: *feature as u32,
                         threshold: *threshold,
                         default_left: *default_left,
-                        left: off + *left as u32,
-                        right: off + *right as u32,
+                        left: new_index[*left],
+                        right: new_index[*right],
                         value: *value,
                     },
                 });
@@ -129,6 +188,8 @@ impl FlatForest {
             base_margin: model.base_margin(),
             nodes,
             tree_offsets,
+            tree_roots,
+            tree_depths,
             feature_names,
             name_index,
         }
@@ -169,15 +230,27 @@ impl FlatForest {
         &self.nodes[i as usize]
     }
 
-    /// Absolute index of a tree's root node.
+    /// Absolute index of a tree's root node (precomputed at flatten time).
     pub fn tree_root(&self, tree: usize) -> u32 {
-        self.tree_offsets[tree]
+        self.tree_roots[tree]
+    }
+
+    /// Absolute root indices of every tree, in model order — the array the
+    /// batched kernels iterate instead of re-deriving roots per tree.
+    pub fn tree_roots(&self) -> &[u32] {
+        &self.tree_roots
+    }
+
+    /// Maximum root-to-leaf edge count of one tree (0 for a single-leaf
+    /// tree) — the exact sweep count a level-synchronous descent needs.
+    pub fn tree_depth(&self, tree: usize) -> u32 {
+        self.tree_depths[tree]
     }
 
     /// The leaf weight one tree contributes for a row.
     #[inline]
     pub fn tree_leaf_value(&self, tree: usize, row: &[f32]) -> f64 {
-        let mut i = self.tree_offsets[tree] as usize;
+        let mut i = self.tree_roots[tree] as usize;
         loop {
             let n = &self.nodes[i];
             if n.feature == LEAF_FEATURE {
@@ -213,6 +286,82 @@ impl FlatForest {
         sigmoid(self.predict_margin(row))
     }
 
+    /// Batched margins for a row-major block of rows, written into `out` —
+    /// bit-identical to calling [`FlatForest::predict_margin`] per row.
+    ///
+    /// Rows are processed in `block_rows`-sized blocks that descend each
+    /// tree level-synchronously: one sweep advances every still-descending
+    /// row in the block by one level, so the block's node fetches are
+    /// independent loads the CPU can overlap instead of one serial chain
+    /// per row. Per row, leaf values are still accumulated tree-by-tree in
+    /// model order from `0.0`; the base margin joins by one final add,
+    /// which IEEE addition commutes bit-exactly with the scalar path's
+    /// `base + sum`.
+    ///
+    /// # Panics
+    /// Panics when `data` is not a whole number of rows or `out` does not
+    /// hold exactly one slot per row.
+    pub fn predict_margin_rows_into(&self, data: &[f32], out: &mut [f64], block_rows: usize) {
+        let width = self.n_features();
+        assert_eq!(
+            data.len() % width,
+            0,
+            "row-major block length {} is not a multiple of the feature width {width}",
+            data.len()
+        );
+        assert_eq!(out.len(), data.len() / width, "one output slot per row");
+        let block_rows = block_rows.max(1);
+        let mut cursors = vec![0u32; block_rows];
+        for (block, out_chunk) in out.chunks_mut(block_rows).enumerate() {
+            let start = block * block_rows;
+            let rows = &data[start * width..(start + out_chunk.len()) * width];
+            self.margin_block(rows, out_chunk, &mut cursors[..out_chunk.len()]);
+        }
+    }
+
+    /// Batched margins with the default block size, as a fresh vector.
+    pub fn predict_margin_rows(&self, data: &[f32]) -> Vec<f64> {
+        let width = self.n_features();
+        let mut out = vec![0.0f64; data.len() / width.max(1)];
+        self.predict_margin_rows_into(data, &mut out, DEFAULT_BLOCK_ROWS);
+        out
+    }
+
+    /// One block's level-synchronous descent. `cursors` carries the current
+    /// node of every row; a sweep over the block advances each non-leaf row
+    /// one level, until the whole block rests on leaves.
+    fn margin_block(&self, rows: &[f32], out: &mut [f64], cursors: &mut [u32]) {
+        let width = self.n_features();
+        out.fill(0.0);
+        for (t, &root) in self.tree_roots.iter().enumerate() {
+            cursors.fill(root);
+            // Exactly `tree_depth` sweeps settle every cursor on a leaf —
+            // no discovery sweep needed. Rows that reach a shallow leaf
+            // early just skip through the remaining sweeps.
+            for _ in 0..self.tree_depths[t] {
+                for (cur, row) in cursors.iter_mut().zip(rows.chunks_exact(width)) {
+                    let n = &self.nodes[*cur as usize];
+                    if n.feature == LEAF_FEATURE {
+                        continue;
+                    }
+                    let v = row[n.feature as usize];
+                    let go_left = if v.is_nan() {
+                        n.default_left
+                    } else {
+                        v <= n.threshold
+                    };
+                    *cur = if go_left { n.left } else { n.right };
+                }
+            }
+            for (o, &cur) in out.iter_mut().zip(cursors.iter()) {
+                *o += self.nodes[cur as usize].value;
+            }
+        }
+        for o in out.iter_mut() {
+            *o += self.base_margin;
+        }
+    }
+
     /// The absolute node indices one tree visits for a row, root to leaf —
     /// the path structure the attribution module walks. Identical (up to the
     /// tree's base offset) to [`RegressionTree::decision_path`].
@@ -220,7 +369,7 @@ impl FlatForest {
     /// [`RegressionTree::decision_path`]: crate::tree::RegressionTree::decision_path
     pub fn decision_path(&self, tree: usize, row: &[f32]) -> Vec<u32> {
         let mut path = Vec::new();
-        let mut i = self.tree_offsets[tree];
+        let mut i = self.tree_roots[tree];
         loop {
             path.push(i);
             let n = &self.nodes[i as usize];
@@ -236,6 +385,37 @@ impl FlatForest {
             i = if go_left { n.left } else { n.right };
         }
     }
+}
+
+/// Breadth-first order of a tree's node indices, root first, each split's
+/// left child enqueued before its right. Nodes unreachable from the root are
+/// appended afterwards in source order so the permutation is total.
+fn breadth_first_order(src: &[Node]) -> Vec<usize> {
+    if src.is_empty() {
+        return Vec::new();
+    }
+    let mut order = Vec::with_capacity(src.len());
+    let mut seen = vec![false; src.len()];
+    let mut queue = VecDeque::with_capacity(src.len());
+    queue.push_back(0usize);
+    seen[0] = true;
+    while let Some(i) = queue.pop_front() {
+        order.push(i);
+        if let Node::Split { left, right, .. } = &src[i] {
+            for child in [*left, *right] {
+                if !seen[child] {
+                    seen[child] = true;
+                    queue.push_back(child);
+                }
+            }
+        }
+    }
+    for (i, s) in seen.into_iter().enumerate() {
+        if !s {
+            order.push(i);
+        }
+    }
+    order
 }
 
 /// Name → index map preserving first-wins semantics for duplicate names
@@ -330,10 +510,13 @@ mod tests {
         }
     }
 
-    /// The flat decision path is the recursive decision path shifted by the
-    /// tree's base offset — node for node.
+    /// The flat decision path visits the same nodes as the recursive
+    /// decision path, step for step. Indices differ (the flat layout is
+    /// breadth-first), so the comparison is by node *content*: split
+    /// feature, threshold bits and node value bits at every step.
     #[test]
     fn flat_paths_match_recursive_paths() {
+        use crate::tree::Node;
         let mut rng = StdRng::seed_from_u64(0xbeef);
         let data = random_dataset(&mut rng, 200, 4);
         let model = GbdtModel::fit(
@@ -349,13 +532,124 @@ mod tests {
         for r in (0..data.n_rows()).step_by(17) {
             let row = data.row(r);
             for (t, tree) in model.trees().iter().enumerate() {
-                let off = forest.tree_root(t);
-                let flat: Vec<usize> = forest
-                    .decision_path(t, row)
-                    .into_iter()
-                    .map(|i| (i - off) as usize)
-                    .collect();
-                assert_eq!(flat, tree.decision_path(row), "path drift in tree {t}");
+                let flat_path = forest.decision_path(t, row);
+                let rec_path = tree.decision_path(row);
+                assert_eq!(flat_path.len(), rec_path.len(), "path length in tree {t}");
+                for (step, (&fi, &ri)) in flat_path.iter().zip(&rec_path).enumerate() {
+                    let f = forest.node(fi);
+                    match &tree.nodes()[ri] {
+                        Node::Leaf { value, .. } => {
+                            assert!(f.is_leaf(), "tree {t} step {step}");
+                            assert_eq!(f.value.to_bits(), value.to_bits());
+                        }
+                        Node::Split {
+                            feature,
+                            threshold,
+                            value,
+                            ..
+                        } => {
+                            assert_eq!(f.split_feature(), Some(*feature), "tree {t} step {step}");
+                            assert_eq!(f.threshold.to_bits(), threshold.to_bits());
+                            assert_eq!(f.value.to_bits(), value.to_bits());
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The flatten-time permutation is breadth-first: within a tree, node
+    /// depth never decreases along the index range, and every child of the
+    /// node at depth d sits at depth d + 1.
+    #[test]
+    fn flat_layout_is_breadth_first() {
+        let mut rng = StdRng::seed_from_u64(0xbf5);
+        let data = random_dataset(&mut rng, 200, 5);
+        let model = GbdtModel::fit(
+            &data,
+            GbdtParams {
+                n_estimators: 8,
+                max_depth: 5,
+                learning_rate: 0.2,
+                ..GbdtParams::default()
+            },
+        );
+        let forest = FlatForest::from_model(&model);
+        for t in 0..forest.n_trees() {
+            let start = forest.tree_root(t);
+            let end = forest.tree_offsets[t + 1];
+            let mut depth = vec![usize::MAX; (end - start) as usize];
+            depth[0] = 0;
+            for i in start..end {
+                let d = depth[(i - start) as usize];
+                assert_ne!(d, usize::MAX, "node {i} unreachable in a fitted tree");
+                let n = forest.node(i);
+                if !n.is_leaf() {
+                    depth[(n.left - start) as usize] = d + 1;
+                    depth[(n.right - start) as usize] = d + 1;
+                }
+            }
+            for w in depth.windows(2) {
+                assert!(w[0] <= w[1], "depth decreased along BFS order in tree {t}");
+            }
+        }
+    }
+
+    /// Seeded-loop property test of the tentpole contract: the block-batched
+    /// kernel ≡ the scalar flat walk ≡ the recursive model, bit for bit,
+    /// over random forests (random depths incl. degenerate single-leaf
+    /// trees, NaN feature values) and the block sizes that stress the
+    /// chunking: 1, 63, 64 (default), 65 and 256.
+    #[test]
+    fn batched_margins_bit_identical_to_scalar_and_recursive() {
+        for seed in 0..5u64 {
+            let mut rng = StdRng::seed_from_u64(0xb10c + seed);
+            let n_features = rng.gen_range(2..6usize);
+            let n_rows = 130 + seed as usize * 7;
+            let data = random_dataset(&mut rng, n_rows, n_features);
+            let model = GbdtModel::fit(
+                &data,
+                GbdtParams {
+                    n_estimators: 10,
+                    // seed 0 exercises max_depth 0: every tree one leaf.
+                    max_depth: (seed as usize) % 4,
+                    learning_rate: 0.3,
+                    subsample: 0.9,
+                    seed,
+                    ..GbdtParams::default()
+                },
+            );
+            let forest = FlatForest::from_model(&model);
+            // Row-major block with extra NaNs sprinkled in.
+            let mut block: Vec<f32> = Vec::with_capacity(n_rows * n_features);
+            for r in 0..n_rows {
+                block.extend_from_slice(data.row(r));
+            }
+            for v in block.iter_mut().step_by(13) {
+                *v = f32::NAN;
+            }
+            let expected: Vec<f64> = (0..n_rows)
+                .map(|r| model.predict_margin(&block[r * n_features..(r + 1) * n_features]))
+                .collect();
+            for block_rows in [1usize, 63, 64, 65, 256] {
+                let mut out = vec![0.0f64; n_rows];
+                forest.predict_margin_rows_into(&block, &mut out, block_rows);
+                for (r, (a, b)) in out.iter().zip(&expected).enumerate() {
+                    assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "batched drift at seed {seed} row {r} block_rows {block_rows}"
+                    );
+                    let scalar =
+                        forest.predict_margin(&block[r * n_features..(r + 1) * n_features]);
+                    assert_eq!(scalar.to_bits(), b.to_bits(), "scalar drift at row {r}");
+                }
+            }
+            // The convenience wrapper uses the default block size.
+            let out = forest.predict_margin_rows(&block);
+            assert_eq!(out.len(), n_rows);
+            for (a, b) in out.iter().zip(&expected) {
+                assert_eq!(a.to_bits(), b.to_bits());
             }
         }
     }

@@ -6,7 +6,9 @@ use serde::{Deserialize, Serialize};
 
 use crate::dataset::Dataset;
 use crate::metrics::log_loss;
-use crate::tree::{sample_features, sample_rows, Binner, RegressionTree, TreeParams};
+use crate::tree::{
+    sample_features, sample_rows, Binner, RegressionTree, SplitStrategy, TreeParams,
+};
 
 /// Hyper-parameters of the boosted ensemble. Defaults follow XGBoost's
 /// conventional settings ("standard hyperparameters" per §5.2 of the paper).
@@ -90,11 +92,29 @@ impl GbdtModel {
         Self::fit_with_validation(train, None, params)
     }
 
+    /// Fit with an explicit split-search strategy. The strategies are
+    /// bit-identical (see [`SplitStrategy`]); this entry point exists so
+    /// benchmarks can time them against each other.
+    pub fn fit_with_strategy(train: &Dataset, params: GbdtParams, strategy: SplitStrategy) -> Self {
+        Self::fit_with_validation_strategy(train, None, params, strategy)
+    }
+
     /// Fit with an optional validation set used for early stopping.
     pub fn fit_with_validation(
         train: &Dataset,
         validation: Option<&Dataset>,
         params: GbdtParams,
+    ) -> Self {
+        Self::fit_with_validation_strategy(train, validation, params, SplitStrategy::default())
+    }
+
+    /// [`GbdtModel::fit_with_validation`] with an explicit split-search
+    /// strategy.
+    pub fn fit_with_validation_strategy(
+        train: &Dataset,
+        validation: Option<&Dataset>,
+        params: GbdtParams,
+        strategy: SplitStrategy,
     ) -> Self {
         assert!(!train.is_empty(), "cannot fit on an empty dataset");
         let mut rng = StdRng::seed_from_u64(params.seed);
@@ -124,7 +144,7 @@ impl GbdtModel {
             }
             let rows = sample_rows(n, params.subsample, &mut rng);
             let features = sample_features(train.n_features(), params.colsample_bytree, &mut rng);
-            let mut tree = RegressionTree::fit(
+            let mut tree = RegressionTree::fit_with_strategy(
                 train,
                 &binner,
                 &binned,
@@ -133,6 +153,7 @@ impl GbdtModel {
                 &rows,
                 &features,
                 params.tree_params(),
+                strategy,
             );
             tree.scale_values(params.learning_rate);
             for (i, margin) in margins.iter_mut().enumerate().take(n) {
@@ -246,6 +267,30 @@ impl GbdtModel {
 mod tests {
     use super::*;
     use crate::metrics::roc_auc;
+
+    /// The histogram split search must reproduce the column scan exactly:
+    /// whole fitted models predict bit-identically.
+    #[test]
+    fn split_strategies_fit_identical_models() {
+        let d = make_data(300, 11);
+        let params = GbdtParams {
+            n_estimators: 15,
+            max_depth: 4,
+            subsample: 0.8,
+            colsample_bytree: 0.8,
+            ..GbdtParams::default()
+        };
+        let scan = GbdtModel::fit_with_strategy(&d, params, SplitStrategy::ColumnScan);
+        let hist = GbdtModel::fit_with_strategy(&d, params, SplitStrategy::Histogram);
+        assert_eq!(scan.n_trees(), hist.n_trees());
+        for r in 0..d.n_rows() {
+            assert_eq!(
+                scan.predict_margin(d.row(r)).to_bits(),
+                hist.predict_margin(d.row(r)).to_bits(),
+                "margin drift at row {r}"
+            );
+        }
+    }
 
     /// Two informative features plus one noise feature; labels depend on a
     /// non-linear interaction so the test exercises depth > 1.

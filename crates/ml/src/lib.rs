@@ -23,10 +23,15 @@
 //!   path attribution, the fast TreeSHAP approximation; contributions sum
 //!   exactly to the prediction margin) powering the paper's Figure 10/11
 //!   analyses,
-//! * [`flat`] — the recursive trees lowered into contiguous node arrays
-//!   ([`FlatForest`]) for cache-friendly serving-time inference, proven
-//!   bit-identical to [`GbdtModel::predict_margin`] and shared by the
-//!   attribution walk and the `redsus_serve` scorers,
+//! * [`flat`] — the recursive trees lowered into breadth-first contiguous
+//!   node arrays ([`FlatForest`]) with a block-batched level-synchronous
+//!   traversal kernel, proven bit-identical to
+//!   [`GbdtModel::predict_margin`] and shared by the attribution walk and
+//!   the `redsus_serve` scorers,
+//! * [`quant`] — the flat forest with thresholds quantised to u16 bin
+//!   ranks ([`QuantForest`]): exact by a rank-ordering argument, verified
+//!   at construction, falling back per-tree when a tree cannot be
+//!   quantised exactly,
 //! * [`baseline`] — the random-guessing baseline the paper compares against.
 
 pub mod attribution;
@@ -36,6 +41,7 @@ pub mod flat;
 pub mod gbdt;
 pub mod hyperopt;
 pub mod metrics;
+pub mod quant;
 pub mod split;
 pub mod tree;
 
@@ -44,11 +50,12 @@ pub use attribution::{
 };
 pub use baseline::RandomBaseline;
 pub use dataset::Dataset;
-pub use flat::{FlatForest, FlatNode};
+pub use flat::{FlatForest, FlatNode, DEFAULT_BLOCK_ROWS};
 pub use gbdt::{GbdtModel, GbdtParams};
 pub use metrics::{
     accuracy, confusion_matrix, f1_score, log_loss, precision_recall_f1, roc_auc, roc_curve,
     ClassMetrics, ClassificationReport, ConfusionMatrix,
 };
+pub use quant::QuantForest;
 pub use split::{group_holdout, stratified_kfold, stratified_split, train_test_split};
-pub use tree::{RegressionTree, TreeParams};
+pub use tree::{RegressionTree, SplitStrategy, TreeParams};

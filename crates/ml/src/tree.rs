@@ -46,6 +46,27 @@ impl Default for TreeParams {
     }
 }
 
+/// How `find_best_split` accumulates per-bin gradient/hessian statistics
+/// from the pre-binned matrix.
+///
+/// Both strategies feed every `(feature, bin)` accumulator the same values
+/// in the same row order, so the resulting f64 sums — and therefore every
+/// split decision and fitted tree — are **bit-identical**; the existing
+/// training goldens pin this. They differ only in memory traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SplitStrategy {
+    /// Legacy kernel: one strided pass over the row-major bin matrix *per
+    /// feature* (`binned[r * n_features + f]` with `r` varying), re-reading
+    /// each row's gradient/hessian once per candidate feature.
+    ColumnScan,
+    /// Histogram kernel: a single contiguous pass over the rows accumulates
+    /// *all* candidate features' histograms at once — each row's bins are
+    /// adjacent bytes and its gradient/hessian are read once, into one flat
+    /// scratch buffer instead of two allocations per feature per node.
+    #[default]
+    Histogram,
+}
+
 /// Quantile binner mapping raw feature values to small bin indices.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Binner {
@@ -169,6 +190,7 @@ struct FitContext<'a> {
     hess: &'a [f32],
     binner: &'a Binner,
     params: TreeParams,
+    strategy: SplitStrategy,
 }
 
 #[derive(Clone, Copy)]
@@ -197,6 +219,34 @@ impl RegressionTree {
         features: &[usize],
         params: TreeParams,
     ) -> Self {
+        Self::fit_with_strategy(
+            data,
+            binner,
+            binned,
+            grad,
+            hess,
+            rows,
+            features,
+            params,
+            SplitStrategy::default(),
+        )
+    }
+
+    /// [`RegressionTree::fit`] with an explicit split-search strategy — the
+    /// strategies are bit-identical, so this exists for the benchmark
+    /// comparison, not for behavioural choice.
+    #[allow(clippy::too_many_arguments)]
+    pub fn fit_with_strategy(
+        data: &Dataset,
+        binner: &Binner,
+        binned: &[u8],
+        grad: &[f32],
+        hess: &[f32],
+        rows: &[usize],
+        features: &[usize],
+        params: TreeParams,
+        strategy: SplitStrategy,
+    ) -> Self {
         assert_eq!(binned.len(), data.n_rows() * data.n_features());
         let ctx = FitContext {
             binned,
@@ -205,6 +255,7 @@ impl RegressionTree {
             hess,
             binner,
             params,
+            strategy,
         };
         let mut tree = RegressionTree { nodes: Vec::new() };
         tree.build_node(&ctx, rows.to_vec(), features, 0);
@@ -405,61 +456,129 @@ fn find_best_split_with_threads(
     n_threads: usize,
 ) -> Option<SplitCandidate> {
     let parent_score = g_total * g_total / (h_total + ctx.params.lambda);
-    let evaluate_chunk = |chunk: &[usize]| -> Option<SplitCandidate> {
-        let mut best: Option<SplitCandidate> = None;
-        for &feature in chunk {
-            let n_bins = ctx.binner.n_bins(feature);
-            if n_bins < 2 {
-                continue;
-            }
-            let mut g_hist = vec![0.0f64; n_bins];
-            let mut h_hist = vec![0.0f64; n_bins];
-            let mut g_missing = 0.0f64;
-            let mut h_missing = 0.0f64;
-            for &r in rows {
-                let bin = ctx.binned[r * ctx.n_features + feature];
-                if bin == MISSING_BIN {
-                    g_missing += ctx.grad[r] as f64;
-                    h_missing += ctx.hess[r] as f64;
+    // Cumulative left-to-right scan of one feature's finished histogram,
+    // trying both missing-value directions at every boundary. Shared by
+    // both accumulation strategies so the decision logic (including the
+    // strict `>` that resolves gain ties to the lowest feature) cannot
+    // drift between them.
+    let scan_histogram = |feature: usize,
+                          g_hist: &[f64],
+                          h_hist: &[f64],
+                          g_missing: f64,
+                          h_missing: f64,
+                          best: &mut Option<SplitCandidate>| {
+        let n_bins = g_hist.len();
+        let mut gl = 0.0f64;
+        let mut hl = 0.0f64;
+        for bin in 0..n_bins - 1 {
+            gl += g_hist[bin];
+            hl += h_hist[bin];
+            for missing_left in [false, true] {
+                let (gl_eff, hl_eff) = if missing_left {
+                    (gl + g_missing, hl + h_missing)
                 } else {
-                    g_hist[bin as usize] += ctx.grad[r] as f64;
-                    h_hist[bin as usize] += ctx.hess[r] as f64;
+                    (gl, hl)
+                };
+                let gr_eff = g_total - gl_eff;
+                let hr_eff = h_total - hl_eff;
+                if hl_eff < ctx.params.min_child_weight || hr_eff < ctx.params.min_child_weight {
+                    continue;
+                }
+                let gain = 0.5
+                    * (gl_eff * gl_eff / (hl_eff + ctx.params.lambda)
+                        + gr_eff * gr_eff / (hr_eff + ctx.params.lambda)
+                        - parent_score)
+                    - ctx.params.gamma;
+                if best.map(|b| gain > b.gain).unwrap_or(gain > 0.0) {
+                    *best = Some(SplitCandidate {
+                        feature,
+                        bin,
+                        gain,
+                        missing_left,
+                        gl: gl_eff,
+                        hl: hl_eff,
+                        gr: gr_eff,
+                        hr: hr_eff,
+                    });
                 }
             }
-            let mut gl = 0.0f64;
-            let mut hl = 0.0f64;
-            for bin in 0..n_bins - 1 {
-                gl += g_hist[bin];
-                hl += h_hist[bin];
-                for missing_left in [false, true] {
-                    let (gl_eff, hl_eff) = if missing_left {
-                        (gl + g_missing, hl + h_missing)
-                    } else {
-                        (gl, hl)
-                    };
-                    let gr_eff = g_total - gl_eff;
-                    let hr_eff = h_total - hl_eff;
-                    if hl_eff < ctx.params.min_child_weight || hr_eff < ctx.params.min_child_weight
-                    {
+        }
+    };
+    let evaluate_chunk = |chunk: &[usize]| -> Option<SplitCandidate> {
+        let mut best: Option<SplitCandidate> = None;
+        match ctx.strategy {
+            SplitStrategy::ColumnScan => {
+                for &feature in chunk {
+                    let n_bins = ctx.binner.n_bins(feature);
+                    if n_bins < 2 {
                         continue;
                     }
-                    let gain = 0.5
-                        * (gl_eff * gl_eff / (hl_eff + ctx.params.lambda)
-                            + gr_eff * gr_eff / (hr_eff + ctx.params.lambda)
-                            - parent_score)
-                        - ctx.params.gamma;
-                    if best.map(|b| gain > b.gain).unwrap_or(gain > 0.0) {
-                        best = Some(SplitCandidate {
-                            feature,
-                            bin,
-                            gain,
-                            missing_left,
-                            gl: gl_eff,
-                            hl: hl_eff,
-                            gr: gr_eff,
-                            hr: hr_eff,
-                        });
+                    let mut g_hist = vec![0.0f64; n_bins];
+                    let mut h_hist = vec![0.0f64; n_bins];
+                    let mut g_missing = 0.0f64;
+                    let mut h_missing = 0.0f64;
+                    for &r in rows {
+                        let bin = ctx.binned[r * ctx.n_features + feature];
+                        if bin == MISSING_BIN {
+                            g_missing += ctx.grad[r] as f64;
+                            h_missing += ctx.hess[r] as f64;
+                        } else {
+                            g_hist[bin as usize] += ctx.grad[r] as f64;
+                            h_hist[bin as usize] += ctx.hess[r] as f64;
+                        }
                     }
+                    scan_histogram(feature, &g_hist, &h_hist, g_missing, h_missing, &mut best);
+                }
+            }
+            SplitStrategy::Histogram => {
+                // One flat scratch buffer for the whole chunk; features with
+                // a single bin have nothing to split on and are skipped, as
+                // in the column scan.
+                let active: Vec<(usize, usize)> = {
+                    let mut offset = 0usize;
+                    chunk
+                        .iter()
+                        .filter(|&&f| ctx.binner.n_bins(f) >= 2)
+                        .map(|&f| {
+                            let entry = (f, offset);
+                            offset += ctx.binner.n_bins(f);
+                            entry
+                        })
+                        .collect()
+                };
+                let total_bins = active
+                    .last()
+                    .map(|&(f, off)| off + ctx.binner.n_bins(f))
+                    .unwrap_or(0);
+                let mut g_hist = vec![0.0f64; total_bins];
+                let mut h_hist = vec![0.0f64; total_bins];
+                let mut g_missing = vec![0.0f64; active.len()];
+                let mut h_missing = vec![0.0f64; active.len()];
+                for &r in rows {
+                    let row_bins = &ctx.binned[r * ctx.n_features..(r + 1) * ctx.n_features];
+                    let g = ctx.grad[r] as f64;
+                    let h = ctx.hess[r] as f64;
+                    for (j, &(feature, off)) in active.iter().enumerate() {
+                        let bin = row_bins[feature];
+                        if bin == MISSING_BIN {
+                            g_missing[j] += g;
+                            h_missing[j] += h;
+                        } else {
+                            g_hist[off + bin as usize] += g;
+                            h_hist[off + bin as usize] += h;
+                        }
+                    }
+                }
+                for (j, &(feature, off)) in active.iter().enumerate() {
+                    let n_bins = ctx.binner.n_bins(feature);
+                    scan_histogram(
+                        feature,
+                        &g_hist[off..off + n_bins],
+                        &h_hist[off..off + n_bins],
+                        g_missing[j],
+                        h_missing[j],
+                        &mut best,
+                    );
                 }
             }
         }
@@ -690,27 +809,87 @@ mod tests {
         let features: Vec<usize> = (0..n_features).collect();
         let binner = Binner::fit(&d, &rows, 32);
         let binned = binner.bin_matrix(&d);
-        let ctx = FitContext {
-            binned: &binned,
-            n_features,
-            grad: &grad,
-            hess: &hess,
-            binner: &binner,
-            params: TreeParams::default(),
-        };
         let g: f64 = grad.iter().map(|&g| g as f64).sum();
         let h: f64 = hess.iter().map(|&h| h as f64).sum();
 
-        let sequential = find_best_split_with_threads(&ctx, &rows, &features, g, h, 1)
-            .expect("separable data must split");
-        assert_eq!(sequential.feature, 0, "tie must resolve to lowest feature");
-        for n_threads in [2, 4, 7] {
-            let parallel = find_best_split_with_threads(&ctx, &rows, &features, g, h, n_threads)
+        let mut per_strategy = Vec::new();
+        for strategy in [SplitStrategy::ColumnScan, SplitStrategy::Histogram] {
+            let ctx = FitContext {
+                binned: &binned,
+                n_features,
+                grad: &grad,
+                hess: &hess,
+                binner: &binner,
+                params: TreeParams::default(),
+                strategy,
+            };
+            let sequential = find_best_split_with_threads(&ctx, &rows, &features, g, h, 1)
                 .expect("separable data must split");
-            assert_eq!(parallel.feature, sequential.feature, "{n_threads} threads");
-            assert_eq!(parallel.bin, sequential.bin);
-            assert_eq!(parallel.gain.to_bits(), sequential.gain.to_bits());
-            assert_eq!(parallel.missing_left, sequential.missing_left);
+            assert_eq!(sequential.feature, 0, "tie must resolve to lowest feature");
+            for n_threads in [2, 4, 7] {
+                let parallel =
+                    find_best_split_with_threads(&ctx, &rows, &features, g, h, n_threads)
+                        .expect("separable data must split");
+                assert_eq!(parallel.feature, sequential.feature, "{n_threads} threads");
+                assert_eq!(parallel.bin, sequential.bin);
+                assert_eq!(parallel.gain.to_bits(), sequential.gain.to_bits());
+                assert_eq!(parallel.missing_left, sequential.missing_left);
+            }
+            per_strategy.push(sequential);
+        }
+        // And the two accumulation strategies agree bit for bit.
+        let (a, b) = (per_strategy[0], per_strategy[1]);
+        assert_eq!(a.feature, b.feature);
+        assert_eq!(a.bin, b.bin);
+        assert_eq!(a.gain.to_bits(), b.gain.to_bits());
+        assert_eq!(a.missing_left, b.missing_left);
+    }
+
+    /// Whole trees fitted under the two accumulation strategies must be
+    /// identical node for node — same topology, same thresholds and values
+    /// to the bit — on data with missing values and ties.
+    #[test]
+    fn split_strategies_fit_identical_trees() {
+        let mut rng = StdRng::seed_from_u64(0xbeef);
+        use rand::Rng;
+        let mut d = Dataset::new((0..5).map(|f| format!("x{f}")).collect());
+        for _ in 0..250 {
+            let row: Vec<f32> = (0..5)
+                .map(|_| {
+                    if rng.gen_range(0.0..1.0) < 0.1 {
+                        f32::NAN
+                    } else {
+                        rng.gen_range(-1.0..1.0)
+                    }
+                })
+                .collect();
+            let signal = if row[1].is_nan() { 0.3 } else { row[1] };
+            d.push_row(&row, if signal > 0.0 { 1.0 } else { 0.0 });
+        }
+        let grad: Vec<f32> = d.labels().iter().map(|&y| 0.5 - y).collect();
+        let hess = vec![0.25f32; d.n_rows()];
+        let rows: Vec<usize> = (0..d.n_rows()).collect();
+        let features: Vec<usize> = (0..d.n_features()).collect();
+        let binner = Binner::fit(&d, &rows, 32);
+        let binned = binner.bin_matrix(&d);
+        let fit = |strategy| {
+            RegressionTree::fit_with_strategy(
+                &d,
+                &binner,
+                &binned,
+                &grad,
+                &hess,
+                &rows,
+                &features,
+                TreeParams::default(),
+                strategy,
+            )
+        };
+        let scan = fit(SplitStrategy::ColumnScan);
+        let hist = fit(SplitStrategy::Histogram);
+        assert_eq!(scan.nodes().len(), hist.nodes().len());
+        for (i, (a, b)) in scan.nodes().iter().zip(hist.nodes().iter()).enumerate() {
+            assert_eq!(format!("{a:?}"), format!("{b:?}"), "node {i} drift");
         }
     }
 

@@ -7,9 +7,20 @@
 //! yields the same bits under `Sequential`, `Parallel` or `Threads(n)` —
 //! exactly the `GenMode`/`DiffMode` contract the generator and the streaming
 //! diff engine already honour. [`ScoreMode`] *is* that shared enum.
+//!
+//! Inside a shard, rows run through the **block-batched** traversal kernel
+//! ([`FlatForest::predict_margin_rows_into`], or its [`QuantForest`]
+//! counterpart via [`score_rows_quantised`]) — margins are bit-identical to
+//! the per-row walk at any block size, so the kernel choice never shows in
+//! the output bits. Inputs that fit a single shard, or schedules with one
+//! effective worker, **short-circuit** past the shard/worker machinery
+//! entirely: on the 1-core bench container the worker sweep showed
+//! `Threads(2)`/`Threads(4)` strictly slower than sequential, so spawning is
+//! pure overhead unless there are both multiple shards and multiple workers.
 
 use bdc::stream::map_shards;
-use ml::{Dataset, FlatForest};
+use ml::gbdt::sigmoid;
+use ml::{Dataset, FlatForest, QuantForest, DEFAULT_BLOCK_ROWS};
 
 /// The scheduling mode of a batch scoring call — the workspace's shared
 /// scheduling enum (`bdc::stream::DiffMode`, re-exported by the generator as
@@ -40,6 +51,31 @@ impl ScoreOutput {
     }
 }
 
+/// Which traversal kernel a scoring call runs on. All three produce
+/// bit-identical scores — the kernel is a throughput decision, reported by
+/// the HTTP endpoint and the quickstart example so dispatch is observable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScoreKernel {
+    /// Per-row recursive-equivalent walk over the flat forest.
+    Scalar,
+    /// Block-batched level-synchronous traversal of the flat forest.
+    Batched,
+    /// Block-batched traversal on u16-quantised thresholds (exact trees
+    /// only; inexact trees fall back to the flat walk inside the kernel).
+    Quantised,
+}
+
+impl ScoreKernel {
+    /// Stable name, used by the HTTP endpoint and the CLI.
+    pub fn name(self) -> &'static str {
+        match self {
+            ScoreKernel::Scalar => "scalar",
+            ScoreKernel::Batched => "batched",
+            ScoreKernel::Quantised => "quantised",
+        }
+    }
+}
+
 /// Score a row-major block of feature rows (width = the forest's feature
 /// count).
 ///
@@ -53,16 +89,25 @@ pub fn score_rows(
     output: ScoreOutput,
     mode: ScoreMode,
 ) -> Vec<f64> {
-    let width = forest.n_features();
-    assert_eq!(
-        data.len() % width,
-        0,
-        "row-major block length {} is not a multiple of the feature width {width}",
-        data.len()
-    );
-    let n_rows = data.len() / width;
-    score_shards(n_rows, mode, |r| {
-        score_one(forest, &data[r * width..(r + 1) * width], output)
+    score_rows_with(forest.n_features(), data, output, mode, |rows, out| {
+        forest.predict_margin_rows_into(rows, out, DEFAULT_BLOCK_ROWS)
+    })
+}
+
+/// [`score_rows`] on the quantised kernel: identical output bits (the
+/// quantised compare is exact by construction, with per-tree fallback),
+/// fewer bytes touched per node.
+///
+/// # Panics
+/// Panics when `data.len()` is not a multiple of the forest's feature count.
+pub fn score_rows_quantised(
+    forest: &QuantForest,
+    data: &[f32],
+    output: ScoreOutput,
+    mode: ScoreMode,
+) -> Vec<f64> {
+    score_rows_with(forest.n_features(), data, output, mode, |rows, out| {
+        forest.predict_margin_rows_into(rows, out, DEFAULT_BLOCK_ROWS)
     })
 }
 
@@ -83,35 +128,59 @@ pub fn score_dataset(
         forest.n_features(),
         "dataset width does not match the model schema"
     );
-    score_shards(data.n_rows(), mode, |r| {
-        score_one(forest, data.row(r), output)
-    })
+    // The dataset's matrix is already contiguous row-major — score it as
+    // one block, no per-row copies.
+    score_rows(forest, data.data(), output, mode)
 }
 
-#[inline]
-fn score_one(forest: &FlatForest, row: &[f32], output: ScoreOutput) -> f64 {
-    match output {
-        ScoreOutput::Probability => forest.predict_proba(row),
-        ScoreOutput::Margin => forest.predict_margin(row),
-    }
-}
-
-/// Shard `0..n_rows` into fixed-size ranges and fan them across the mode's
-/// workers; concatenation order is shard order regardless of schedule.
-fn score_shards<F>(n_rows: usize, mode: ScoreMode, score: F) -> Vec<f64>
+/// The shared scoring skeleton: validate the block, shard it (or
+/// short-circuit), run `margins_into` per shard, then apply the output
+/// transform element-wise. `margins_into` fills raw margins for a row-major
+/// slice; because the block kernels are bit-identical at any block size,
+/// shard boundaries never show in the output bits.
+fn score_rows_with<F>(
+    width: usize,
+    data: &[f32],
+    output: ScoreOutput,
+    mode: ScoreMode,
+    margins_into: F,
+) -> Vec<f64>
 where
-    F: Fn(usize) -> f64 + Sync,
+    F: Fn(&[f32], &mut [f64]) + Sync,
 {
-    let shards: Vec<std::ops::Range<usize>> = (0..n_rows)
-        .step_by(SCORE_SHARD_ROWS.max(1))
-        .map(|start| start..(start + SCORE_SHARD_ROWS).min(n_rows))
-        .collect();
-    map_shards(mode.worker_count(), &shards, |_, range| {
-        range.clone().map(&score).collect::<Vec<f64>>()
-    })
-    .into_iter()
-    .flatten()
-    .collect()
+    assert_eq!(
+        data.len() % width,
+        0,
+        "row-major block length {} is not a multiple of the feature width {width}",
+        data.len()
+    );
+    let n_rows = data.len() / width;
+    let mut scores = if n_rows <= SCORE_SHARD_ROWS || mode.worker_count() <= 1 {
+        // Short-circuit: one shard or one worker — the sharded fan-out
+        // could only add spawn/collect overhead, not throughput.
+        let mut out = vec![0.0f64; n_rows];
+        margins_into(data, &mut out);
+        out
+    } else {
+        let shards: Vec<std::ops::Range<usize>> = (0..n_rows)
+            .step_by(SCORE_SHARD_ROWS.max(1))
+            .map(|start| start..(start + SCORE_SHARD_ROWS).min(n_rows))
+            .collect();
+        map_shards(mode.worker_count(), &shards, |_, range| {
+            let mut out = vec![0.0f64; range.len()];
+            margins_into(&data[range.start * width..range.end * width], &mut out);
+            out
+        })
+        .into_iter()
+        .flatten()
+        .collect()
+    };
+    if let ScoreOutput::Probability = output {
+        for s in &mut scores {
+            *s = sigmoid(*s);
+        }
+    }
+    scores
 }
 
 #[cfg(test)]
@@ -195,6 +264,60 @@ mod tests {
             let row = &rows[i * 3..(i + 1) * 3];
             assert_eq!(probs[i].to_bits(), model.predict_proba(row).to_bits());
             assert_eq!(margins[i].to_bits(), model.predict_margin(row).to_bits());
+        }
+    }
+
+    /// The quantised kernel is a drop-in: bit-identical to the flat batched
+    /// scorer (and therefore to the recursive model) under every schedule.
+    #[test]
+    fn quantised_kernel_is_bit_identical_across_schedules() {
+        let (model, rows) = model_and_rows(5, 2500);
+        let forest = FlatForest::from_model(&model);
+        let quant = QuantForest::from_model(&model);
+        assert!(quant.is_fully_quantised());
+        for output in [ScoreOutput::Probability, ScoreOutput::Margin] {
+            let flat = score_rows(&forest, &rows, output, ScoreMode::Sequential);
+            for mode in [
+                ScoreMode::Sequential,
+                ScoreMode::Parallel,
+                ScoreMode::Threads(2),
+                ScoreMode::Threads(7),
+            ] {
+                let q = score_rows_quantised(&quant, &rows, output, mode);
+                assert_eq!(flat.len(), q.len());
+                for (i, (a, b)) in flat.iter().zip(&q).enumerate() {
+                    assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "row {i} drifted under {mode:?} ({output:?})"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Inputs that fit one shard short-circuit past the worker fan-out; the
+    /// result must still be bit-identical to every scheduled mode and to the
+    /// model's own predictions.
+    #[test]
+    fn single_shard_short_circuit_is_bit_identical() {
+        let (model, rows) = model_and_rows(6, SCORE_SHARD_ROWS / 2);
+        let forest = FlatForest::from_model(&model);
+        let seq = score_rows(
+            &forest,
+            &rows,
+            ScoreOutput::Probability,
+            ScoreMode::Sequential,
+        );
+        for mode in [ScoreMode::Parallel, ScoreMode::Threads(4)] {
+            let other = score_rows(&forest, &rows, ScoreOutput::Probability, mode);
+            for (a, b) in seq.iter().zip(&other) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+        for (i, s) in seq.iter().enumerate() {
+            let row = &rows[i * 3..(i + 1) * 3];
+            assert_eq!(s.to_bits(), model.predict_proba(row).to_bits());
         }
     }
 

@@ -29,7 +29,7 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-use crate::batch::{score_rows, ScoreMode, ScoreOutput};
+use crate::batch::{ScoreMode, ScoreOutput};
 use crate::frame::FeatureFrame;
 use crate::ServedModel;
 
@@ -388,12 +388,9 @@ fn score_route(request: &Request, shared: &Shared) -> Result<String, HttpError> 
         std::str::from_utf8(&request.body).map_err(|_| HttpError::new(400, "body is not UTF-8"))?;
     let frame = FeatureFrame::parse_csv(text).map_err(|e| HttpError::new(400, e.to_string()))?;
     let aligned = frame.align(shared.served.forest());
-    let scores = score_rows(
-        shared.served.forest(),
-        &aligned.data,
-        output,
-        shared.config.score_mode,
-    );
+    let scores = shared
+        .served
+        .score_block(&aligned.data, output, shared.config.score_mode);
     shared
         .scored_rows
         .fetch_add(scores.len() as u64, Ordering::SeqCst);
@@ -443,8 +440,9 @@ fn output_param(query: Option<&str>) -> Result<ScoreOutput, String> {
 
 fn healthz_body(shared: &Shared) -> String {
     format!(
-        "{{\"status\":\"ok\",\"fingerprint\":\"{}\",\"trees\":{},\"features\":{},\"requests\":{},\"scored_rows\":{}}}",
+        "{{\"status\":\"ok\",\"fingerprint\":\"{}\",\"kernel\":\"{}\",\"trees\":{},\"features\":{},\"requests\":{},\"scored_rows\":{}}}",
         shared.served.fingerprint_hex(),
+        shared.served.kernel().name(),
         shared.served.forest().n_trees(),
         shared.served.forest().n_features(),
         shared.requests.load(Ordering::SeqCst),

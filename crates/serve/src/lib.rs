@@ -22,9 +22,12 @@
 //!   artifact over HTTP, or `inspect` an artifact's schema.
 //!
 //! Inference runs on [`ml::FlatForest`], the recursive trees lowered into
-//! contiguous node arrays, which `ml` proves bit-identical to
-//! [`GbdtModel::predict_margin`] — so a score served over the wire equals
-//! the score the experiments computed in-process, to the last bit.
+//! breadth-first contiguous node arrays and traversed by a block-batched
+//! kernel — or on [`ml::QuantForest`], the same forest with thresholds
+//! quantised to u16 ranks, when every tree quantises exactly. Both are
+//! proven bit-identical to [`GbdtModel::predict_margin`] — so a score
+//! served over the wire equals the score the experiments computed
+//! in-process, to the last bit, whichever kernel dispatched it.
 
 pub mod artifact;
 pub mod batch;
@@ -35,20 +38,24 @@ pub use artifact::{
     decode_model, encode_model, model_fingerprint, read_artifact, write_artifact, ArtifactError,
     DecodedArtifact, ARTIFACT_MAGIC, ARTIFACT_VERSION,
 };
-pub use batch::{score_dataset, score_rows, ScoreMode, ScoreOutput, SCORE_SHARD_ROWS};
+pub use batch::{
+    score_dataset, score_rows, score_rows_quantised, ScoreKernel, ScoreMode, ScoreOutput,
+    SCORE_SHARD_ROWS,
+};
 pub use frame::{AlignedBlock, FeatureFrame, FrameError};
 pub use http::{ScoreServer, ServeConfig, ServerStats};
 
 use std::path::Path;
 
-use ml::{FlatForest, GbdtModel};
+use ml::{FlatForest, GbdtModel, QuantForest};
 
-/// A model prepared for serving: the source model, its flattened inference
-/// engine, and the artifact content fingerprint that identifies it.
+/// A model prepared for serving: the source model, its quantised inference
+/// engine (which owns the flattened forest), and the artifact content
+/// fingerprint that identifies it.
 #[derive(Debug, Clone)]
 pub struct ServedModel {
     model: GbdtModel,
-    forest: FlatForest,
+    quant: QuantForest,
     fingerprint: u64,
 }
 
@@ -57,10 +64,10 @@ impl ServedModel {
     /// encoding it through the artifact format).
     pub fn from_model(model: GbdtModel) -> Self {
         let fingerprint = model_fingerprint(&model);
-        let forest = FlatForest::from_model(&model);
+        let quant = QuantForest::from_model(&model);
         Self {
             model,
-            forest,
+            quant,
             fingerprint,
         }
     }
@@ -68,10 +75,10 @@ impl ServedModel {
     /// Decode artifact bytes and prepare the model for serving.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, ArtifactError> {
         let decoded = decode_model(bytes)?;
-        let forest = FlatForest::from_model(&decoded.model);
+        let quant = QuantForest::from_model(&decoded.model);
         Ok(Self {
             model: decoded.model,
-            forest,
+            quant,
             fingerprint: decoded.fingerprint,
         })
     }
@@ -86,9 +93,35 @@ impl ServedModel {
         &self.model
     }
 
-    /// The flattened inference engine.
+    /// The flattened inference engine (owned by the quantised one).
     pub fn forest(&self) -> &FlatForest {
-        &self.forest
+        self.quant.flat()
+    }
+
+    /// The quantised inference engine.
+    pub fn quant_forest(&self) -> &QuantForest {
+        &self.quant
+    }
+
+    /// The kernel [`ServedModel::score_block`] dispatches to: quantised when
+    /// every tree passed the exactness checks, otherwise the batched flat
+    /// walk. Never changes the output bits — only the bytes touched.
+    pub fn kernel(&self) -> ScoreKernel {
+        if self.quant.is_fully_quantised() {
+            ScoreKernel::Quantised
+        } else {
+            ScoreKernel::Batched
+        }
+    }
+
+    /// Score a row-major block on the best available kernel (see
+    /// [`ServedModel::kernel`]). Bit-identical to
+    /// [`GbdtModel::predict_margin`] / `predict_proba` per row.
+    pub fn score_block(&self, data: &[f32], output: ScoreOutput, mode: ScoreMode) -> Vec<f64> {
+        match self.kernel() {
+            ScoreKernel::Quantised => score_rows_quantised(&self.quant, data, output, mode),
+            _ => score_rows(self.forest(), data, output, mode),
+        }
     }
 
     /// The artifact content fingerprint.

@@ -20,7 +20,7 @@ use std::net::TcpStream;
 
 use red_is_sus::core::experiments::ExperimentSuite;
 use red_is_sus::serve::{
-    score_dataset, FeatureFrame, ScoreMode, ScoreOutput, ScoreServer, ServeConfig, ServedModel,
+    FeatureFrame, ScoreMode, ScoreOutput, ScoreServer, ServeConfig, ServedModel,
 };
 use red_is_sus::synth::SynthConfig;
 
@@ -57,22 +57,28 @@ fn main() {
         served.forest().n_nodes(),
         served.forest().n_trees()
     );
+    // Which traversal kernel will answer queries: "quantised" when every
+    // tree's thresholds lowered exactly to u16 bins, else the batched flat
+    // walk — always bit-identical, so this is a throughput report, and the
+    // example doubles as a smoke check of kernel dispatch.
+    println!(
+        "scoring kernel: {} ({} of {} trees quantised exactly)",
+        served.kernel().name(),
+        served.quant_forest().n_exact_trees(),
+        served.forest().n_trees()
+    );
 
     // Query 1: in-process batch scoring over the hold-out rows.
     let test = suite
         .matrix
         .dataset
         .subset(&suite.observation_holdout.test_rows);
-    let scores = score_dataset(
-        served.forest(),
-        &test,
-        ScoreOutput::Probability,
-        ScoreMode::Parallel,
-    );
+    let scores = served.score_block(test.data(), ScoreOutput::Probability, ScoreMode::Parallel);
     let flagged = scores.iter().filter(|&&p| p >= 0.5).count();
     println!(
-        "batch-scored {} hold-out rows: {flagged} flagged as likely unserved",
-        scores.len()
+        "batch-scored {} hold-out rows on the {} kernel: {flagged} flagged as likely unserved",
+        scores.len(),
+        served.kernel().name()
     );
 
     // Query 2: the CSV path the CLI uses, with columns resolved by name.
