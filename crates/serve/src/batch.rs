@@ -49,6 +49,16 @@ impl ScoreOutput {
             ScoreOutput::Margin => "margin",
         }
     }
+
+    /// Inverse of [`ScoreOutput::name`] — how the HTTP `?output=` selector
+    /// and the CLI parse the caller's choice. `None` for unknown names.
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "probability" => Some(ScoreOutput::Probability),
+            "margin" => Some(ScoreOutput::Margin),
+            _ => None,
+        }
+    }
 }
 
 /// Which traversal kernel a scoring call runs on. All three produce

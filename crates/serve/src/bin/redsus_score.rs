@@ -3,23 +3,33 @@
 //! ```text
 //! redsus-score inspect <model.rsm>
 //! redsus-score score   <model.rsm> <features.csv> [--margin] [--workers N]
-//! redsus-score serve   <model.rsm> [--addr HOST:PORT] [--workers N]
+//! redsus-score serve   [<model.rsm>] [--addr HOST:PORT] [--workers N]
+//!                      [--watch-dir DIR] [--poll-ms N]
 //! ```
 //!
 //! `score` loads an artifact, aligns the CSV's columns onto the model schema
 //! by name, shards the rows across workers (bit-identical for any worker
 //! count), and prints one score per row to stdout. `serve` exposes the same
-//! scorer over the HTTP endpoint. `inspect` prints the artifact's embedded
-//! schema without scoring anything.
+//! scorer over the keep-alive HTTP endpoint; with `--watch-dir` it polls a
+//! directory of `.rsm` artifacts and hot-reloads new, changed or deleted
+//! model versions into the running server without dropping in-flight
+//! traffic (the newest artifact is the default version; older ones stay
+//! addressable via `POST /score?model=<fingerprint>` until retired).
+//! `inspect` prints the artifact's embedded schema without scoring
+//! anything.
 
 use std::process::ExitCode;
+use std::sync::Arc;
 
-use redsus_serve::{FeatureFrame, ScoreMode, ScoreOutput, ScoreServer, ServeConfig, ServedModel};
+use redsus_serve::{
+    DirWatcher, FeatureFrame, ModelRegistry, ScoreMode, ScoreOutput, ScoreServer, ServeConfig,
+    ServedModel,
+};
 
 const USAGE: &str = "usage:
   redsus-score inspect <model.rsm>
   redsus-score score   <model.rsm> <features.csv> [--margin] [--workers N]
-  redsus-score serve   <model.rsm> [--addr HOST:PORT] [--workers N]";
+  redsus-score serve   [<model.rsm>] [--addr HOST:PORT] [--workers N] [--watch-dir DIR] [--poll-ms N]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -66,6 +76,8 @@ struct Options {
     margin: bool,
     workers: Option<usize>,
     addr: String,
+    watch_dir: Option<String>,
+    poll_ms: u64,
     positional: Vec<String>,
 }
 
@@ -74,6 +86,8 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         margin: false,
         workers: None,
         addr: "127.0.0.1:8080".to_string(),
+        watch_dir: None,
+        poll_ms: 2000,
         positional: Vec::new(),
     };
     let mut it = args.iter();
@@ -85,6 +99,15 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 options.workers = Some(v.parse().map_err(|_| format!("bad worker count {v:?}"))?);
             }
             "--addr" => options.addr = it.next().ok_or("--addr needs a value")?.clone(),
+            "--watch-dir" => {
+                options.watch_dir = Some(it.next().ok_or("--watch-dir needs a value")?.clone());
+            }
+            "--poll-ms" => {
+                let v = it.next().ok_or("--poll-ms needs a value")?;
+                options.poll_ms = v
+                    .parse()
+                    .map_err(|_| format!("bad poll interval {v:?} (milliseconds)"))?;
+            }
             other if other.starts_with("--") => return Err(format!("unknown option {other}")),
             other => options.positional.push(other.to_string()),
         }
@@ -142,30 +165,83 @@ fn score(args: &[String]) -> Result<(), String> {
 
 fn serve(args: &[String]) -> Result<(), String> {
     let options = parse_options(args)?;
-    let [model_path] = options.positional.as_slice() else {
-        return Err(USAGE.to_string());
-    };
     if options.margin {
         return Err(
             "--margin is a score option; clients select it per request with POST /score?output=margin"
                 .to_string(),
         );
     }
-    let served = load(model_path)?;
-    let fingerprint = served.fingerprint_hex();
+    let registry = Arc::new(ModelRegistry::new());
+    match options.positional.as_slice() {
+        [] if options.watch_dir.is_some() => {}
+        [model_path] => {
+            registry.publish(load(model_path)?);
+        }
+        _ => return Err(USAGE.to_string()),
+    }
+
+    // With --watch-dir, the first scan runs before the server binds so a
+    // populated directory serves from request one.
+    let mut watcher = options
+        .watch_dir
+        .as_ref()
+        .map(|dir| DirWatcher::new(Arc::clone(&registry), dir.clone()));
+    if let Some(watcher) = watcher.as_mut() {
+        report_scan(&watcher.scan());
+    }
+    if registry.is_empty() {
+        match &options.watch_dir {
+            Some(dir) => eprintln!(
+                "note: no artifact loaded yet from {dir}; /score answers 503 until one appears"
+            ),
+            None => return Err(USAGE.to_string()),
+        }
+    }
+
     let config = ServeConfig {
         workers: options.workers.unwrap_or(2),
         ..ServeConfig::default()
     };
-    let server = ScoreServer::bind(&options.addr, served, config)
+    let server = ScoreServer::bind_with_registry(&options.addr, Arc::clone(&registry), config)
         .map_err(|e| format!("binding {}: {e}", options.addr))?;
-    println!(
-        "serving model {fingerprint} at {} ({} workers); Ctrl-C to stop",
-        server.url(),
-        config.workers
-    );
-    // Block forever; the process-level Ctrl-C tears the threads down.
-    loop {
-        std::thread::park();
+    match registry.default_fingerprint() {
+        Some(fp) => println!(
+            "serving {} model version(s), default {fp:#018x}, at {} ({} workers); Ctrl-C to stop",
+            registry.len(),
+            server.url(),
+            config.workers
+        ),
+        None => println!(
+            "serving (no model yet) at {} ({} workers); Ctrl-C to stop",
+            server.url(),
+            config.workers
+        ),
+    }
+
+    match watcher {
+        // Hot-reload loop: poll the directory forever; publishes swap the
+        // default version atomically while in-flight requests drain on the
+        // version they started with.
+        Some(mut watcher) => loop {
+            std::thread::sleep(std::time::Duration::from_millis(options.poll_ms.max(10)));
+            report_scan(&watcher.scan());
+        },
+        // Block forever; the process-level Ctrl-C tears the threads down.
+        None => loop {
+            std::thread::park();
+        },
+    }
+}
+
+/// Print what a watch-dir scan changed (silent when nothing did).
+fn report_scan(report: &redsus_serve::ScanReport) {
+    for (path, fingerprint) in &report.loaded {
+        println!("loaded {fingerprint:#018x} from {}", path.display());
+    }
+    for fingerprint in &report.retired {
+        println!("retired {fingerprint:#018x} (artifact deleted)");
+    }
+    for (path, error) in &report.errors {
+        eprintln!("warning: {}: {error}", path.display());
     }
 }

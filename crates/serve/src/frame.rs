@@ -45,6 +45,14 @@ pub enum FrameError {
         column: usize,
         value: String,
     },
+    /// The header names the same column twice. Alignment resolves columns
+    /// by name, so the duplicate's data could only be dropped silently —
+    /// rejected at parse time instead (columns are 1-based).
+    DuplicateColumn {
+        name: String,
+        first: usize,
+        second: usize,
+    },
 }
 
 impl fmt::Display for FrameError {
@@ -64,6 +72,15 @@ impl fmt::Display for FrameError {
                 column,
                 value,
             } => write!(f, "line {line}, column {column}: {value:?} is not a number"),
+            FrameError::DuplicateColumn {
+                name,
+                first,
+                second,
+            } => write!(
+                f,
+                "duplicate column {name:?} (columns {first} and {second}): columns are matched \
+                 onto the model schema by name, so one copy's data would be dropped"
+            ),
         }
     }
 }
@@ -93,7 +110,25 @@ impl FeatureFrame {
             }
             match &names {
                 None => {
-                    names = Some(line.split(',').map(|c| c.trim().to_string()).collect());
+                    let header: Vec<String> =
+                        line.split(',').map(|c| c.trim().to_string()).collect();
+                    // Alignment is by name; a repeated name would silently
+                    // shadow one copy's data (build_name_index is
+                    // first-wins), so reject it here where the caller can
+                    // still fix the request.
+                    let mut seen: std::collections::HashMap<&str, usize> =
+                        std::collections::HashMap::with_capacity(header.len());
+                    for (c, name) in header.iter().enumerate() {
+                        if let Some(&first) = seen.get(name.as_str()) {
+                            return Err(FrameError::DuplicateColumn {
+                                name: name.clone(),
+                                first: first + 1,
+                                second: c + 1,
+                            });
+                        }
+                        seen.insert(name, c);
+                    }
+                    names = Some(header);
                 }
                 Some(header) => {
                     let cells: Vec<&str> = line.split(',').collect();
@@ -257,6 +292,31 @@ mod tests {
                 value: "zebra".into()
             })
         );
+    }
+
+    /// A header naming the same column twice is rejected at parse time —
+    /// silently dropping one copy's data is the bug this pins down.
+    #[test]
+    fn duplicate_header_columns_are_rejected() {
+        assert_eq!(
+            FeatureFrame::parse_csv("a,b,a\n1.0,2.0,3.0\n"),
+            Err(FrameError::DuplicateColumn {
+                name: "a".into(),
+                first: 1,
+                second: 3
+            })
+        );
+        // Trimmed names collide too.
+        assert_eq!(
+            FeatureFrame::parse_csv("a, a \n1.0,2.0\n"),
+            Err(FrameError::DuplicateColumn {
+                name: "a".into(),
+                first: 1,
+                second: 2
+            })
+        );
+        let message = FeatureFrame::parse_csv("x,x\n").unwrap_err().to_string();
+        assert!(message.contains("duplicate column"), "{message}");
     }
 
     #[test]

@@ -3,45 +3,85 @@
 //! on loopback.
 //!
 //! Architecture: one accept thread feeds connections through a bounded
-//! channel into a fixed pool of worker threads; each worker parses one
-//! request (request line, headers, `Content-Length` body), routes it, scores
-//! with the shared [`FlatForest`](ml::FlatForest), and writes a JSON
-//! response with `Connection: close`. Shutdown is graceful: a flag plus a
-//! self-connection unblock the accept loop, the channel closes, workers
-//! drain and join.
+//! channel into a fixed pool of worker threads. Each worker owns its
+//! connection for the connection's whole life and loops `read_request →
+//! route → respond`:
+//!
+//! * **Keep-alive**: HTTP/1.1 requests keep the connection open by default
+//!   (HTTP/1.0 closes by default); `Connection: close` / `keep-alive`
+//!   override either way. A connection is closed after
+//!   [`ServeConfig::max_requests_per_connection`] responses (the last one
+//!   advertises `Connection: close`) or after sitting idle between requests
+//!   for [`ServeConfig::idle_timeout`] (a quiet close, counted in
+//!   [`ServerStats::idle_closes`] — no bogus 408 for a well-behaved pooled
+//!   client).
+//! * **Pipelining**: requests are framed by `Content-Length`, and bytes
+//!   read past one request's body are kept as the start of the next
+//!   request, so a client may write a burst of requests and read the
+//!   responses back in order.
+//! * **Models** come from a [`ModelRegistry`](crate::ModelRegistry):
+//!   `POST /score` uses the default version, `?model=<fingerprint>` pins an
+//!   explicit one, and `GET /models` lists what is loaded. A request clones
+//!   the model's `Arc` once up front, so a hot reload mid-request can never
+//!   mix versions — the response's fingerprint always matches the scores.
+//!
+//! Shutdown is graceful: a flag plus a self-connection unblock the accept
+//! loop, the channel closes, idle keep-alive workers notice within one poll
+//! slice, and every thread joins.
 //!
 //! Endpoints:
 //!
-//! * `GET /healthz` — liveness, model fingerprint, request counters.
-//! * `GET /model` — the embedded schema: feature names, tree/node counts.
-//! * `POST /score[?output=margin]` — body is the [`frame`](crate::frame)
-//!   CSV (header of feature names + rows); responds with the scores in row
-//!   order. Columns are aligned by name, missing model features are scored
-//!   as NaN, and both gaps are echoed back.
+//! * `GET /healthz` — liveness, default model fingerprint, connection and
+//!   request counters.
+//! * `GET /models` — every loaded model version and which is the default.
+//! * `GET /model[?model=<fp>]` — one model's embedded schema: feature
+//!   names, tree/node counts.
+//! * `POST /score[?output=margin][&model=<fp>]` — body is the
+//!   [`frame`](crate::frame) CSV (header of feature names + rows);
+//!   responds with the scores in row order. Columns are aligned by name,
+//!   missing model features are scored as NaN, and both gaps are echoed
+//!   back. Non-finite scores serialize as JSON `null` (bare `NaN`/`inf`
+//!   are not JSON), so the response body always parses strictly.
 //!
-//! Every malformed input maps to a typed 4xx JSON error; the worker never
-//! panics on wire bytes.
+//! Error handling distinguishes the wire from the peer: malformed input
+//! maps to a typed 4xx JSON response (and closes, since framing can no
+//! longer be trusted), a read *timeout* maps to 408, but a peer reset or
+//! broken pipe closes without writing into the dead socket and is counted
+//! in [`ServerStats::peer_resets`]. The worker never panics on wire bytes.
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crate::batch::{ScoreMode, ScoreOutput};
 use crate::frame::FeatureFrame;
+use crate::registry::ModelRegistry;
 use crate::ServedModel;
 
 /// Server tuning knobs.
 #[derive(Debug, Clone, Copy)]
 pub struct ServeConfig {
-    /// Worker threads handling requests (the pool is the concurrency bound).
+    /// Worker threads handling connections (the pool is the concurrency
+    /// bound: a keep-alive connection occupies its worker until it closes).
     pub workers: usize,
     /// Largest accepted request body; larger requests get 413.
     pub max_body_bytes: usize,
-    /// Per-connection socket read timeout.
+    /// Per-read socket timeout while a request is in flight (mid-headers or
+    /// mid-body); expiry maps to 408.
     pub read_timeout: Duration,
+    /// How long a keep-alive connection may sit idle *between* requests
+    /// before the server closes it quietly.
+    pub idle_timeout: Duration,
+    /// Master switch: `false` answers every request with
+    /// `Connection: close`, whatever the client asked for.
+    pub keep_alive: bool,
+    /// Requests served per connection before the server closes it (the
+    /// final response advertises the close). Bounds how long one client can
+    /// monopolise a pool worker.
+    pub max_requests_per_connection: u64,
     /// Schedule of the per-request batch scorer. Defaults to `Sequential`:
     /// under concurrent load the worker pool is the parallelism, and the
     /// contract guarantees the schedule never changes the bits anyway.
@@ -54,6 +94,9 @@ impl Default for ServeConfig {
             workers: 2,
             max_body_bytes: 8 << 20,
             read_timeout: Duration::from_secs(5),
+            idle_timeout: Duration::from_secs(2),
+            keep_alive: true,
+            max_requests_per_connection: 1024,
             score_mode: ScoreMode::Sequential,
         }
     }
@@ -67,13 +110,38 @@ pub struct ServerStats {
     pub requests: u64,
     /// Rows scored by `/score` responses.
     pub scored_rows: u64,
+    /// Connections accepted.
+    pub connections: u64,
+    /// Connections that died under us — peer reset / broken pipe on read
+    /// or write. Closed without writing a response into the dead socket
+    /// (never reported as a bogus 408).
+    pub peer_resets: u64,
+    /// Keep-alive connections closed because they sat idle past
+    /// [`ServeConfig::idle_timeout`] between requests.
+    pub idle_closes: u64,
 }
 
 struct Shared {
-    served: ServedModel,
+    registry: Arc<ModelRegistry>,
     config: ServeConfig,
+    shutdown: Arc<AtomicBool>,
     requests: AtomicU64,
     scored_rows: AtomicU64,
+    connections: AtomicU64,
+    peer_resets: AtomicU64,
+    idle_closes: AtomicU64,
+}
+
+impl Shared {
+    fn stats(&self) -> ServerStats {
+        ServerStats {
+            requests: self.requests.load(Ordering::SeqCst),
+            scored_rows: self.scored_rows.load(Ordering::SeqCst),
+            connections: self.connections.load(Ordering::SeqCst),
+            peer_resets: self.peer_resets.load(Ordering::SeqCst),
+            idle_closes: self.idle_closes.load(Ordering::SeqCst),
+        }
+    }
 }
 
 /// A running scoring server bound to a local address.
@@ -86,21 +154,45 @@ pub struct ScoreServer {
 }
 
 impl ScoreServer {
-    /// Start on an ephemeral loopback port (the hermetic-test entry point).
+    /// Start on an ephemeral loopback port with a single-model registry
+    /// (the hermetic-test entry point).
     pub fn start(served: ServedModel, config: ServeConfig) -> std::io::Result<Self> {
         Self::bind("127.0.0.1:0", served, config)
     }
 
-    /// Start on an explicit address.
+    /// Start on an explicit address with a single-model registry.
     pub fn bind(addr: &str, served: ServedModel, config: ServeConfig) -> std::io::Result<Self> {
+        Self::bind_with_registry(addr, Arc::new(ModelRegistry::with_model(served)), config)
+    }
+
+    /// Start on an ephemeral loopback port over a shared registry — the
+    /// hot-reload entry point: publish/retire on the registry while the
+    /// server runs and new requests see the swap atomically.
+    pub fn start_with_registry(
+        registry: Arc<ModelRegistry>,
+        config: ServeConfig,
+    ) -> std::io::Result<Self> {
+        Self::bind_with_registry("127.0.0.1:0", registry, config)
+    }
+
+    /// Start on an explicit address over a shared registry.
+    pub fn bind_with_registry(
+        addr: &str,
+        registry: Arc<ModelRegistry>,
+        config: ServeConfig,
+    ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let shared = Arc::new(Shared {
-            served,
+            registry,
             config,
+            shutdown: Arc::clone(&shutdown),
             requests: AtomicU64::new(0),
             scored_rows: AtomicU64::new(0),
+            connections: AtomicU64::new(0),
+            peer_resets: AtomicU64::new(0),
+            idle_closes: AtomicU64::new(0),
         });
         let workers = config.workers.max(1);
         let (tx, rx) = mpsc::sync_channel::<TcpStream>(workers * 2);
@@ -159,12 +251,15 @@ impl ScoreServer {
         format!("http://{}", self.addr)
     }
 
+    /// The model registry this server scores from. Publishing or retiring
+    /// through it is the programmatic hot-reload path.
+    pub fn registry(&self) -> &Arc<ModelRegistry> {
+        &self.shared.registry
+    }
+
     /// A point-in-time snapshot of the request counters.
     pub fn stats(&self) -> ServerStats {
-        ServerStats {
-            requests: self.shared.requests.load(Ordering::SeqCst),
-            scored_rows: self.shared.scored_rows.load(Ordering::SeqCst),
-        }
+        self.shared.stats()
     }
 
     /// Gracefully stop: unblock the accept loop, drain the workers, join
@@ -178,10 +273,7 @@ impl ScoreServer {
         for handle in self.worker_handles {
             let _ = handle.join();
         }
-        ServerStats {
-            requests: self.shared.requests.load(Ordering::SeqCst),
-            scored_rows: self.shared.scored_rows.load(Ordering::SeqCst),
-        }
+        self.shared.stats()
     }
 }
 
@@ -193,6 +285,9 @@ struct Request {
     path: String,
     query: Option<String>,
     body: Vec<u8>,
+    /// Whether request semantics allow keeping the connection open
+    /// afterwards (HTTP version default + `Connection` header override).
+    keep_alive: bool,
 }
 
 /// A routable failure: HTTP status plus a human-readable message, and how
@@ -220,6 +315,26 @@ impl HttpError {
     }
 }
 
+/// Why a connection ended without a response being owed.
+enum CloseReason {
+    /// Clean EOF at a request boundary: the client is done.
+    CleanEof,
+    /// A keep-alive connection sat idle past the idle timeout.
+    Idle,
+    /// Peer reset / broken pipe: the socket is dead, write nothing.
+    Aborted,
+    /// The server is shutting down.
+    ShuttingDown,
+}
+
+/// How [`read_request`] can fail.
+enum ReadEnd {
+    /// Respond with this error, then close (wire framing is unreliable).
+    Error(HttpError),
+    /// Close without writing anything.
+    Close(CloseReason),
+}
+
 /// Hard bound on post-error draining, whatever Content-Length claims: a
 /// client declaring terabytes gets its error response attempted after this
 /// much discard, reset or not.
@@ -233,138 +348,358 @@ const DRAIN_SLACK_BYTES: usize = 1 << 20;
 
 const MAX_HEADER_BYTES: usize = 16 << 10;
 
-fn read_request(stream: &mut TcpStream, config: &ServeConfig) -> Result<Request, HttpError> {
-    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+/// Granularity of the idle/shutdown poll while waiting for a request to
+/// start: the worker re-checks the shutdown flag this often, so shutdown
+/// latency is one slice, not one idle timeout.
+const IDLE_POLL: Duration = Duration::from_millis(50);
+
+/// Per-connection parse state surviving across requests: bytes read past
+/// the previous request's body are the start of the next request
+/// (pipelining), and `scanned` remembers how far the header-end scan got so
+/// drip-fed headers cost O(n), not O(n²).
+#[derive(Default)]
+struct ConnBuf {
+    buf: Vec<u8>,
+    scanned: usize,
+}
+
+/// One socket read, with I/O errors folded into the four cases the
+/// connection loop distinguishes.
+enum ReadStep {
+    Data(usize),
+    Eof,
+    TimedOut,
+    Aborted,
+}
+
+fn read_step(stream: &mut TcpStream, chunk: &mut [u8]) -> ReadStep {
+    loop {
+        match stream.read(chunk) {
+            Ok(0) => return ReadStep::Eof,
+            Ok(n) => return ReadStep::Data(n),
+            Err(e) => {
+                return match e.kind() {
+                    // Only genuine timeouts may become 408s.
+                    std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock => {
+                        ReadStep::TimedOut
+                    }
+                    std::io::ErrorKind::Interrupted => continue,
+                    // Reset, aborted, broken pipe, anything else fatal: the
+                    // peer is gone — there is nobody to respond to.
+                    _ => ReadStep::Aborted,
+                };
+            }
+        }
+    }
+}
+
+/// Read one request out of the connection, honouring leftover pipelined
+/// bytes in `conn` and leaving any over-read bytes there for the next call.
+///
+/// `first` selects the wait-for-request-start semantics: the first request
+/// of a connection that never arrives is a client error (408 after
+/// `read_timeout`), while a later one simply means the pooled connection
+/// went idle (quiet close after `idle_timeout`).
+fn read_request(
+    stream: &mut TcpStream,
+    conn: &mut ConnBuf,
+    shared: &Shared,
+    first: bool,
+) -> Result<Request, ReadEnd> {
+    let config = &shared.config;
     let mut chunk = [0u8; 4096];
-    // Read until the blank line ending the headers.
+
+    // Phase 1: wait for the request to start (skipped entirely when
+    // pipelined leftovers are already buffered). Poll in short slices so an
+    // idle worker notices shutdown quickly.
+    if conn.buf.is_empty() {
+        let wait = if first {
+            config.read_timeout
+        } else {
+            config.idle_timeout
+        };
+        let deadline = Instant::now() + wait;
+        loop {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                return Err(ReadEnd::Close(CloseReason::ShuttingDown));
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(if first {
+                    ReadEnd::Error(HttpError::new(408, "no request arrived before the timeout"))
+                } else {
+                    ReadEnd::Close(CloseReason::Idle)
+                });
+            }
+            let _ = stream.set_read_timeout(Some(IDLE_POLL.min(deadline - now)));
+            match read_step(stream, &mut chunk) {
+                ReadStep::Data(n) => {
+                    conn.buf.extend_from_slice(&chunk[..n]);
+                    break;
+                }
+                ReadStep::Eof => return Err(ReadEnd::Close(CloseReason::CleanEof)),
+                ReadStep::TimedOut => continue,
+                ReadStep::Aborted => return Err(ReadEnd::Close(CloseReason::Aborted)),
+            }
+        }
+    }
+    let _ = stream.set_read_timeout(Some(config.read_timeout));
+
+    // Phase 2: read until the blank line ending the headers. The scan for
+    // `\r\n\r\n` resumes where the last one stopped (minus 3 bytes in case
+    // the terminator straddles a read boundary) instead of rescanning the
+    // whole buffer per read.
     let header_end = loop {
-        if let Some(pos) = find_header_end(&buf) {
+        if let Some(pos) = find_header_end(&conn.buf, conn.scanned) {
+            conn.scanned = 0;
             break pos;
         }
-        if buf.len() > MAX_HEADER_BYTES {
-            return Err(
-                HttpError::new(431, "request headers too large").with_unread(DRAIN_SLACK_BYTES)
-            );
+        conn.scanned = conn.buf.len().saturating_sub(3);
+        if conn.buf.len() > MAX_HEADER_BYTES {
+            conn.scanned = 0;
+            return Err(ReadEnd::Error(
+                HttpError::new(431, "request headers too large").with_unread(DRAIN_SLACK_BYTES),
+            ));
         }
-        match stream.read(&mut chunk) {
-            Ok(0) => return Err(HttpError::new(400, "connection closed mid-headers")),
-            Ok(n) => buf.extend_from_slice(&chunk[..n]),
-            Err(e) => return Err(HttpError::new(408, format!("read failed: {e}"))),
+        match read_step(stream, &mut chunk) {
+            ReadStep::Data(n) => conn.buf.extend_from_slice(&chunk[..n]),
+            ReadStep::Eof => {
+                return Err(ReadEnd::Error(HttpError::new(
+                    400,
+                    "connection closed mid-headers",
+                )))
+            }
+            ReadStep::TimedOut => {
+                return Err(ReadEnd::Error(HttpError::new(
+                    408,
+                    "timed out reading request headers",
+                )))
+            }
+            ReadStep::Aborted => return Err(ReadEnd::Close(CloseReason::Aborted)),
         }
     };
-    let head = std::str::from_utf8(&buf[..header_end])
-        .map_err(|_| HttpError::new(400, "request head is not UTF-8"))?;
+
+    let head = std::str::from_utf8(&conn.buf[..header_end])
+        .map_err(|_| ReadEnd::Error(HttpError::new(400, "request head is not UTF-8")))?;
     let mut lines = head.split("\r\n");
     let request_line = lines.next().unwrap_or_default();
     let mut parts = request_line.split_whitespace();
     let method = parts
         .next()
-        .ok_or_else(|| HttpError::new(400, "empty request line"))?
+        .ok_or_else(|| ReadEnd::Error(HttpError::new(400, "empty request line")))?
         .to_string();
     let target = parts
         .next()
-        .ok_or_else(|| HttpError::new(400, "request line has no target"))?;
+        .ok_or_else(|| ReadEnd::Error(HttpError::new(400, "request line has no target")))?;
     let version = parts
         .next()
-        .ok_or_else(|| HttpError::new(400, "request line has no version"))?;
+        .ok_or_else(|| ReadEnd::Error(HttpError::new(400, "request line has no version")))?;
     if !version.starts_with("HTTP/1.") {
-        return Err(HttpError::new(505, format!("unsupported {version}")));
+        return Err(ReadEnd::Error(HttpError::new(
+            505,
+            format!("unsupported {version}"),
+        )));
     }
+    // HTTP/1.1 (and later 1.x) defaults to keep-alive; HTTP/1.0 to close.
+    let version_keep_alive = version != "HTTP/1.0";
     let (path, query) = match target.split_once('?') {
         Some((p, q)) => (p.to_string(), Some(q.to_string())),
         None => (target.to_string(), None),
     };
 
     let mut content_length = 0usize;
+    let mut keep_alive = version_keep_alive;
     for line in lines {
         if let Some((name, value)) = line.split_once(':') {
             let name = name.trim();
             if name.eq_ignore_ascii_case("content-length") {
                 content_length = value.trim().parse::<usize>().map_err(|_| {
-                    HttpError::new(400, "invalid Content-Length").with_unread(DRAIN_SLACK_BYTES)
+                    ReadEnd::Error(
+                        HttpError::new(400, "invalid Content-Length")
+                            .with_unread(DRAIN_SLACK_BYTES),
+                    )
                 })?;
             } else if name.eq_ignore_ascii_case("transfer-encoding") {
                 // Bodies are framed by Content-Length only; silently reading
                 // a chunked body as empty would score nothing and blame the
                 // client's CSV. The client may be mid-stream, so grant it
                 // the drain slack or the 501 risks being reset away.
-                return Err(HttpError::new(
-                    501,
-                    "transfer encodings are not supported; send Content-Length",
-                )
-                .with_unread(DRAIN_SLACK_BYTES));
+                return Err(ReadEnd::Error(
+                    HttpError::new(
+                        501,
+                        "transfer encodings are not supported; send Content-Length",
+                    )
+                    .with_unread(DRAIN_SLACK_BYTES),
+                ));
+            } else if name.eq_ignore_ascii_case("connection") {
+                // Token list; `close` wins over `keep-alive` if both appear.
+                let mut close = false;
+                let mut keep = false;
+                for token in value.split(',') {
+                    let token = token.trim();
+                    close |= token.eq_ignore_ascii_case("close");
+                    keep |= token.eq_ignore_ascii_case("keep-alive");
+                }
+                keep_alive = if close {
+                    false
+                } else {
+                    keep || version_keep_alive
+                };
             }
         }
     }
     if content_length > config.max_body_bytes {
-        return Err(HttpError::new(
-            413,
-            format!(
-                "body of {content_length} bytes exceeds the {} byte limit",
-                config.max_body_bytes
-            ),
-        )
-        .with_unread(content_length.saturating_sub(buf.len() - (header_end + 4))));
+        let buffered_body = conn.buf.len().saturating_sub(header_end + 4);
+        return Err(ReadEnd::Error(
+            HttpError::new(
+                413,
+                format!(
+                    "body of {content_length} bytes exceeds the {} byte limit",
+                    config.max_body_bytes
+                ),
+            )
+            .with_unread(content_length.saturating_sub(buffered_body)),
+        ));
     }
 
-    let mut body = buf[header_end + 4..].to_vec();
-    while body.len() < content_length {
-        match stream.read(&mut chunk) {
-            Ok(0) => return Err(HttpError::new(400, "connection closed mid-body")),
-            Ok(n) => body.extend_from_slice(&chunk[..n]),
-            Err(e) => return Err(HttpError::new(408, format!("read failed: {e}"))),
+    // Phase 3: read the body. Bytes past it stay buffered as the start of
+    // the next pipelined request.
+    let total = header_end + 4 + content_length;
+    while conn.buf.len() < total {
+        match read_step(stream, &mut chunk) {
+            ReadStep::Data(n) => conn.buf.extend_from_slice(&chunk[..n]),
+            ReadStep::Eof => {
+                return Err(ReadEnd::Error(HttpError::new(
+                    400,
+                    "connection closed mid-body",
+                )))
+            }
+            ReadStep::TimedOut => {
+                return Err(ReadEnd::Error(HttpError::new(
+                    408,
+                    "timed out reading request body",
+                )))
+            }
+            ReadStep::Aborted => return Err(ReadEnd::Close(CloseReason::Aborted)),
         }
     }
-    body.truncate(content_length);
+    let body = conn.buf[header_end + 4..total].to_vec();
+    conn.buf.drain(..total);
+    conn.scanned = 0;
     Ok(Request {
         method,
         path,
         query,
         body,
+        keep_alive,
     })
 }
 
-fn find_header_end(buf: &[u8]) -> Option<usize> {
-    buf.windows(4).position(|w| w == b"\r\n\r\n")
+/// Find the `\r\n\r\n` ending the headers, scanning only from `from`
+/// onwards. Callers resume with `from = buf.len() - 3` after a miss so each
+/// byte is scanned once however the headers drip in.
+fn find_header_end(buf: &[u8], from: usize) -> Option<usize> {
+    let start = from.min(buf.len());
+    buf[start..]
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .map(|p| p + start)
 }
 
 // ---------------------------------------------------------------------------
-// Routing and responses
+// Connection lifecycle
 
 fn handle_connection(mut stream: TcpStream, shared: &Shared) {
-    let _ = stream.set_read_timeout(Some(shared.config.read_timeout));
+    shared.connections.fetch_add(1, Ordering::SeqCst);
     let _ = stream.set_nodelay(true);
-    let (status, body, unread) = match read_request(&mut stream, &shared.config) {
-        Ok(request) => match route(&request, shared) {
-            Ok(body) => (200, body, 0),
-            Err(e) => (e.status, error_body(&e.message), 0),
-        },
-        Err(e) => (e.status, error_body(&e.message), e.unread_bytes),
-    };
-    shared.requests.fetch_add(1, Ordering::SeqCst);
-    let _ = write_response(&mut stream, status, &body);
-    if unread > 0 {
-        // The request was rejected before its body was consumed (413).
-        // Closing now, with unread bytes still arriving, would RST the
-        // connection and the client would never see the error response.
-        // Discard what the client declared it is still sending — bounded
-        // by an absolute cap and the socket read timeout — so the close is
-        // clean.
-        let mut chunk = [0u8; 4096];
-        let mut remaining = unread.min(MAX_DRAIN_BYTES);
-        while remaining > 0 {
-            match stream.read(&mut chunk) {
-                Ok(0) | Err(_) => break,
-                Ok(n) => remaining = remaining.saturating_sub(n),
+    let mut conn = ConnBuf::default();
+    let mut served = 0u64;
+    loop {
+        match read_request(&mut stream, &mut conn, shared, served == 0) {
+            Ok(request) => {
+                served += 1;
+                let keep = shared.config.keep_alive
+                    && request.keep_alive
+                    && served < shared.config.max_requests_per_connection
+                    && !shared.shutdown.load(Ordering::SeqCst);
+                let (status, body) = match route(&request, shared) {
+                    Ok(body) => (200, body),
+                    Err(e) => (e.status, error_body(&e.message)),
+                };
+                shared.requests.fetch_add(1, Ordering::SeqCst);
+                let keep_header = keep.then(|| KeepAliveHeader {
+                    idle: shared.config.idle_timeout,
+                    remaining: shared
+                        .config
+                        .max_requests_per_connection
+                        .saturating_sub(served),
+                });
+                if write_response(&mut stream, status, &body, keep_header).is_err() {
+                    // The response never made it: the peer is gone.
+                    shared.peer_resets.fetch_add(1, Ordering::SeqCst);
+                    return;
+                }
+                if !keep {
+                    return;
+                }
+            }
+            Err(ReadEnd::Error(e)) => {
+                // A wire-level failure: answer it if the socket still
+                // listens, then close — the request framing can no longer
+                // be trusted, so the connection must not be reused.
+                shared.requests.fetch_add(1, Ordering::SeqCst);
+                let body = error_body(&e.message);
+                if write_response(&mut stream, e.status, &body, None).is_err() {
+                    shared.peer_resets.fetch_add(1, Ordering::SeqCst);
+                } else if e.unread_bytes > 0 {
+                    drain_unread(&mut stream, e.unread_bytes);
+                }
+                return;
+            }
+            Err(ReadEnd::Close(reason)) => {
+                match reason {
+                    CloseReason::Idle => {
+                        shared.idle_closes.fetch_add(1, Ordering::SeqCst);
+                    }
+                    CloseReason::Aborted => {
+                        shared.peer_resets.fetch_add(1, Ordering::SeqCst);
+                    }
+                    CloseReason::CleanEof | CloseReason::ShuttingDown => {}
+                }
+                return;
             }
         }
     }
 }
 
+/// The request was rejected before its body was consumed (413 and kin).
+/// Closing now, with unread bytes still arriving, would RST the connection
+/// and the client would never see the error response. Discard what the
+/// client declared it is still sending — bounded by an absolute cap and the
+/// socket read timeout — so the close is clean.
+fn drain_unread(stream: &mut TcpStream, unread: usize) {
+    // A client mid-upload sends continuously; a short gap means whatever
+    // was in flight has arrived and the drain is done. The full
+    // `read_timeout` would just stall the close.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+    let mut chunk = [0u8; 4096];
+    let mut remaining = unread.min(MAX_DRAIN_BYTES);
+    while remaining > 0 {
+        match stream.read(&mut chunk) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => remaining = remaining.saturating_sub(n),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Routing and responses
+
 fn route(request: &Request, shared: &Shared) -> Result<String, HttpError> {
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => Ok(healthz_body(shared)),
-        ("GET", "/model") => Ok(model_body(shared)),
+        ("GET", "/models") => Ok(models_body(shared)),
+        ("GET", "/model") => model_body(request, shared),
         ("POST", "/score") => score_route(request, shared),
         ("GET", "/score") => Err(HttpError::new(405, "POST a feature frame to /score")),
         _ => Err(HttpError::new(
@@ -372,6 +707,21 @@ fn route(request: &Request, shared: &Shared) -> Result<String, HttpError> {
             format!("no route for {} {}", request.method, request.path),
         )),
     }
+}
+
+/// Resolve the request's `?model=<fingerprint>` selector (default model
+/// when absent) to a pinned `Arc` for the rest of the request.
+fn resolve_model(request: &Request, shared: &Shared) -> Result<Arc<ServedModel>, HttpError> {
+    let selector = model_param(request.query.as_deref()).map_err(|bad| {
+        HttpError::new(400, format!("model selector {bad:?} is not a fingerprint"))
+    })?;
+    shared.registry.get(selector).ok_or_else(|| match selector {
+        Some(fp) => HttpError::new(
+            404,
+            format!("no model with fingerprint {fp:#018x} is loaded"),
+        ),
+        None => HttpError::new(503, "no model loaded"),
+    })
 }
 
 fn score_route(request: &Request, shared: &Shared) -> Result<String, HttpError> {
@@ -384,20 +734,21 @@ fn score_route(request: &Request, shared: &Shared) -> Result<String, HttpError> 
             ))
         }
     };
+    // One Arc clone up front: the fingerprint echoed below and the forest
+    // that scores are the same object even if the registry swaps mid-call.
+    let served = resolve_model(request, shared)?;
     let text =
         std::str::from_utf8(&request.body).map_err(|_| HttpError::new(400, "body is not UTF-8"))?;
     let frame = FeatureFrame::parse_csv(text).map_err(|e| HttpError::new(400, e.to_string()))?;
-    let aligned = frame.align(shared.served.forest());
-    let scores = shared
-        .served
-        .score_block(&aligned.data, output, shared.config.score_mode);
+    let aligned = frame.align(served.forest());
+    let scores = served.score_block(&aligned.data, output, shared.config.score_mode);
     shared
         .scored_rows
         .fetch_add(scores.len() as u64, Ordering::SeqCst);
 
     let mut body = String::with_capacity(64 + scores.len() * 20);
     body.push_str("{\"fingerprint\":\"");
-    body.push_str(&shared.served.fingerprint_hex());
+    body.push_str(&served.fingerprint_hex());
     body.push_str("\",\"output\":\"");
     body.push_str(output.name());
     body.push_str("\",\"n_rows\":");
@@ -408,11 +759,17 @@ fn score_route(request: &Request, shared: &Shared) -> Result<String, HttpError> 
         if i > 0 {
             body.push(',');
         }
-        // `{}` on f64 prints the shortest decimal that parses back to the
-        // same bits — the property the end-to-end equivalence test relies
-        // on. Formatted straight into the buffer: this loop is the hot
-        // part of every response.
-        let _ = write!(body, "{s}");
+        if s.is_finite() {
+            // `{}` on f64 prints the shortest decimal that parses back to
+            // the same bits — the property the end-to-end equivalence test
+            // relies on. Formatted straight into the buffer: this loop is
+            // the hot part of every response.
+            let _ = write!(body, "{s}");
+        } else {
+            // Bare `NaN`/`inf` are not JSON; a missing-everything row must
+            // not corrupt the whole response.
+            body.push_str("null");
+        }
     }
     body.push_str("],\"missing_features\":");
     push_json_str_array(&mut body, &aligned.missing_features);
@@ -428,33 +785,85 @@ fn output_param(query: Option<&str>) -> Result<ScoreOutput, String> {
     };
     for pair in query.split('&') {
         if let Some(value) = pair.strip_prefix("output=") {
-            return match value {
-                "probability" => Ok(ScoreOutput::Probability),
-                "margin" => Ok(ScoreOutput::Margin),
-                other => Err(other.to_string()),
-            };
+            return ScoreOutput::from_name(value).ok_or_else(|| value.to_string());
         }
     }
     Ok(ScoreOutput::Probability)
 }
 
-fn healthz_body(shared: &Shared) -> String {
-    format!(
-        "{{\"status\":\"ok\",\"fingerprint\":\"{}\",\"kernel\":\"{}\",\"trees\":{},\"features\":{},\"requests\":{},\"scored_rows\":{}}}",
-        shared.served.fingerprint_hex(),
-        shared.served.kernel().name(),
-        shared.served.forest().n_trees(),
-        shared.served.forest().n_features(),
-        shared.requests.load(Ordering::SeqCst),
-        shared.scored_rows.load(Ordering::SeqCst),
-    )
+/// Parse the `model=<fingerprint>` selector: `0x`-prefixed or bare hex.
+/// `Ok(None)` when the query names no model.
+fn model_param(query: Option<&str>) -> Result<Option<u64>, String> {
+    let Some(query) = query else { return Ok(None) };
+    for pair in query.split('&') {
+        if let Some(value) = pair.strip_prefix("model=") {
+            let hex = value.strip_prefix("0x").unwrap_or(value);
+            return match u64::from_str_radix(hex, 16) {
+                Ok(fp) => Ok(Some(fp)),
+                Err(_) => Err(value.to_string()),
+            };
+        }
+    }
+    Ok(None)
 }
 
-fn model_body(shared: &Shared) -> String {
-    let forest = shared.served.forest();
+fn healthz_body(shared: &Shared) -> String {
+    let stats = shared.stats();
+    let counters = format!(
+        "\"models\":{},\"requests\":{},\"scored_rows\":{},\"connections\":{},\"peer_resets\":{},\"idle_closes\":{}",
+        shared.registry.len(),
+        stats.requests,
+        stats.scored_rows,
+        stats.connections,
+        stats.peer_resets,
+        stats.idle_closes,
+    );
+    match shared.registry.default_model() {
+        Some(served) => format!(
+            "{{\"status\":\"ok\",\"fingerprint\":\"{}\",\"kernel\":\"{}\",\"trees\":{},\"features\":{},{counters}}}",
+            served.fingerprint_hex(),
+            served.kernel().name(),
+            served.forest().n_trees(),
+            served.forest().n_features(),
+        ),
+        None => format!("{{\"status\":\"no-model\",{counters}}}"),
+    }
+}
+
+fn models_body(shared: &Shared) -> String {
+    let mut body = String::from("{\"default\":");
+    match shared.registry.default_fingerprint() {
+        Some(fp) => {
+            body.push('"');
+            body.push_str(&format!("{fp:#018x}"));
+            body.push('"');
+        }
+        None => body.push_str("null"),
+    }
+    body.push_str(",\"models\":[");
+    for (i, info) in shared.registry.infos().iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        body.push_str(&format!(
+            "{{\"fingerprint\":\"{:#018x}\",\"trees\":{},\"features\":{},\"kernel\":\"{}\",\"default\":{}}}",
+            info.fingerprint,
+            info.trees,
+            info.features,
+            info.kernel.name(),
+            info.is_default,
+        ));
+    }
+    body.push_str("]}");
+    body
+}
+
+fn model_body(request: &Request, shared: &Shared) -> Result<String, HttpError> {
+    let served = resolve_model(request, shared)?;
+    let forest = served.forest();
     let mut body = format!(
         "{{\"fingerprint\":\"{}\",\"artifact_version\":{},\"trees\":{},\"nodes\":{},\"base_margin\":{},\"features\":",
-        shared.served.fingerprint_hex(),
+        served.fingerprint_hex(),
         crate::ARTIFACT_VERSION,
         forest.n_trees(),
         forest.n_nodes(),
@@ -462,7 +871,7 @@ fn model_body(shared: &Shared) -> String {
     );
     push_json_str_array(&mut body, forest.feature_names());
     body.push('}');
-    body
+    Ok(body)
 }
 
 fn error_body(message: &str) -> String {
@@ -508,14 +917,36 @@ fn status_reason(status: u16) -> &'static str {
         413 => "Payload Too Large",
         431 => "Request Header Fields Too Large",
         501 => "Not Implemented",
+        503 => "Service Unavailable",
         505 => "HTTP Version Not Supported",
         _ => "Error",
     }
 }
 
-fn write_response(stream: &mut TcpStream, status: u16, body: &str) -> std::io::Result<()> {
+/// The keep-alive advertisement of a response that leaves the connection
+/// open: the idle timeout and how many more requests this connection may
+/// carry.
+struct KeepAliveHeader {
+    idle: Duration,
+    remaining: u64,
+}
+
+fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    body: &str,
+    keep: Option<KeepAliveHeader>,
+) -> std::io::Result<()> {
+    let connection = match &keep {
+        Some(k) => format!(
+            "Connection: keep-alive\r\nKeep-Alive: timeout={}, max={}",
+            k.idle.as_secs(),
+            k.remaining,
+        ),
+        None => "Connection: close".to_string(),
+    };
     let head = format!(
-        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n{connection}\r\n\r\n",
         status_reason(status),
         body.len(),
     );
@@ -530,8 +961,34 @@ mod tests {
 
     #[test]
     fn header_end_detection() {
-        assert_eq!(find_header_end(b"GET / HTTP/1.1\r\n\r\nrest"), Some(14));
-        assert_eq!(find_header_end(b"partial\r\n"), None);
+        assert_eq!(find_header_end(b"GET / HTTP/1.1\r\n\r\nrest", 0), Some(14));
+        assert_eq!(find_header_end(b"partial\r\n", 0), None);
+    }
+
+    /// The incremental scan finds a terminator that straddles the resume
+    /// offset, and never re-finds one before it.
+    #[test]
+    fn header_end_scan_resumes_across_reads() {
+        let full = b"GET / HTTP/1.1\r\nHost: x\r\n\r\nnext";
+        // Drip the bytes in and scan exactly as read_request does.
+        let mut buf: Vec<u8> = Vec::new();
+        let mut scanned = 0usize;
+        let mut found = None;
+        for chunk in full.chunks(5) {
+            buf.extend_from_slice(chunk);
+            if let Some(pos) = find_header_end(&buf, scanned) {
+                found = Some(pos);
+                break;
+            }
+            scanned = buf.len().saturating_sub(3);
+        }
+        assert_eq!(found, find_header_end(full, 0));
+        assert_eq!(found, Some(23));
+        // Scanning from past the terminator misses it (the caller resets
+        // `scanned` between requests).
+        assert_eq!(find_header_end(full, 24), None);
+        // An offset beyond the buffer is safe.
+        assert_eq!(find_header_end(b"ab", 10), None);
     }
 
     #[test]
@@ -550,5 +1007,21 @@ mod tests {
         );
         assert_eq!(output_param(Some("a=b")), Ok(ScoreOutput::Probability));
         assert_eq!(output_param(Some("output=shap")), Err("shap".to_string()));
+    }
+
+    #[test]
+    fn model_param_parsing() {
+        assert_eq!(model_param(None), Ok(None));
+        assert_eq!(model_param(Some("output=margin")), Ok(None));
+        assert_eq!(
+            model_param(Some("model=0x00ff00ff00ff00ff")),
+            Ok(Some(0x00ff_00ff_00ff_00ff))
+        );
+        assert_eq!(model_param(Some("model=ff")), Ok(Some(0xff)));
+        assert_eq!(
+            model_param(Some("output=margin&model=0x12")),
+            Ok(Some(0x12))
+        );
+        assert_eq!(model_param(Some("model=zebra")), Err("zebra".to_string()));
     }
 }

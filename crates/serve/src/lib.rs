@@ -16,10 +16,15 @@
 //! * [`frame`] — the CSV feature-matrix exchange format, aligned onto the
 //!   model schema by feature name,
 //! * [`http`] — a hermetic HTTP/1.1 scoring endpoint over
-//!   `std::net::TcpListener` (hand-rolled request parser, JSON response
-//!   writer, bounded worker pool, graceful shutdown),
+//!   `std::net::TcpListener` (hand-rolled request parser with keep-alive
+//!   and pipelined framing, JSON response writer, bounded worker pool,
+//!   graceful shutdown),
+//! * [`registry`] — the versioned multi-model map keyed by artifact
+//!   fingerprint, with atomic snapshot swaps for hot reload under live
+//!   traffic and a directory watcher feeding it from disk,
 //! * the `redsus-score` binary — `score` a feature-matrix file, `serve` an
-//!   artifact over HTTP, or `inspect` an artifact's schema.
+//!   artifact (or a hot-reloaded `--watch-dir` of artifacts) over HTTP, or
+//!   `inspect` an artifact's schema.
 //!
 //! Inference runs on [`ml::FlatForest`], the recursive trees lowered into
 //! breadth-first contiguous node arrays and traversed by a block-batched
@@ -33,6 +38,7 @@ pub mod artifact;
 pub mod batch;
 pub mod frame;
 pub mod http;
+pub mod registry;
 
 pub use artifact::{
     decode_model, encode_model, model_fingerprint, read_artifact, write_artifact, ArtifactError,
@@ -44,6 +50,7 @@ pub use batch::{
 };
 pub use frame::{AlignedBlock, FeatureFrame, FrameError};
 pub use http::{ScoreServer, ServeConfig, ServerStats};
+pub use registry::{DirWatcher, ModelInfo, ModelRegistry, ScanReport};
 
 use std::path::Path;
 

@@ -1,0 +1,372 @@
+//! Shared loopback-test plumbing: a Content-Length-framed HTTP client that
+//! can pipeline requests over one connection, and a strict JSON validator
+//! so responses can be asserted to *parse*, not just to contain expected
+//! substrings. Compiled into each integration-test binary via `mod common`.
+
+#![allow(dead_code)] // each test binary uses a subset of these helpers
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// One parsed response frame.
+#[derive(Debug, Clone)]
+pub struct Response {
+    pub status: u16,
+    /// Header lines as `(lowercased-name, value)` pairs.
+    pub headers: Vec<(String, String)>,
+    pub body: String,
+}
+
+impl Response {
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The `"scores":[…]` array of a `/score` response, with JSON `null`
+    /// (the non-finite encoding) read back as NaN.
+    pub fn scores(&self) -> Vec<f64> {
+        let start = self.body.find("\"scores\":[").expect("scores array") + "\"scores\":[".len();
+        let end = start + self.body[start..].find(']').expect("array end");
+        let inner = &self.body[start..end];
+        if inner.is_empty() {
+            return Vec::new();
+        }
+        inner
+            .split(',')
+            .map(|s| {
+                if s == "null" {
+                    f64::NAN
+                } else {
+                    s.parse::<f64>().expect("score is a float")
+                }
+            })
+            .collect()
+    }
+
+    /// The `"fingerprint":"0x…"` field of a response body.
+    pub fn fingerprint(&self) -> String {
+        let start =
+            self.body.find("\"fingerprint\":\"").expect("fingerprint") + "\"fingerprint\":\"".len();
+        let end = start + self.body[start..].find('"').expect("fingerprint end");
+        self.body[start..end].to_string()
+    }
+}
+
+/// A minimal keep-alive-aware HTTP/1.1 client: frames responses by
+/// `Content-Length` (instead of reading to EOF), so one connection can
+/// carry many requests — including pipelined bursts.
+pub struct FramedClient {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl FramedClient {
+    pub fn connect(addr: SocketAddr) -> Self {
+        let stream = TcpStream::connect(addr).expect("connect loopback");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .expect("read timeout");
+        stream.set_nodelay(true).expect("nodelay");
+        Self {
+            stream,
+            buf: Vec::new(),
+        }
+    }
+
+    /// Send raw request bytes (one request, or a pipelined burst).
+    pub fn send(&mut self, raw: &str) {
+        self.stream
+            .write_all(raw.as_bytes())
+            .expect("write request");
+    }
+
+    /// Build and send one `POST /score` request.
+    pub fn send_score(&mut self, query: &str, csv: &str, close: bool) {
+        let connection = if close { "Connection: close\r\n" } else { "" };
+        let raw = format!(
+            "POST /score{query} HTTP/1.1\r\nHost: localhost\r\n{connection}Content-Length: {}\r\n\r\n{csv}",
+            csv.len()
+        );
+        self.send(&raw);
+    }
+
+    /// Build and send one GET request.
+    pub fn send_get(&mut self, target: &str, close: bool) {
+        let connection = if close { "Connection: close\r\n" } else { "" };
+        let raw = format!("GET {target} HTTP/1.1\r\nHost: localhost\r\n{connection}\r\n");
+        self.send(&raw);
+    }
+
+    /// Read one framed response. `None` when the server closed the
+    /// connection cleanly at a response boundary.
+    pub fn read_response(&mut self) -> Option<Response> {
+        let header_end = loop {
+            if let Some(pos) = self.buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                break pos;
+            }
+            let mut chunk = [0u8; 4096];
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    assert!(
+                        self.buf.is_empty(),
+                        "connection closed mid-response: {:?}",
+                        String::from_utf8_lossy(&self.buf)
+                    );
+                    return None;
+                }
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e) => panic!("read response head: {e}"),
+            }
+        };
+        let head = String::from_utf8(self.buf[..header_end].to_vec()).expect("UTF-8 head");
+        let mut lines = head.split("\r\n");
+        let status: u16 = lines
+            .next()
+            .expect("status line")
+            .split_whitespace()
+            .nth(1)
+            .expect("status code")
+            .parse()
+            .expect("numeric status");
+        let headers: Vec<(String, String)> = lines
+            .filter_map(|l| l.split_once(':'))
+            .map(|(n, v)| (n.trim().to_ascii_lowercase(), v.trim().to_string()))
+            .collect();
+        let content_length: usize = headers
+            .iter()
+            .find(|(n, _)| n == "content-length")
+            .map(|(_, v)| v.parse().expect("numeric content-length"))
+            .expect("responses always carry Content-Length");
+        let total = header_end + 4 + content_length;
+        while self.buf.len() < total {
+            let mut chunk = [0u8; 4096];
+            match self.stream.read(&mut chunk) {
+                Ok(0) => panic!("connection closed mid-body"),
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e) => panic!("read response body: {e}"),
+            }
+        }
+        let body = String::from_utf8(self.buf[header_end + 4..total].to_vec()).expect("UTF-8 body");
+        self.buf.drain(..total);
+        Some(Response {
+            status,
+            headers,
+            body,
+        })
+    }
+
+    /// Assert the server closes the connection cleanly (EOF, no stray
+    /// bytes) — the "connection behaves" half of the error-path contract.
+    pub fn expect_clean_close(&mut self) {
+        assert!(
+            self.read_response().is_none(),
+            "expected a clean close, got another response"
+        );
+    }
+
+    /// Half-close the write side (what a client that is done sending does).
+    pub fn finish_writes(&mut self) {
+        self.stream.shutdown(std::net::Shutdown::Write).ok();
+    }
+
+    pub fn stream(&self) -> &TcpStream {
+        &self.stream
+    }
+}
+
+/// Assert `text` is one strict JSON value spanning the whole input —
+/// `NaN`, `inf`, trailing garbage, bare keys, etc. all fail. A
+/// recursive-descent checker, not a parser: it validates, it does not
+/// build a tree.
+pub fn assert_strict_json(text: &str) {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    skip_ws(bytes, &mut pos);
+    check_value(bytes, &mut pos, text);
+    skip_ws(bytes, &mut pos);
+    assert!(
+        pos == bytes.len(),
+        "trailing bytes after JSON value at offset {pos}: {text:?}"
+    );
+}
+
+fn fail(text: &str, pos: usize, what: &str) -> ! {
+    panic!("not strict JSON at offset {pos} ({what}): {text:?}");
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn check_value(bytes: &[u8], pos: &mut usize, text: &str) {
+    match bytes.get(*pos) {
+        Some(b'{') => check_object(bytes, pos, text),
+        Some(b'[') => check_array(bytes, pos, text),
+        Some(b'"') => check_string(bytes, pos, text),
+        Some(b't') => check_literal(bytes, pos, text, b"true"),
+        Some(b'f') => check_literal(bytes, pos, text, b"false"),
+        Some(b'n') => check_literal(bytes, pos, text, b"null"),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => check_number(bytes, pos, text),
+        _ => fail(text, *pos, "expected a value"),
+    }
+}
+
+fn check_literal(bytes: &[u8], pos: &mut usize, text: &str, lit: &[u8]) {
+    if bytes.len() < *pos + lit.len() || &bytes[*pos..*pos + lit.len()] != lit {
+        fail(text, *pos, "bad literal");
+    }
+    *pos += lit.len();
+}
+
+fn check_object(bytes: &[u8], pos: &mut usize, text: &str) {
+    *pos += 1; // '{'
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return;
+    }
+    loop {
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b'"') {
+            fail(text, *pos, "object key must be a string");
+        }
+        check_string(bytes, pos, text);
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) != Some(&b':') {
+            fail(text, *pos, "missing ':'");
+        }
+        *pos += 1;
+        skip_ws(bytes, pos);
+        check_value(bytes, pos, text);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return;
+            }
+            _ => fail(text, *pos, "expected ',' or '}'"),
+        }
+    }
+}
+
+fn check_array(bytes: &[u8], pos: &mut usize, text: &str) {
+    *pos += 1; // '['
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return;
+    }
+    loop {
+        skip_ws(bytes, pos);
+        check_value(bytes, pos, text);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return;
+            }
+            _ => fail(text, *pos, "expected ',' or ']'"),
+        }
+    }
+}
+
+fn check_string(bytes: &[u8], pos: &mut usize, text: &str) {
+    *pos += 1; // opening quote
+    while let Some(&c) = bytes.get(*pos) {
+        match c {
+            b'"' => {
+                *pos += 1;
+                return;
+            }
+            b'\\' => match bytes.get(*pos + 1) {
+                Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *pos += 2,
+                Some(b'u') => {
+                    if bytes.len() < *pos + 6
+                        || !bytes[*pos + 2..*pos + 6]
+                            .iter()
+                            .all(|b| b.is_ascii_hexdigit())
+                    {
+                        fail(text, *pos, "bad \\u escape");
+                    }
+                    *pos += 6;
+                }
+                _ => fail(text, *pos, "bad escape"),
+            },
+            c if c < 0x20 => fail(text, *pos, "raw control character in string"),
+            _ => *pos += 1,
+        }
+    }
+    fail(text, *pos, "unterminated string");
+}
+
+fn check_number(bytes: &[u8], pos: &mut usize, text: &str) {
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let digits_start = *pos;
+    while bytes.get(*pos).is_some_and(|b| b.is_ascii_digit()) {
+        *pos += 1;
+    }
+    if *pos == digits_start {
+        fail(text, *pos, "number needs digits");
+    }
+    // JSON forbids leading zeros on multi-digit integers.
+    if bytes[digits_start] == b'0' && *pos - digits_start > 1 {
+        fail(text, digits_start, "leading zero");
+    }
+    if bytes.get(*pos) == Some(&b'.') {
+        *pos += 1;
+        let frac_start = *pos;
+        while bytes.get(*pos).is_some_and(|b| b.is_ascii_digit()) {
+            *pos += 1;
+        }
+        if *pos == frac_start {
+            fail(text, *pos, "fraction needs digits");
+        }
+    }
+    if matches!(bytes.get(*pos), Some(b'e' | b'E')) {
+        *pos += 1;
+        if matches!(bytes.get(*pos), Some(b'+' | b'-')) {
+            *pos += 1;
+        }
+        let exp_start = *pos;
+        while bytes.get(*pos).is_some_and(|b| b.is_ascii_digit()) {
+            *pos += 1;
+        }
+        if *pos == exp_start {
+            fail(text, *pos, "exponent needs digits");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::assert_strict_json;
+
+    #[test]
+    fn validator_accepts_and_rejects() {
+        assert_strict_json(r#"{"a":[1,2.5,-3e-2,null,true,"x\n"],"b":{}}"#);
+        assert_strict_json("[]");
+        for bad in [
+            "{\"scores\":[NaN]}",
+            "{\"scores\":[inf]}",
+            "{} trailing",
+            "{\"a\":01}",
+            "{'a':1}",
+        ] {
+            assert!(
+                std::panic::catch_unwind(|| assert_strict_json(bad)).is_err(),
+                "{bad:?} should be rejected"
+            );
+        }
+    }
+}

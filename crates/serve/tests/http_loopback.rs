@@ -44,9 +44,13 @@ fn start_server() -> (ScoreServer, GbdtModel, Dataset) {
     (server, model, data)
 }
 
-/// A minimal HTTP/1.1 client: send raw bytes, read to EOF, split the
-/// response into (status, body).
+/// A minimal one-shot HTTP/1.1 client: send raw bytes, read to EOF, split
+/// the response into (status, body). `Connection: close` is injected into
+/// the headers because reading to EOF on a keep-alive connection would
+/// stall until the server's idle timeout. (The keep-alive path has its own
+/// framed client in `tests/keepalive.rs`.)
 fn request(server: &ScoreServer, raw: &str) -> (u16, String) {
+    let raw = raw.replacen("\r\n\r\n", "\r\nConnection: close\r\n\r\n", 1);
     let mut stream = TcpStream::connect(server.addr()).expect("connect");
     stream
         .set_read_timeout(Some(Duration::from_secs(10)))
@@ -215,6 +219,12 @@ fn malformed_requests_get_typed_errors() {
     // Bad output selector.
     let (status, _) = post_score(&server, "?output=shap", "down,up,tests\n1,2,3\n");
     assert_eq!(status, 400);
+    // Duplicate header column: rejected loudly at the parse, not silently
+    // first-wins at alignment.
+    let (status, body) = post_score(&server, "", "down,up,down\n1.0,2.0,3.0\n");
+    assert_eq!(status, 400);
+    assert!(body.contains("duplicate column"), "{body}");
+    assert!(body.contains("down"), "{body}");
     // Unsupported HTTP version.
     let (status, _) = request(&server, "GET /healthz SPDY/99\r\n\r\n");
     assert_eq!(status, 505);

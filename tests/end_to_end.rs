@@ -254,7 +254,7 @@ fn served_scores_match_in_process_predictions() {
         body.push('\n');
     }
     let request = format!(
-        "POST /score HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\n\r\n{body}",
+        "POST /score HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
         body.len()
     );
     let mut stream = std::net::TcpStream::connect(server.addr()).expect("connect loopback");
