@@ -30,14 +30,15 @@ pub mod time;
 
 pub use challenge::{Challenge, ChallengeOutcome, ChallengeReason};
 pub use diff::{ClaimChange, ClaimChangeKind, MapDiff};
-pub use fabric::{Bsl, Fabric};
+pub use fabric::{Bsl, Fabric, FabricView};
 pub use filing::{AvailabilityRecord, Filing, ServiceType};
 pub use ids::{Asn, Frn, LocationId, ProviderId};
 pub use nbm::{ClaimKey, HexClaim, NbmRelease, ReleaseVersion};
 pub use provider::{Provider, ProviderRegistry};
 pub use stream::{
-    diff_releases, map_shards, ClaimEntry, DiffChain, DiffMode, DiffOutcome, DiffPairReport,
-    ReleaseStream, ShardableRelease, SortedClaimStream, StreamStats, StreamingDiff,
+    collect_shards, diff_releases, drain_shards, map_shards, ClaimEntry, ClaimStream, DiffChain,
+    DiffMode, DiffOutcome, DiffPairReport, FabricStream, ReleaseStream, ResidencyMeter,
+    ShardStream, ShardableRelease, SortedClaimStream, SpeedTestStream, StreamStats, StreamingDiff,
     DEFAULT_DIFF_CHUNK,
 };
 pub use tech::Technology;

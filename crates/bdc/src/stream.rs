@@ -27,9 +27,11 @@
 //! the equivalence tests in `tests/streaming_diff.rs`.
 
 use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 use crate::diff::{ClaimChange, ClaimChangeKind, MapDiff};
+use crate::fabric::Bsl;
 use crate::filing::AvailabilityRecord;
 use crate::ids::ProviderId;
 use crate::nbm::{ClaimKey, ReleaseVersion};
@@ -200,6 +202,154 @@ pub trait ShardableRelease: Sync {
 
     /// Stream of one provider's claims.
     fn provider_stream(&self, provider: ProviderId, chunk_size: usize) -> Self::Stream;
+}
+
+/// Thread-safe peak-residency accounting for shard streams: the same honest
+/// bookkeeping [`StreamStats::peak_resident_entries`] gives the diff engine,
+/// generalised so every streaming stage (fabric, claims, speed tests, labels,
+/// features) can report what it actually held resident rather than what it
+/// hoped to.
+///
+/// `acquire`/`release` track transient shard buffers; [`ResidencyMeter::pin`]
+/// records long-lived structures (an index that stays resident for the rest
+/// of the run). The peak is monotone and survives release, so a stage report
+/// reflects the worst moment, not the final state.
+#[derive(Debug, Default)]
+pub struct ResidencyMeter {
+    current: AtomicUsize,
+    peak: AtomicUsize,
+    stage_peak: AtomicUsize,
+}
+
+impl ResidencyMeter {
+    /// A meter with nothing resident.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Note `entries` newly resident (a pulled shard, a growing buffer).
+    pub fn acquire(&self, entries: usize) {
+        let now = self.current.fetch_add(entries, Ordering::Relaxed) + entries;
+        self.peak.fetch_max(now, Ordering::Relaxed);
+        self.stage_peak.fetch_max(now, Ordering::Relaxed);
+    }
+
+    /// Note `entries` dropped again (a shard consumed and freed).
+    pub fn release(&self, entries: usize) {
+        self.current.fetch_sub(entries, Ordering::Relaxed);
+    }
+
+    /// Note `entries` that stay resident from now on (an index kept for the
+    /// rest of the run). Equivalent to an `acquire` with no matching
+    /// `release`; named separately so call sites state their intent.
+    pub fn pin(&self, entries: usize) {
+        self.acquire(entries);
+    }
+
+    /// Entries resident right now.
+    pub fn current(&self) -> usize {
+        self.current.load(Ordering::Relaxed)
+    }
+
+    /// The highest number of entries ever resident at once.
+    pub fn peak(&self) -> usize {
+        self.peak.load(Ordering::Relaxed)
+    }
+
+    /// The highest residency since the last call to this method (or since the
+    /// meter was created), then reset the watermark to the current residency.
+    /// Lets a multi-stage run report an honest per-stage peak from one shared
+    /// meter while [`ResidencyMeter::peak`] stays the run-wide high water.
+    pub fn take_stage_peak(&self) -> usize {
+        let now = self.current.load(Ordering::Relaxed);
+        self.stage_peak.swap(now, Ordering::Relaxed).max(now)
+    }
+}
+
+/// A source of data that is *regenerated or read shard-by-shard on demand*
+/// instead of being stored: the `ReleaseEmitter` pattern generalised. A shard
+/// is an indexed, self-contained batch (one town's BSLs, one provider's
+/// claims, one hex's speed-test tile); calling [`ShardStream::shard`] twice
+/// with the same index yields the same bytes, so consumers may pull shards in
+/// any order, in parallel, or twice — scheduling is never semantic, exactly
+/// as with [`map_shards`].
+///
+/// [`ShardStream::resident_entries`] is the honesty contract inherited from
+/// [`ReleaseStream`]: a genuinely streaming source reports only the bounded
+/// state it keeps between calls (an offset table, an RNG key), while an
+/// in-memory adapter must admit its full backing copy.
+pub trait ShardStream: Sync {
+    /// What one shard yields.
+    type Item: Send;
+
+    /// Number of shards; valid indices are `0..shard_count()`.
+    fn shard_count(&self) -> usize;
+
+    /// Produce shard `index` from scratch. Pure: same index, same bytes.
+    fn shard(&self, index: usize) -> Vec<Self::Item>;
+
+    /// Entries the stream itself keeps resident between `shard` calls (its
+    /// backing storage or index), for peak-residency accounting.
+    fn resident_entries(&self) -> usize {
+        0
+    }
+}
+
+/// A shard-streamed view of the BSL fabric: one shard per town-like cluster,
+/// concatenating to the full fabric in location-id order.
+pub trait FabricStream: ShardStream<Item = Bsl> {
+    /// Total number of BSLs across all shards (u64: the national fabric and
+    /// beyond must not be clamped to a 32-bit count).
+    fn total_locations(&self) -> u64;
+}
+
+/// A shard-streamed view of location-level claims: one shard per provider,
+/// ascending by provider id, each shard claim-key-ordered — so concatenating
+/// all shards yields the sorted claim base of the initial release.
+pub trait ClaimStream: ShardStream<Item = ClaimEntry> {
+    /// Providers backing the shards, ascending; `providers()[i]` owns shard
+    /// `i`.
+    fn providers(&self) -> Vec<ProviderId>;
+}
+
+/// A shard-streamed source of speed-test records (Ookla tiles, MLab tests —
+/// the item type is the implementor's). A marker refinement of
+/// [`ShardStream`]: implementors promise shards arrive in the canonical
+/// generation order of the dataset (sorted-hex order for tiles, provider
+/// order for tests), so collecting the stream reproduces the materialised
+/// dataset byte for byte.
+pub trait SpeedTestStream: ShardStream {}
+
+/// Materialise a shard stream: pull every shard through [`map_shards`] and
+/// concatenate in shard order. This is the thin adapter that turns any
+/// streaming source back into the resident representation — the generators'
+/// batch paths are exactly this call, so the two paths cannot drift.
+pub fn collect_shards<S: ShardStream>(stream: &S, workers: usize) -> Vec<S::Item> {
+    let indices: Vec<usize> = (0..stream.shard_count()).collect();
+    map_shards(workers, &indices, |_, &i| stream.shard(i))
+        .into_iter()
+        .flatten()
+        .collect()
+}
+
+/// Drive a shard stream to exhaustion *without* keeping it: each shard is
+/// produced, handed to `consume` in shard order, then dropped, with the
+/// transient residency metered. This is the bounded-memory counterpart of
+/// [`collect_shards`] for stages that only need one pass.
+pub fn drain_shards<S: ShardStream>(
+    stream: &S,
+    meter: &ResidencyMeter,
+    mut consume: impl FnMut(usize, Vec<S::Item>),
+) {
+    meter.acquire(stream.resident_entries());
+    for i in 0..stream.shard_count() {
+        let shard = stream.shard(i);
+        meter.acquire(shard.len());
+        let n = shard.len();
+        consume(i, shard);
+        meter.release(n);
+    }
+    meter.release(stream.resident_entries());
 }
 
 /// How [`diff_releases`] schedules the per-provider merge: every mode
@@ -1060,5 +1210,89 @@ mod tests {
         let r2 = TestRelease::new(2, vec![]);
         let mut chain = DiffChain::new(v(1));
         chain.absorb(diff_releases(&r0, &r2, 16, DiffMode::Sequential));
+    }
+
+    /// A procedural claim stream: regenerates each provider's claims from the
+    /// shard index alone, holding only the provider list resident.
+    struct GenClaims {
+        providers: Vec<ProviderId>,
+        per_provider: usize,
+    }
+
+    impl ShardStream for GenClaims {
+        type Item = ClaimEntry;
+
+        fn shard_count(&self) -> usize {
+            self.providers.len()
+        }
+
+        fn shard(&self, index: usize) -> Vec<ClaimEntry> {
+            let p = self.providers[index];
+            (0..self.per_provider as u64)
+                .map(|i| entry(p.value(), i, 100.0 + i as f64, 10.0))
+                .collect()
+        }
+
+        fn resident_entries(&self) -> usize {
+            self.providers.len()
+        }
+    }
+
+    impl ClaimStream for GenClaims {
+        fn providers(&self) -> Vec<ProviderId> {
+            self.providers.clone()
+        }
+    }
+
+    #[test]
+    fn residency_meter_tracks_peak_across_acquire_release() {
+        let m = ResidencyMeter::new();
+        m.acquire(100);
+        m.release(100);
+        m.acquire(60);
+        m.pin(10);
+        assert_eq!(m.current(), 70);
+        assert_eq!(m.peak(), 100, "peak must survive release");
+        m.acquire(50);
+        assert_eq!(m.peak(), 120);
+    }
+
+    #[test]
+    fn collect_shards_is_worker_count_invariant() {
+        let stream = GenClaims {
+            providers: (1..=9).map(ProviderId).collect(),
+            per_provider: 37,
+        };
+        let base = collect_shards(&stream, 1);
+        assert_eq!(base.len(), 9 * 37);
+        // Shards concatenate in provider order → sorted claim base.
+        assert!(base.windows(2).all(|w| w[0].key <= w[1].key));
+        for workers in [2, 4, 16] {
+            assert_eq!(collect_shards(&stream, workers), base);
+        }
+    }
+
+    #[test]
+    fn drain_shards_bounds_residency_to_one_shard() {
+        let stream = GenClaims {
+            providers: (1..=9).map(ProviderId).collect(),
+            per_provider: 37,
+        };
+        let meter = ResidencyMeter::new();
+        let mut seen = 0usize;
+        let mut order = Vec::new();
+        drain_shards(&stream, &meter, |i, shard| {
+            seen += shard.len();
+            order.push(i);
+        });
+        assert_eq!(seen, 9 * 37);
+        assert_eq!(order, (0..9).collect::<Vec<_>>());
+        assert_eq!(meter.current(), 0, "everything released after the drain");
+        assert!(
+            meter.peak() <= 37 + stream.resident_entries(),
+            "peak {} exceeds one shard + backing state",
+            meter.peak()
+        );
+        assert_eq!(stream.providers().len(), 9);
     }
 }

@@ -121,6 +121,22 @@ fn bench_preset(c: &mut Criterion, label: &str, world: &SynthUs) {
                 "ms",
             );
         }
+        // Residency is schedule-invariant; record it once per preset.
+        if engine.mode() == redsus_core::pipeline::ExecutionMode::Sequential {
+            for stage in PipelineStage::ALL {
+                let (entries, bytes) = run.report.residency_for(stage).unwrap();
+                report_metric(
+                    format!("stage_{label}/{}_peak_resident", stage.name()),
+                    entries as f64,
+                    "entries",
+                );
+                report_metric(
+                    format!("stage_{label}/{}_approx_resident", stage.name()),
+                    bytes as f64,
+                    "bytes",
+                );
+            }
+        }
     }
 }
 

@@ -8,15 +8,16 @@
 //! to the provider in the hex. Speed-test *results* are deliberately excluded
 //! — only their presence is used.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::hash::{Hash, Hasher};
 
 use bdc::stream::map_shards;
-use bdc::ProviderId;
+use bdc::{FabricView, NbmRelease, ProviderId};
 use embed::TextEmbedder;
+use hexgrid::HexCell;
 use ml::Dataset;
 use serde::{Deserialize, Serialize};
-use speedtest::CoverageScore;
+use speedtest::{CoverageScore, OoklaHexAggregate, ProviderHexTests};
 use synth::{SynthUs, STATES};
 
 use crate::labels::Observation;
@@ -32,7 +33,7 @@ pub use bdc::stream::DiffMode as FeatureMode;
 /// input alone (never of the worker count), so every schedule cuts the same
 /// chunks and reassembling them in chunk order reproduces the sequential
 /// row order exactly.
-const OBSERVATION_CHUNK: usize = 1024;
+pub(crate) const OBSERVATION_CHUNK: usize = 1024;
 
 /// Which feature groups to include and how large the methodology embedding is
 /// — the axes of the feature ablations.
@@ -140,16 +141,32 @@ pub fn feature_names(config: &FeatureConfig) -> Vec<String> {
     names
 }
 
+/// Everything feature engineering needs to see — the counterpart of
+/// `LabelInputs`. The fabric enters as a [`FabricView`] and the release, the
+/// speed-test aggregates and the methodologies enter by reference, so both
+/// the materialised `SynthUs` + `AnalysisContext` pair and the national-scale
+/// streaming world vectorise bit-identically through the same code.
+pub struct FeatureInputs<'a> {
+    pub fabric: &'a dyn FabricView,
+    /// The initial NBM release whose per-hex claims feed the claim columns.
+    pub release: &'a NbmRelease,
+    /// Per-hex Ookla aggregates (device density column).
+    pub ookla_by_hex: &'a HashMap<HexCell, OoklaHexAggregate>,
+    /// MLab tests attributed and localised per provider/hex.
+    pub mlab_evidence: &'a ProviderHexTests,
+    /// Per-provider filing methodology free text (embedding columns).
+    pub methodologies: &'a BTreeMap<ProviderId, String>,
+}
+
 /// Vectorise one shard of observations into a dataset shard.
 fn feature_shard(
-    world: &SynthUs,
-    ctx: &AnalysisContext,
+    inputs: &FeatureInputs<'_>,
     observations: &[Observation],
     config: &FeatureConfig,
     names: &[String],
     embeddings: &BTreeMap<ProviderId, Vec<f32>>,
 ) -> Dataset {
-    let release = world.initial_release();
+    let release = inputs.release;
     let mut dataset = Dataset::new(names.to_vec());
     for obs in observations {
         let claim = release.claim_for(obs.provider, obs.hex, obs.technology);
@@ -179,11 +196,11 @@ fn feature_shard(
             // The same devices-per-BSL definition the coverage scores (and
             // therefore the likely-served labelling threshold) use — see
             // `CoverageScore::density`.
-            let devices_per_loc = ctx.ookla_by_hex.get(&obs.hex).map(|agg| {
-                CoverageScore::density(agg.devices, world.fabric.bsl_count_in_hex(&obs.hex)) as f32
+            let devices_per_loc = inputs.ookla_by_hex.get(&obs.hex).map(|agg| {
+                CoverageScore::density(agg.devices, inputs.fabric.bsl_count_in_hex(&obs.hex)) as f32
             });
             row.push(devices_per_loc.unwrap_or(f32::NAN));
-            row.push(ctx.mlab_evidence.count(obs.provider, obs.hex) as f32);
+            row.push(inputs.mlab_evidence.count(obs.provider, obs.hex) as f32);
         }
         if config.methodology_enabled() {
             match embeddings.get(&obs.provider) {
@@ -221,6 +238,25 @@ pub fn build_features_with(
     config: &FeatureConfig,
     mode: FeatureMode,
 ) -> FeatureMatrix {
+    let inputs = FeatureInputs {
+        fabric: &world.fabric,
+        release: world.initial_release(),
+        ookla_by_hex: &ctx.ookla_by_hex,
+        mlab_evidence: &ctx.mlab_evidence,
+        methodologies: &ctx.methodologies,
+    };
+    build_features_from_inputs(&inputs, observations, config, mode)
+}
+
+/// Build the feature matrix from explicit [`FeatureInputs`] — the engine the
+/// materialised wrapper above and the streaming national-scale path both
+/// route through, so the two can never vectorise differently.
+pub fn build_features_from_inputs(
+    inputs: &FeatureInputs<'_>,
+    observations: &[Observation],
+    config: &FeatureConfig,
+    mode: FeatureMode,
+) -> FeatureMatrix {
     let workers = mode.worker_count();
     let names = feature_names(config);
 
@@ -228,7 +264,7 @@ pub fn build_features_with(
     // same workers (embedding is a pure function of the text).
     let embeddings: BTreeMap<ProviderId, Vec<f32>> = if config.methodology_enabled() {
         let embedder = TextEmbedder::new(config.embedding_dim, 0x5EED_5BEE);
-        let entries: Vec<(&ProviderId, &String)> = ctx.methodologies.iter().collect();
+        let entries: Vec<(&ProviderId, &String)> = inputs.methodologies.iter().collect();
         map_shards(workers, &entries, |_, (provider, text)| {
             (**provider, embedder.embed(text))
         })
@@ -240,7 +276,7 @@ pub fn build_features_with(
 
     let chunks: Vec<&[Observation]> = observations.chunks(OBSERVATION_CHUNK).collect();
     let shards = map_shards(workers, &chunks, |_, chunk| {
-        feature_shard(world, ctx, chunk, config, &names, &embeddings)
+        feature_shard(inputs, chunk, config, &names, &embeddings)
     });
     FeatureMatrix {
         dataset: Dataset::from_shards(names, shards),

@@ -20,7 +20,7 @@ use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::hash::{Hash, Hasher};
 
 use bdc::stream::map_shards;
-use bdc::{Challenge, ClaimChange, Fabric, NbmRelease, ProviderId, Technology};
+use bdc::{Challenge, ClaimChange, FabricView, NbmRelease, ProviderId, Technology};
 use hexgrid::HexCell;
 use serde::{Deserialize, Serialize};
 use speedtest::{CoverageScore, ProviderHexTests};
@@ -35,7 +35,7 @@ pub use bdc::stream::DiffMode as LabelMode;
 /// chunking is a function of the input alone (never of the worker count), so
 /// every schedule shards identically and concatenating shard outputs in
 /// chunk order reproduces the sequential scan exactly.
-const COVERAGE_CHUNK: usize = 2048;
+pub(crate) const COVERAGE_CHUNK: usize = 2048;
 
 /// Binary availability label.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -131,9 +131,11 @@ impl LabelingOptions {
     }
 }
 
-/// Everything label construction needs to see.
+/// Everything label construction needs to see. The fabric enters as a
+/// [`FabricView`] so a fully materialised `Fabric` and the national-scale
+/// streaming hex table label bit-identically through the same code.
 pub struct LabelInputs<'a> {
-    pub fabric: &'a Fabric,
+    pub fabric: &'a dyn FabricView,
     pub initial_release: &'a NbmRelease,
     /// Cumulative non-archived removals recovered by streaming successive
     /// releases through `bdc::DiffChain` (claim-key order; every change's
@@ -159,20 +161,15 @@ pub struct LabelInputs<'a> {
 /// answer: the state holding the most BSLs in the hex, ties broken by the
 /// lexicographically smallest code. Returns `None` when the fabric knows no
 /// BSL in the hex.
-pub fn resolve_hex_state(fabric: &Fabric, hex: &HexCell) -> Option<String> {
-    let mut counts: BTreeMap<&str, usize> = BTreeMap::new();
-    for id in fabric.locations_in_hex(hex) {
-        if let Some(bsl) = fabric.get(*id) {
-            *counts.entry(bsl.state.as_str()).or_insert(0) += 1;
-        }
-    }
-    counts
+pub fn resolve_hex_state(fabric: &dyn FabricView, hex: &HexCell) -> Option<String> {
+    fabric
+        .hex_state_counts(hex)
         .into_iter()
         // `max_by` keeps the last maximal element of the ascending iteration;
         // reversing the state comparison on count ties therefore prefers the
         // lexicographically smallest code.
-        .max_by(|a, b| a.1.cmp(&b.1).then_with(|| b.0.cmp(a.0)))
-        .map(|(state, _)| state.to_string())
+        .max_by(|a, b| a.1.cmp(&b.1).then_with(|| b.0.cmp(&a.0)))
+        .map(|(state, _)| state)
 }
 
 /// The dedup key of an observation.
@@ -199,8 +196,8 @@ fn resolve_label_hexes(
     }
     if options.include_changes {
         for change in inputs.removal_evidence {
-            if let Some(bsl) = inputs.fabric.get(change.location) {
-                hexes.insert(bsl.hex);
+            if let Some(hex) = inputs.fabric.hex_of(change.location) {
+                hexes.insert(hex);
             }
         }
     }
@@ -293,19 +290,19 @@ fn provider_label_shard(
     let mut changes = Vec::new();
     for &i in change_idx {
         let change = &inputs.removal_evidence[i];
-        let Some(bsl) = inputs.fabric.get(change.location) else {
+        let Some(hex) = inputs.fabric.hex_of(change.location) else {
             continue;
         };
-        let key = (change.provider, bsl.hex, change.technology);
+        let key = (change.provider, hex, change.technology);
         if !seen.insert(key) {
             continue;
         }
         changes.push(Observation {
             provider: change.provider,
-            hex: bsl.hex,
+            hex,
             technology: change.technology,
             state: hex_states
-                .get(&bsl.hex)
+                .get(&hex)
                 .cloned()
                 .flatten()
                 .expect("map-change hex not pre-resolved"),

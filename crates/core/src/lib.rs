@@ -24,6 +24,7 @@ pub mod features;
 pub mod labels;
 pub mod model;
 pub mod pipeline;
+pub mod streaming;
 
 pub use features::{FeatureConfig, FeatureMatrix, FeatureMode};
 pub use labels::{Label, LabelMode, LabelSource, LabelingOptions, Observation};
@@ -32,3 +33,4 @@ pub use pipeline::{
     AnalysisContext, DatasetRun, ExecutionMode, PipelineEngine, PipelineReport, PipelineRun,
     PipelineStage, StageTiming,
 };
+pub use streaming::{run_streaming_to_dataset, StreamingDatasetRun};

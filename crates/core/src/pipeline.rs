@@ -116,11 +116,20 @@ pub enum ExecutionMode {
     Parallel,
 }
 
-/// Wall-clock timing of one executed stage.
+/// Wall-clock timing and peak working-set residency of one executed stage.
 #[derive(Debug, Clone, Copy)]
 pub struct StageTiming {
     pub stage: PipelineStage,
     pub wall: Duration,
+    /// Peak entries resident in the stage's working set. The materialised
+    /// engine reports each stage's retained output size (its world-sized
+    /// inputs are already resident and shared, so the output is what the
+    /// stage *adds*); the streaming runner reports the metered high-water
+    /// mark instead, which also covers transient shards.
+    pub peak_resident_entries: usize,
+    /// Approximate bytes behind `peak_resident_entries` (element-size
+    /// estimate; heap-owning elements such as strings are approximated).
+    pub approx_resident_bytes: usize,
 }
 
 /// Execution report: which mode ran, per-stage wall-clock, and the end-to-end
@@ -150,6 +159,24 @@ impl PipelineReport {
     /// Sum of all stage wall-clocks (the sequential-equivalent work).
     pub fn stage_sum(&self) -> Duration {
         self.timings.iter().map(|t| t.wall).sum()
+    }
+
+    /// Peak working-set residency of a specific stage, if it ran:
+    /// `(entries, approximate bytes)`.
+    pub fn residency_for(&self, stage: PipelineStage) -> Option<(usize, usize)> {
+        self.timings
+            .iter()
+            .find(|t| t.stage == stage)
+            .map(|t| (t.peak_resident_entries, t.approx_resident_bytes))
+    }
+
+    /// Largest per-stage peak residency (entries) across all executed stages.
+    pub fn peak_resident_entries(&self) -> usize {
+        self.timings
+            .iter()
+            .map(|t| t.peak_resident_entries)
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -249,6 +276,7 @@ impl PipelineEngine {
             ExecutionMode::Sequential => run_sequential(world),
         };
         timings.sort_by_key(|t| t.stage);
+        fill_residency(&mut timings, &context);
         PipelineRun {
             context,
             report: PipelineReport {
@@ -290,12 +318,17 @@ impl PipelineEngine {
             report: prep,
         } = self.run(world);
         let mode = self.stage_mode();
-        let (observations, t_labels) = timed(PipelineStage::LabelConstruction, || {
+        let (observations, mut t_labels) = timed(PipelineStage::LabelConstruction, || {
             stage_label_construction(world, &context, options, mode)
         });
-        let (matrix, t_features) = timed(PipelineStage::FeatureEngineering, || {
+        t_labels.peak_resident_entries = observations.len();
+        t_labels.approx_resident_bytes = observations.len() * std::mem::size_of::<Observation>();
+        let (matrix, mut t_features) = timed(PipelineStage::FeatureEngineering, || {
             stage_feature_engineering(world, &context, &observations, features, mode)
         });
+        let values = matrix.dataset.n_rows() * matrix.dataset.feature_names().len();
+        t_features.peak_resident_entries = values;
+        t_features.approx_resident_bytes = values * std::mem::size_of::<f64>();
         let mut timings = prep.timings;
         timings.push(t_labels);
         timings.push(t_features);
@@ -312,7 +345,8 @@ impl PipelineEngine {
     }
 }
 
-/// Time one stage's body.
+/// Time one stage's body. Residency is filled in afterwards, once the
+/// stage's retained output exists to be measured ([`fill_residency`]).
 fn timed<T>(stage: PipelineStage, f: impl FnOnce() -> T) -> (T, StageTiming) {
     let start = Instant::now();
     let out = f();
@@ -321,8 +355,58 @@ fn timed<T>(stage: PipelineStage, f: impl FnOnce() -> T) -> (T, StageTiming) {
         StageTiming {
             stage,
             wall: start.elapsed(),
+            peak_resident_entries: 0,
+            approx_resident_bytes: 0,
         },
     )
+}
+
+/// Fill each preparation stage's peak residency from the context it built.
+///
+/// On the materialised path every stage reads the shared, already-resident
+/// world, so the honest per-stage figure is the size of what the stage
+/// retains: its output. The one exception is `release_diff`, whose streaming
+/// engine meters its own transient chunk residency — that high-water mark is
+/// reported directly.
+fn fill_residency(timings: &mut [StageTiming], ctx: &AnalysisContext) {
+    use std::mem::size_of;
+    for t in timings.iter_mut() {
+        let (entries, bytes) = match t.stage {
+            PipelineStage::AsnMatching => {
+                let pairs: usize = ctx.provider_asns.values().map(|a| a.len()).sum();
+                let entries = ctx.provider_asns.len() + pairs;
+                (entries, entries * size_of::<(ProviderId, Asn)>())
+            }
+            PipelineStage::OoklaReprojection => {
+                let n = ctx.ookla_by_hex.len();
+                (
+                    n,
+                    n * (size_of::<HexCell>() + size_of::<OoklaHexAggregate>()),
+                )
+            }
+            PipelineStage::CoverageScoring => {
+                let n = ctx.coverage.len();
+                (n, n * size_of::<CoverageScore>())
+            }
+            PipelineStage::MlabAttribution => {
+                let n = ctx.mlab_evidence.len();
+                (n, n * size_of::<(ProviderId, HexCell, f64)>())
+            }
+            PipelineStage::MethodologyCollection => {
+                let n = ctx.methodologies.len();
+                let text: usize = ctx.methodologies.values().map(|s| s.len()).sum();
+                (n, n * size_of::<(ProviderId, String)>() + text)
+            }
+            PipelineStage::ReleaseDiff => {
+                let n = ctx.diff_chain.peak_resident_entries();
+                (n, n * size_of::<bdc::ClaimEntry>())
+            }
+            // Dataset stages are filled by `run_to_dataset` directly.
+            PipelineStage::LabelConstruction | PipelineStage::FeatureEngineering => continue,
+        };
+        t.peak_resident_entries = entries;
+        t.approx_resident_bytes = bytes;
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -757,6 +841,21 @@ mod tests {
                     stage.name()
                 );
             }
+            // Every preparation stage reports a non-trivial working set on
+            // a tiny world, and bytes track entries.
+            for t in &run.report.timings {
+                assert!(
+                    t.peak_resident_entries > 0,
+                    "{} reports an empty working set",
+                    t.stage.name()
+                );
+                assert!(t.approx_resident_bytes >= t.peak_resident_entries);
+            }
+            assert!(run.report.peak_resident_entries() > 0);
+            assert!(run
+                .report
+                .residency_for(PipelineStage::CoverageScoring)
+                .is_some());
             // Total wall-clock is bounded by the sum of the stage timings
             // (parallel overlap can only shrink it) and is non-trivial.
             assert!(

@@ -1,0 +1,341 @@
+//! The national-scale streaming runner: synth → labelled dataset without
+//! ever materialising the world.
+//!
+//! [`run_streaming_to_dataset`] is the bounded-memory counterpart of
+//! [`PipelineEngine::run_to_dataset`](crate::pipeline::PipelineEngine::run_to_dataset).
+//! Where the materialised path generates a full [`SynthUs`](synth::SynthUs)
+//! (every BSL, claim, filing and release resident at once) and then runs the
+//! eight pipeline stages over it, this runner drives
+//! [`StreamWorld`](synth::StreamWorld) — which regenerates fabric, claim and
+//! speed-test shards on demand from per-`(seed, stage, shard)` RNG streams —
+//! and pulls the remaining pipeline stages through the same shard streams:
+//!
+//! ```text
+//! StreamWorld::generate            this runner
+//! ─────────────────────            ───────────────────────────────────
+//! towns                            asn_matching        (registrations)
+//! fabric_hex_table  ──┐            ookla_reprojection  (OoklaEmitter drained)
+//! providers           ├──────────► coverage_scoring    (over the HexTable)
+//! regulatory_pass     │            mlab_attribution    (MlabEmitter drained)
+//! later_challenges    │            label_construction  (HexTable as fabric)
+//! release_assembly  ──┘            feature_engineering
+//! registrations
+//! ```
+//!
+//! Everything flows through one shared [`ResidencyMeter`](bdc::ResidencyMeter),
+//! so the combined [`StreamReport`](synth::StreamReport) gives an honest
+//! per-stage high-water mark, and every stage is checked against the
+//! config's resident-entry budget — an over-budget run fails loudly instead
+//! of silently swapping.
+//!
+//! The output is bit-identical to the materialised path: the Ookla drain
+//! applies record contributions in the exact record order of the
+//! materialised dataset, the MLab drain feeds the incremental attributor in
+//! provider order (pinned `≡` batch in `speedtest`), and labels/features run
+//! over the [`HexTable`](synth::HexTable)'s `FabricView` — asserted
+//! end-to-end by `tests/streaming_world.rs` against the golden label and
+//! dataset fingerprints.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::time::Instant;
+
+use asnmap::ProviderAsnMatcher;
+use bdc::{drain_shards, Asn, ProviderId, ResidencyMeter, ShardStream};
+use hexgrid::{HexCell, NBM_RESOLUTION};
+use speedtest::{
+    aggregate_records_into, coverage_scores, MlabAttributor, OoklaHexAggregate, ProviderHexTests,
+};
+use synth::{
+    GenMode, MlabEmitter, OoklaEmitter, StreamReport, StreamStage, StreamWorld, SynthConfig,
+};
+
+use crate::features::{
+    build_features_from_inputs, FeatureConfig, FeatureInputs, FeatureMatrix, OBSERVATION_CHUNK,
+};
+use crate::labels::{build_labels_with, LabelInputs, LabelingOptions, COVERAGE_CHUNK};
+
+/// A finished streaming run: the streamed world (hex table, challenges,
+/// removal evidence, initial release — everything labels and features
+/// consumed), the labelled feature matrix, and one report covering every
+/// synth and pipeline stage with wall-clock and peak-residency columns.
+pub struct StreamingDatasetRun {
+    pub world: StreamWorld,
+    pub matrix: FeatureMatrix,
+    /// All stages — the synth half's plus this runner's six — against the
+    /// run-wide peak and the configured budget.
+    pub report: StreamReport,
+}
+
+/// Close a runner stage: record its wall-clock, shard count and the meter's
+/// stage high-water mark, then enforce the budget (same contract and message
+/// as the synth half, so a breach reads identically wherever it happens).
+fn end_stage(
+    stages: &mut Vec<StreamStage>,
+    meter: &ResidencyMeter,
+    budget: Option<usize>,
+    name: &'static str,
+    started: Instant,
+    shards: usize,
+) -> Result<(), String> {
+    let peak = meter.take_stage_peak();
+    stages.push(StreamStage {
+        name,
+        wall: started.elapsed(),
+        shards,
+        peak_resident_entries: peak,
+    });
+    if let Some(b) = budget {
+        if peak > b {
+            return Err(format!(
+                "streaming stage `{name}` exceeded the resident-entry budget: \
+                 peak {peak} entries > budget {b}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Run synth → dataset end-to-end through the shard streams, never
+/// materialising the fabric, the location-level claims or the speed-test
+/// datasets. Returns `Err` on an invalid config or when any stage's peak
+/// residency exceeds `config.max_resident_entries`.
+///
+/// `mode` is the shared scheduling knob: it fans generation and the
+/// label/feature shards across workers, and every mode is bit-identical
+/// (the `GenMode` worker-invariance contract).
+pub fn run_streaming_to_dataset(
+    config: &SynthConfig,
+    options: &LabelingOptions,
+    features: &FeatureConfig,
+    mode: GenMode,
+) -> Result<StreamingDatasetRun, String> {
+    let started = Instant::now();
+    let stream = StreamWorld::generate(config, mode)?;
+    let meter = stream.meter();
+    let budget = stream.budget();
+    let mut stages: Vec<StreamStage> = Vec::new();
+    // The synth half left its own stage peaks behind; start this runner's
+    // first stage from the current watermark, not the generation peak.
+    meter.take_stage_peak();
+
+    // asn_matching — the matcher clones the registration rows (transient)
+    // and retains only the provider→ASN pairs.
+    let t = Instant::now();
+    let n_regs = stream.registration.registrations.len();
+    meter.acquire(n_regs);
+    let match_report = {
+        let matcher = ProviderAsnMatcher::new(stream.registration.registrations.clone());
+        matcher.run(&stream.registration.whois)
+    };
+    meter.release(n_regs);
+    let provider_asns: BTreeMap<ProviderId, BTreeSet<Asn>> = match_report
+        .provider_to_asns
+        .iter()
+        .map(|(p, asns)| {
+            (
+                ProviderId(*p),
+                asns.iter().map(|a| Asn(*a)).collect::<BTreeSet<Asn>>(),
+            )
+        })
+        .collect();
+    drop(match_report);
+    let asn_pairs: usize = provider_asns.values().map(|a| a.len()).sum();
+    meter.acquire(provider_asns.len() + asn_pairs);
+    end_stage(&mut stages, meter, budget, "asn_matching", t, 1)?;
+
+    // ookla_reprojection — one shard per occupied hex, regenerated from the
+    // hex table and folded straight into the per-hex aggregate in record
+    // order (the float-accumulation order of the materialised path).
+    let t = Instant::now();
+    let mut ookla_by_hex: HashMap<HexCell, OoklaHexAggregate> = HashMap::new();
+    let ookla_shards;
+    {
+        let emitter = OoklaEmitter::new(&stream.config, stream.hex_table.entries());
+        ookla_shards = emitter.shard_count();
+        let mut pinned = 0usize;
+        drain_shards(&emitter, meter, |_, shard| {
+            aggregate_records_into(&shard, NBM_RESOLUTION, &mut ookla_by_hex);
+            let now = ookla_by_hex.len();
+            meter.acquire(now - pinned);
+            pinned = now;
+        });
+    }
+    end_stage(
+        &mut stages,
+        meter,
+        budget,
+        "ookla_reprojection",
+        t,
+        ookla_shards,
+    )?;
+
+    // coverage_scoring — devices-per-BSL over the bounded fabric view.
+    let t = Instant::now();
+    let coverage = coverage_scores(&ookla_by_hex, &stream.hex_table);
+    meter.acquire(coverage.len());
+    end_stage(&mut stages, meter, budget, "coverage_scoring", t, 1)?;
+
+    // mlab_attribution — one shard per provider, regenerated and folded
+    // into the incremental attributor in provider order (pinned ≡ batch).
+    let t = Instant::now();
+    let claimed_hexes: BTreeMap<ProviderId, BTreeSet<HexCell>> = provider_asns
+        .keys()
+        .map(|p| (*p, stream.initial_release.hexes_claimed_by(*p)))
+        .collect();
+    let claimed_total: usize = claimed_hexes.values().map(|h| h.len()).sum();
+    meter.acquire(claimed_total);
+    let mlab_shards;
+    let mlab_evidence: ProviderHexTests;
+    {
+        let mut attributor = MlabAttributor::new(&provider_asns, &claimed_hexes, NBM_RESOLUTION);
+        let emitter = MlabEmitter::new(
+            &stream.config,
+            &stream.registration.true_provider_asns,
+            &stream.served_hexes_by_provider,
+        );
+        mlab_shards = emitter.shard_count();
+        drain_shards(&emitter, meter, |_, tests| attributor.add_tests(&tests));
+        mlab_evidence = attributor.finish();
+    }
+    drop(claimed_hexes);
+    meter.release(claimed_total);
+    meter.acquire(mlab_evidence.len());
+    end_stage(
+        &mut stages,
+        meter,
+        budget,
+        "mlab_attribution",
+        t,
+        mlab_shards,
+    )?;
+
+    // label_construction — the HexTable is the fabric view: hex membership
+    // comes from the regulatory pass's side map plus town-block
+    // regeneration, never a resident fabric.
+    let t = Instant::now();
+    let inputs = LabelInputs {
+        fabric: &stream.hex_table,
+        initial_release: &stream.initial_release,
+        removal_evidence: &stream.removal_evidence,
+        challenges: &stream.challenges,
+        coverage: &coverage,
+        mlab_evidence: &mlab_evidence,
+    };
+    let observations = build_labels_with(&inputs, options, mode);
+    meter.acquire(observations.len());
+    let label_shards = stream.profiles.len() + coverage.len().div_ceil(COVERAGE_CHUNK);
+    end_stage(
+        &mut stages,
+        meter,
+        budget,
+        "label_construction",
+        t,
+        label_shards,
+    )?;
+
+    // feature_engineering — fixed observation chunks over the same views.
+    let t = Instant::now();
+    let feature_inputs = FeatureInputs {
+        fabric: &stream.hex_table,
+        release: &stream.initial_release,
+        ookla_by_hex: &ookla_by_hex,
+        mlab_evidence: &mlab_evidence,
+        methodologies: &stream.methodologies,
+    };
+    let matrix = build_features_from_inputs(&feature_inputs, &observations, features, mode);
+    let values = matrix.dataset.n_rows() * matrix.dataset.feature_names().len();
+    meter.acquire(values);
+    let feature_shards = observations.len().div_ceil(OBSERVATION_CHUNK).max(1);
+    end_stage(
+        &mut stages,
+        meter,
+        budget,
+        "feature_engineering",
+        t,
+        feature_shards,
+    )?;
+
+    let mut all_stages = stream.report.stages.clone();
+    all_stages.append(&mut stages);
+    let report = StreamReport {
+        stages: all_stages,
+        total_wall: started.elapsed(),
+        peak_resident_entries: meter.peak(),
+        budget,
+    };
+    Ok(StreamingDatasetRun {
+        world: stream,
+        matrix,
+        report,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::PipelineEngine;
+
+    #[test]
+    fn streaming_run_reports_every_stage_and_respects_budget() {
+        let config = SynthConfig::tiny(91);
+        let run = run_streaming_to_dataset(
+            &config,
+            &LabelingOptions::default(),
+            &FeatureConfig::default(),
+            GenMode::Sequential,
+        )
+        .expect("tiny config fits any budget");
+        for name in [
+            "asn_matching",
+            "ookla_reprojection",
+            "coverage_scoring",
+            "mlab_attribution",
+            "label_construction",
+            "feature_engineering",
+        ] {
+            let stage = run
+                .report
+                .stage(name)
+                .unwrap_or_else(|| panic!("stage `{name}` missing from the streaming report"));
+            assert!(
+                stage.peak_resident_entries > 0,
+                "stage `{name}` reports an empty working set"
+            );
+        }
+        // The synth half's stages are folded into the same report.
+        assert!(run.report.stage("regulatory_pass").is_some());
+        assert!(run.matrix.dataset.n_rows() > 0);
+        assert!(run.report.peak_resident_entries > 0);
+    }
+
+    #[test]
+    fn streaming_dataset_matches_materialised_engine() {
+        use crate::features::dataset_fingerprint;
+        use crate::labels::observations_fingerprint;
+
+        let config = SynthConfig::tiny(92);
+        let world = synth::SynthUs::generate(&config);
+        let materialised = PipelineEngine::sequential().run_to_dataset(
+            &world,
+            &LabelingOptions::default(),
+            &FeatureConfig::default(),
+        );
+        let streamed = run_streaming_to_dataset(
+            &config,
+            &LabelingOptions::default(),
+            &FeatureConfig::default(),
+            GenMode::Parallel,
+        )
+        .expect("valid config");
+        assert_eq!(
+            observations_fingerprint(&streamed.matrix.observations),
+            observations_fingerprint(&materialised.matrix.observations),
+            "streamed labels must be bit-identical to the materialised path"
+        );
+        assert_eq!(
+            dataset_fingerprint(&streamed.matrix.dataset),
+            dataset_fingerprint(&materialised.matrix.dataset),
+            "streamed dataset must be bit-identical to the materialised path"
+        );
+    }
+}

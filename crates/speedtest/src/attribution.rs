@@ -113,6 +113,75 @@ fn accumulate_test(
     }
 }
 
+/// Incremental MLab attribution for streaming pipelines: tests are fed in
+/// dataset order, batch by batch, and accumulate into the same per-(provider,
+/// hex) counts the batch [`attribute_mlab_tests`] produces. Because every
+/// count accumulates in ascending test order through the shared
+/// [`accumulate_test`] step, feeding the full dataset through any batch split
+/// is bit-identical to the batch path — the contract the national-scale
+/// streaming world relies on when it drains per-provider test shards without
+/// ever materialising the dataset.
+pub struct MlabAttributor<'a> {
+    asn_to_providers: BTreeMap<Asn, Vec<ProviderId>>,
+    claimed_hexes: &'a BTreeMap<ProviderId, BTreeSet<HexCell>>,
+    res: Resolution,
+    counts: HashMap<(ProviderId, HexCell), f64>,
+}
+
+impl<'a> MlabAttributor<'a> {
+    /// Set up an attributor over a provider→ASN mapping and per-provider
+    /// claimed footprints (the same inputs as [`attribute_mlab_tests`]).
+    pub fn new(
+        provider_asns: &BTreeMap<ProviderId, BTreeSet<Asn>>,
+        claimed_hexes: &'a BTreeMap<ProviderId, BTreeSet<HexCell>>,
+        res: Resolution,
+    ) -> Self {
+        let mut asn_to_providers: BTreeMap<Asn, Vec<ProviderId>> = BTreeMap::new();
+        for (provider, asns) in provider_asns {
+            for asn in asns {
+                asn_to_providers.entry(*asn).or_default().push(*provider);
+            }
+        }
+        Self {
+            asn_to_providers,
+            claimed_hexes,
+            res,
+            counts: HashMap::new(),
+        }
+    }
+
+    /// Fold one test in: unusable or unmapped tests are skipped exactly as
+    /// the batch path skips them.
+    pub fn add_test(&mut self, test: &crate::mlab::MlabTest) {
+        if !test.usable() {
+            return;
+        }
+        let Some(providers) = self.asn_to_providers.get(&test.asn) else {
+            return;
+        };
+        let candidates = candidate_hexes(&test.geo_center, test.accuracy_radius_km, self.res);
+        for provider in providers {
+            if let Some(footprint) = self.claimed_hexes.get(provider) {
+                accumulate_test(*provider, footprint, &candidates, &mut self.counts);
+            }
+        }
+    }
+
+    /// Fold a batch of tests in, in order.
+    pub fn add_tests(&mut self, tests: &[crate::mlab::MlabTest]) {
+        for test in tests {
+            self.add_test(test);
+        }
+    }
+
+    /// The accumulated evidence.
+    pub fn finish(self) -> ProviderHexTests {
+        ProviderHexTests {
+            counts: self.counts,
+        }
+    }
+}
+
 /// Attribute every usable MLab test to providers and localise it to hexes.
 ///
 /// * `provider_asns` — the provider→ASN mapping from the `asnmap` matcher.
@@ -482,6 +551,55 @@ mod tests {
         assert_eq!(threaded.len(), reference.len());
         for (p, hex, count) in reference.iter() {
             assert_eq!(threaded.count(p, hex).to_bits(), count.to_bits());
+        }
+    }
+
+    /// The incremental attributor fed in dataset order — under any batch
+    /// split — must reproduce the batch path bit for bit.
+    #[test]
+    fn incremental_attributor_matches_batch_path() {
+        let mut pa: BTreeMap<ProviderId, BTreeSet<Asn>> = BTreeMap::new();
+        let mut ch: BTreeMap<ProviderId, BTreeSet<HexCell>> = BTreeMap::new();
+        for p in 0..5u32 {
+            let asn = 64500 + p % 2;
+            let c = LatLng::new(37.0 + p as f64 * 0.04, -80.4 - p as f64 * 0.02);
+            pa.insert(ProviderId(p), BTreeSet::from([Asn(asn)]));
+            ch.insert(
+                ProviderId(p),
+                candidate_hexes(&c, 4.0, NBM_RESOLUTION)
+                    .into_iter()
+                    .collect(),
+            );
+        }
+        let tests: Vec<MlabTest> = (0..700)
+            .map(|i| {
+                let c = LatLng::new(37.0 + (i % 6) as f64 * 0.03, -80.4 - (i % 4) as f64 * 0.02);
+                // Interleave an unusable test to exercise the filter.
+                let radius = if i % 50 == 0 {
+                    100.0
+                } else {
+                    1.0 + (i % 7) as f64
+                };
+                test_at(64500 + (i as u32) % 2, c, radius)
+            })
+            .collect();
+        let mlab = MlabDataset::new(tests.clone());
+        let batch = attribute_mlab_tests(&mlab, &pa, &ch, NBM_RESOLUTION);
+        assert!(!batch.is_empty());
+        for split in [1usize, 7, 128, 4096] {
+            let mut inc = MlabAttributor::new(&pa, &ch, NBM_RESOLUTION);
+            for chunk in tests.chunks(split) {
+                inc.add_tests(chunk);
+            }
+            let streamed = inc.finish();
+            assert_eq!(streamed.len(), batch.len(), "split {split}");
+            for (p, hex, count) in batch.iter() {
+                assert_eq!(
+                    streamed.count(p, hex).to_bits(),
+                    count.to_bits(),
+                    "split {split}: provider {p:?} hex {hex:?}"
+                );
+            }
         }
     }
 

@@ -8,7 +8,7 @@
 
 use std::collections::HashMap;
 
-use bdc::Fabric;
+use bdc::FabricView;
 use hexgrid::HexCell;
 use serde::{Deserialize, Serialize};
 
@@ -51,10 +51,12 @@ impl CoverageScore {
 }
 
 /// Compute coverage scores for every hex that has both Ookla evidence and at
-/// least one BSL.
+/// least one BSL. The fabric enters as a [`FabricView`] (only per-hex BSL
+/// counts are consulted), so the materialised fabric and the national-scale
+/// streaming hex table score identically.
 pub fn coverage_scores(
     ookla_by_hex: &HashMap<HexCell, OoklaHexAggregate>,
-    fabric: &Fabric,
+    fabric: &dyn FabricView,
 ) -> Vec<CoverageScore> {
     let mut out: Vec<CoverageScore> = ookla_by_hex
         .iter()
@@ -87,7 +89,7 @@ pub fn coverage_scores(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bdc::{Bsl, LocationId};
+    use bdc::{Bsl, Fabric, LocationId};
     use geoprim::LatLng;
     use hexgrid::NBM_RESOLUTION;
 

@@ -19,7 +19,7 @@ pub mod coverage;
 pub mod mlab;
 pub mod ookla;
 
-pub use attribution::{attribute_mlab_tests, candidate_hexes, ProviderHexTests};
+pub use attribution::{attribute_mlab_tests, candidate_hexes, MlabAttributor, ProviderHexTests};
 pub use coverage::{coverage_scores, CoverageScore};
 pub use mlab::{MlabDataset, MlabTest, MAX_ACCURACY_RADIUS_KM};
-pub use ookla::{OoklaDataset, OoklaHexAggregate, OoklaTileRecord};
+pub use ookla::{aggregate_records_into, OoklaDataset, OoklaHexAggregate, OoklaTileRecord};

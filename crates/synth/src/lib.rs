@@ -42,12 +42,15 @@ pub mod release_stream;
 pub mod shard;
 pub mod speedtest_gen;
 pub mod states;
+pub mod stream_world;
 pub mod text;
 pub mod world;
 
 pub use config::SynthConfig;
 pub use providers_gen::{ProviderProfile, ReportingStyle};
-pub use release_stream::{EmittedRelease, EmitterStream, ReleaseEmitter};
+pub use release_stream::{EmittedRelease, EmitterStream, ReleaseEmitter, RemovalSchedule};
 pub use shard::{GenMode, SynthReport, SynthStage, SynthStageTiming};
+pub use speedtest_gen::{MlabEmitter, OoklaEmitter};
 pub use states::{StateInfo, STATES};
+pub use stream_world::{HexTable, StreamReport, StreamStage, StreamWorld};
 pub use world::{JccScenario, SynthUs};

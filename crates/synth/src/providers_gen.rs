@@ -300,6 +300,80 @@ fn generate_regional(
     }
 }
 
+/// Maximum distance a generated BSL can scatter from its own town centre
+/// (see `fabric_gen::town_bsls`: 92% inside a 3.8 km disc, rural tail
+/// strictly below 10 km). A hair of slack absorbs `destination`/`haversine`
+/// round-trip error; the only cost of slack is scanning a few extra towns.
+const MAX_BSL_SCATTER_KM: f64 = 10.01;
+
+/// Per-town access to the fabric's contiguous BSL blocks — the only fabric
+/// access pruned claim scanning needs. The materialised path slices a
+/// resident [`bdc::Fabric`] ([`FabricTownBsls`]); the streaming path
+/// regenerates blocks on demand from the per-town RNG streams.
+pub trait TownBsls: Sync {
+    /// Visit town `town_index`'s BSLs in location-id order.
+    fn with_town(&self, town_index: usize, visit: &mut dyn FnMut(&[bdc::Bsl]));
+}
+
+/// [`TownBsls`] over a resident fabric: town `i`'s block is the slice at its
+/// prefix-sum offset (the fabric stores BSLs in generation order).
+pub struct FabricTownBsls<'a> {
+    fabric: &'a bdc::Fabric,
+    towns: &'a [Town],
+    offsets: Vec<u64>,
+}
+
+impl<'a> FabricTownBsls<'a> {
+    pub fn new(fabric: &'a bdc::Fabric, towns: &'a [Town]) -> Self {
+        let offsets = crate::fabric_gen::town_offsets(towns);
+        let total: u64 = offsets
+            .last()
+            .map(|&o| o + towns.last().map(|t| t.n_bsls as u64).unwrap_or(0))
+            .unwrap_or(0);
+        assert_eq!(
+            total,
+            fabric.len() as u64,
+            "FabricTownBsls requires the fabric generated from this town list"
+        );
+        Self {
+            fabric,
+            towns,
+            offsets,
+        }
+    }
+}
+
+impl TownBsls for FabricTownBsls<'_> {
+    fn with_town(&self, town_index: usize, visit: &mut dyn FnMut(&[bdc::Bsl])) {
+        let start = self.offsets[town_index] as usize;
+        let end = start + self.towns[town_index].n_bsls;
+        visit(&self.fabric.bsls()[start..end]);
+    }
+}
+
+/// Precomputed town geometry for pruned claim scanning: per-state town index
+/// lists in town-index order, which is exactly the fabric's within-state
+/// block order — so a pruned scan visits the same BSLs in the same order as
+/// the old full-state scan, minus towns provably out of claiming range.
+pub struct ClaimScanner<'a> {
+    towns: &'a [Town],
+    state_towns: BTreeMap<&'a str, Vec<usize>>,
+}
+
+impl<'a> ClaimScanner<'a> {
+    pub fn new(towns: &'a [Town]) -> Self {
+        let mut state_towns: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        for (i, t) in towns.iter().enumerate() {
+            state_towns.entry(t.state.as_str()).or_default().push(i);
+        }
+        Self { towns, state_towns }
+    }
+
+    pub fn towns(&self) -> &'a [Town] {
+        self.towns
+    }
+}
+
 /// Compute every provider's claims concurrently (claim computation draws no
 /// randomness, so this is a pure fan-out over providers).
 pub fn compute_all_claims(
@@ -309,11 +383,30 @@ pub fn compute_all_claims(
     config: &SynthConfig,
     workers: usize,
 ) -> BTreeMap<ProviderId, Vec<ClaimTruth>> {
+    let scanner = ClaimScanner::new(towns);
+    let access = FabricTownBsls::new(fabric, towns);
     map_shards(workers, profiles, |_, p| {
-        (p.provider.id, compute_claims(p, towns, fabric, config))
+        (
+            p.provider.id,
+            compute_claims_with(p, &scanner, &access, config),
+        )
     })
     .into_iter()
     .collect()
+}
+
+/// Compute the provider's location-level claims together with their ground
+/// truth, reading the fabric through a resident [`bdc::Fabric`]. Thin adapter
+/// over [`compute_claims_with`] for callers that hold a materialised world.
+pub fn compute_claims(
+    profile: &ProviderProfile,
+    towns: &[Town],
+    fabric: &bdc::Fabric,
+    config: &SynthConfig,
+) -> Vec<ClaimTruth> {
+    let scanner = ClaimScanner::new(towns);
+    let access = FabricTownBsls::new(fabric, towns);
+    compute_claims_with(profile, &scanner, &access, config)
 }
 
 /// Compute the provider's location-level claims together with their ground
@@ -321,12 +414,35 @@ pub fn compute_all_claims(
 /// true radius of one of the provider's footprint towns; it is *claimed* when
 /// it lies within the (style-inflated) filing radius. The JCC-style provider
 /// additionally claims a broad western sector it does not serve at all.
-pub fn compute_claims(
+///
+/// The scan is spatially pruned: for each footprint town only same-state
+/// towns whose centre lies within claiming reach (claim radius plus the
+/// maximum BSL scatter) can contain a claimable BSL, so only their blocks
+/// are visited — in town-index order, which keeps the claim list bit-identical
+/// to a full state scan while touching a tiny fraction of a national fabric.
+pub fn compute_claims_with(
     profile: &ProviderProfile,
-    towns: &[Town],
-    fabric: &bdc::Fabric,
+    scanner: &ClaimScanner,
+    bsls: &impl TownBsls,
     config: &SynthConfig,
 ) -> Vec<ClaimTruth> {
+    compute_claims_observed(profile, scanner, bsls, config, &mut |_, _| {})
+}
+
+/// [`compute_claims_with`] with a claim observer: `observe` sees every claim
+/// the instant it is produced, *together with the BSL it refers to* — the
+/// hook the streaming national-scale world uses to capture each claim's hex
+/// and state during the scan, instead of re-resolving locations against a
+/// materialised fabric afterwards. The claim list returned is bit-identical
+/// to [`compute_claims_with`]; the observer only watches.
+pub fn compute_claims_observed(
+    profile: &ProviderProfile,
+    scanner: &ClaimScanner,
+    bsls: &impl TownBsls,
+    config: &SynthConfig,
+    observe: &mut dyn FnMut(&ClaimTruth, &bdc::Bsl),
+) -> Vec<ClaimTruth> {
+    let towns = scanner.towns;
     let mut claims = Vec::new();
     let multiplier = profile.style.overclaim_multiplier() * (1.0 + config.overclaim_fraction / 4.0);
     // The JCC scenario: the provider also claims an entire neighbouring market
@@ -349,28 +465,45 @@ pub fn compute_claims(
         let mut seen: std::collections::HashSet<LocationId> = std::collections::HashSet::new();
         for &(town_idx, is_phantom) in &scan_towns {
             let town = &towns[town_idx];
-            for &loc_id in fabric.locations_in_state(&town.state) {
-                if seen.contains(&loc_id) {
+            // Widest radius at which this scan can claim a BSL; anything in a
+            // town whose centre is further than reach can never be claimed
+            // (triangle inequality on the great-circle metric).
+            let claim_reach = if is_phantom {
+                deployment.true_radius_km.max(4.0)
+            } else {
+                claim_radius
+            };
+            let reach = claim_reach + MAX_BSL_SCATTER_KM;
+            for &cand in &scanner.state_towns[town.state.as_str()] {
+                if towns[cand].center.haversine_km(&town.center) > reach {
                     continue;
                 }
-                let bsl = fabric.get(loc_id).expect("fabric contains its own ids");
-                let dist = town.center.haversine_km(&bsl.position);
-                let (truly_served, claimed) = if is_phantom {
-                    (false, dist <= deployment.true_radius_km.max(4.0))
-                } else {
-                    (dist <= deployment.true_radius_km, dist <= claim_radius)
-                };
-                if claimed {
-                    seen.insert(loc_id);
-                    claims.push(ClaimTruth {
-                        location: loc_id,
-                        technology: deployment.technology,
-                        truly_served,
-                        max_down_mbps: deployment.max_down_mbps,
-                        max_up_mbps: deployment.max_up_mbps,
-                        low_latency: deployment.low_latency,
-                    });
-                }
+                bsls.with_town(cand, &mut |block| {
+                    for bsl in block {
+                        if seen.contains(&bsl.id) {
+                            continue;
+                        }
+                        let dist = town.center.haversine_km(&bsl.position);
+                        let (truly_served, claimed) = if is_phantom {
+                            (false, dist <= deployment.true_radius_km.max(4.0))
+                        } else {
+                            (dist <= deployment.true_radius_km, dist <= claim_radius)
+                        };
+                        if claimed {
+                            seen.insert(bsl.id);
+                            let claim = ClaimTruth {
+                                location: bsl.id,
+                                technology: deployment.technology,
+                                truly_served,
+                                max_down_mbps: deployment.max_down_mbps,
+                                max_up_mbps: deployment.max_up_mbps,
+                                low_latency: deployment.low_latency,
+                            };
+                            observe(&claim, bsl);
+                            claims.push(claim);
+                        }
+                    }
+                });
             }
         }
     }

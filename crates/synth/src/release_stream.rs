@@ -24,6 +24,85 @@ use bdc::{Challenge, ClaimKey, Filing, ProviderId, ReleaseVersion};
 
 use crate::activity_gen::minor_release_published;
 
+/// The removal schedule alone: which claim disappears in which minor
+/// release, derivable from the regulatory record without materialising a
+/// single release. [`ReleaseEmitter::new`] builds one internally; the
+/// streaming world builds one incrementally (per-provider) and reads its
+/// keys back as the diff chain's removal evidence, since the schedule only
+/// ever removes claims — it never restores them.
+#[derive(Debug, Clone)]
+pub struct RemovalSchedule {
+    /// Publication dates of the minor releases, in order.
+    published: Vec<bdc::DayStamp>,
+    n_minor_releases: usize,
+    /// Earliest release index at which a claim is absent (only claims that
+    /// are ever removed appear; everything else survives the timeline).
+    removed_from: BTreeMap<ClaimKey, usize>,
+}
+
+impl RemovalSchedule {
+    pub fn new(n_minor_releases: usize) -> Self {
+        Self {
+            published: (1..=n_minor_releases)
+                .map(minor_release_published)
+                .collect(),
+            n_minor_releases,
+            removed_from: BTreeMap::new(),
+        }
+    }
+
+    fn note(&mut self, key: ClaimKey, k: usize) {
+        self.removed_from
+            .entry(key)
+            .and_modify(|existing| *existing = (*existing).min(k))
+            .or_insert(k);
+    }
+
+    /// A successful challenge removes the claim in the first minor release
+    /// published on or after its resolution; anything else is ignored.
+    pub fn note_challenge(&mut self, c: &Challenge) {
+        if !c.is_successful() {
+            return;
+        }
+        if let Some(k) = self.published.iter().position(|p| c.resolved <= *p) {
+            self.note((c.provider, c.location, c.technology), k + 1);
+        }
+    }
+
+    /// Mirror `build_releases` (`idx <= k` for every minor k): an index of 0
+    /// means "removed from the first minor release on", and an index past
+    /// the last minor release never takes effect.
+    pub fn note_correction(
+        &mut self,
+        provider: ProviderId,
+        location: bdc::LocationId,
+        technology: bdc::Technology,
+        idx: usize,
+    ) {
+        if idx <= self.n_minor_releases {
+            self.note((provider, location, technology), idx.max(1));
+        }
+    }
+
+    /// Number of claims scheduled for removal.
+    pub fn len(&self) -> usize {
+        self.removed_from.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.removed_from.is_empty()
+    }
+
+    /// Scheduled removals in ascending claim-key order.
+    pub fn keys(&self) -> impl Iterator<Item = &ClaimKey> {
+        self.removed_from.keys()
+    }
+
+    pub fn into_removed_from(self) -> BTreeMap<ClaimKey, usize> {
+        self.removed_from
+    }
+}
+
 /// The removal schedule and sorted claim base of a release timeline: enough
 /// to stream every release, a fraction of the memory of materialising them.
 #[derive(Debug, Clone)]
@@ -64,39 +143,18 @@ impl ReleaseEmitter {
             }
         }
 
-        let published: Vec<bdc::DayStamp> = (1..=n_minor_releases)
-            .map(minor_release_published)
-            .collect();
-        let mut removed_from: BTreeMap<ClaimKey, usize> = BTreeMap::new();
-        let mut note = |key: ClaimKey, k: usize| {
-            removed_from
-                .entry(key)
-                .and_modify(|existing| *existing = (*existing).min(k))
-                .or_insert(k);
-        };
+        let mut schedule = RemovalSchedule::new(n_minor_releases);
         for c in challenges {
-            if !c.is_successful() {
-                continue;
-            }
-            // The claim disappears in the first minor release published on
-            // or after the challenge resolution.
-            if let Some(k) = published.iter().position(|p| c.resolved <= *p) {
-                note((c.provider, c.location, c.technology), k + 1);
-            }
+            schedule.note_challenge(c);
         }
         for (p, l, t, idx) in corrections {
-            // Mirror `build_releases` (`idx <= k` for every minor k): an
-            // index of 0 means "removed from the first minor release on",
-            // and an index past the last minor release never takes effect.
-            if *idx <= n_minor_releases {
-                note((*p, *l, *t), (*idx).max(1));
-            }
+            schedule.note_correction(*p, *l, *t, *idx);
         }
 
         Self {
             base,
             provider_ranges,
-            removed_from,
+            removed_from: schedule.into_removed_from(),
             n_releases: n_minor_releases + 1,
         }
     }

@@ -9,19 +9,107 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use bdc::{Asn, DayStamp, Fabric, ProviderId, Technology};
+use bdc::{Asn, DayStamp, Fabric, ProviderId, ShardStream, SpeedTestStream, Technology};
 use geoprim::LatLng;
 use hexgrid::{HexCell, QuadTile, OOKLA_ZOOM};
 use rand::Rng;
 use speedtest::{MlabDataset, MlabTest, OoklaDataset, OoklaTileRecord};
 
 use crate::config::SynthConfig;
-use crate::shard::{map_shards, shard_rng, SynthStage};
+use crate::shard::{shard_rng, SynthStage};
+
+/// Generate the Ookla tile for one occupied hex — shard `hex_index` of the
+/// sorted occupied-hex order, drawing only from that hex's RNG stream. The
+/// single generation kernel behind both [`generate_ookla`] and the streaming
+/// [`OoklaEmitter`].
+pub fn ookla_hex_record(
+    config: &SynthConfig,
+    hex_index: usize,
+    hex: &HexCell,
+    bsls: usize,
+    served: bool,
+) -> Option<OoklaTileRecord> {
+    let bsls = bsls as f64;
+    if bsls == 0.0 {
+        return None;
+    }
+    let mut rng = shard_rng(config.seed, SynthStage::Ookla, hex_index as u64);
+    let devices = if served {
+        bsls * config.ookla_devices_per_served_bsl * rng.gen_range(0.8..1.5)
+    } else {
+        bsls * rng.gen_range(0.02..0.45)
+    };
+    let devices = devices.round().max(if served { 1.0 } else { 0.0 });
+    if devices == 0.0 {
+        return None;
+    }
+    let tests = (devices * rng.gen_range(2.0..4.0)).round();
+    let (down_kbps, up_kbps, latency) = if served {
+        (
+            rng.gen_range(80_000.0..900_000.0),
+            rng.gen_range(10_000.0..500_000.0),
+            rng.gen_range(8.0..40.0),
+        )
+    } else {
+        (
+            rng.gen_range(2_000.0..30_000.0),
+            rng.gen_range(500.0..5_000.0),
+            rng.gen_range(30.0..120.0),
+        )
+    };
+    Some(OoklaTileRecord {
+        tile: QuadTile::containing(&hex.center(), OOKLA_ZOOM),
+        tests: tests as u32,
+        devices: devices as u32,
+        avg_download_kbps: down_kbps,
+        avg_upload_kbps: up_kbps,
+        avg_latency_ms: latency,
+    })
+}
+
+/// A [`SpeedTestStream`] of Ookla tiles over a sorted occupied-hex table
+/// (`(hex, bsl count, truly served)` per entry): shard `i` regenerates hex
+/// `i`'s tile on demand. Only the hex table stays resident — which the
+/// streaming path already holds for label construction, so the Ookla stage
+/// adds no fabric-sized state.
+pub struct OoklaEmitter<'a> {
+    config: &'a SynthConfig,
+    hexes: &'a [(HexCell, u32, bool)],
+}
+
+impl<'a> OoklaEmitter<'a> {
+    /// `hexes` must be the occupied hexes in ascending hex order — the shard
+    /// order `generate_ookla` has always used.
+    pub fn new(config: &'a SynthConfig, hexes: &'a [(HexCell, u32, bool)]) -> Self {
+        Self { config, hexes }
+    }
+}
+
+impl ShardStream for OoklaEmitter<'_> {
+    type Item = OoklaTileRecord;
+
+    fn shard_count(&self) -> usize {
+        self.hexes.len()
+    }
+
+    fn shard(&self, index: usize) -> Vec<OoklaTileRecord> {
+        let (hex, bsls, served) = self.hexes[index];
+        ookla_hex_record(self.config, index, &hex, bsls as usize, served)
+            .into_iter()
+            .collect()
+    }
+
+    fn resident_entries(&self) -> usize {
+        self.hexes.len()
+    }
+}
+
+impl SpeedTestStream for OoklaEmitter<'_> {}
 
 /// Generate the Ookla open-data tiles. Each occupied hex contributes one tile
 /// centred on the hex; the tile's device count reflects whether the hex is
 /// genuinely served by any provider. One shard (and one RNG stream) per
-/// occupied hex, in sorted hex order.
+/// occupied hex, in sorted hex order. Thin adapter over [`OoklaEmitter`].
 pub fn generate_ookla(
     config: &SynthConfig,
     fabric: &Fabric,
@@ -32,105 +120,133 @@ pub fn generate_ookla(
     // the whole generated world) are independent of hash-map iteration order.
     let mut hexes: Vec<&HexCell> = fabric.hexes().collect();
     hexes.sort();
-    let records = map_shards(workers, &hexes, |hex_index, &hex| {
-        let bsls = fabric.bsl_count_in_hex(hex) as f64;
-        if bsls == 0.0 {
-            return None;
-        }
-        let mut rng = shard_rng(config.seed, SynthStage::Ookla, hex_index as u64);
-        let served = truly_served_hexes.contains(hex);
-        let devices = if served {
-            bsls * config.ookla_devices_per_served_bsl * rng.gen_range(0.8..1.5)
-        } else {
-            bsls * rng.gen_range(0.02..0.45)
-        };
-        let devices = devices.round().max(if served { 1.0 } else { 0.0 });
-        if devices == 0.0 {
-            return None;
-        }
-        let tests = (devices * rng.gen_range(2.0..4.0)).round();
-        let (down_kbps, up_kbps, latency) = if served {
+    let table: Vec<(HexCell, u32, bool)> = hexes
+        .into_iter()
+        .map(|h| {
             (
-                rng.gen_range(80_000.0..900_000.0),
-                rng.gen_range(10_000.0..500_000.0),
-                rng.gen_range(8.0..40.0),
+                *h,
+                fabric.bsl_count_in_hex(h) as u32,
+                truly_served_hexes.contains(h),
             )
-        } else {
-            (
-                rng.gen_range(2_000.0..30_000.0),
-                rng.gen_range(500.0..5_000.0),
-                rng.gen_range(30.0..120.0),
-            )
-        };
-        Some(OoklaTileRecord {
-            tile: QuadTile::containing(&hex.center(), OOKLA_ZOOM),
-            tests: tests as u32,
-            devices: devices as u32,
-            avg_download_kbps: down_kbps,
-            avg_upload_kbps: up_kbps,
-            avg_latency_ms: latency,
         })
-    })
-    .into_iter()
-    .flatten()
-    .collect();
-    OoklaDataset::new(records)
+        .collect();
+    let emitter = OoklaEmitter::new(config, &table);
+    OoklaDataset::new(bdc::collect_shards(&emitter, workers))
 }
+
+/// Generate one provider's MLab tests (shard keyed by provider id), drawing
+/// only from that provider's RNG stream. The single generation kernel behind
+/// both [`generate_mlab`] and the streaming [`MlabEmitter`].
+pub fn mlab_provider_tests(
+    config: &SynthConfig,
+    provider: ProviderId,
+    asns: &BTreeSet<Asn>,
+    served_hexes: Option<&BTreeSet<HexCell>>,
+) -> Vec<MlabTest> {
+    let window_start = DayStamp::from_ymd(2021, 10, 1);
+    let window_days = 365u32;
+    let mut out = Vec::new();
+    if asns.is_empty() {
+        return out;
+    }
+    let asns: Vec<Asn> = asns.iter().copied().collect();
+    let Some(hexes) = served_hexes else {
+        return out;
+    };
+    let mut rng = shard_rng(config.seed, SynthStage::Mlab, u64::from(provider.value()));
+    for hex in hexes {
+        let expected = config.mlab_tests_per_served_hex * rng.gen_range(0.3..1.8);
+        let n = expected.round() as usize;
+        for _ in 0..n {
+            let center: LatLng = hex.center();
+            let jitter_km = rng.gen_range(0.0..3.0);
+            let bearing = rng.gen_range(0.0..360.0);
+            let geo_center = center.destination(bearing, jitter_km * 1000.0);
+            // Mostly precise geolocations with a small unusable tail above
+            // the paper's 20 km filter.
+            let accuracy_radius_km = if rng.gen_bool(0.93) {
+                rng.gen_range(0.5..12.0)
+            } else {
+                rng.gen_range(20.5..80.0)
+            };
+            out.push(MlabTest {
+                asn: asns[rng.gen_range(0..asns.len())],
+                download_mbps: rng.gen_range(5.0..800.0),
+                upload_mbps: rng.gen_range(1.0..300.0),
+                latency_ms: rng.gen_range(5.0..90.0),
+                geo_center,
+                accuracy_radius_km,
+                day: window_start.plus_days(rng.gen_range(0..window_days)),
+            });
+        }
+    }
+    out
+}
+
+/// A [`SpeedTestStream`] of MLab tests, one shard per ASN-matched provider
+/// (in provider-id order, as [`generate_mlab`] has always sharded). Resident
+/// state is the provider → ASN and provider → served-hex maps the caller
+/// already holds; each shard's tests are regenerated on demand.
+pub struct MlabEmitter<'a> {
+    config: &'a SynthConfig,
+    shards: Vec<(ProviderId, &'a BTreeSet<Asn>)>,
+    served_hexes_by_provider: &'a BTreeMap<ProviderId, BTreeSet<HexCell>>,
+}
+
+impl<'a> MlabEmitter<'a> {
+    pub fn new(
+        config: &'a SynthConfig,
+        provider_asns: &'a BTreeMap<ProviderId, BTreeSet<Asn>>,
+        served_hexes_by_provider: &'a BTreeMap<ProviderId, BTreeSet<HexCell>>,
+    ) -> Self {
+        Self {
+            config,
+            shards: provider_asns.iter().map(|(p, a)| (*p, a)).collect(),
+            served_hexes_by_provider,
+        }
+    }
+}
+
+impl ShardStream for MlabEmitter<'_> {
+    type Item = MlabTest;
+
+    fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard(&self, index: usize) -> Vec<MlabTest> {
+        let (provider, asns) = self.shards[index];
+        mlab_provider_tests(
+            self.config,
+            provider,
+            asns,
+            self.served_hexes_by_provider.get(&provider),
+        )
+    }
+
+    fn resident_entries(&self) -> usize {
+        self.shards.len()
+            + self
+                .served_hexes_by_provider
+                .values()
+                .map(BTreeSet::len)
+                .sum::<usize>()
+    }
+}
+
+impl SpeedTestStream for MlabEmitter<'_> {}
 
 /// Generate MLab NDT7 tests for every provider that has at least one ASN, in
 /// the hexes that provider genuinely serves. One shard (and one RNG stream)
-/// per provider, keyed by provider id.
+/// per provider, keyed by provider id. Thin adapter over [`MlabEmitter`].
 pub fn generate_mlab(
     config: &SynthConfig,
     provider_asns: &BTreeMap<ProviderId, BTreeSet<Asn>>,
     served_hexes_by_provider: &BTreeMap<ProviderId, BTreeSet<HexCell>>,
     workers: usize,
 ) -> MlabDataset {
-    let window_start = DayStamp::from_ymd(2021, 10, 1);
-    let window_days = 365u32;
-    let shards: Vec<(&ProviderId, &BTreeSet<Asn>)> = provider_asns.iter().collect();
-    let tests = map_shards(workers, &shards, |_, &(provider, asns)| {
-        let mut out = Vec::new();
-        if asns.is_empty() {
-            return out;
-        }
-        let asns: Vec<Asn> = asns.iter().copied().collect();
-        let Some(hexes) = served_hexes_by_provider.get(provider) else {
-            return out;
-        };
-        let mut rng = shard_rng(config.seed, SynthStage::Mlab, u64::from(provider.value()));
-        for hex in hexes {
-            let expected = config.mlab_tests_per_served_hex * rng.gen_range(0.3..1.8);
-            let n = expected.round() as usize;
-            for _ in 0..n {
-                let center: LatLng = hex.center();
-                let jitter_km = rng.gen_range(0.0..3.0);
-                let bearing = rng.gen_range(0.0..360.0);
-                let geo_center = center.destination(bearing, jitter_km * 1000.0);
-                // Mostly precise geolocations with a small unusable tail above
-                // the paper's 20 km filter.
-                let accuracy_radius_km = if rng.gen_bool(0.93) {
-                    rng.gen_range(0.5..12.0)
-                } else {
-                    rng.gen_range(20.5..80.0)
-                };
-                out.push(MlabTest {
-                    asn: asns[rng.gen_range(0..asns.len())],
-                    download_mbps: rng.gen_range(5.0..800.0),
-                    upload_mbps: rng.gen_range(1.0..300.0),
-                    latency_ms: rng.gen_range(5.0..90.0),
-                    geo_center,
-                    accuracy_radius_km,
-                    day: window_start.plus_days(rng.gen_range(0..window_days)),
-                });
-            }
-        }
-        out
-    })
-    .into_iter()
-    .flatten()
-    .collect();
-    MlabDataset::new(tests)
+    let emitter = MlabEmitter::new(config, provider_asns, served_hexes_by_provider);
+    MlabDataset::new(bdc::collect_shards(&emitter, workers))
 }
 
 /// Derive the hex-level ground truth sets from location-level claims:

@@ -1,0 +1,133 @@
+//! Drive the national preset end to end through the streaming synth →
+//! dataset path and print the per-stage wall-clock / peak-residency report.
+//!
+//! The full preset (~115M BSLs) never materialises the world: fabric, claim
+//! and speed-test shards are regenerated on demand and every stage is
+//! metered against the config's resident-entry budget. `--scale N` divides
+//! the fabric and the budget by `N` for smoke runs (CI uses `--scale 64`).
+//!
+//! ```sh
+//! cargo run --release --example national_streaming -- [--scale N] [--seed S] [--out BENCH_national.json]
+//! ```
+
+use std::fmt::Write as _;
+
+use red_is_sus::core::features::FeatureConfig;
+use red_is_sus::core::labels::LabelingOptions;
+use red_is_sus::core::streaming::run_streaming_to_dataset;
+use red_is_sus::synth::{GenMode, SynthConfig};
+
+fn main() {
+    let mut scale = 1usize;
+    let mut seed = 7u64;
+    let mut out: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => scale = args.next().and_then(|v| v.parse().ok()).unwrap_or(1),
+            "--seed" => seed = args.next().and_then(|v| v.parse().ok()).unwrap_or(7),
+            "--out" => out = args.next(),
+            other => {
+                eprintln!("unknown argument `{other}`");
+                eprintln!("usage: national_streaming [--scale N] [--seed S] [--out FILE]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let config = SynthConfig::national_scaled(seed, scale);
+    println!(
+        "national streaming run: {} BSLs, {} providers, scale 1/{scale}, seed {seed}",
+        config.n_bsls, config.n_providers
+    );
+    println!(
+        "resident-entry budget: {} entries\n",
+        config
+            .max_resident_entries
+            .map(|b| b.to_string())
+            .unwrap_or_else(|| "none".into())
+    );
+
+    let run = run_streaming_to_dataset(
+        &config,
+        &LabelingOptions::default(),
+        &FeatureConfig::default(),
+        GenMode::Parallel,
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("streaming run failed: {e}");
+        std::process::exit(1);
+    });
+
+    println!(
+        "{:<22} {:>12} {:>10} {:>16}",
+        "stage", "wall ms", "shards", "peak entries"
+    );
+    for stage in &run.report.stages {
+        println!(
+            "{:<22} {:>12.1} {:>10} {:>16}",
+            stage.name,
+            stage.wall.as_secs_f64() * 1e3,
+            stage.shards,
+            stage.peak_resident_entries,
+        );
+    }
+    println!(
+        "\ntotal wall {:.2} s, run peak {} entries (budget {})",
+        run.report.total_wall.as_secs_f64(),
+        run.report.peak_resident_entries,
+        run.report
+            .budget
+            .map(|b| b.to_string())
+            .unwrap_or_else(|| "none".into()),
+    );
+    println!(
+        "dataset: {} observations x {} features",
+        run.matrix.dataset.n_rows(),
+        run.matrix.dataset.n_features(),
+    );
+
+    if let Some(path) = out {
+        let mut metrics = String::new();
+        let mut push = |name: &str, value: f64, unit: &str| {
+            if !metrics.is_empty() {
+                metrics.push_str(",\n");
+            }
+            let _ = write!(
+                metrics,
+                "    {{\"name\": \"national/{name}\", \"value\": {value}, \"unit\": \"{unit}\"}}"
+            );
+        };
+        push("scale_divisor", scale as f64, "x");
+        push("bsls", config.n_bsls as f64, "locations");
+        push("providers", config.n_providers as f64, "providers");
+        if let Some(b) = run.report.budget {
+            push("budget", b as f64, "entries");
+        }
+        for stage in &run.report.stages {
+            push(
+                &format!("{}_wall_ms", stage.name),
+                stage.wall.as_secs_f64() * 1e3,
+                "ms",
+            );
+            push(
+                &format!("{}_peak_resident", stage.name),
+                stage.peak_resident_entries as f64,
+                "entries",
+            );
+        }
+        push("total_wall_s", run.report.total_wall.as_secs_f64(), "s");
+        push(
+            "peak_resident",
+            run.report.peak_resident_entries as f64,
+            "entries",
+        );
+        push("dataset_rows", run.matrix.dataset.n_rows() as f64, "rows");
+        let json = format!("{{\n  \"benchmarks\": [],\n  \"metrics\": [\n{metrics}\n  ]\n}}\n");
+        std::fs::write(&path, json).unwrap_or_else(|e| {
+            eprintln!("failed to write {path}: {e}");
+            std::process::exit(1);
+        });
+        println!("\nwrote {path}");
+    }
+}

@@ -35,19 +35,27 @@ fn main() {
             engine.mode(),
             run.report.executed
         );
+        println!(
+            "  {:<24} {:>10} {:>14} {:>12}",
+            "stage", "wall ms", "peak entries", "~bytes"
+        );
         for stage in PipelineStage::ALL {
             let wall = run.report.wall_for(stage).unwrap();
+            let (entries, bytes) = run.report.residency_for(stage).unwrap();
             println!(
-                "  {:<24} {:>10.3} ms",
+                "  {:<24} {:>10.3} {:>14} {:>12}",
                 stage.name(),
-                wall.as_secs_f64() * 1e3
+                wall.as_secs_f64() * 1e3,
+                entries,
+                bytes,
             );
         }
         println!(
-            "  {:<24} {:>10.3} ms (stage sum {:.3} ms)",
+            "  {:<24} {:>10.3} ms (stage sum {:.3} ms, peak stage residency {} entries)",
             "total wall",
             run.report.total_wall.as_secs_f64() * 1e3,
             run.report.stage_sum().as_secs_f64() * 1e3,
+            run.report.peak_resident_entries(),
         );
         println!(
             "  dataset: {} observations x {} features\n",

@@ -127,6 +127,13 @@ fn randomized_configs_error_cleanly_or_generate_valid_worlds() {
             asn_match_rate: rng.gen_range(-0.2..1.2),
             include_jcc: rng.gen_bool(0.5),
             n_minor_releases: rng.gen_range(0..4usize),
+            // Sometimes set a (possibly under-floor) residency budget so the
+            // budget-validation arm is part of the property sweep.
+            max_resident_entries: if rng.gen_bool(0.25) {
+                Some(rng.gen_range(0..50_000usize))
+            } else {
+                None
+            },
         };
         match SynthUs::generate_with(&config, GenMode::Threads(2)) {
             Err(msg) => {
