@@ -37,9 +37,9 @@ pub use nbm::{ClaimKey, HexClaim, NbmRelease, ReleaseVersion};
 pub use provider::{Provider, ProviderRegistry};
 pub use stream::{
     collect_shards, diff_releases, drain_shards, map_shards, ClaimEntry, ClaimStream, DiffChain,
-    DiffMode, DiffOutcome, DiffPairReport, FabricStream, ReleaseStream, ResidencyMeter,
-    ShardStream, ShardableRelease, SortedClaimStream, SpeedTestStream, StreamStats, StreamingDiff,
-    DEFAULT_DIFF_CHUNK,
+    DiffMode, DiffOutcome, DiffPairReport, FabricStream, MeterInstruments, ReleaseStream,
+    ResidencyMeter, ShardStream, ShardableRelease, SortedClaimStream, SpeedTestStream, StreamStats,
+    StreamingDiff, DEFAULT_DIFF_CHUNK,
 };
 pub use tech::Technology;
 pub use time::DayStamp;

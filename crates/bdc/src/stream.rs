@@ -28,7 +28,10 @@
 
 use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
+
+use obs::{Counter, Gauge, MetricsRegistry};
 
 use crate::diff::{ClaimChange, ClaimChangeKind, MapDiff};
 use crate::fabric::Bsl;
@@ -219,6 +222,53 @@ pub struct ResidencyMeter {
     current: AtomicUsize,
     peak: AtomicUsize,
     stage_peak: AtomicUsize,
+    instruments: OnceLock<MeterInstruments>,
+}
+
+/// Telemetry instruments mirroring a [`ResidencyMeter`]'s traffic into a
+/// metrics registry: acquire/release entry counters plus live-current and
+/// run-peak gauges. Pure observation — attaching instruments never changes
+/// what the meter itself reports.
+#[derive(Debug, Clone)]
+pub struct MeterInstruments {
+    /// Total entries ever acquired (pins included).
+    pub acquired_entries: Counter,
+    /// Total entries released again.
+    pub released_entries: Counter,
+    /// Entries resident right now.
+    pub current_entries: Gauge,
+    /// Run-wide peak residency.
+    pub peak_entries: Gauge,
+}
+
+impl MeterInstruments {
+    /// Build the standard instrument set in `registry` under
+    /// `<prefix>_acquired_entries_total` / `<prefix>_released_entries_total`
+    /// / `<prefix>_current_entries` / `<prefix>_peak_entries`.
+    pub fn register(registry: &MetricsRegistry, prefix: &str) -> Self {
+        Self {
+            acquired_entries: registry.counter(
+                &format!("{prefix}_acquired_entries_total"),
+                "Entries acquired (made resident) by the shard streams.",
+                &[],
+            ),
+            released_entries: registry.counter(
+                &format!("{prefix}_released_entries_total"),
+                "Entries released (freed) by the shard streams.",
+                &[],
+            ),
+            current_entries: registry.gauge(
+                &format!("{prefix}_current_entries"),
+                "Entries resident right now.",
+                &[],
+            ),
+            peak_entries: registry.gauge(
+                &format!("{prefix}_peak_entries"),
+                "Run-wide peak resident entries.",
+                &[],
+            ),
+        }
+    }
 }
 
 impl ResidencyMeter {
@@ -227,16 +277,31 @@ impl ResidencyMeter {
         Self::default()
     }
 
+    /// Attach telemetry instruments. First caller wins; later attachments
+    /// are ignored so shared meters cannot be re-pointed mid-run.
+    pub fn attach_instruments(&self, instruments: MeterInstruments) {
+        let _ = self.instruments.set(instruments);
+    }
+
     /// Note `entries` newly resident (a pulled shard, a growing buffer).
     pub fn acquire(&self, entries: usize) {
         let now = self.current.fetch_add(entries, Ordering::Relaxed) + entries;
-        self.peak.fetch_max(now, Ordering::Relaxed);
+        let peak = self.peak.fetch_max(now, Ordering::Relaxed).max(now);
         self.stage_peak.fetch_max(now, Ordering::Relaxed);
+        if let Some(instruments) = self.instruments.get() {
+            instruments.acquired_entries.add(entries as u64);
+            instruments.current_entries.set(now as f64);
+            instruments.peak_entries.set(peak as f64);
+        }
     }
 
     /// Note `entries` dropped again (a shard consumed and freed).
     pub fn release(&self, entries: usize) {
-        self.current.fetch_sub(entries, Ordering::Relaxed);
+        let now = self.current.fetch_sub(entries, Ordering::Relaxed) - entries;
+        if let Some(instruments) = self.instruments.get() {
+            instruments.released_entries.add(entries as u64);
+            instruments.current_entries.set(now as f64);
+        }
     }
 
     /// Note `entries` that stay resident from now on (an index kept for the
@@ -1255,6 +1320,39 @@ mod tests {
         assert_eq!(m.peak(), 100, "peak must survive release");
         m.acquire(50);
         assert_eq!(m.peak(), 120);
+    }
+
+    #[test]
+    fn meter_instruments_mirror_traffic_without_changing_accounting() {
+        let registry = MetricsRegistry::new();
+        let m = ResidencyMeter::new();
+        m.attach_instruments(MeterInstruments::register(&registry, "stream_residency"));
+        m.acquire(100);
+        m.release(40);
+        m.pin(10);
+        // The meter's own accounting is untouched by instrumentation.
+        assert_eq!(m.current(), 70);
+        assert_eq!(m.peak(), 100);
+        // The registry sees the same traffic.
+        let acquired = registry.counter("stream_residency_acquired_entries_total", "", &[]);
+        assert_eq!(acquired.value(), 110, "pin counts as an acquire");
+        let released = registry.counter("stream_residency_released_entries_total", "", &[]);
+        assert_eq!(released.value(), 40);
+        let current = registry.gauge("stream_residency_current_entries", "", &[]);
+        assert_eq!(current.value(), 70.0);
+        let peak = registry.gauge("stream_residency_peak_entries", "", &[]);
+        assert_eq!(peak.value(), 100.0);
+        // Second attachment is ignored: first wins.
+        let other = MetricsRegistry::new();
+        m.attach_instruments(MeterInstruments::register(&other, "stream_residency"));
+        m.acquire(5);
+        assert_eq!(acquired.value(), 115);
+        assert_eq!(
+            other
+                .counter("stream_residency_acquired_entries_total", "", &[])
+                .value(),
+            0
+        );
     }
 
     #[test]

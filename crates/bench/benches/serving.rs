@@ -295,6 +295,71 @@ fn bench_load_generator(model: ml::GbdtModel, data: &ml::Dataset) {
         "requests",
     );
     report_metric("serving_load/rows_per_request", n_rows as f64, "rows");
+
+    bench_instrumentation_overhead(&model, &body, n_rows);
+}
+
+/// The telemetry overhead guard: the same keep-alive closed loop with the
+/// metrics registry attached (`ServeConfig::metrics = true`, the default —
+/// every request observes a latency histogram and bumps per-route series)
+/// vs noop instruments. Published, not asserted: the target is <2%
+/// overhead, but a 1-core CI container is too noisy for a hard gate, so
+/// the number lands in BENCH_serve.json where drift is visible in review.
+fn bench_instrumentation_overhead(model: &ml::GbdtModel, body: &str, n_rows: usize) {
+    let request = format!(
+        "POST /score HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    let total_requests = (LOAD_CLIENTS * LOAD_REQUESTS) as u64;
+    let mut rows_per_sec = [0f64; 2];
+    // Uninstrumented first, instrumented second — adjacent runs on a warm
+    // process so the pair is as comparable as the host allows.
+    for (i, metrics) in [false, true].into_iter().enumerate() {
+        let server = ScoreServer::start(
+            ServedModel::from_model(model.clone()),
+            ServeConfig {
+                workers: LOAD_CLIENTS,
+                metrics,
+                ..ServeConfig::default()
+            },
+        )
+        .expect("bind loopback");
+        assert_eq!(server.metrics_registry().is_some(), metrics);
+
+        let started = Instant::now();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..LOAD_CLIENTS)
+                .map(|_| {
+                    let request = &request;
+                    let addr = server.addr();
+                    scope.spawn(move || client_loop(addr, request, true))
+                })
+                .collect();
+            for h in handles {
+                h.join().expect("client thread");
+            }
+        });
+        let elapsed = started.elapsed().as_secs_f64();
+        let stats = server.shutdown();
+        assert_eq!(stats.requests, total_requests);
+        rows_per_sec[i] = (total_requests as f64 * n_rows as f64) / elapsed;
+    }
+    let [uninstrumented, instrumented] = rows_per_sec;
+    report_metric(
+        "serving_load/uninstrumented_rows_per_sec",
+        uninstrumented,
+        "rows/s",
+    );
+    report_metric(
+        "serving_load/instrumented_rows_per_sec",
+        instrumented,
+        "rows/s",
+    );
+    report_metric(
+        "serving_load/instrumentation_overhead_pct",
+        (uninstrumented / instrumented - 1.0) * 100.0,
+        "%",
+    );
 }
 
 criterion_group!(benches, bench_serving);

@@ -33,4 +33,4 @@ pub use pipeline::{
     AnalysisContext, DatasetRun, ExecutionMode, PipelineEngine, PipelineReport, PipelineRun,
     PipelineStage, StageTiming,
 };
-pub use streaming::{run_streaming_to_dataset, StreamingDatasetRun};
+pub use streaming::{run_streaming_to_dataset, run_streaming_to_dataset_with, StreamingDatasetRun};

@@ -30,6 +30,7 @@ use asnmap::{MatchReport, ProviderAsnMatcher};
 use bdc::stream::DEFAULT_DIFF_CHUNK;
 use bdc::{Asn, DiffChain, DiffMode, ProviderId};
 use hexgrid::{HexCell, NBM_RESOLUTION};
+use obs::{Telemetry, TraceValue, DEFAULT_WALL_BUCKETS};
 use speedtest::{
     attribute_mlab_tests, coverage_scores, CoverageScore, OoklaHexAggregate, ProviderHexTests,
 };
@@ -259,10 +260,32 @@ impl PipelineEngine {
     /// context with its timing report. [`PipelineEngine::run_to_dataset`]
     /// additionally runs the two dataset stages.
     ///
+    /// Records stage telemetry into the process-wide registry
+    /// ([`obs::global`]); [`PipelineEngine::run_with`] takes an explicit
+    /// [`Telemetry`] instead.
+    pub fn run(&self, world: &SynthUs) -> PipelineRun {
+        self.run_with(world, &Telemetry::global())
+    }
+
+    /// [`PipelineEngine::run`] with an explicit telemetry handle: per-stage
+    /// wall-clock histograms, residency gauges and trace events are recorded
+    /// after the stages complete. Recording is pure observation — a run with
+    /// [`Telemetry::disabled`] produces a bit-identical context.
+    pub fn run_with(&self, world: &SynthUs, telemetry: &Telemetry) -> PipelineRun {
+        let run = self.run_inner(world);
+        observe_pipeline_report(telemetry, &run.report);
+        telemetry
+            .counter("pipeline_runs_total", "Preparation pipeline runs.", &[])
+            .inc();
+        run
+    }
+
+    /// The untelemetered engine body: schedule the six preparation stages.
+    ///
     /// `Parallel` mode degrades to the sequential schedule on single-core
     /// hosts, where spawning chain threads is pure overhead; both schedules
     /// produce identical contexts, so this is purely a scheduling decision.
-    pub fn run(&self, world: &SynthUs) -> PipelineRun {
+    fn run_inner(&self, world: &SynthUs) -> PipelineRun {
         let start = Instant::now();
         let multicore = std::thread::available_parallelism()
             .map(|n| n.get() > 1)
@@ -312,11 +335,24 @@ impl PipelineEngine {
         options: &LabelingOptions,
         features: &FeatureConfig,
     ) -> DatasetRun {
+        self.run_to_dataset_with(world, options, features, &Telemetry::global())
+    }
+
+    /// [`PipelineEngine::run_to_dataset`] with an explicit telemetry handle
+    /// (see [`PipelineEngine::run_with`]); the report covering all eight
+    /// stages is recorded once, after the run.
+    pub fn run_to_dataset_with(
+        &self,
+        world: &SynthUs,
+        options: &LabelingOptions,
+        features: &FeatureConfig,
+        telemetry: &Telemetry,
+    ) -> DatasetRun {
         let start = Instant::now();
         let PipelineRun {
             context,
             report: prep,
-        } = self.run(world);
+        } = self.run_inner(world);
         let mode = self.stage_mode();
         let (observations, mut t_labels) = timed(PipelineStage::LabelConstruction, || {
             stage_label_construction(world, &context, options, mode)
@@ -332,17 +368,83 @@ impl PipelineEngine {
         let mut timings = prep.timings;
         timings.push(t_labels);
         timings.push(t_features);
+        let report = PipelineReport {
+            mode: self.mode,
+            executed: prep.executed,
+            timings,
+            total_wall: start.elapsed(),
+        };
+        observe_pipeline_report(telemetry, &report);
+        telemetry
+            .counter(
+                "pipeline_dataset_runs_total",
+                "Full eight-stage dataset-construction runs.",
+                &[],
+            )
+            .inc();
         DatasetRun {
             context,
             matrix,
-            report: PipelineReport {
-                mode: self.mode,
-                executed: prep.executed,
-                timings,
-                total_wall: start.elapsed(),
-            },
+            report,
         }
     }
+}
+
+/// Record a finished run's per-stage timings and residency into `telemetry`:
+/// one `pipeline_stage_wall_seconds{stage}` histogram observation, the
+/// residency gauges, and a `stage` trace event per executed stage, plus the
+/// end-to-end wall gauge. A single branch when telemetry is disabled.
+fn observe_pipeline_report(telemetry: &Telemetry, report: &PipelineReport) {
+    if !telemetry.is_enabled() {
+        return;
+    }
+    for t in &report.timings {
+        let stage = t.stage.name();
+        telemetry
+            .histogram(
+                "pipeline_stage_wall_seconds",
+                "Wall-clock of one executed pipeline stage.",
+                &DEFAULT_WALL_BUCKETS,
+                &[("stage", stage)],
+            )
+            .observe_duration(t.wall);
+        telemetry
+            .gauge(
+                "pipeline_stage_peak_resident_entries",
+                "Peak entries resident during the stage's most recent run.",
+                &[("stage", stage)],
+            )
+            .set(t.peak_resident_entries as f64);
+        telemetry
+            .gauge(
+                "pipeline_stage_resident_bytes",
+                "Approximate bytes behind the stage's peak residency.",
+                &[("stage", stage)],
+            )
+            .set(t.approx_resident_bytes as f64);
+        telemetry.emit(
+            "stage",
+            stage,
+            &[
+                ("wall_seconds", TraceValue::F64(t.wall.as_secs_f64())),
+                (
+                    "peak_resident_entries",
+                    TraceValue::U64(t.peak_resident_entries as u64),
+                ),
+                (
+                    "resident_bytes",
+                    TraceValue::U64(t.approx_resident_bytes as u64),
+                ),
+            ],
+        );
+    }
+    telemetry
+        .gauge(
+            "pipeline_total_wall_seconds",
+            "End-to-end wall-clock of the most recent pipeline run.",
+            &[],
+        )
+        .set(report.total_wall.as_secs_f64());
 }
 
 /// Time one stage's body. Residency is filled in afterwards, once the
@@ -863,6 +965,50 @@ mod tests {
             );
             assert!(run.report.stage_sum() > Duration::ZERO);
         }
+    }
+
+    #[test]
+    fn run_with_records_stage_telemetry_without_perturbing_the_context() {
+        let world = SynthUs::generate(&SynthConfig::tiny(9));
+        let registry = std::sync::Arc::new(obs::MetricsRegistry::new());
+        let telemetry = Telemetry::with_metrics(std::sync::Arc::clone(&registry));
+        let observed = PipelineEngine::sequential().run_with(&world, &telemetry);
+        let silent = PipelineEngine::sequential().run_with(&world, &Telemetry::disabled());
+        assert_eq!(
+            observed.context.canonical_fingerprint(),
+            silent.context.canonical_fingerprint(),
+            "telemetry must be pure observation"
+        );
+        assert_eq!(registry.counter("pipeline_runs_total", "", &[]).value(), 1);
+        let text = registry.encode_prometheus();
+        for stage in PipelineStage::PREPARATION {
+            assert!(
+                text.contains(&format!(
+                    "pipeline_stage_wall_seconds_count{{stage=\"{}\"}} 1",
+                    stage.name()
+                )),
+                "stage {} missing from scrape:\n{text}",
+                stage.name()
+            );
+        }
+        // The dataset entry point folds all eight stages into the same registry.
+        let _ = PipelineEngine::sequential().run_to_dataset_with(
+            &world,
+            &LabelingOptions::default(),
+            &FeatureConfig::default(),
+            &telemetry,
+        );
+        assert_eq!(
+            registry
+                .counter("pipeline_dataset_runs_total", "", &[])
+                .value(),
+            1
+        );
+        let text = registry.encode_prometheus();
+        assert!(
+            text.contains("pipeline_stage_wall_seconds_count{stage=\"feature_engineering\"} 1"),
+            "{text}"
+        );
     }
 
     #[test]

@@ -40,8 +40,9 @@ use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::time::Instant;
 
 use asnmap::ProviderAsnMatcher;
-use bdc::{drain_shards, Asn, ProviderId, ResidencyMeter, ShardStream};
+use bdc::{drain_shards, Asn, MeterInstruments, ProviderId, ResidencyMeter, ShardStream};
 use hexgrid::{HexCell, NBM_RESOLUTION};
+use obs::{Telemetry, TraceValue, DEFAULT_WALL_BUCKETS};
 use speedtest::{
     aggregate_records_into, coverage_scores, MlabAttributor, OoklaHexAggregate, ProviderHexTests,
 };
@@ -109,9 +110,32 @@ pub fn run_streaming_to_dataset(
     features: &FeatureConfig,
     mode: GenMode,
 ) -> Result<StreamingDatasetRun, String> {
+    run_streaming_to_dataset_with(config, options, features, mode, &Telemetry::global())
+}
+
+/// How many per-shard trace events a single drained stage may emit; denser
+/// stages are strided down so a national run's timeline stays readable.
+const TRACE_SHARDS_PER_STAGE: usize = 128;
+
+/// [`run_streaming_to_dataset`] with an explicit telemetry handle: the
+/// shared [`ResidencyMeter`] mirrors its acquire/release traffic into
+/// registry instruments, every stage lands in `stream_stage_*` series, and
+/// an attached trace sink receives a strided per-shard timeline plus one
+/// `stage` event per stage. All recording is observation-only — the matrix
+/// and every fingerprint are bit-identical with telemetry on or off.
+pub fn run_streaming_to_dataset_with(
+    config: &SynthConfig,
+    options: &LabelingOptions,
+    features: &FeatureConfig,
+    mode: GenMode,
+    telemetry: &Telemetry,
+) -> Result<StreamingDatasetRun, String> {
     let started = Instant::now();
     let stream = StreamWorld::generate(config, mode)?;
     let meter = stream.meter();
+    if let Some(registry) = telemetry.registry() {
+        meter.attach_instruments(MeterInstruments::register(registry, "stream_residency"));
+    }
     let budget = stream.budget();
     let mut stages: Vec<StreamStage> = Vec::new();
     // The synth half left its own stage peaks behind; start this runner's
@@ -152,12 +176,25 @@ pub fn run_streaming_to_dataset(
     {
         let emitter = OoklaEmitter::new(&stream.config, stream.hex_table.entries());
         ookla_shards = emitter.shard_count();
+        let stride = (ookla_shards / TRACE_SHARDS_PER_STAGE).max(1);
         let mut pinned = 0usize;
-        drain_shards(&emitter, meter, |_, shard| {
+        drain_shards(&emitter, meter, |i, shard| {
+            let records = shard.len();
             aggregate_records_into(&shard, NBM_RESOLUTION, &mut ookla_by_hex);
             let now = ookla_by_hex.len();
             meter.acquire(now - pinned);
             pinned = now;
+            if i % stride == 0 {
+                telemetry.emit(
+                    "shard",
+                    "ookla_reprojection",
+                    &[
+                        ("shard", TraceValue::U64(i as u64)),
+                        ("records", TraceValue::U64(records as u64)),
+                        ("resident", TraceValue::U64(meter.current() as u64)),
+                    ],
+                );
+            }
         });
     }
     end_stage(
@@ -194,7 +231,22 @@ pub fn run_streaming_to_dataset(
             &stream.served_hexes_by_provider,
         );
         mlab_shards = emitter.shard_count();
-        drain_shards(&emitter, meter, |_, tests| attributor.add_tests(&tests));
+        let stride = (mlab_shards / TRACE_SHARDS_PER_STAGE).max(1);
+        drain_shards(&emitter, meter, |i, tests| {
+            let records = tests.len();
+            attributor.add_tests(&tests);
+            if i % stride == 0 {
+                telemetry.emit(
+                    "shard",
+                    "mlab_attribution",
+                    &[
+                        ("shard", TraceValue::U64(i as u64)),
+                        ("records", TraceValue::U64(records as u64)),
+                        ("resident", TraceValue::U64(meter.current() as u64)),
+                    ],
+                );
+            }
+        });
         mlab_evidence = attributor.finish();
     }
     drop(claimed_hexes);
@@ -263,11 +315,101 @@ pub fn run_streaming_to_dataset(
         peak_resident_entries: meter.peak(),
         budget,
     };
+    observe_stream_report(telemetry, &report);
+    telemetry
+        .counter(
+            "streaming_runs_total",
+            "Completed streaming synth-to-dataset runs.",
+            &[],
+        )
+        .inc();
     Ok(StreamingDatasetRun {
         world: stream,
         matrix,
         report,
     })
+}
+
+/// Record a finished streaming run's report: per-stage wall histograms,
+/// peak-residency and shard-count gauges, the run-wide peak/budget gauges,
+/// one `stage` trace event per stage and a closing `run_end` event.
+fn observe_stream_report(telemetry: &Telemetry, report: &StreamReport) {
+    if !telemetry.is_enabled() {
+        return;
+    }
+    for stage in &report.stages {
+        telemetry
+            .histogram(
+                "stream_stage_wall_seconds",
+                "Wall-clock of one streaming-run stage (synth and runner halves).",
+                &DEFAULT_WALL_BUCKETS,
+                &[("stage", stage.name)],
+            )
+            .observe_duration(stage.wall);
+        telemetry
+            .gauge(
+                "stream_stage_peak_resident_entries",
+                "Metered peak resident entries during the stage's most recent run.",
+                &[("stage", stage.name)],
+            )
+            .set(stage.peak_resident_entries as f64);
+        telemetry
+            .gauge(
+                "stream_stage_shards",
+                "Shards the stage drained on its most recent run.",
+                &[("stage", stage.name)],
+            )
+            .set(stage.shards as f64);
+        telemetry.emit(
+            "stage",
+            stage.name,
+            &[
+                ("wall_seconds", TraceValue::F64(stage.wall.as_secs_f64())),
+                ("shards", TraceValue::U64(stage.shards as u64)),
+                (
+                    "peak_resident_entries",
+                    TraceValue::U64(stage.peak_resident_entries as u64),
+                ),
+            ],
+        );
+    }
+    telemetry
+        .gauge(
+            "stream_run_peak_resident_entries",
+            "Run-wide peak resident entries of the most recent streaming run.",
+            &[],
+        )
+        .set(report.peak_resident_entries as f64);
+    if let Some(budget) = report.budget {
+        telemetry
+            .gauge(
+                "stream_budget_entries",
+                "Configured resident-entry budget of the most recent streaming run.",
+                &[],
+            )
+            .set(budget as f64);
+    }
+    telemetry
+        .gauge(
+            "stream_total_wall_seconds",
+            "End-to-end wall-clock of the most recent streaming run.",
+            &[],
+        )
+        .set(report.total_wall.as_secs_f64());
+    telemetry.emit(
+        "run",
+        "run_end",
+        &[
+            (
+                "total_wall_seconds",
+                TraceValue::F64(report.total_wall.as_secs_f64()),
+            ),
+            (
+                "peak_resident_entries",
+                TraceValue::U64(report.peak_resident_entries as u64),
+            ),
+        ],
+    );
 }
 
 #[cfg(test)]
@@ -306,6 +448,80 @@ mod tests {
         assert!(run.report.stage("regulatory_pass").is_some());
         assert!(run.matrix.dataset.n_rows() > 0);
         assert!(run.report.peak_resident_entries > 0);
+    }
+
+    #[test]
+    fn streaming_telemetry_records_stages_and_traces_shards() {
+        use std::io::Write;
+        use std::sync::{Arc, Mutex};
+
+        #[derive(Clone, Default)]
+        struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+        impl Write for SharedBuf {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let buf = SharedBuf::default();
+        let registry = Arc::new(obs::MetricsRegistry::new());
+        let telemetry = Telemetry::with_metrics(Arc::clone(&registry))
+            .with_trace(Arc::new(obs::TraceSink::to_writer(Box::new(buf.clone()))));
+        let config = SynthConfig::tiny(91);
+        let run = run_streaming_to_dataset_with(
+            &config,
+            &LabelingOptions::default(),
+            &FeatureConfig::default(),
+            GenMode::Sequential,
+            &telemetry,
+        )
+        .expect("valid config");
+
+        // Registry: runner stages and residency instruments are all there.
+        let text = registry.encode_prometheus();
+        assert!(
+            text.contains("stream_stage_wall_seconds_count{stage=\"mlab_attribution\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("stream_residency_acquired_entries_total"),
+            "{text}"
+        );
+        assert_eq!(registry.counter("streaming_runs_total", "", &[]).value(), 1);
+        let peak = registry.gauge("stream_run_peak_resident_entries", "", &[]);
+        assert_eq!(peak.value(), run.report.peak_resident_entries as f64);
+
+        // Trace: a per-stage timeline with strided shard events and a
+        // closing run_end, one strict-JSON object per line.
+        let bytes = buf.0.lock().unwrap().clone();
+        let trace = String::from_utf8(bytes).unwrap();
+        assert!(trace.lines().count() > run.report.stages.len());
+        assert!(trace.contains("\"kind\":\"shard\""), "{trace}");
+        assert!(trace.contains("\"name\":\"run_end\""), "{trace}");
+        for line in trace.lines() {
+            assert!(
+                line.starts_with("{\"ts_us\":") && line.ends_with('}'),
+                "{line}"
+            );
+        }
+
+        // And the matrix is bit-identical to an untelemetered run.
+        let silent = run_streaming_to_dataset(
+            &config,
+            &LabelingOptions::default(),
+            &FeatureConfig::default(),
+            GenMode::Sequential,
+        )
+        .expect("valid config");
+        assert_eq!(
+            crate::features::dataset_fingerprint(&run.matrix.dataset),
+            crate::features::dataset_fingerprint(&silent.matrix.dataset),
+            "telemetry must be pure observation"
+        );
     }
 
     #[test]

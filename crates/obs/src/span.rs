@@ -1,0 +1,86 @@
+//! Span timers: scoped wall-clock measurement feeding a histogram.
+
+use std::time::{Duration, Instant};
+
+use crate::metrics::Histogram;
+
+/// Times a scope and records the elapsed seconds into a [`Histogram`] —
+/// either explicitly via [`SpanTimer::finish`] (which also returns the
+/// duration) or implicitly on drop, so early returns and panics in the
+/// timed scope still record.
+///
+/// Against a noop histogram this is one `Instant::now()` and a branch.
+#[derive(Debug)]
+pub struct SpanTimer {
+    start: Instant,
+    hist: Histogram,
+    done: bool,
+}
+
+impl SpanTimer {
+    /// Start timing into `hist`.
+    pub fn start(hist: Histogram) -> Self {
+        Self {
+            start: Instant::now(),
+            hist,
+            done: false,
+        }
+    }
+
+    /// Elapsed time so far, without recording.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Stop, record, and return the elapsed duration.
+    pub fn finish(mut self) -> Duration {
+        let elapsed = self.start.elapsed();
+        self.hist.observe_duration(elapsed);
+        self.done = true;
+        elapsed
+    }
+
+    /// Stop without recording anything.
+    pub fn cancel(mut self) {
+        self.done = true;
+    }
+}
+
+impl Drop for SpanTimer {
+    fn drop(&mut self) {
+        if !self.done {
+            self.hist.observe_duration(self.start.elapsed());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finish_records_once() {
+        let hist = Histogram::active(&[0.5, 60.0]);
+        let timer = SpanTimer::start(hist.clone());
+        let elapsed = timer.finish();
+        assert_eq!(hist.count(), 1);
+        assert!(elapsed.as_secs_f64() < 60.0);
+    }
+
+    #[test]
+    fn drop_records_and_cancel_does_not() {
+        let hist = Histogram::active(&[0.5, 60.0]);
+        {
+            let _timer = SpanTimer::start(hist.clone());
+        }
+        assert_eq!(hist.count(), 1, "drop must record an unfinished span");
+        SpanTimer::start(hist.clone()).cancel();
+        assert_eq!(hist.count(), 1, "cancel must not record");
+    }
+
+    #[test]
+    fn noop_histogram_records_nothing() {
+        let timer = SpanTimer::start(Histogram::noop());
+        let _ = timer.finish();
+    }
+}

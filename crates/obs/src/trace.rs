@@ -1,0 +1,187 @@
+//! JSONL trace-event sink.
+//!
+//! A [`TraceSink`] turns instrumentation points into a replayable
+//! timeline: one strict-JSON object per line, each stamped with
+//! microseconds since sink creation (`ts_us`) plus the wall-clock epoch
+//! of the sink itself in the header line, so a national streaming run or
+//! a serving session can be reconstructed offline without any collector
+//! infrastructure.
+//!
+//! Emission takes a mutex around the underlying writer — trace events are
+//! per-stage/per-shard/per-lifecycle, not per-row, so the lock is far off
+//! the deterministic hot path. A disabled sink is represented the same way
+//! as every other instrument here: by its absence (`Option<Arc<TraceSink>>`
+//! in [`crate::Telemetry`]), so the zero-cost-when-disabled contract holds.
+
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+use crate::metrics::escape_json;
+
+/// A borrowed trace-field value. Strings are JSON-escaped on write;
+/// non-finite floats serialize as `null`.
+#[derive(Debug, Clone, Copy)]
+pub enum TraceValue<'a> {
+    U64(u64),
+    F64(f64),
+    Str(&'a str),
+}
+
+/// A JSONL event sink (see module docs).
+pub struct TraceSink {
+    start: Instant,
+    out: Mutex<Box<dyn Write + Send>>,
+    events: AtomicU64,
+}
+
+impl std::fmt::Debug for TraceSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceSink")
+            .field("events", &self.events.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+impl TraceSink {
+    /// Wrap any writer. Writes a header event recording the wall-clock
+    /// epoch so `ts_us` offsets can be mapped back to absolute time.
+    pub fn to_writer(writer: Box<dyn Write + Send>) -> Self {
+        let sink = Self {
+            start: Instant::now(),
+            out: Mutex::new(writer),
+            events: AtomicU64::new(0),
+        };
+        let epoch_ms = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0);
+        sink.emit("trace", "start", &[("epoch_ms", TraceValue::U64(epoch_ms))]);
+        sink
+    }
+
+    /// Open (truncate/create) `path` and buffer writes to it.
+    pub fn to_path(path: &Path) -> io::Result<Self> {
+        let file = File::create(path)?;
+        Ok(Self::to_writer(Box::new(BufWriter::new(file))))
+    }
+
+    /// Number of events emitted so far (including the header).
+    pub fn events(&self) -> u64 {
+        self.events.load(Ordering::Relaxed)
+    }
+
+    /// Write one event line:
+    /// `{"ts_us":N,"kind":"…","name":"…",<fields…>}`.
+    ///
+    /// Field keys are trusted identifiers (compile-time strings at call
+    /// sites); values are escaped. Write errors are swallowed — telemetry
+    /// must never fail the workload it observes.
+    pub fn emit(&self, kind: &str, name: &str, fields: &[(&str, TraceValue<'_>)]) {
+        let ts_us = self.start.elapsed().as_micros() as u64;
+        let mut line = String::with_capacity(64 + fields.len() * 24);
+        use std::fmt::Write as _;
+        let _ = write!(
+            line,
+            "{{\"ts_us\":{ts_us},\"kind\":\"{}\",\"name\":\"{}\"",
+            escape_json(kind),
+            escape_json(name)
+        );
+        for (key, value) in fields {
+            let _ = write!(line, ",\"{}\":", escape_json(key));
+            match value {
+                TraceValue::U64(n) => {
+                    let _ = write!(line, "{n}");
+                }
+                TraceValue::F64(v) if v.is_finite() => {
+                    let _ = write!(line, "{v}");
+                }
+                TraceValue::F64(_) => line.push_str("null"),
+                TraceValue::Str(s) => {
+                    let _ = write!(line, "\"{}\"", escape_json(s));
+                }
+            }
+        }
+        line.push_str("}\n");
+        let mut out = self.out.lock().expect("trace sink lock poisoned");
+        let _ = out.write_all(line.as_bytes());
+        self.events.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Flush the underlying writer (also happens on drop).
+    pub fn flush(&self) {
+        if let Ok(mut out) = self.out.lock() {
+            let _ = out.flush();
+        }
+    }
+}
+
+impl Drop for TraceSink {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex as StdMutex};
+
+    /// A `Write` handing lines back to the test.
+    #[derive(Clone, Default)]
+    struct SharedBuf(Arc<StdMutex<Vec<u8>>>);
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn emits_one_json_object_per_line() {
+        let buf = SharedBuf::default();
+        let sink = TraceSink::to_writer(Box::new(buf.clone()));
+        sink.emit(
+            "stage",
+            "asn_matching",
+            &[
+                ("wall_seconds", TraceValue::F64(0.125)),
+                ("shards", TraceValue::U64(7)),
+                ("mode", TraceValue::Str("stream\"quoted\"")),
+            ],
+        );
+        sink.emit("stage", "nan_field", &[("x", TraceValue::F64(f64::NAN))]);
+        sink.flush();
+
+        let bytes = buf.0.lock().unwrap().clone();
+        let text = String::from_utf8(bytes).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3, "header + 2 events:\n{text}");
+        assert!(lines[0].contains("\"kind\":\"trace\""), "{}", lines[0]);
+        assert!(lines[0].contains("\"epoch_ms\":"), "{}", lines[0]);
+        assert!(
+            lines[1].contains("\"name\":\"asn_matching\"")
+                && lines[1].contains("\"wall_seconds\":0.125")
+                && lines[1].contains("\"shards\":7")
+                && lines[1].contains("\"mode\":\"stream\\\"quoted\\\"\""),
+            "{}",
+            lines[1]
+        );
+        assert!(lines[2].contains("\"x\":null"), "{}", lines[2]);
+        for line in &lines {
+            assert!(
+                line.starts_with("{\"ts_us\":") && line.ends_with('}'),
+                "{line}"
+            );
+            assert_eq!(line.matches('{').count(), line.matches('}').count());
+        }
+        assert_eq!(sink.events(), 3);
+    }
+}

@@ -4,7 +4,7 @@
 //! redsus-score inspect <model.rsm>
 //! redsus-score score   <model.rsm> <features.csv> [--margin] [--workers N]
 //! redsus-score serve   [<model.rsm>] [--addr HOST:PORT] [--workers N]
-//!                      [--watch-dir DIR] [--poll-ms N]
+//!                      [--watch-dir DIR] [--poll-ms N] [--trace-out FILE]
 //! ```
 //!
 //! `score` loads an artifact, aligns the CSV's columns onto the model schema
@@ -17,6 +17,10 @@
 //! addressable via `POST /score?model=<fingerprint>` until retired).
 //! `inspect` prints the artifact's embedded schema without scoring
 //! anything.
+//!
+//! `serve` always exposes `GET /metrics` (Prometheus text) and `GET /stats`
+//! (JSON); `--trace-out FILE` additionally appends one JSONL trace event
+//! per request to FILE.
 
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -29,7 +33,7 @@ use redsus_serve::{
 const USAGE: &str = "usage:
   redsus-score inspect <model.rsm>
   redsus-score score   <model.rsm> <features.csv> [--margin] [--workers N]
-  redsus-score serve   [<model.rsm>] [--addr HOST:PORT] [--workers N] [--watch-dir DIR] [--poll-ms N]";
+  redsus-score serve   [<model.rsm>] [--addr HOST:PORT] [--workers N] [--watch-dir DIR] [--poll-ms N] [--trace-out FILE]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -78,6 +82,7 @@ struct Options {
     addr: String,
     watch_dir: Option<String>,
     poll_ms: u64,
+    trace_out: Option<String>,
     positional: Vec<String>,
 }
 
@@ -88,6 +93,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         addr: "127.0.0.1:8080".to_string(),
         watch_dir: None,
         poll_ms: 2000,
+        trace_out: None,
         positional: Vec::new(),
     };
     let mut it = args.iter();
@@ -107,6 +113,9 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 options.poll_ms = v
                     .parse()
                     .map_err(|_| format!("bad poll interval {v:?} (milliseconds)"))?;
+            }
+            "--trace-out" => {
+                options.trace_out = Some(it.next().ok_or("--trace-out needs a value")?.clone());
             }
             other if other.starts_with("--") => return Err(format!("unknown option {other}")),
             other => options.positional.push(other.to_string()),
@@ -202,8 +211,16 @@ fn serve(args: &[String]) -> Result<(), String> {
         workers: options.workers.unwrap_or(2),
         ..ServeConfig::default()
     };
-    let server = ScoreServer::bind_with_registry(&options.addr, Arc::clone(&registry), config)
-        .map_err(|e| format!("binding {}: {e}", options.addr))?;
+    let mut telemetry = obs::Telemetry::with_metrics(Arc::new(obs::MetricsRegistry::new()));
+    if let Some(path) = &options.trace_out {
+        let sink = obs::TraceSink::to_path(std::path::Path::new(path))
+            .map_err(|e| format!("opening trace file {path}: {e}"))?;
+        telemetry = telemetry.with_trace(Arc::new(sink));
+        println!("tracing requests to {path} (JSONL)");
+    }
+    let server =
+        ScoreServer::bind_with_telemetry(&options.addr, Arc::clone(&registry), config, &telemetry)
+            .map_err(|e| format!("binding {}: {e}", options.addr))?;
     match registry.default_fingerprint() {
         Some(fp) => println!(
             "serving {} model version(s), default {fp:#018x}, at {} ({} workers); Ctrl-C to stop",

@@ -51,10 +51,15 @@
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+use obs::{
+    Counter, Gauge, Histogram, MetricsRegistry, Telemetry, TraceSink, TraceValue,
+    DEFAULT_LATENCY_BUCKETS,
+};
 
 use crate::batch::{ScoreMode, ScoreOutput};
 use crate::frame::FeatureFrame;
@@ -86,6 +91,12 @@ pub struct ServeConfig {
     /// under concurrent load the worker pool is the parallelism, and the
     /// contract guarantees the schedule never changes the bits anyway.
     pub score_mode: ScoreMode,
+    /// Whether the plain constructors attach a metrics registry (served on
+    /// `GET /metrics` / `GET /stats`). `false` runs the server with noop
+    /// instruments — `/metrics` answers 503 and the request path pays one
+    /// branch per record. Constructors taking an explicit [`Telemetry`]
+    /// ignore this flag: what they are handed wins.
+    pub metrics: bool,
 }
 
 impl Default for ServeConfig {
@@ -98,6 +109,7 @@ impl Default for ServeConfig {
             keep_alive: true,
             max_requests_per_connection: 1024,
             score_mode: ScoreMode::Sequential,
+            metrics: true,
         }
     }
 }
@@ -121,25 +133,245 @@ pub struct ServerStats {
     pub idle_closes: u64,
 }
 
+/// The routes the server pre-creates latency series for, plus the
+/// catch-all. Pre-creation keeps the per-request path free of registry
+/// lookups: recording into an already-held [`Histogram`] handle is
+/// lock-free.
+const ROUTES: [&str; 7] = [
+    "/score", "/healthz", "/models", "/model", "/metrics", "/stats", "other",
+];
+
+/// The latency/counter label for a request line.
+fn route_key(method: &str, path: &str) -> &'static str {
+    match (method, path) {
+        (_, "/score") => "/score",
+        ("GET", "/healthz") => "/healthz",
+        ("GET", "/models") => "/models",
+        ("GET", "/model") => "/model",
+        ("GET", "/metrics") => "/metrics",
+        ("GET", "/stats") => "/stats",
+        _ => "other",
+    }
+}
+
+/// Static status-label table so the per-response counter never allocates.
+fn status_label(status: u16) -> &'static str {
+    match status {
+        200 => "200",
+        400 => "400",
+        404 => "404",
+        405 => "405",
+        408 => "408",
+        413 => "413",
+        431 => "431",
+        501 => "501",
+        503 => "503",
+        505 => "505",
+        _ => "other",
+    }
+}
+
+/// The server's instrument set. The five [`ServerStats`] counters are
+/// always-active `obs` atomics — [`ScoreServer::stats`] and `/metrics` read
+/// the *same cores*, one bookkeeping path instead of two — while the
+/// histograms, per-route series and gauges are noops unless a metrics
+/// registry is attached.
+struct ServerMetrics {
+    registry: Option<Arc<MetricsRegistry>>,
+    trace: Option<Arc<TraceSink>>,
+    requests: Counter,
+    scored_rows: Counter,
+    connections: Counter,
+    peer_resets: Counter,
+    idle_closes: Counter,
+    connections_active: Gauge,
+    in_flight: Gauge,
+    /// Set at `/metrics` scrape time from the model registry.
+    models_loaded: Gauge,
+    route_latency: Vec<(&'static str, Histogram)>,
+}
+
+impl ServerMetrics {
+    fn new(telemetry: &Telemetry, models: &ModelRegistry) -> Self {
+        let requests = Counter::active();
+        let scored_rows = Counter::active();
+        let connections = Counter::active();
+        let peer_resets = Counter::active();
+        let idle_closes = Counter::active();
+        let connections_active = Gauge::active();
+        let in_flight = Gauge::active();
+        let registry = telemetry.registry().cloned();
+        let models_loaded = match &registry {
+            Some(reg) => {
+                reg.adopt_counter(
+                    "http_requests_total",
+                    "Requests answered (any status).",
+                    &[],
+                    &requests,
+                );
+                reg.adopt_counter(
+                    "scored_rows_total",
+                    "Rows scored by /score responses.",
+                    &[],
+                    &scored_rows,
+                );
+                reg.adopt_counter(
+                    "http_connections_total",
+                    "Connections accepted.",
+                    &[],
+                    &connections,
+                );
+                reg.adopt_counter(
+                    "http_peer_resets_total",
+                    "Connections that died under us: peer reset or broken pipe.",
+                    &[],
+                    &peer_resets,
+                );
+                reg.adopt_counter(
+                    "http_idle_closes_total",
+                    "Keep-alive connections closed for sitting idle past the timeout.",
+                    &[],
+                    &idle_closes,
+                );
+                reg.adopt_gauge(
+                    "http_connections_active",
+                    "Connections currently open.",
+                    &[],
+                    &connections_active,
+                );
+                reg.adopt_gauge(
+                    "http_requests_in_flight",
+                    "Requests currently being handled.",
+                    &[],
+                    &in_flight,
+                );
+                let lifecycle = models.lifecycle();
+                reg.adopt_counter(
+                    "model_registry_publishes_total",
+                    "Models published into the registry (replacements included).",
+                    &[],
+                    &lifecycle.publishes,
+                );
+                reg.adopt_counter(
+                    "model_registry_retires_total",
+                    "Model versions retired from the registry.",
+                    &[],
+                    &lifecycle.retires,
+                );
+                reg.adopt_counter(
+                    "model_registry_default_swaps_total",
+                    "Times the default model version changed.",
+                    &[],
+                    &lifecycle.default_swaps,
+                );
+                reg.gauge(
+                    "model_registry_models",
+                    "Model versions loaded (sampled at scrape time).",
+                    &[],
+                )
+            }
+            None => Gauge::noop(),
+        };
+        let route_latency = ROUTES
+            .iter()
+            .map(|route| {
+                let hist = match &registry {
+                    Some(reg) => reg.histogram(
+                        "http_request_duration_seconds",
+                        "Request handling latency by route (routing to response body built).",
+                        &DEFAULT_LATENCY_BUCKETS,
+                        &[("route", route)],
+                    ),
+                    None => Histogram::noop(),
+                };
+                (*route, hist)
+            })
+            .collect();
+        Self {
+            registry,
+            trace: telemetry.trace_sink().cloned(),
+            requests,
+            scored_rows,
+            connections,
+            peer_resets,
+            idle_closes,
+            connections_active,
+            in_flight,
+            models_loaded,
+            route_latency,
+        }
+    }
+
+    fn latency(&self, route: &str) -> &Histogram {
+        self.route_latency
+            .iter()
+            .find(|(r, _)| *r == route)
+            .map(|(_, h)| h)
+            .unwrap_or(&self.route_latency[ROUTES.len() - 1].1)
+    }
+
+    /// Count one response in `http_responses_total{route,status}`. The
+    /// series is get-or-create (a read-lock hit after the first response of
+    /// its kind); disabled metrics skip it entirely.
+    fn response(&self, route: &'static str, status: u16) {
+        if let Some(reg) = &self.registry {
+            reg.counter(
+                "http_responses_total",
+                "Responses by route and status.",
+                &[("route", route), ("status", status_label(status))],
+            )
+            .inc();
+        }
+    }
+
+    /// Emit one per-request trace event, when a sink is attached.
+    fn trace_request(&self, route: &str, status: u16, wall: Duration, keep: bool) {
+        if let Some(sink) = &self.trace {
+            sink.emit(
+                "request",
+                route,
+                &[
+                    ("status", TraceValue::U64(status as u64)),
+                    ("duration_us", TraceValue::U64(wall.as_micros() as u64)),
+                    ("keep_alive", TraceValue::U64(keep as u64)),
+                ],
+            );
+        }
+    }
+}
+
+/// Decrements a gauge on drop — active-connection / in-flight bookkeeping
+/// that survives every early return in the connection loop.
+struct GaugeGuard<'a>(&'a Gauge);
+
+impl GaugeGuard<'_> {
+    fn acquire(gauge: &Gauge) -> GaugeGuard<'_> {
+        gauge.add(1.0);
+        GaugeGuard(gauge)
+    }
+}
+
+impl Drop for GaugeGuard<'_> {
+    fn drop(&mut self) {
+        self.0.add(-1.0);
+    }
+}
+
 struct Shared {
     registry: Arc<ModelRegistry>,
     config: ServeConfig,
     shutdown: Arc<AtomicBool>,
-    requests: AtomicU64,
-    scored_rows: AtomicU64,
-    connections: AtomicU64,
-    peer_resets: AtomicU64,
-    idle_closes: AtomicU64,
+    metrics: ServerMetrics,
 }
 
 impl Shared {
     fn stats(&self) -> ServerStats {
         ServerStats {
-            requests: self.requests.load(Ordering::SeqCst),
-            scored_rows: self.scored_rows.load(Ordering::SeqCst),
-            connections: self.connections.load(Ordering::SeqCst),
-            peer_resets: self.peer_resets.load(Ordering::SeqCst),
-            idle_closes: self.idle_closes.load(Ordering::SeqCst),
+            requests: self.metrics.requests.value(),
+            scored_rows: self.metrics.scored_rows.value(),
+            connections: self.metrics.connections.value(),
+            peer_resets: self.metrics.peer_resets.value(),
+            idle_closes: self.metrics.idle_closes.value(),
         }
     }
 }
@@ -175,24 +407,51 @@ impl ScoreServer {
         Self::bind_with_registry("127.0.0.1:0", registry, config)
     }
 
-    /// Start on an explicit address over a shared registry.
+    /// Start on an explicit address over a shared registry. Builds the
+    /// server's telemetry from [`ServeConfig::metrics`]: `true` attaches a
+    /// fresh private [`MetricsRegistry`] (so `GET /metrics` works out of the
+    /// box), `false` runs noop instruments.
     pub fn bind_with_registry(
         addr: &str,
         registry: Arc<ModelRegistry>,
         config: ServeConfig,
     ) -> std::io::Result<Self> {
+        let telemetry = if config.metrics {
+            Telemetry::with_metrics(Arc::new(MetricsRegistry::new()))
+        } else {
+            Telemetry::disabled()
+        };
+        Self::bind_with_telemetry(addr, registry, config, &telemetry)
+    }
+
+    /// Start on an ephemeral loopback port with explicit telemetry — wire
+    /// the server into a registry shared with the pipeline, or attach a
+    /// trace sink. Ignores [`ServeConfig::metrics`]: the handed telemetry
+    /// wins.
+    pub fn start_with_telemetry(
+        registry: Arc<ModelRegistry>,
+        config: ServeConfig,
+        telemetry: &Telemetry,
+    ) -> std::io::Result<Self> {
+        Self::bind_with_telemetry("127.0.0.1:0", registry, config, telemetry)
+    }
+
+    /// Start on an explicit address with explicit telemetry.
+    pub fn bind_with_telemetry(
+        addr: &str,
+        registry: Arc<ModelRegistry>,
+        config: ServeConfig,
+        telemetry: &Telemetry,
+    ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
+        let metrics = ServerMetrics::new(telemetry, &registry);
         let shared = Arc::new(Shared {
             registry,
             config,
             shutdown: Arc::clone(&shutdown),
-            requests: AtomicU64::new(0),
-            scored_rows: AtomicU64::new(0),
-            connections: AtomicU64::new(0),
-            peer_resets: AtomicU64::new(0),
-            idle_closes: AtomicU64::new(0),
+            metrics,
         });
         let workers = config.workers.max(1);
         let (tx, rx) = mpsc::sync_channel::<TcpStream>(workers * 2);
@@ -260,6 +519,13 @@ impl ScoreServer {
     /// A point-in-time snapshot of the request counters.
     pub fn stats(&self) -> ServerStats {
         self.shared.stats()
+    }
+
+    /// The metrics registry this server records into — the one `/metrics`
+    /// scrapes — or `None` when metrics are disabled. Useful for reading
+    /// server series in-process without an HTTP round trip.
+    pub fn metrics_registry(&self) -> Option<&Arc<MetricsRegistry>> {
+        self.shared.metrics.registry.as_ref()
     }
 
     /// Gracefully stop: unblock the accept loop, drain the workers, join
@@ -610,7 +876,9 @@ fn find_header_end(buf: &[u8], from: usize) -> Option<usize> {
 // Connection lifecycle
 
 fn handle_connection(mut stream: TcpStream, shared: &Shared) {
-    shared.connections.fetch_add(1, Ordering::SeqCst);
+    let metrics = &shared.metrics;
+    metrics.connections.inc();
+    let _conn_gauge = GaugeGuard::acquire(&metrics.connections_active);
     let _ = stream.set_nodelay(true);
     let mut conn = ConnBuf::default();
     let mut served = 0u64;
@@ -622,11 +890,19 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
                     && request.keep_alive
                     && served < shared.config.max_requests_per_connection
                     && !shared.shutdown.load(Ordering::SeqCst);
+                let route_name = route_key(&request.method, &request.path);
+                let started = Instant::now();
+                let in_flight = GaugeGuard::acquire(&metrics.in_flight);
                 let (status, body) = match route(&request, shared) {
                     Ok(body) => (200, body),
-                    Err(e) => (e.status, error_body(&e.message)),
+                    Err(e) => (e.status, RouteBody::json(error_body(&e.message))),
                 };
-                shared.requests.fetch_add(1, Ordering::SeqCst);
+                let wall = started.elapsed();
+                drop(in_flight);
+                metrics.latency(route_name).observe(wall.as_secs_f64());
+                metrics.requests.inc();
+                metrics.response(route_name, status);
+                metrics.trace_request(route_name, status, wall, keep);
                 let keep_header = keep.then(|| KeepAliveHeader {
                     idle: shared.config.idle_timeout,
                     remaining: shared
@@ -634,9 +910,17 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
                         .max_requests_per_connection
                         .saturating_sub(served),
                 });
-                if write_response(&mut stream, status, &body, keep_header).is_err() {
+                if write_response(
+                    &mut stream,
+                    status,
+                    &body.body,
+                    body.content_type,
+                    keep_header,
+                )
+                .is_err()
+                {
                     // The response never made it: the peer is gone.
-                    shared.peer_resets.fetch_add(1, Ordering::SeqCst);
+                    metrics.peer_resets.inc();
                     return;
                 }
                 if !keep {
@@ -647,10 +931,11 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
                 // A wire-level failure: answer it if the socket still
                 // listens, then close — the request framing can no longer
                 // be trusted, so the connection must not be reused.
-                shared.requests.fetch_add(1, Ordering::SeqCst);
+                metrics.requests.inc();
+                metrics.response("other", e.status);
                 let body = error_body(&e.message);
-                if write_response(&mut stream, e.status, &body, None).is_err() {
-                    shared.peer_resets.fetch_add(1, Ordering::SeqCst);
+                if write_response(&mut stream, e.status, &body, "application/json", None).is_err() {
+                    metrics.peer_resets.inc();
                 } else if e.unread_bytes > 0 {
                     drain_unread(&mut stream, e.unread_bytes);
                 }
@@ -659,10 +944,10 @@ fn handle_connection(mut stream: TcpStream, shared: &Shared) {
             Err(ReadEnd::Close(reason)) => {
                 match reason {
                     CloseReason::Idle => {
-                        shared.idle_closes.fetch_add(1, Ordering::SeqCst);
+                        metrics.idle_closes.inc();
                     }
                     CloseReason::Aborted => {
-                        shared.peer_resets.fetch_add(1, Ordering::SeqCst);
+                        metrics.peer_resets.inc();
                     }
                     CloseReason::CleanEof | CloseReason::ShuttingDown => {}
                 }
@@ -695,18 +980,83 @@ fn drain_unread(stream: &mut TcpStream, unread: usize) {
 // ---------------------------------------------------------------------------
 // Routing and responses
 
-fn route(request: &Request, shared: &Shared) -> Result<String, HttpError> {
+/// A successful response body with its media type. Everything the server
+/// emits is JSON except the Prometheus exposition on `/metrics`.
+struct RouteBody {
+    body: String,
+    content_type: &'static str,
+}
+
+impl RouteBody {
+    fn json(body: String) -> Self {
+        Self {
+            body,
+            content_type: "application/json",
+        }
+    }
+}
+
+fn route(request: &Request, shared: &Shared) -> Result<RouteBody, HttpError> {
     match (request.method.as_str(), request.path.as_str()) {
-        ("GET", "/healthz") => Ok(healthz_body(shared)),
-        ("GET", "/models") => Ok(models_body(shared)),
-        ("GET", "/model") => model_body(request, shared),
-        ("POST", "/score") => score_route(request, shared),
+        ("GET", "/healthz") => Ok(RouteBody::json(healthz_body(shared))),
+        ("GET", "/models") => Ok(RouteBody::json(models_body(shared))),
+        ("GET", "/model") => model_body(request, shared).map(RouteBody::json),
+        ("POST", "/score") => score_route(request, shared).map(RouteBody::json),
         ("GET", "/score") => Err(HttpError::new(405, "POST a feature frame to /score")),
+        ("GET", "/metrics") => metrics_route(shared),
+        ("GET", "/stats") => Ok(RouteBody::json(stats_body(shared))),
         _ => Err(HttpError::new(
             404,
             format!("no route for {} {}", request.method, request.path),
         )),
     }
+}
+
+/// `GET /metrics`: the Prometheus text exposition of every series in the
+/// server's registry — including any pipeline/streaming families recorded
+/// into a shared registry handed to [`ScoreServer::start_with_telemetry`].
+fn metrics_route(shared: &Shared) -> Result<RouteBody, HttpError> {
+    let Some(registry) = &shared.metrics.registry else {
+        return Err(HttpError::new(503, "metrics are disabled on this server"));
+    };
+    // Model count is sampled at scrape time: the registry swap path stays
+    // free of gauge bookkeeping.
+    shared
+        .metrics
+        .models_loaded
+        .set(shared.registry.len() as f64);
+    Ok(RouteBody {
+        body: registry.encode_prometheus(),
+        content_type: "text/plain; version=0.0.4; charset=utf-8",
+    })
+}
+
+/// `GET /stats`: the same numbers as `/metrics`, as one strict-JSON
+/// document — the counters `/healthz` shows plus the gauge snapshot and the
+/// full registry dump (or `null` when metrics are disabled).
+fn stats_body(shared: &Shared) -> String {
+    let metrics = &shared.metrics;
+    let stats = shared.stats();
+    let mut body = format!(
+        "{{\"server\":{{\"models\":{},\"requests\":{},\"scored_rows\":{},\"connections\":{},\"connections_active\":{},\"requests_in_flight\":{},\"peer_resets\":{},\"idle_closes\":{}}},\"metrics\":",
+        shared.registry.len(),
+        stats.requests,
+        stats.scored_rows,
+        stats.connections,
+        metrics.connections_active.value() as i64,
+        metrics.in_flight.value() as i64,
+        stats.peer_resets,
+        stats.idle_closes,
+    );
+    match &metrics.registry {
+        Some(registry) => {
+            metrics.models_loaded.set(shared.registry.len() as f64);
+            body.push_str(&registry.snapshot_json());
+        }
+        None => body.push_str("null"),
+    }
+    body.push('}');
+    body
 }
 
 /// Resolve the request's `?model=<fingerprint>` selector (default model
@@ -742,9 +1092,7 @@ fn score_route(request: &Request, shared: &Shared) -> Result<String, HttpError> 
     let frame = FeatureFrame::parse_csv(text).map_err(|e| HttpError::new(400, e.to_string()))?;
     let aligned = frame.align(served.forest());
     let scores = served.score_block(&aligned.data, output, shared.config.score_mode);
-    shared
-        .scored_rows
-        .fetch_add(scores.len() as u64, Ordering::SeqCst);
+    shared.metrics.scored_rows.add(scores.len() as u64);
 
     let mut body = String::with_capacity(64 + scores.len() * 20);
     body.push_str("{\"fingerprint\":\"");
@@ -935,6 +1283,7 @@ fn write_response(
     stream: &mut TcpStream,
     status: u16,
     body: &str,
+    content_type: &str,
     keep: Option<KeepAliveHeader>,
 ) -> std::io::Result<()> {
     let connection = match &keep {
@@ -946,7 +1295,7 @@ fn write_response(
         None => "Connection: close".to_string(),
     };
     let head = format!(
-        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n{connection}\r\n\r\n",
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n{connection}\r\n\r\n",
         status_reason(status),
         body.len(),
     );

@@ -28,6 +28,8 @@ use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::SystemTime;
 
+use obs::Counter;
+
 use crate::batch::ScoreKernel;
 use crate::ServedModel;
 
@@ -71,6 +73,31 @@ pub struct ModelInfo {
     pub is_default: bool,
 }
 
+/// Lifecycle counters a registry keeps over its whole life: always-on
+/// `obs` atomics, so a metrics registry can
+/// [adopt](obs::MetricsRegistry::adopt_counter) them and `/metrics` exposes
+/// the same cores the registry itself increments.
+#[derive(Debug, Clone)]
+pub struct RegistryLifecycle {
+    /// Models published or inserted (replacements included).
+    pub publishes: Counter,
+    /// Model versions retired.
+    pub retires: Counter,
+    /// Times the default version changed (publish over a different
+    /// default, explicit `set_default`, or retire-of-default fallback).
+    pub default_swaps: Counter,
+}
+
+impl Default for RegistryLifecycle {
+    fn default() -> Self {
+        Self {
+            publishes: Counter::active(),
+            retires: Counter::active(),
+            default_swaps: Counter::active(),
+        }
+    }
+}
+
 /// A versioned multi-model registry with atomic snapshot swaps.
 ///
 /// See the [module docs](self) for the read/write protocol.
@@ -79,6 +106,7 @@ pub struct ModelRegistry {
     /// Serialises mutations; the `RwLock` write lock is only held for the
     /// final pointer swap, so readers are never blocked behind a decode.
     writer: Mutex<()>,
+    lifecycle: RegistryLifecycle,
 }
 
 impl Default for ModelRegistry {
@@ -93,7 +121,13 @@ impl ModelRegistry {
         Self {
             current: RwLock::new(Arc::new(Snapshot::empty())),
             writer: Mutex::new(()),
+            lifecycle: RegistryLifecycle::default(),
         }
+    }
+
+    /// This registry's lifecycle counters (live handles; cheap to clone).
+    pub fn lifecycle(&self) -> &RegistryLifecycle {
+        &self.lifecycle
     }
 
     /// A registry holding one model, set as the default.
@@ -122,6 +156,9 @@ impl ModelRegistry {
         let fingerprint = model.fingerprint();
         let model = Arc::new(model);
         self.swap(|old| {
+            if old.default != Some(fingerprint) {
+                self.lifecycle.default_swaps.inc();
+            }
             let mut models: Vec<Arc<ServedModel>> = old
                 .models
                 .iter()
@@ -134,6 +171,7 @@ impl ModelRegistry {
                 models,
             }
         });
+        self.lifecycle.publishes.inc();
         fingerprint
     }
 
@@ -143,6 +181,9 @@ impl ModelRegistry {
         let fingerprint = model.fingerprint();
         let model = Arc::new(model);
         self.swap(|old| {
+            if old.default.is_none() {
+                self.lifecycle.default_swaps.inc();
+            }
             let mut models: Vec<Arc<ServedModel>> = old
                 .models
                 .iter()
@@ -155,6 +196,7 @@ impl ModelRegistry {
                 models,
             }
         });
+        self.lifecycle.publishes.inc();
         fingerprint
     }
 
@@ -165,6 +207,9 @@ impl ModelRegistry {
         self.swap(|old| Snapshot {
             default: if old.find(fingerprint).is_some() {
                 found = true;
+                if old.default != Some(fingerprint) {
+                    self.lifecycle.default_swaps.inc();
+                }
                 Some(fingerprint)
             } else {
                 old.default
@@ -192,12 +237,16 @@ impl ModelRegistry {
                 .cloned()
                 .collect();
             let default = if old.default == Some(fingerprint) {
+                self.lifecycle.default_swaps.inc();
                 models.last().map(|m| m.fingerprint())
             } else {
                 old.default
             };
             Snapshot { default, models }
         });
+        if found {
+            self.lifecycle.retires.inc();
+        }
         found
     }
 
@@ -499,6 +548,49 @@ mod tests {
         assert!(!by_fp(v1).is_default);
         assert!(by_fp(v2).is_default);
         assert!(by_fp(v2).features == 2);
+    }
+
+    #[test]
+    fn lifecycle_counters_track_publish_retire_and_default_swaps() {
+        let registry = ModelRegistry::new();
+        let lc = registry.lifecycle().clone();
+        let v1 = registry.publish(model(1)); // publish + default swap (None→v1)
+        let v2 = registry.publish(model(2)); // publish + default swap (v1→v2)
+        registry.publish(model(2)); // replacement publish, default unchanged
+        assert_eq!(lc.publishes.value(), 3);
+        assert_eq!(lc.default_swaps.value(), 2);
+        registry.insert(model(3)); // insert keeps the default
+        assert_eq!(lc.publishes.value(), 4);
+        assert_eq!(lc.default_swaps.value(), 2);
+        assert!(registry.set_default(v1));
+        assert!(
+            registry.set_default(v1),
+            "re-setting the default is not a swap"
+        );
+        assert!(!registry.set_default(0xdead));
+        assert_eq!(lc.default_swaps.value(), 3);
+        assert!(registry.retire(v2));
+        assert!(!registry.retire(v2));
+        assert_eq!(lc.retires.value(), 1);
+        assert_eq!(
+            lc.default_swaps.value(),
+            3,
+            "retiring a non-default is not a swap"
+        );
+        assert!(registry.retire(v1)); // default falls back to the survivor
+        assert_eq!(lc.retires.value(), 2);
+        assert_eq!(lc.default_swaps.value(), 4);
+        // Adoption into a metrics registry exposes the same atomics.
+        let metrics = obs::MetricsRegistry::new();
+        assert!(metrics.adopt_counter(
+            "model_registry_retires_total",
+            "Retires.",
+            &[],
+            &registry.lifecycle().retires,
+        ));
+        assert!(metrics
+            .encode_prometheus()
+            .contains("model_registry_retires_total 2"));
     }
 
     #[test]

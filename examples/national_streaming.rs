@@ -7,85 +7,159 @@
 //! the fabric and the budget by `N` for smoke runs (CI uses `--scale 64`).
 //!
 //! ```sh
-//! cargo run --release --example national_streaming -- [--scale N] [--seed S] [--out BENCH_national.json]
+//! cargo run --release --example national_streaming -- [--scale N] [--seed S] \
+//!     [--out BENCH_national.json] [--json] [--trace-out trace.jsonl]
 //! ```
+//!
+//! `--json` replaces the human-readable table with one machine-readable
+//! JSON document on stdout (including the metrics-registry snapshot);
+//! `--trace-out FILE` appends the run's JSONL trace events (per-stage spans
+//! plus strided per-shard drain events) to FILE.
 
 use std::fmt::Write as _;
+use std::sync::Arc;
 
 use red_is_sus::core::features::FeatureConfig;
 use red_is_sus::core::labels::LabelingOptions;
-use red_is_sus::core::streaming::run_streaming_to_dataset;
+use red_is_sus::core::streaming::run_streaming_to_dataset_with;
+use red_is_sus::obs::{MetricsRegistry, Telemetry, TraceSink};
 use red_is_sus::synth::{GenMode, SynthConfig};
 
 fn main() {
     let mut scale = 1usize;
     let mut seed = 7u64;
     let mut out: Option<String> = None;
+    let mut json = false;
+    let mut trace_out: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--scale" => scale = args.next().and_then(|v| v.parse().ok()).unwrap_or(1),
             "--seed" => seed = args.next().and_then(|v| v.parse().ok()).unwrap_or(7),
             "--out" => out = args.next(),
+            "--json" => json = true,
+            "--trace-out" => trace_out = args.next(),
             other => {
                 eprintln!("unknown argument `{other}`");
-                eprintln!("usage: national_streaming [--scale N] [--seed S] [--out FILE]");
+                eprintln!(
+                    "usage: national_streaming [--scale N] [--seed S] [--out FILE] [--json] [--trace-out FILE]"
+                );
                 std::process::exit(2);
             }
         }
     }
 
     let config = SynthConfig::national_scaled(seed, scale);
-    println!(
-        "national streaming run: {} BSLs, {} providers, scale 1/{scale}, seed {seed}",
-        config.n_bsls, config.n_providers
-    );
-    println!(
-        "resident-entry budget: {} entries\n",
-        config
-            .max_resident_entries
-            .map(|b| b.to_string())
-            .unwrap_or_else(|| "none".into())
-    );
+    if !json {
+        println!(
+            "national streaming run: {} BSLs, {} providers, scale 1/{scale}, seed {seed}",
+            config.n_bsls, config.n_providers
+        );
+        println!(
+            "resident-entry budget: {} entries\n",
+            config
+                .max_resident_entries
+                .map(|b| b.to_string())
+                .unwrap_or_else(|| "none".into())
+        );
+    }
 
-    let run = run_streaming_to_dataset(
+    // The run records into its own registry so the `--json` report can
+    // carry the full metrics snapshot alongside the stage report.
+    let registry = Arc::new(MetricsRegistry::new());
+    let mut telemetry = Telemetry::with_metrics(Arc::clone(&registry));
+    if let Some(path) = &trace_out {
+        let sink = TraceSink::to_path(std::path::Path::new(path)).unwrap_or_else(|e| {
+            eprintln!("failed to open trace file {path}: {e}");
+            std::process::exit(1);
+        });
+        telemetry = telemetry.with_trace(Arc::new(sink));
+    }
+
+    let run = run_streaming_to_dataset_with(
         &config,
         &LabelingOptions::default(),
         &FeatureConfig::default(),
         GenMode::Parallel,
+        &telemetry,
     )
     .unwrap_or_else(|e| {
         eprintln!("streaming run failed: {e}");
         std::process::exit(1);
     });
+    if let Some(sink) = telemetry.trace_sink() {
+        sink.flush();
+        if !json {
+            println!(
+                "wrote {} trace events to {}\n",
+                sink.events(),
+                trace_out.as_deref().unwrap_or("?"),
+            );
+        }
+    }
 
-    println!(
-        "{:<22} {:>12} {:>10} {:>16}",
-        "stage", "wall ms", "shards", "peak entries"
-    );
-    for stage in &run.report.stages {
+    if json {
+        let mut doc = format!(
+            "{{\"config\":{{\"scale_divisor\":{scale},\"seed\":{seed},\"bsls\":{},\"providers\":{},\"budget\":{}}},\"stages\":[",
+            config.n_bsls,
+            config.n_providers,
+            config
+                .max_resident_entries
+                .map(|b| b.to_string())
+                .unwrap_or_else(|| "null".into()),
+        );
+        for (i, stage) in run.report.stages.iter().enumerate() {
+            if i > 0 {
+                doc.push(',');
+            }
+            let _ = write!(
+                doc,
+                "{{\"name\":\"{}\",\"wall_s\":{},\"shards\":{},\"peak_resident_entries\":{}}}",
+                stage.name,
+                stage.wall.as_secs_f64(),
+                stage.shards,
+                stage.peak_resident_entries,
+            );
+        }
+        let _ = write!(
+            doc,
+            "],\"total_wall_s\":{},\"peak_resident_entries\":{},\"dataset\":{{\"rows\":{},\"features\":{}}},\"metrics\":{}}}",
+            run.report.total_wall.as_secs_f64(),
+            run.report.peak_resident_entries,
+            run.matrix.dataset.n_rows(),
+            run.matrix.dataset.n_features(),
+            registry.snapshot_json(),
+        );
+        println!("{doc}");
+    } else {
         println!(
-            "{:<22} {:>12.1} {:>10} {:>16}",
-            stage.name,
-            stage.wall.as_secs_f64() * 1e3,
-            stage.shards,
-            stage.peak_resident_entries,
+            "{:<22} {:>12} {:>10} {:>16}",
+            "stage", "wall ms", "shards", "peak entries"
+        );
+        for stage in &run.report.stages {
+            println!(
+                "{:<22} {:>12.1} {:>10} {:>16}",
+                stage.name,
+                stage.wall.as_secs_f64() * 1e3,
+                stage.shards,
+                stage.peak_resident_entries,
+            );
+        }
+        println!(
+            "\ntotal wall {:.2} s, run peak {} entries (budget {})",
+            run.report.total_wall.as_secs_f64(),
+            run.report.peak_resident_entries,
+            run.report
+                .budget
+                .map(|b| b.to_string())
+                .unwrap_or_else(|| "none".into()),
+        );
+        println!(
+            "dataset: {} observations x {} features",
+            run.matrix.dataset.n_rows(),
+            run.matrix.dataset.n_features(),
         );
     }
-    println!(
-        "\ntotal wall {:.2} s, run peak {} entries (budget {})",
-        run.report.total_wall.as_secs_f64(),
-        run.report.peak_resident_entries,
-        run.report
-            .budget
-            .map(|b| b.to_string())
-            .unwrap_or_else(|| "none".into()),
-    );
-    println!(
-        "dataset: {} observations x {} features",
-        run.matrix.dataset.n_rows(),
-        run.matrix.dataset.n_features(),
-    );
 
     if let Some(path) = out {
         let mut metrics = String::new();
@@ -123,11 +197,13 @@ fn main() {
             "entries",
         );
         push("dataset_rows", run.matrix.dataset.n_rows() as f64, "rows");
-        let json = format!("{{\n  \"benchmarks\": [],\n  \"metrics\": [\n{metrics}\n  ]\n}}\n");
-        std::fs::write(&path, json).unwrap_or_else(|e| {
+        let bench_json =
+            format!("{{\n  \"benchmarks\": [],\n  \"metrics\": [\n{metrics}\n  ]\n}}\n");
+        std::fs::write(&path, bench_json).unwrap_or_else(|e| {
             eprintln!("failed to write {path}: {e}");
             std::process::exit(1);
         });
-        println!("\nwrote {path}");
+        // stderr so `--json` stdout stays one parseable document.
+        eprintln!("wrote {path}");
     }
 }

@@ -3,33 +3,94 @@
 //! provider→ASN matching through label construction and feature engineering.
 //!
 //! ```sh
-//! cargo run --release --example pipeline_timings [seed]
+//! cargo run --release --example pipeline_timings [seed] [--json]
 //! ```
+//!
+//! `--json` replaces the table with one machine-readable JSON document on
+//! stdout: both execution modes' stage reports plus the metrics-registry
+//! snapshot each run recorded.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
 
 use red_is_sus::core::features::FeatureConfig;
 use red_is_sus::core::labels::LabelingOptions;
 use red_is_sus::core::pipeline::{PipelineEngine, PipelineStage};
+use red_is_sus::obs::{MetricsRegistry, Telemetry};
 use red_is_sus::synth::{SynthConfig, SynthUs};
 
 fn main() {
-    let seed = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(5);
+    let mut seed = 5u64;
+    let mut json = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            other => match other.parse() {
+                Ok(s) => seed = s,
+                Err(_) => {
+                    eprintln!("usage: pipeline_timings [seed] [--json]");
+                    std::process::exit(2);
+                }
+            },
+        }
+    }
     let world = SynthUs::generate(&SynthConfig::tiny(seed));
-    println!(
-        "world: {} BSLs, {} providers, {} MLab tests (seed {seed})\n",
+    if !json {
+        println!(
+            "world: {} BSLs, {} providers, {} MLab tests (seed {seed})\n",
+            world.fabric.len(),
+            world.providers.len(),
+            world.mlab.len(),
+        );
+    }
+
+    let mut doc = format!(
+        "{{\"world\":{{\"seed\":{seed},\"bsls\":{},\"providers\":{},\"mlab_tests\":{}}},\"runs\":[",
         world.fabric.len(),
         world.providers.len(),
         world.mlab.len(),
     );
-
-    for engine in [PipelineEngine::sequential(), PipelineEngine::parallel()] {
-        let run = engine.run_to_dataset(
+    for (i, engine) in [PipelineEngine::sequential(), PipelineEngine::parallel()]
+        .iter()
+        .enumerate()
+    {
+        // Each mode records into its own registry so the JSON report keeps
+        // the two runs' metrics apart.
+        let registry = Arc::new(MetricsRegistry::new());
+        let run = engine.run_to_dataset_with(
             &world,
             &LabelingOptions::default(),
             &FeatureConfig::default(),
+            &Telemetry::with_metrics(Arc::clone(&registry)),
         );
+        if json {
+            if i > 0 {
+                doc.push(',');
+            }
+            let _ = write!(doc, "{{\"mode\":\"{:?}\",\"stages\":[", engine.mode());
+            for (j, stage) in PipelineStage::ALL.iter().enumerate() {
+                let wall = run.report.wall_for(*stage).unwrap();
+                let (entries, bytes) = run.report.residency_for(*stage).unwrap();
+                if j > 0 {
+                    doc.push(',');
+                }
+                let _ = write!(
+                    doc,
+                    "{{\"name\":\"{}\",\"wall_s\":{},\"peak_resident_entries\":{entries},\"resident_bytes\":{bytes}}}",
+                    stage.name(),
+                    wall.as_secs_f64(),
+                );
+            }
+            let _ = write!(
+                doc,
+                "],\"total_wall_s\":{},\"dataset\":{{\"rows\":{},\"features\":{}}},\"metrics\":{}}}",
+                run.report.total_wall.as_secs_f64(),
+                run.matrix.dataset.n_rows(),
+                run.matrix.dataset.n_features(),
+                registry.snapshot_json(),
+            );
+            continue;
+        }
         println!(
             "{:?} execution (executed schedule: {:?}):",
             engine.mode(),
@@ -62,5 +123,9 @@ fn main() {
             run.matrix.dataset.n_rows(),
             run.matrix.dataset.n_features(),
         );
+    }
+    if json {
+        doc.push_str("]}");
+        println!("{doc}");
     }
 }

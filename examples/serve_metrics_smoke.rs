@@ -1,0 +1,146 @@
+//! Hermetic observability smoke: train a tiny model, serve it on loopback,
+//! drive a burst of keep-alive `/score` traffic, then scrape `GET /metrics`
+//! (Prometheus text) and `GET /stats` (JSON) and print both — proof that
+//! the whole telemetry path works over real HTTP with no external setup.
+//!
+//! ```sh
+//! cargo run --release --example serve_metrics_smoke -- [--requests N] [--out metrics.prom]
+//! ```
+//!
+//! `--out FILE` additionally writes the Prometheus scrape to FILE (CI
+//! uploads it as an artifact).
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+use red_is_sus::ml::{Dataset, GbdtModel, GbdtParams};
+use red_is_sus::serve::{ScoreServer, ServeConfig, ServedModel};
+
+fn main() {
+    let mut requests = 25usize;
+    let mut out: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--requests" => requests = args.next().and_then(|v| v.parse().ok()).unwrap_or(25),
+            "--out" => out = args.next(),
+            other => {
+                eprintln!("unknown argument `{other}`");
+                eprintln!("usage: serve_metrics_smoke [--requests N] [--out FILE]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    // A tiny deterministic model over two features.
+    let mut d = Dataset::new(vec!["down_mbps".into(), "loss_pct".into()]);
+    for i in 0..200 {
+        let x = i as f32 / 200.0;
+        d.push_row(
+            &[x * 900.0, (1.0 - x) * 5.0],
+            if x > 0.6 { 0.0 } else { 1.0 },
+        );
+    }
+    let served = ServedModel::from_model(GbdtModel::fit(
+        &d,
+        GbdtParams {
+            n_estimators: 8,
+            max_depth: 3,
+            ..GbdtParams::default()
+        },
+    ));
+    println!(
+        "model {} trained, starting server",
+        served.fingerprint_hex()
+    );
+
+    let server = ScoreServer::start(served, ServeConfig::default()).expect("bind loopback");
+
+    // One keep-alive connection carrying the whole burst.
+    let mut stream = TcpStream::connect(server.addr()).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    let csv = "down_mbps,loss_pct\n850.0,0.1\n12.0,4.2\n300.0,1.0\n";
+    for _ in 0..requests {
+        stream
+            .write_all(
+                format!(
+                    "POST /score HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n{csv}",
+                    csv.len()
+                )
+                .as_bytes(),
+            )
+            .expect("write score request");
+        read_one_response(&mut stream);
+    }
+    drop(stream);
+
+    let scrape = get(&server, "/metrics");
+    let stats = get(&server, "/stats");
+
+    println!("\n--- GET /metrics ({} bytes) ---", scrape.len());
+    for line in scrape.lines().filter(|l| !l.starts_with('#')) {
+        println!("{line}");
+    }
+    println!("\n--- GET /stats ---\n{stats}");
+
+    if let Some(path) = out {
+        std::fs::write(&path, &scrape).expect("write scrape");
+        println!("\nwrote {path}");
+    }
+
+    let final_stats = server.shutdown();
+    assert_eq!(final_stats.requests as usize, requests + 2);
+    assert_eq!(final_stats.scored_rows as usize, requests * 3);
+    println!(
+        "done: {} requests, {} rows scored",
+        final_stats.requests, final_stats.scored_rows
+    );
+}
+
+/// One GET over a throwaway connection.
+fn get(server: &ScoreServer, target: &str) -> String {
+    let mut stream = TcpStream::connect(server.addr()).expect("connect");
+    stream
+        .write_all(
+            format!("GET {target} HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n").as_bytes(),
+        )
+        .expect("write");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read");
+    let (head, body) = raw.split_once("\r\n\r\n").expect("response framing");
+    assert!(head.starts_with("HTTP/1.1 200"), "bad status: {head}");
+    body.to_string()
+}
+
+/// Read one Content-Length-framed response off a keep-alive stream.
+fn read_one_response(stream: &mut TcpStream) {
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 4096];
+    let header_end = loop {
+        if let Some(pos) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            break pos;
+        }
+        let n = stream.read(&mut chunk).expect("read response");
+        assert!(n > 0, "server closed mid-response");
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let head = String::from_utf8_lossy(&buf[..header_end]).to_string();
+    assert!(head.starts_with("HTTP/1.1 200"), "bad status: {head}");
+    let content_length: usize = head
+        .lines()
+        .find_map(|l| {
+            l.to_ascii_lowercase()
+                .strip_prefix("content-length:")
+                .map(str::to_string)
+        })
+        .expect("Content-Length")
+        .trim()
+        .parse()
+        .expect("numeric length");
+    let total = header_end + 4 + content_length;
+    while buf.len() < total {
+        let n = stream.read(&mut chunk).expect("read body");
+        assert!(n > 0, "server closed mid-body");
+        buf.extend_from_slice(&chunk[..n]);
+    }
+}

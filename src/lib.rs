@@ -12,6 +12,7 @@
 //! * [`embed`] — methodology text embeddings,
 //! * [`speedtest`] — Ookla/MLab models, attribution and coverage scores,
 //! * [`ml`] — gradient-boosted trees, metrics and attributions,
+//! * [`obs`] — telemetry: metrics registry, Prometheus encoder, trace sinks,
 //! * [`synth`] — the synthetic United States generator,
 //! * [`core`] (`redsus_core`) — labels, features, models and the paper's
 //!   experiments.
@@ -22,6 +23,7 @@ pub use embed;
 pub use geoprim;
 pub use hexgrid;
 pub use ml;
+pub use obs;
 pub use redsus_core as core;
 pub use redsus_serve as serve;
 pub use speedtest;
