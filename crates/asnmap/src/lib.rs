@@ -21,5 +21,5 @@ pub use canonical::{
     canonical_address, canonical_company_name, canonical_email, canonical_email_domain,
 };
 pub use matching::{jaccard, MatchMethod, MatchReport, ProviderAsnMatcher};
-pub use records::{AsnEntry, FrnRegistration, Net, Org, Poc, WhoisDb};
+pub use records::{AsnEntry, FrnRegistration, Net, Org, Poc, RegistrationSource, WhoisDb};
 pub use sibling::{compare_groupings, GroupComparison, SiblingGroups};

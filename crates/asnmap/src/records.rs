@@ -126,6 +126,18 @@ impl WhoisDb {
     }
 }
 
+/// Something that can hand the pipeline both sides of the provider ↔ ASN
+/// join: FRN registrations keyed by BDC Provider ID and the WHOIS object
+/// graph to resolve points of contact from. The synth world carries generated
+/// registrations; a file-backed source may carry none (empty slices are valid
+/// and simply yield no ASN matches).
+pub trait RegistrationSource {
+    /// FRN registrations, one per filing provider (provider order).
+    fn registrations(&self) -> &[FrnRegistration];
+    /// The WHOIS database the matcher resolves contacts from.
+    fn whois(&self) -> &WhoisDb;
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

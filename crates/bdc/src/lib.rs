@@ -24,6 +24,7 @@ pub mod filing;
 pub mod ids;
 pub mod nbm;
 pub mod provider;
+pub mod source;
 pub mod stream;
 pub mod tech;
 pub mod time;
@@ -35,6 +36,7 @@ pub use filing::{AvailabilityRecord, Filing, ServiceType};
 pub use ids::{Asn, Frn, LocationId, ProviderId};
 pub use nbm::{ClaimKey, HexClaim, NbmRelease, ReleaseVersion};
 pub use provider::{Provider, ProviderRegistry};
+pub use source::{EmptyStream, SourceMeta, StreamReport, StreamStage, WorldSource};
 pub use stream::{
     collect_shards, diff_releases, drain_shards, map_shards, ClaimEntry, ClaimStream, DiffChain,
     DiffMode, DiffOutcome, DiffPairReport, FabricStream, MeterInstruments, ReleaseStream,

@@ -3,8 +3,10 @@
 use serde::{Deserialize, Serialize};
 
 /// Access technology categories used by the BDC, with the FCC's numeric
-/// technology codes. The paper's Table 7 breaks results down by the five
-/// terrestrial, non-satellite technologies (codes 10/40/50/70/71).
+/// technology codes. The full BDC fixed-broadband code table is carried
+/// (0/10/40/50/60/61/70/71/72) so real CSV rows map without a lossy shim;
+/// the paper's Table 7 breaks results down by the five terrestrial
+/// technologies it models (codes 10/40/50/70/71, see [`Technology::TERRESTRIAL`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum Technology {
     /// Copper (DSL) — code 10.
@@ -21,11 +23,18 @@ pub enum Technology {
     UnlicensedFixedWireless,
     /// Licensed fixed wireless — code 71.
     LicensedFixedWireless,
+    /// Licensed-by-rule fixed wireless (CBRS etc.) — code 72.
+    ///
+    /// Appended after the original seven so existing claim-key orderings
+    /// (which sort by variant position) are untouched.
+    LicensedByRuleFixedWireless,
+    /// Other technology — code 0.
+    Other,
 }
 
 impl Technology {
     /// All technology categories.
-    pub const ALL: [Technology; 7] = [
+    pub const ALL: [Technology; 9] = [
         Technology::Copper,
         Technology::Cable,
         Technology::Fiber,
@@ -33,10 +42,13 @@ impl Technology {
         Technology::NgsoSatellite,
         Technology::UnlicensedFixedWireless,
         Technology::LicensedFixedWireless,
+        Technology::LicensedByRuleFixedWireless,
+        Technology::Other,
     ];
 
     /// The terrestrial technologies considered by the model (satellite
-    /// providers are excluded from the paper's observations, §5.1).
+    /// providers are excluded from the paper's observations, §5.1; the
+    /// long-tail codes 72 and 0 are ingested but not modelled in Table 7).
     pub const TERRESTRIAL: [Technology; 5] = [
         Technology::Copper,
         Technology::Cable,
@@ -55,6 +67,8 @@ impl Technology {
             Technology::NgsoSatellite => 61,
             Technology::UnlicensedFixedWireless => 70,
             Technology::LicensedFixedWireless => 71,
+            Technology::LicensedByRuleFixedWireless => 72,
+            Technology::Other => 0,
         }
     }
 
@@ -84,6 +98,8 @@ impl Technology {
             Technology::NgsoSatellite => "NGSO Satellite (61)",
             Technology::UnlicensedFixedWireless => "ULFW (70)",
             Technology::LicensedFixedWireless => "LFW (71)",
+            Technology::LicensedByRuleFixedWireless => "LBR FW (72)",
+            Technology::Other => "Other (0)",
         }
     }
 
@@ -98,6 +114,8 @@ impl Technology {
             Technology::NgsoSatellite => 250.0,
             Technology::UnlicensedFixedWireless => 100.0,
             Technology::LicensedFixedWireless => 300.0,
+            Technology::LicensedByRuleFixedWireless => 100.0,
+            Technology::Other => 50.0,
         }
     }
 }
@@ -122,6 +140,27 @@ mod tests {
     #[test]
     fn unknown_code_rejected() {
         assert_eq!(Technology::from_code(99), None);
+        assert_eq!(Technology::from_code(1), None);
+        assert_eq!(Technology::from_code(73), None);
+    }
+
+    #[test]
+    fn real_bdc_codes_present() {
+        assert_eq!(
+            Technology::from_code(72),
+            Some(Technology::LicensedByRuleFixedWireless)
+        );
+        assert_eq!(Technology::from_code(0), Some(Technology::Other));
+        assert_eq!(Technology::LicensedByRuleFixedWireless.code(), 72);
+        assert_eq!(Technology::Other.code(), 0);
+    }
+
+    #[test]
+    fn codes_are_distinct() {
+        let mut codes: Vec<u8> = Technology::ALL.iter().map(|t| t.code()).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), Technology::ALL.len());
     }
 
     #[test]
@@ -130,15 +169,27 @@ mod tests {
             .iter()
             .filter(|t| t.is_terrestrial())
             .collect();
-        assert_eq!(terrestrial.len(), Technology::TERRESTRIAL.len());
+        // All non-satellite codes are terrestrial (7 of 9); the model's
+        // TERRESTRIAL set is the paper's five-technology subset of them.
+        assert_eq!(terrestrial.len(), Technology::ALL.len() - 2);
+        for t in Technology::TERRESTRIAL {
+            assert!(t.is_terrestrial());
+        }
         assert!(Technology::GsoSatellite.is_satellite());
+        assert!(Technology::NgsoSatellite.is_satellite());
         assert!(Technology::Fiber.is_terrestrial());
+        assert!(Technology::LicensedByRuleFixedWireless.is_terrestrial());
+        assert!(Technology::Other.is_terrestrial());
     }
 
     #[test]
     fn labels_contain_codes() {
         assert!(Technology::LicensedFixedWireless.label().contains("71"));
+        assert!(Technology::LicensedByRuleFixedWireless
+            .label()
+            .contains("72"));
         assert!(Technology::Copper.label().contains("10"));
+        assert!(Technology::Other.label().contains('0'));
     }
 
     #[test]

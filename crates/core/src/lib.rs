@@ -33,4 +33,7 @@ pub use pipeline::{
     AnalysisContext, DatasetRun, ExecutionMode, PipelineEngine, PipelineReport, PipelineRun,
     PipelineStage, StageTiming,
 };
-pub use streaming::{run_streaming_to_dataset, run_streaming_to_dataset_with, StreamingDatasetRun};
+pub use streaming::{
+    run_streaming_to_dataset, run_streaming_to_dataset_with, run_synth_streaming_to_dataset,
+    run_synth_streaming_to_dataset_with, StreamableSource, StreamingDatasetRun,
+};

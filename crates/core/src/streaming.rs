@@ -1,116 +1,136 @@
-//! The national-scale streaming runner: synth → labelled dataset without
-//! ever materialising the world.
+//! The source-agnostic streaming runner: any [`WorldSource`] → labelled
+//! dataset without ever materialising the world.
 //!
 //! [`run_streaming_to_dataset`] is the bounded-memory counterpart of
 //! [`PipelineEngine::run_to_dataset`](crate::pipeline::PipelineEngine::run_to_dataset).
 //! Where the materialised path generates a full [`SynthUs`](synth::SynthUs)
 //! (every BSL, claim, filing and release resident at once) and then runs the
-//! eight pipeline stages over it, this runner drives
-//! [`StreamWorld`](synth::StreamWorld) — which regenerates fabric, claim and
-//! speed-test shards on demand from per-`(seed, stage, shard)` RNG streams —
-//! and pulls the remaining pipeline stages through the same shard streams:
+//! eight pipeline stages over it, this runner consumes a [`WorldSource`] —
+//! the synthetic [`StreamWorld`](synth::StreamWorld), which regenerates
+//! fabric, claim and speed-test shards on demand from per-`(seed, stage,
+//! shard)` RNG streams, or a file-backed source such as the ingest crate's
+//! BDC/Ookla reader — and pulls the remaining pipeline stages through the
+//! same shard streams:
 //!
 //! ```text
-//! StreamWorld::generate            this runner
-//! ─────────────────────            ───────────────────────────────────
-//! towns                            asn_matching        (registrations)
-//! fabric_hex_table  ──┐            ookla_reprojection  (OoklaEmitter drained)
-//! providers           ├──────────► coverage_scoring    (over the HexTable)
-//! regulatory_pass     │            mlab_attribution    (MlabEmitter drained)
-//! later_challenges    │            label_construction  (HexTable as fabric)
-//! release_assembly  ──┘            feature_engineering
-//! registrations
+//! WorldSource (synth or ingest)    this runner
+//! ─────────────────────────────    ───────────────────────────────────
+//! fabric view       ──┐            asn_matching        (RegistrationSource)
+//! claim timeline      ├──────────► ookla_reprojection  (ookla_stream drained)
+//! challenge record    │            coverage_scoring    (over the fabric view)
+//! speed-test streams──┘            mlab_attribution    (mlab_stream drained)
+//! source stages                    label_construction
+//!                                  feature_engineering
 //! ```
 //!
-//! Everything flows through one shared [`ResidencyMeter`](bdc::ResidencyMeter),
-//! so the combined [`StreamReport`](synth::StreamReport) gives an honest
-//! per-stage high-water mark, and every stage is checked against the
-//! config's resident-entry budget — an over-budget run fails loudly instead
-//! of silently swapping.
+//! Everything flows through the source's shared
+//! [`ResidencyMeter`](bdc::ResidencyMeter), so the combined
+//! [`StreamReport`](bdc::StreamReport) gives an honest per-stage high-water
+//! mark, and every stage is checked against the source's resident-entry
+//! budget — an over-budget run fails loudly instead of silently swapping.
 //!
-//! The output is bit-identical to the materialised path: the Ookla drain
-//! applies record contributions in the exact record order of the
-//! materialised dataset, the MLab drain feeds the incremental attributor in
-//! provider order (pinned `≡` batch in `speedtest`), and labels/features run
-//! over the [`HexTable`](synth::HexTable)'s `FabricView` — asserted
-//! end-to-end by `tests/streaming_world.rs` against the golden label and
-//! dataset fingerprints.
+//! On the synth path the output is bit-identical to the materialised path:
+//! the Ookla drain applies record contributions in the exact record order of
+//! the materialised dataset, the MLab drain feeds the incremental attributor
+//! in provider order (pinned `≡` batch in `speedtest`), and labels/features
+//! run over the source's `FabricView` — asserted end-to-end by
+//! `tests/streaming_world.rs` against the golden label and dataset
+//! fingerprints. `tests/real_ingest.rs` pins the same worker-invariance
+//! contract for the file-backed source.
 
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::time::Instant;
 
-use asnmap::ProviderAsnMatcher;
-use bdc::{drain_shards, Asn, MeterInstruments, ProviderId, ResidencyMeter, ShardStream};
+use asnmap::{ProviderAsnMatcher, RegistrationSource};
+use bdc::source::end_stage;
+use bdc::{
+    drain_shards, Asn, DiffMode, MeterInstruments, ProviderId, ShardStream, StreamReport,
+    StreamStage, WorldSource,
+};
 use hexgrid::{HexCell, NBM_RESOLUTION};
 use obs::{Telemetry, TraceValue, DEFAULT_WALL_BUCKETS};
 use speedtest::{
-    aggregate_records_into, coverage_scores, MlabAttributor, OoklaHexAggregate, ProviderHexTests,
+    aggregate_records_into, coverage_scores, MlabAttributor, MlabTest, OoklaHexAggregate,
+    OoklaTileRecord, ProviderHexTests,
 };
-use synth::{
-    GenMode, MlabEmitter, OoklaEmitter, StreamReport, StreamStage, StreamWorld, SynthConfig,
-};
+use synth::{GenMode, StreamWorld, SynthConfig};
 
 use crate::features::{
     build_features_from_inputs, FeatureConfig, FeatureInputs, FeatureMatrix, OBSERVATION_CHUNK,
 };
 use crate::labels::{build_labels_with, LabelInputs, LabelingOptions, COVERAGE_CHUNK};
 
-/// A finished streaming run: the streamed world (hex table, challenges,
+/// A finished streaming run: the consumed source (fabric view, challenges,
 /// removal evidence, initial release — everything labels and features
 /// consumed), the labelled feature matrix, and one report covering every
-/// synth and pipeline stage with wall-clock and peak-residency columns.
-pub struct StreamingDatasetRun {
-    pub world: StreamWorld,
+/// source and pipeline stage with wall-clock and peak-residency columns.
+///
+/// The source defaults to the synthetic [`StreamWorld`] so existing
+/// annotations keep compiling; file-backed runs are
+/// `StreamingDatasetRun<FileWorld>` etc.
+pub struct StreamingDatasetRun<W = StreamWorld> {
+    pub world: W,
     pub matrix: FeatureMatrix,
-    /// All stages — the synth half's plus this runner's six — against the
+    /// All stages — the source half's plus this runner's six — against the
     /// run-wide peak and the configured budget.
     pub report: StreamReport,
 }
 
-/// Close a runner stage: record its wall-clock, shard count and the meter's
-/// stage high-water mark, then enforce the budget (same contract and message
-/// as the synth half, so a breach reads identically wherever it happens).
-fn end_stage(
-    stages: &mut Vec<StreamStage>,
-    meter: &ResidencyMeter,
-    budget: Option<usize>,
-    name: &'static str,
-    started: Instant,
-    shards: usize,
-) -> Result<(), String> {
-    let peak = meter.take_stage_peak();
-    stages.push(StreamStage {
-        name,
-        wall: started.elapsed(),
-        shards,
-        peak_resident_entries: peak,
-    });
-    if let Some(b) = budget {
-        if peak > b {
-            return Err(format!(
-                "streaming stage `{name}` exceeded the resident-entry budget: \
-                 peak {peak} entries > budget {b}"
-            ));
-        }
-    }
-    Ok(())
+/// The bound the runner needs: a [`WorldSource`] whose speed-test streams
+/// yield the concrete Ookla/MLab record types, carrying registration data
+/// for the ASN-matching stage.
+pub trait StreamableSource:
+    WorldSource<OoklaItem = OoklaTileRecord, MlabItem = MlabTest> + RegistrationSource
+{
 }
 
-/// Run synth → dataset end-to-end through the shard streams, never
+impl<W> StreamableSource for W where
+    W: WorldSource<OoklaItem = OoklaTileRecord, MlabItem = MlabTest> + RegistrationSource
+{
+}
+
+/// Run source → dataset end-to-end through the shard streams, never
 /// materialising the fabric, the location-level claims or the speed-test
-/// datasets. Returns `Err` on an invalid config or when any stage's peak
-/// residency exceeds `config.max_resident_entries`.
+/// datasets. Generic over [`WorldSource`]: the synthetic stream world and
+/// the file-backed ingest source run byte-for-byte the same pipeline.
+/// Returns `Err` when any stage's peak residency exceeds the source's
+/// budget.
 ///
-/// `mode` is the shared scheduling knob: it fans generation and the
-/// label/feature shards across workers, and every mode is bit-identical
-/// (the `GenMode` worker-invariance contract).
-pub fn run_streaming_to_dataset(
+/// `mode` is the shared scheduling knob: it fans the label/feature shards
+/// across workers, and every mode is bit-identical (the worker-invariance
+/// contract). For the synth-config entry point see
+/// [`run_synth_streaming_to_dataset`].
+pub fn run_streaming_to_dataset<W: StreamableSource>(
+    source: W,
+    options: &LabelingOptions,
+    features: &FeatureConfig,
+    mode: DiffMode,
+) -> Result<StreamingDatasetRun<W>, String> {
+    run_streaming_to_dataset_with(source, options, features, mode, &Telemetry::global())
+}
+
+/// Generate a synthetic [`StreamWorld`] under `mode`'s worker budget and run
+/// it through [`run_streaming_to_dataset`] — the config-level convenience
+/// entry the synth benchmarks and examples use.
+pub fn run_synth_streaming_to_dataset(
     config: &SynthConfig,
     options: &LabelingOptions,
     features: &FeatureConfig,
     mode: GenMode,
 ) -> Result<StreamingDatasetRun, String> {
-    run_streaming_to_dataset_with(config, options, features, mode, &Telemetry::global())
+    run_synth_streaming_to_dataset_with(config, options, features, mode, &Telemetry::global())
+}
+
+/// [`run_synth_streaming_to_dataset`] with an explicit telemetry handle.
+pub fn run_synth_streaming_to_dataset_with(
+    config: &SynthConfig,
+    options: &LabelingOptions,
+    features: &FeatureConfig,
+    mode: GenMode,
+    telemetry: &Telemetry,
+) -> Result<StreamingDatasetRun, String> {
+    let source = StreamWorld::generate(config, mode)?;
+    run_streaming_to_dataset_with(source, options, features, mode, telemetry)
 }
 
 /// How many per-shard trace events a single drained stage may emit; denser
@@ -118,38 +138,39 @@ pub fn run_streaming_to_dataset(
 const TRACE_SHARDS_PER_STAGE: usize = 128;
 
 /// [`run_streaming_to_dataset`] with an explicit telemetry handle: the
-/// shared [`ResidencyMeter`] mirrors its acquire/release traffic into
-/// registry instruments, every stage lands in `stream_stage_*` series, and
-/// an attached trace sink receives a strided per-shard timeline plus one
-/// `stage` event per stage. All recording is observation-only — the matrix
-/// and every fingerprint are bit-identical with telemetry on or off.
-pub fn run_streaming_to_dataset_with(
-    config: &SynthConfig,
+/// source's shared [`ResidencyMeter`](bdc::ResidencyMeter) mirrors its
+/// acquire/release traffic into registry instruments, every stage lands in
+/// `stream_stage_*` series, and an attached trace sink receives a strided
+/// per-shard timeline plus one `stage` event per stage. All recording is
+/// observation-only — the matrix and every fingerprint are bit-identical
+/// with telemetry on or off.
+pub fn run_streaming_to_dataset_with<W: StreamableSource>(
+    source: W,
     options: &LabelingOptions,
     features: &FeatureConfig,
-    mode: GenMode,
+    mode: DiffMode,
     telemetry: &Telemetry,
-) -> Result<StreamingDatasetRun, String> {
+) -> Result<StreamingDatasetRun<W>, String> {
     let started = Instant::now();
-    let stream = StreamWorld::generate(config, mode)?;
-    let meter = stream.meter();
+    let meter = source.meter();
     if let Some(registry) = telemetry.registry() {
         meter.attach_instruments(MeterInstruments::register(registry, "stream_residency"));
     }
-    let budget = stream.budget();
+    let budget = source.budget();
+    let meta = source.meta();
     let mut stages: Vec<StreamStage> = Vec::new();
-    // The synth half left its own stage peaks behind; start this runner's
-    // first stage from the current watermark, not the generation peak.
+    // The source half left its own stage peaks behind; start this runner's
+    // first stage from the current watermark, not the ingest/generation peak.
     meter.take_stage_peak();
 
     // asn_matching — the matcher clones the registration rows (transient)
     // and retains only the provider→ASN pairs.
     let t = Instant::now();
-    let n_regs = stream.registration.registrations.len();
+    let n_regs = source.registrations().len();
     meter.acquire(n_regs);
     let match_report = {
-        let matcher = ProviderAsnMatcher::new(stream.registration.registrations.clone());
-        matcher.run(&stream.registration.whois)
+        let matcher = ProviderAsnMatcher::new(source.registrations().to_vec());
+        matcher.run(source.whois())
     };
     meter.release(n_regs);
     let provider_asns: BTreeMap<ProviderId, BTreeSet<Asn>> = match_report
@@ -167,18 +188,18 @@ pub fn run_streaming_to_dataset_with(
     meter.acquire(provider_asns.len() + asn_pairs);
     end_stage(&mut stages, meter, budget, "asn_matching", t, 1)?;
 
-    // ookla_reprojection — one shard per occupied hex, regenerated from the
-    // hex table and folded straight into the per-hex aggregate in record
-    // order (the float-accumulation order of the materialised path).
+    // ookla_reprojection — one shard stream from the source, folded straight
+    // into the per-hex aggregate in record order (the float-accumulation
+    // order of the materialised path).
     let t = Instant::now();
     let mut ookla_by_hex: HashMap<HexCell, OoklaHexAggregate> = HashMap::new();
     let ookla_shards;
     {
-        let emitter = OoklaEmitter::new(&stream.config, stream.hex_table.entries());
-        ookla_shards = emitter.shard_count();
+        let stream = source.ookla_stream();
+        ookla_shards = stream.shard_count();
         let stride = (ookla_shards / TRACE_SHARDS_PER_STAGE).max(1);
         let mut pinned = 0usize;
-        drain_shards(&emitter, meter, |i, shard| {
+        drain_shards(&stream, meter, |i, shard| {
             let records = shard.len();
             aggregate_records_into(&shard, NBM_RESOLUTION, &mut ookla_by_hex);
             let now = ookla_by_hex.len();
@@ -208,16 +229,16 @@ pub fn run_streaming_to_dataset_with(
 
     // coverage_scoring — devices-per-BSL over the bounded fabric view.
     let t = Instant::now();
-    let coverage = coverage_scores(&ookla_by_hex, &stream.hex_table);
+    let coverage = coverage_scores(&ookla_by_hex, source.fabric());
     meter.acquire(coverage.len());
     end_stage(&mut stages, meter, budget, "coverage_scoring", t, 1)?;
 
-    // mlab_attribution — one shard per provider, regenerated and folded
-    // into the incremental attributor in provider order (pinned ≡ batch).
+    // mlab_attribution — the source's test stream folded into the
+    // incremental attributor in shard order (pinned ≡ batch).
     let t = Instant::now();
     let claimed_hexes: BTreeMap<ProviderId, BTreeSet<HexCell>> = provider_asns
         .keys()
-        .map(|p| (*p, stream.initial_release.hexes_claimed_by(*p)))
+        .map(|p| (*p, source.initial_release().hexes_claimed_by(*p)))
         .collect();
     let claimed_total: usize = claimed_hexes.values().map(|h| h.len()).sum();
     meter.acquire(claimed_total);
@@ -225,14 +246,10 @@ pub fn run_streaming_to_dataset_with(
     let mlab_evidence: ProviderHexTests;
     {
         let mut attributor = MlabAttributor::new(&provider_asns, &claimed_hexes, NBM_RESOLUTION);
-        let emitter = MlabEmitter::new(
-            &stream.config,
-            &stream.registration.true_provider_asns,
-            &stream.served_hexes_by_provider,
-        );
-        mlab_shards = emitter.shard_count();
+        let stream = source.mlab_stream();
+        mlab_shards = stream.shard_count();
         let stride = (mlab_shards / TRACE_SHARDS_PER_STAGE).max(1);
-        drain_shards(&emitter, meter, |i, tests| {
+        drain_shards(&stream, meter, |i, tests| {
             let records = tests.len();
             attributor.add_tests(&tests);
             if i % stride == 0 {
@@ -261,21 +278,20 @@ pub fn run_streaming_to_dataset_with(
         mlab_shards,
     )?;
 
-    // label_construction — the HexTable is the fabric view: hex membership
-    // comes from the regulatory pass's side map plus town-block
-    // regeneration, never a resident fabric.
+    // label_construction — the source's fabric view supplies hex membership;
+    // no resident fabric is ever required.
     let t = Instant::now();
     let inputs = LabelInputs {
-        fabric: &stream.hex_table,
-        initial_release: &stream.initial_release,
-        removal_evidence: &stream.removal_evidence,
-        challenges: &stream.challenges,
+        fabric: source.fabric(),
+        initial_release: source.initial_release(),
+        removal_evidence: source.removal_evidence(),
+        challenges: source.challenges(),
         coverage: &coverage,
         mlab_evidence: &mlab_evidence,
     };
     let observations = build_labels_with(&inputs, options, mode);
     meter.acquire(observations.len());
-    let label_shards = stream.profiles.len() + coverage.len().div_ceil(COVERAGE_CHUNK);
+    let label_shards = meta.provider_count + coverage.len().div_ceil(COVERAGE_CHUNK);
     end_stage(
         &mut stages,
         meter,
@@ -288,11 +304,11 @@ pub fn run_streaming_to_dataset_with(
     // feature_engineering — fixed observation chunks over the same views.
     let t = Instant::now();
     let feature_inputs = FeatureInputs {
-        fabric: &stream.hex_table,
-        release: &stream.initial_release,
+        fabric: source.fabric(),
+        release: source.initial_release(),
         ookla_by_hex: &ookla_by_hex,
         mlab_evidence: &mlab_evidence,
-        methodologies: &stream.methodologies,
+        methodologies: source.methodologies(),
     };
     let matrix = build_features_from_inputs(&feature_inputs, &observations, features, mode);
     let values = matrix.dataset.n_rows() * matrix.dataset.feature_names().len();
@@ -307,7 +323,7 @@ pub fn run_streaming_to_dataset_with(
         feature_shards,
     )?;
 
-    let mut all_stages = stream.report.stages.clone();
+    let mut all_stages = source.source_report().stages.clone();
     all_stages.append(&mut stages);
     let report = StreamReport {
         stages: all_stages,
@@ -319,12 +335,12 @@ pub fn run_streaming_to_dataset_with(
     telemetry
         .counter(
             "streaming_runs_total",
-            "Completed streaming synth-to-dataset runs.",
+            "Completed streaming source-to-dataset runs.",
             &[],
         )
         .inc();
     Ok(StreamingDatasetRun {
-        world: stream,
+        world: source,
         matrix,
         report,
     })
@@ -341,7 +357,7 @@ fn observe_stream_report(telemetry: &Telemetry, report: &StreamReport) {
         telemetry
             .histogram(
                 "stream_stage_wall_seconds",
-                "Wall-clock of one streaming-run stage (synth and runner halves).",
+                "Wall-clock of one streaming-run stage (source and runner halves).",
                 &DEFAULT_WALL_BUCKETS,
                 &[("stage", stage.name)],
             )
@@ -420,7 +436,7 @@ mod tests {
     #[test]
     fn streaming_run_reports_every_stage_and_respects_budget() {
         let config = SynthConfig::tiny(91);
-        let run = run_streaming_to_dataset(
+        let run = run_synth_streaming_to_dataset(
             &config,
             &LabelingOptions::default(),
             &FeatureConfig::default(),
@@ -472,7 +488,7 @@ mod tests {
         let telemetry = Telemetry::with_metrics(Arc::clone(&registry))
             .with_trace(Arc::new(obs::TraceSink::to_writer(Box::new(buf.clone()))));
         let config = SynthConfig::tiny(91);
-        let run = run_streaming_to_dataset_with(
+        let run = run_synth_streaming_to_dataset_with(
             &config,
             &LabelingOptions::default(),
             &FeatureConfig::default(),
@@ -510,7 +526,7 @@ mod tests {
         }
 
         // And the matrix is bit-identical to an untelemetered run.
-        let silent = run_streaming_to_dataset(
+        let silent = run_synth_streaming_to_dataset(
             &config,
             &LabelingOptions::default(),
             &FeatureConfig::default(),
@@ -536,7 +552,7 @@ mod tests {
             &LabelingOptions::default(),
             &FeatureConfig::default(),
         );
-        let streamed = run_streaming_to_dataset(
+        let streamed = run_synth_streaming_to_dataset(
             &config,
             &LabelingOptions::default(),
             &FeatureConfig::default(),
@@ -552,6 +568,34 @@ mod tests {
             dataset_fingerprint(&streamed.matrix.dataset),
             dataset_fingerprint(&materialised.matrix.dataset),
             "streamed dataset must be bit-identical to the materialised path"
+        );
+    }
+
+    #[test]
+    fn generic_runner_accepts_a_pregenerated_source() {
+        // The public entry takes any WorldSource value directly — here a
+        // StreamWorld generated up front, exactly what a file-backed source
+        // substitutes for.
+        let config = SynthConfig::tiny(93);
+        let source = StreamWorld::generate(&config, GenMode::Sequential).expect("valid config");
+        let run = run_streaming_to_dataset(
+            source,
+            &LabelingOptions::default(),
+            &FeatureConfig::default(),
+            GenMode::Sequential,
+        )
+        .expect("runs over the trait");
+        let convenience = run_synth_streaming_to_dataset(
+            &config,
+            &LabelingOptions::default(),
+            &FeatureConfig::default(),
+            GenMode::Sequential,
+        )
+        .expect("valid config");
+        assert_eq!(
+            crate::features::dataset_fingerprint(&run.matrix.dataset),
+            crate::features::dataset_fingerprint(&convenience.matrix.dataset),
+            "the convenience wrapper is exactly generate + generic run"
         );
     }
 }

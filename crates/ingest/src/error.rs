@@ -1,0 +1,136 @@
+//! Typed ingest failures.
+//!
+//! Real-data files fail in predictable ways — a column renamed between BDC
+//! vintages, a truncated download, a NaN smuggled into a speed field — and
+//! every one of them must surface as a *specific* error naming the file and
+//! line, never as a silently skipped row. The negative fixtures under
+//! `tests/fixtures/bdc_sample/negative/` exercise each variant.
+
+use std::fmt;
+
+/// Everything that can go wrong while ingesting BDC or Ookla files. Each
+/// variant carries enough context (file, line, column, offending value) to
+/// fix the input without re-running under a debugger.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IngestError {
+    /// An OS-level read failure.
+    Io { path: String, message: String },
+    /// A required column is absent from the header.
+    MissingColumn { file: String, column: String },
+    /// A column appears twice in the header.
+    DuplicateColumn { file: String, column: String },
+    /// The header carries a column the schema does not define.
+    UnknownColumn { file: String, column: String },
+    /// Every expected column is present exactly once, but in the wrong
+    /// order. Column order is part of the schema: positional readers over
+    /// shuffled columns produce silently wrong data, so this is an error,
+    /// not a remap.
+    ReorderedColumns {
+        file: String,
+        expected: String,
+        found: String,
+    },
+    /// A data row has the wrong number of fields (typically a truncated
+    /// download).
+    TruncatedRow {
+        file: String,
+        line: usize,
+        expected: usize,
+        found: usize,
+    },
+    /// A technology code outside the BDC fixed-broadband table.
+    BadTechCode {
+        file: String,
+        line: usize,
+        code: String,
+    },
+    /// A speed field that parsed as a float but is NaN or infinite.
+    NonFiniteSpeed {
+        file: String,
+        line: usize,
+        column: String,
+        value: String,
+    },
+    /// Any other field that failed to parse (bad integer, bad hex cell id,
+    /// bad quadkey, unknown service-type code, ...).
+    BadField {
+        file: String,
+        line: usize,
+        column: String,
+        value: String,
+    },
+    /// The data directory is missing a required piece entirely (no release
+    /// directories, no availability files, ...).
+    MissingData { path: String, detail: String },
+    /// An ingest stage held more entries resident than the configured
+    /// budget allows. Carries the meter's stage report message verbatim.
+    BudgetExceeded { message: String },
+}
+
+impl fmt::Display for IngestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IngestError::Io { path, message } => write!(f, "{path}: io error: {message}"),
+            IngestError::MissingColumn { file, column } => {
+                write!(f, "{file}: missing required column `{column}`")
+            }
+            IngestError::DuplicateColumn { file, column } => {
+                write!(f, "{file}: duplicate column `{column}`")
+            }
+            IngestError::UnknownColumn { file, column } => {
+                write!(f, "{file}: unknown column `{column}`")
+            }
+            IngestError::ReorderedColumns {
+                file,
+                expected,
+                found,
+            } => write!(
+                f,
+                "{file}: columns out of order: expected `{expected}`, found `{found}`"
+            ),
+            IngestError::TruncatedRow {
+                file,
+                line,
+                expected,
+                found,
+            } => write!(
+                f,
+                "{file}:{line}: truncated row: expected {expected} fields, found {found}"
+            ),
+            IngestError::BadTechCode { file, line, code } => {
+                write!(f, "{file}:{line}: unknown BDC technology code `{code}`")
+            }
+            IngestError::NonFiniteSpeed {
+                file,
+                line,
+                column,
+                value,
+            } => write!(
+                f,
+                "{file}:{line}: non-finite speed in `{column}`: `{value}`"
+            ),
+            IngestError::BadField {
+                file,
+                line,
+                column,
+                value,
+            } => write!(f, "{file}:{line}: bad value in `{column}`: `{value}`"),
+            IngestError::MissingData { path, detail } => {
+                write!(f, "{path}: {detail}")
+            }
+            IngestError::BudgetExceeded { message } => write!(f, "{message}"),
+        }
+    }
+}
+
+impl std::error::Error for IngestError {}
+
+impl IngestError {
+    /// Wrap an OS error with the path it happened on.
+    pub fn io(path: &std::path::Path, err: std::io::Error) -> Self {
+        IngestError::Io {
+            path: path.display().to_string(),
+            message: err.to_string(),
+        }
+    }
+}

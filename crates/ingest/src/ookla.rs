@@ -1,0 +1,232 @@
+//! Streaming reader for Ookla Open Data quarterly tile exports.
+//!
+//! Ookla publishes quarterly fixed-broadband performance aggregates keyed by
+//! zoom-16 quadkey tiles. This module reads the CSV shape of those exports
+//! (reduced to the columns this pipeline consumes) with the same strict
+//! schema rules as the BDC reader, and adapts the parsed tiles into a
+//! [`SpeedTestStream`] the streaming runner drains shard by shard.
+
+use std::fs::File;
+use std::io::BufReader;
+use std::path::Path;
+
+use bdc::stream::{ShardStream, SpeedTestStream};
+use hexgrid::QuadTile;
+use speedtest::OoklaTileRecord;
+
+use crate::csv::{validate_header, CsvRows, Fields};
+use crate::error::IngestError;
+
+/// The canonical column set of an Ookla open-data tile export, in order.
+pub const OOKLA_COLUMNS: [&str; 6] = [
+    "quadkey",
+    "avg_d_kbps",
+    "avg_u_kbps",
+    "avg_lat_ms",
+    "tests",
+    "devices",
+];
+
+fn bad_field(file: &str, line: usize, column: &str, value: &str) -> IngestError {
+    IngestError::BadField {
+        file: file.to_string(),
+        line,
+        column: column.to_string(),
+        value: value.to_string(),
+    }
+}
+
+fn parse_row(file: &str, line: usize, fields: &Fields<'_>) -> Result<OoklaTileRecord, IngestError> {
+    if fields.len() != OOKLA_COLUMNS.len() {
+        return Err(IngestError::TruncatedRow {
+            file: file.to_string(),
+            line,
+            expected: OOKLA_COLUMNS.len(),
+            found: fields.len(),
+        });
+    }
+    let tile = QuadTile::from_quadkey(fields.get(0))
+        .map_err(|_| bad_field(file, line, "quadkey", fields.get(0)))?;
+    let float = |idx: usize, column: &str, speed: bool| -> Result<f64, IngestError> {
+        let raw = fields.get(idx);
+        let v: f64 = raw
+            .parse()
+            .map_err(|_| bad_field(file, line, column, raw))?;
+        if !v.is_finite() {
+            if speed {
+                return Err(IngestError::NonFiniteSpeed {
+                    file: file.to_string(),
+                    line,
+                    column: column.to_string(),
+                    value: raw.to_string(),
+                });
+            }
+            return Err(bad_field(file, line, column, raw));
+        }
+        Ok(v)
+    };
+    let avg_download_kbps = float(1, "avg_d_kbps", true)?;
+    let avg_upload_kbps = float(2, "avg_u_kbps", true)?;
+    let avg_latency_ms = float(3, "avg_lat_ms", false)?;
+    let count = |idx: usize, column: &str| -> Result<u32, IngestError> {
+        fields
+            .get(idx)
+            .parse()
+            .map_err(|_| bad_field(file, line, column, fields.get(idx)))
+    };
+    let tests = count(4, "tests")?;
+    let devices = count(5, "devices")?;
+    Ok(OoklaTileRecord {
+        tile,
+        tests,
+        devices,
+        avg_download_kbps,
+        avg_upload_kbps,
+        avg_latency_ms,
+    })
+}
+
+/// A streaming reader over one Ookla tile export: validates the header on
+/// open, then yields one parsed tile per call.
+pub struct OoklaReader {
+    rows: CsvRows<BufReader<File>>,
+}
+
+impl OoklaReader {
+    /// Open and validate the header of one Ookla tile CSV.
+    pub fn open(path: &Path) -> Result<Self, IngestError> {
+        let mut rows = CsvRows::open(path)?;
+        let file = rows.file().to_string();
+        {
+            let header = rows.next_row()?.ok_or_else(|| IngestError::MissingData {
+                path: file.clone(),
+                detail: "empty file: no header row".to_string(),
+            })?;
+            let found: Vec<&str> = (0..header.len()).map(|i| header.get(i)).collect();
+            validate_header(&file, &found, &OOKLA_COLUMNS)?;
+        }
+        Ok(Self { rows })
+    }
+
+    /// The next parsed tile, or `Ok(None)` at end of file.
+    pub fn next_record(&mut self) -> Result<Option<OoklaTileRecord>, IngestError> {
+        let file = self.rows.file().to_string();
+        let line = self.rows.line_no() + 1;
+        match self.rows.next_row()? {
+            None => Ok(None),
+            Some(fields) => parse_row(&file, line, &fields).map(Some),
+        }
+    }
+}
+
+/// Parsed Ookla tiles exposed as a chunked [`SpeedTestStream`]. The tiles are
+/// already resident in the owning source, so `resident_entries` reports the
+/// full backing slice — the meter charges what is actually held, not what a
+/// shard happens to hand out.
+pub struct TileShards<'a> {
+    tiles: &'a [OoklaTileRecord],
+    chunk: usize,
+}
+
+impl<'a> TileShards<'a> {
+    /// Chunk a tile slice; `chunk` must be non-zero.
+    pub fn new(tiles: &'a [OoklaTileRecord], chunk: usize) -> Self {
+        assert!(chunk > 0, "tile shard chunk must be non-zero");
+        Self { tiles, chunk }
+    }
+}
+
+impl ShardStream for TileShards<'_> {
+    type Item = OoklaTileRecord;
+
+    fn shard_count(&self) -> usize {
+        self.tiles.len().div_ceil(self.chunk)
+    }
+
+    fn shard(&self, index: usize) -> Vec<OoklaTileRecord> {
+        let start = index * self.chunk;
+        let end = (start + self.chunk).min(self.tiles.len());
+        self.tiles[start..end].to_vec()
+    }
+
+    fn resident_entries(&self) -> usize {
+        self.tiles.len()
+    }
+}
+
+impl SpeedTestStream for TileShards<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use geoprim::LatLng;
+    use hexgrid::OOKLA_ZOOM;
+    use std::io::Cursor;
+
+    fn parse_one(line: &str) -> Result<OoklaTileRecord, IngestError> {
+        let data = format!("{}\n{line}\n", OOKLA_COLUMNS.join(","));
+        let mut rows = CsvRows::from_reader(Cursor::new(data.into_bytes()), "mem".into());
+        rows.next_row().unwrap().expect("header");
+        let fields = rows.next_row()?.expect("data row");
+        parse_row("mem", 2, &fields)
+    }
+
+    fn some_quadkey() -> String {
+        QuadTile::containing(&LatLng::new(41.25, -96.0), OOKLA_ZOOM).quadkey()
+    }
+
+    #[test]
+    fn good_tile_parses() {
+        let qk = some_quadkey();
+        let rec = parse_one(&format!("{qk},150000.5,20000.0,12.5,42,17")).expect("valid tile");
+        assert_eq!(rec.tile.quadkey(), qk);
+        assert_eq!(rec.tests, 42);
+        assert_eq!(rec.devices, 17);
+        assert_eq!(rec.avg_download_kbps, 150000.5);
+    }
+
+    #[test]
+    fn bad_quadkey_is_typed() {
+        assert!(matches!(
+            parse_one("55AB,1.0,1.0,1.0,1,1"),
+            Err(IngestError::BadField { column, .. }) if column == "quadkey"
+        ));
+    }
+
+    #[test]
+    fn non_finite_speed_is_typed() {
+        let qk = some_quadkey();
+        assert!(matches!(
+            parse_one(&format!("{qk},inf,1.0,1.0,1,1")),
+            Err(IngestError::NonFiniteSpeed { column, .. }) if column == "avg_d_kbps"
+        ));
+    }
+
+    #[test]
+    fn tile_shards_chunk_and_report_residency() {
+        let qk = some_quadkey();
+        let tile = QuadTile::from_quadkey(&qk).unwrap();
+        let tiles: Vec<OoklaTileRecord> = (0..5)
+            .map(|i| OoklaTileRecord {
+                tile,
+                tests: i,
+                devices: i,
+                avg_download_kbps: 1.0,
+                avg_upload_kbps: 1.0,
+                avg_latency_ms: 1.0,
+            })
+            .collect();
+        let shards = TileShards::new(&tiles, 2);
+        assert_eq!(shards.shard_count(), 3);
+        assert_eq!(shards.resident_entries(), 5);
+        let drained: Vec<u32> = (0..shards.shard_count())
+            .flat_map(|i| shards.shard(i))
+            .map(|t| t.tests)
+            .collect();
+        assert_eq!(drained, vec![0, 1, 2, 3, 4]);
+
+        let empty = TileShards::new(&[], 2);
+        assert_eq!(empty.shard_count(), 0);
+        assert_eq!(empty.resident_entries(), 0);
+    }
+}

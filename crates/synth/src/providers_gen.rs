@@ -100,6 +100,10 @@ fn radius_for(rng: &mut StdRng, tech: Technology) -> f64 {
         Technology::Copper => rng.gen_range(2.5..6.0),
         Technology::UnlicensedFixedWireless => rng.gen_range(4.0..10.0),
         Technology::LicensedFixedWireless => rng.gen_range(5.0..12.0),
+        // Not drawn by the generator (only real ingest maps these codes);
+        // present so the match stays exhaustive over the full BDC code table.
+        Technology::LicensedByRuleFixedWireless => rng.gen_range(4.0..10.0),
+        Technology::Other => rng.gen_range(2.0..6.0),
         Technology::GsoSatellite | Technology::NgsoSatellite => 1.0e6,
     }
 }

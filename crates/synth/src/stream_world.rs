@@ -31,14 +31,17 @@
 
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::Mutex;
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
+use asnmap::{FrnRegistration, RegistrationSource, WhoisDb};
+use bdc::source::{end_stage, SourceMeta, WorldSource};
 use bdc::stream::{drain_shards, map_shards, speed_pair_wins, ResidencyMeter};
 use bdc::{
     Bsl, Challenge, ClaimChange, ClaimChangeKind, DayStamp, FabricView, HexClaim, LocationId,
     NbmRelease, ProviderId, ReleaseVersion, Technology,
 };
 use hexgrid::HexCell;
+use speedtest::{MlabTest, OoklaTileRecord};
 
 use crate::activity_gen::{
     later_challenge_chunk, later_wave_shard_count, provider_challenges, provider_corrections,
@@ -59,61 +62,10 @@ use crate::shard::GenMode;
 /// location-level claims never outlive the provider's scan.
 type HexTechAgg = BTreeMap<(HexCell, Technology), (Option<(f64, f64)>, bool, u32)>;
 
-/// Timing and residency of one streaming-synthesis stage.
-#[derive(Debug, Clone)]
-pub struct StreamStage {
-    pub name: &'static str,
-    pub wall: Duration,
-    /// Number of independent shards the stage drained or fanned out.
-    pub shards: usize,
-    /// Highest number of metered entries resident at any point in the stage
-    /// (includes everything pinned by earlier stages — residency is global).
-    pub peak_resident_entries: usize,
-}
-
-/// Per-stage report of a [`StreamWorld::generate`] run.
-#[derive(Debug, Clone, Default)]
-pub struct StreamReport {
-    pub stages: Vec<StreamStage>,
-    pub total_wall: Duration,
-    /// Run-wide peak residency in entries.
-    pub peak_resident_entries: usize,
-    /// The budget the run was checked against, if one was configured.
-    pub budget: Option<usize>,
-}
-
-impl StreamReport {
-    /// Look up one stage's stats by name.
-    pub fn stage(&self, name: &str) -> Option<&StreamStage> {
-        self.stages.iter().find(|s| s.name == name)
-    }
-}
-
-/// Close a stage: record wall/peak and fail loudly if the stage's peak
-/// residency exceeded the configured budget.
-fn end_stage(
-    stages: &mut Vec<StreamStage>,
-    meter: &ResidencyMeter,
-    budget: Option<usize>,
-    name: &'static str,
-    started: Instant,
-    shards: usize,
-) -> Result<(), String> {
-    let peak = meter.take_stage_peak();
-    stages.push(StreamStage {
-        name,
-        wall: started.elapsed(),
-        shards,
-        peak_resident_entries: peak,
-    });
-    match budget {
-        Some(b) if peak > b => Err(format!(
-            "streaming stage `{name}` exceeded the resident-entry budget: \
-             peak {peak} entries > budget {b}"
-        )),
-        _ => Ok(()),
-    }
-}
+// The stage/report rows and the budget-enforcing `end_stage` now live in
+// `bdc::source` (they are shared by every `WorldSource`); re-exported here so
+// `synth::{StreamStage, StreamReport}` keeps working.
+pub use bdc::source::{StreamReport, StreamStage};
 
 /// The bounded-memory stand-in for a materialised [`bdc::Fabric`]: per-hex
 /// BSL counts and state tallies over the *occupied* hexes (ascending hex
@@ -728,6 +680,85 @@ impl StreamWorld {
     /// The configured residency budget, if any.
     pub fn budget(&self) -> Option<usize> {
         self.config.max_resident_entries
+    }
+}
+
+/// The synthetic world is one [`WorldSource`] among others: the generic
+/// pipeline runner in `redsus_core::streaming` consumes it purely through
+/// this trait, and pure regeneration stays this type's private strategy.
+impl WorldSource for StreamWorld {
+    type OoklaItem = OoklaTileRecord;
+    type MlabItem = MlabTest;
+    type OoklaStream<'a> = crate::speedtest_gen::OoklaEmitter<'a>;
+    type MlabStream<'a> = crate::speedtest_gen::MlabEmitter<'a>;
+
+    fn meta(&self) -> SourceMeta {
+        SourceMeta {
+            name: "synth-stream",
+            detail: format!(
+                "seed {} · {} bsls · {} providers",
+                self.config.seed, self.config.n_bsls, self.config.n_providers
+            ),
+            provider_count: self.profiles.len(),
+            release_count: self.config.n_minor_releases + 1,
+        }
+    }
+
+    fn meter(&self) -> &ResidencyMeter {
+        StreamWorld::meter(self)
+    }
+
+    fn budget(&self) -> Option<usize> {
+        StreamWorld::budget(self)
+    }
+
+    fn source_report(&self) -> &StreamReport {
+        &self.report
+    }
+
+    fn fabric(&self) -> &dyn FabricView {
+        &self.hex_table
+    }
+
+    fn initial_release(&self) -> &NbmRelease {
+        &self.initial_release
+    }
+
+    fn removal_evidence(&self) -> &[ClaimChange] {
+        &self.removal_evidence
+    }
+
+    fn challenges(&self) -> &[Challenge] {
+        &self.challenges
+    }
+
+    fn methodologies(&self) -> &BTreeMap<ProviderId, String> {
+        &self.methodologies
+    }
+
+    fn ookla_stream(&self) -> Self::OoklaStream<'_> {
+        crate::speedtest_gen::OoklaEmitter::new(&self.config, self.hex_table.entries())
+    }
+
+    fn mlab_stream(&self) -> Self::MlabStream<'_> {
+        // Ground-truth ASNs drive the *emitter* (the tests that exist in the
+        // world); the runner's attribution stage independently uses whatever
+        // the matcher recovered — exactly the materialised path's split.
+        crate::speedtest_gen::MlabEmitter::new(
+            &self.config,
+            &self.registration.true_provider_asns,
+            &self.served_hexes_by_provider,
+        )
+    }
+}
+
+impl RegistrationSource for StreamWorld {
+    fn registrations(&self) -> &[FrnRegistration] {
+        &self.registration.registrations
+    }
+
+    fn whois(&self) -> &WhoisDb {
+        &self.registration.whois
     }
 }
 

@@ -1,0 +1,275 @@
+//! Regenerate the committed BDC/Ookla sample fixture under
+//! `tests/fixtures/bdc_sample/`.
+//!
+//! The fixture is fully deterministic — no RNG, no timestamps — so running
+//! this twice produces byte-identical files and the golden dataset
+//! fingerprint in `tests/real_ingest.rs` stays meaningful. It mimics the
+//! FCC's bulk-download layout at toy scale: two states (NE, VA), two
+//! technology codes (50 fiber, 72 licensed-by-rule fixed wireless), two
+//! biannual releases where the second release withdraws a tail of claims
+//! (the removal evidence the labels run over), plus one Ookla tile. A
+//! `negative/` directory carries one deliberately malformed file per typed
+//! ingest error.
+//!
+//! ```sh
+//! cargo run --example gen_bdc_fixture -- [--out tests/fixtures/bdc_sample]
+//! ```
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use red_is_sus::geoprim::LatLng;
+use red_is_sus::hexgrid::{HexCell, QuadTile, NBM_RESOLUTION, OOKLA_ZOOM};
+
+const HEADER: &str = "frn,provider_id,brand_name,location_id,technology,\
+max_advertised_download_speed,max_advertised_upload_speed,low_latency,\
+business_residential_code,state_usps,block_geoid,h3_res8_id";
+
+const OOKLA_HEADER: &str = "quadkey,avg_d_kbps,avg_u_kbps,avg_lat_ms,tests,devices";
+
+/// Per-state location grid: 40 BSLs around the state anchor.
+const LOCS_PER_STATE: u64 = 40;
+
+struct StateSpec {
+    usps: &'static str,
+    fips: &'static str,
+    anchor: LatLng,
+    /// Location ids are `base + k`.
+    loc_base: u64,
+}
+
+struct ProviderSpec {
+    id: u32,
+    frn: u64,
+    brand: &'static str,
+    tech: u8,
+    /// `(down, up)` advertised in release 1.
+    speeds: (f64, f64),
+    service: &'static str,
+    states: &'static [&'static str],
+    /// Locations `k >= LOCS_PER_STATE - dropped` vanish in release 2.
+    dropped: u64,
+}
+
+fn states() -> [StateSpec; 2] {
+    [
+        StateSpec {
+            usps: "NE",
+            fips: "31",
+            anchor: LatLng::new(41.25, -96.0),
+            loc_base: 1000,
+        },
+        StateSpec {
+            usps: "VA",
+            fips: "51",
+            anchor: LatLng::new(37.5, -77.4),
+            loc_base: 2000,
+        },
+    ]
+}
+
+fn providers() -> [ProviderSpec; 3] {
+    [
+        ProviderSpec {
+            id: 100,
+            frn: 5000100,
+            brand: "Acme Fiber",
+            tech: 50,
+            speeds: (1000.0, 1000.0),
+            service: "X",
+            states: &["NE", "VA"],
+            dropped: 8,
+        },
+        ProviderSpec {
+            id: 200,
+            frn: 5000200,
+            brand: "Plains Wireless",
+            tech: 72,
+            speeds: (100.0, 20.0),
+            service: "R",
+            states: &["NE"],
+            dropped: 6,
+        },
+        ProviderSpec {
+            id: 300,
+            frn: 5000300,
+            brand: "Tidewater Broadband",
+            tech: 72,
+            speeds: (100.0, 20.0),
+            service: "R",
+            states: &["VA"],
+            dropped: 5,
+        },
+    ]
+}
+
+/// Location `k`'s position: a small deterministic grid around the anchor.
+fn position(state: &StateSpec, k: u64) -> LatLng {
+    let row = (k / 8) as f64;
+    let col = (k % 8) as f64;
+    LatLng::new(
+        state.anchor.lat + row * 0.01,
+        state.anchor.lng + col * 0.012,
+    )
+}
+
+/// One availability file: every provider filing `tech` in `state`, rows in
+/// (provider, location) order.
+fn availability_file(state: &StateSpec, tech: u8, second_release: bool) -> String {
+    let mut out = String::from(HEADER);
+    out.push('\n');
+    for p in providers() {
+        if p.tech != tech || !p.states.contains(&state.usps) {
+            continue;
+        }
+        for k in 0..LOCS_PER_STATE {
+            if second_release && k >= LOCS_PER_STATE - p.dropped {
+                continue;
+            }
+            let pos = position(state, k);
+            let hex = HexCell::containing(&pos, NBM_RESOLUTION);
+            // Release 2 bumps fiber speeds at the first four NE locations:
+            // a Modified claim, which must NOT surface as removal evidence.
+            let (down, up) = if second_release && p.tech == 50 && state.usps == "NE" && k < 4 {
+                (2000.0, 1000.0)
+            } else {
+                p.speeds
+            };
+            let _ = writeln!(
+                out,
+                "{},{},{},{},{},{down:.1},{up:.1},1,{},{},{}0550001001{k:03},{hex}",
+                p.frn,
+                p.id,
+                p.brand,
+                state.loc_base + k,
+                p.tech,
+                p.service,
+                state.usps,
+                state.fips,
+            );
+        }
+    }
+    out
+}
+
+fn ookla_file() -> String {
+    let ne = states();
+    let tile = QuadTile::containing(&ne[0].anchor, OOKLA_ZOOM);
+    format!(
+        "{OOKLA_HEADER}\n{},150000.0,20000.0,12.5,42,17\n",
+        tile.quadkey()
+    )
+}
+
+/// One malformed file per typed `IngestError`, for the negative tests.
+fn negative_files() -> Vec<(&'static str, String)> {
+    let st = states();
+    let hex = HexCell::containing(&st[0].anchor, NBM_RESOLUTION);
+    let good = format!("5000100,100,Acme Fiber,1000,50,1000.0,1000.0,1,X,NE,310550001001000,{hex}");
+    let mut files = Vec::new();
+    // TruncatedRow: the last field is missing.
+    let truncated = good.rsplit_once(',').unwrap().0.to_string();
+    files.push((
+        "availability_truncated_row.csv",
+        format!("{HEADER}\n{truncated}\n"),
+    ));
+    // ReorderedColumns: first two header columns swapped.
+    let shuffled = HEADER.replacen("frn,provider_id", "provider_id,frn", 1);
+    files.push((
+        "availability_shuffled_header.csv",
+        format!("{shuffled}\n{good}\n"),
+    ));
+    // NonFiniteSpeed: NaN parses as f64 but is not finite.
+    files.push((
+        "availability_nan_speed.csv",
+        format!(
+            "{HEADER}\n{}\n",
+            good.replacen("1000.0,1000.0", "nan,1000.0", 1)
+        ),
+    ));
+    // BadTechCode: 99 is not in the BDC table.
+    files.push((
+        "availability_bad_tech.csv",
+        format!("{HEADER}\n{}\n", good.replacen(",50,", ",99,", 1)),
+    ));
+    // DuplicateColumn: frn appears twice.
+    files.push((
+        "availability_duplicate_column.csv",
+        format!("{}\n{good}\n", HEADER.replacen("frn,", "frn,frn,", 1)),
+    ));
+    // MissingColumn: h3_res8_id dropped.
+    files.push((
+        "availability_missing_column.csv",
+        format!("{}\n{truncated}\n", HEADER.replacen(",h3_res8_id", "", 1)),
+    ));
+    // UnknownColumn: an extra trailing column.
+    files.push((
+        "availability_unknown_column.csv",
+        format!("{HEADER},notes\n{good},hello\n"),
+    ));
+    // BadField: a hex id that is not 16 hex digits.
+    files.push((
+        "availability_bad_hex.csv",
+        format!("{HEADER}\n{}\n", good.replace(&hex.to_string(), "nothex")),
+    ));
+    // BadField on the Ookla side: an invalid quadkey digit.
+    files.push((
+        "ookla_bad_quadkey.csv",
+        format!("{OOKLA_HEADER}\n55AB,150000.0,20000.0,12.5,42,17\n"),
+    ));
+    // NonFiniteSpeed on the Ookla side.
+    let tile = QuadTile::containing(&st[0].anchor, OOKLA_ZOOM);
+    files.push((
+        "ookla_inf_speed.csv",
+        format!(
+            "{OOKLA_HEADER}\n{},inf,20000.0,12.5,42,17\n",
+            tile.quadkey()
+        ),
+    ));
+    files
+}
+
+fn write(path: &Path, content: &str) {
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent).unwrap_or_else(|e| panic!("mkdir {}: {e}", parent.display()));
+    }
+    fs::write(path, content).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    println!("wrote {}", path.display());
+}
+
+fn main() {
+    let mut out = PathBuf::from("tests/fixtures/bdc_sample");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => {
+                out = PathBuf::from(args.next().unwrap_or_else(|| {
+                    eprintln!("--out needs a value");
+                    std::process::exit(2);
+                }))
+            }
+            other => {
+                eprintln!("unknown argument `{other}`");
+                eprintln!("usage: gen_bdc_fixture [--out DIR]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    for (release, second) in [("2023-06-30", false), ("2023-12-31", true)] {
+        for state in states() {
+            for tech in [50u8, 72u8] {
+                let name = format!("bdc_{}_{tech}_fixed_broadband.csv", state.usps);
+                write(
+                    &out.join("bdc").join(release).join(name),
+                    &availability_file(&state, tech, second),
+                );
+            }
+        }
+    }
+    write(&out.join("ookla/tiles_2023q3.csv"), &ookla_file());
+    for (name, content) in negative_files() {
+        write(&out.join("negative").join(name), &content);
+    }
+}

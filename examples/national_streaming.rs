@@ -21,7 +21,7 @@ use std::sync::Arc;
 
 use red_is_sus::core::features::FeatureConfig;
 use red_is_sus::core::labels::LabelingOptions;
-use red_is_sus::core::streaming::run_streaming_to_dataset_with;
+use red_is_sus::core::streaming::run_synth_streaming_to_dataset_with;
 use red_is_sus::obs::{MetricsRegistry, Telemetry, TraceSink};
 use red_is_sus::synth::{GenMode, SynthConfig};
 
@@ -76,7 +76,7 @@ fn main() {
         telemetry = telemetry.with_trace(Arc::new(sink));
     }
 
-    let run = run_streaming_to_dataset_with(
+    let run = run_synth_streaming_to_dataset_with(
         &config,
         &LabelingOptions::default(),
         &FeatureConfig::default(),

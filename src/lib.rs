@@ -14,6 +14,7 @@
 //! * [`ml`] — gradient-boosted trees, metrics and attributions,
 //! * [`obs`] — telemetry: metrics registry, Prometheus encoder, trace sinks,
 //! * [`synth`] — the synthetic United States generator,
+//! * [`ingest`] (`redsus_ingest`) — real-data BDC/Ookla file ingestion,
 //! * [`core`] (`redsus_core`) — labels, features, models and the paper's
 //!   experiments.
 
@@ -25,6 +26,7 @@ pub use hexgrid;
 pub use ml;
 pub use obs;
 pub use redsus_core as core;
+pub use redsus_ingest as ingest;
 pub use redsus_serve as serve;
 pub use speedtest;
 pub use synth;

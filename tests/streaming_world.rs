@@ -11,7 +11,7 @@
 use red_is_sus::core::features::{dataset_fingerprint, FeatureConfig};
 use red_is_sus::core::labels::{observations_fingerprint, LabelingOptions};
 use red_is_sus::core::pipeline::PipelineEngine;
-use red_is_sus::core::streaming::run_streaming_to_dataset;
+use red_is_sus::core::streaming::run_synth_streaming_to_dataset;
 use red_is_sus::synth::{GenMode, StreamWorld, SynthConfig, SynthUs};
 
 /// The two scales the contract is pinned at: the unit-test world and the
@@ -58,7 +58,7 @@ fn streamed_dataset_matches_materialised_on_every_schedule() {
         let want_labels = observations_fingerprint(&materialised.matrix.observations);
         let want_dataset = dataset_fingerprint(&materialised.matrix.dataset);
         for mode in [GenMode::Sequential, GenMode::Parallel, GenMode::Threads(3)] {
-            let streamed = run_streaming_to_dataset(&config, &options, &features, mode)
+            let streamed = run_synth_streaming_to_dataset(&config, &options, &features, mode)
                 .unwrap_or_else(|e| panic!("{name} under {mode:?}: {e}"));
             assert_eq!(
                 observations_fingerprint(&streamed.matrix.observations),
@@ -84,7 +84,7 @@ fn scaled_national_preset_runs_inside_its_budget() {
     // test, with the budget shrunk the same way — so the budget enforcement
     // machinery is exercised on every `cargo test`, not just in CI.
     let config = SynthConfig::national_scaled(7, 4096);
-    let run = run_streaming_to_dataset(
+    let run = run_synth_streaming_to_dataset(
         &config,
         &LabelingOptions::default(),
         &FeatureConfig::default(),
